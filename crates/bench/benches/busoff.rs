@@ -1,0 +1,39 @@
+//! End-to-end bus-off benchmark: a complete MichiCAN eradication episode
+//! (attack start → attacker bus-off), the paper's central operation.
+
+use std::hint::black_box;
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId};
+use can_sim::{EventKind, Node, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use michican::prelude::*;
+
+fn episode(attacker_id: u16) -> u64 {
+    let mut sim = Simulator::new(BusSpeed::K50);
+    let frame = CanFrame::data_frame(CanId::from_raw(attacker_id), &[0; 8]).unwrap();
+    sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame, 400, 0)),
+    ));
+    let list = EcuList::from_raw(&[0x173]);
+    sim.add_node(
+        Node::new("defender", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+    );
+    sim.run_until(5_000, |e| matches!(e.kind, EventKind::BusOff))
+        .expect("attacker must be bused off");
+    sim.now().bits()
+}
+
+fn bench_busoff(c: &mut Criterion) {
+    c.bench_function("busoff/dos_episode_0x064", |b| {
+        b.iter(|| episode(black_box(0x064)))
+    });
+    c.bench_function("busoff/spoof_episode_0x173", |b| {
+        b.iter(|| episode(black_box(0x173)))
+    });
+}
+
+criterion_group!(benches, bench_busoff);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wire-codec benchmarks: frame stuffing, decoding and CRC.
+
+use std::hint::black_box;
+
+use can_core::bitstream::{decode_frame, stuff_frame, unstuffed_bits};
+use can_core::crc::checksum;
+use can_core::{CanFrame, CanId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_codec(c: &mut Criterion) {
+    let frame = CanFrame::data_frame(CanId::from_raw(0x173), &[0xA5; 8]).unwrap();
+    let wire = stuff_frame(&frame);
+    let raw = unstuffed_bits(&frame);
+
+    c.bench_function("codec/stuff_frame_8_bytes", |b| {
+        b.iter(|| stuff_frame(black_box(&frame)))
+    });
+
+    c.bench_function("codec/decode_frame_8_bytes", |b| {
+        b.iter(|| decode_frame(black_box(&wire.bits)).unwrap())
+    });
+
+    c.bench_function("codec/crc15_108_bits", |b| {
+        b.iter(|| checksum(black_box(&raw)))
+    });
+
+    c.bench_function("codec/roundtrip_all_dlcs", |b| {
+        let frames: Vec<CanFrame> = (0..=8usize)
+            .map(|dlc| {
+                CanFrame::data_frame(CanId::from_raw(0x100 + dlc as u16), &vec![0x3C; dlc])
+                    .unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            for f in &frames {
+                let w = stuff_frame(black_box(f));
+                black_box(decode_frame(&w.bits).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

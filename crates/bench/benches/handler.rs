@@ -1,0 +1,66 @@
+//! Interrupt-handler benchmark: cost of one `on_bit` invocation — the
+//! software-model counterpart of the paper's per-bit CPU budget (§V-D).
+
+use std::hint::black_box;
+
+use can_core::agent::BitAgent;
+use can_core::bitstream::stuff_frame;
+use can_core::{BitInstant, CanFrame, CanId, Level};
+use criterion::{criterion_group, criterion_main, Criterion};
+use michican::fsm::DetectionFsm;
+use michican::handler::MichiCan;
+use michican::EcuList;
+
+fn bench_handler(c: &mut Criterion) {
+    let list = EcuList::from_raw(&[0x064, 0x173, 0x25F, 0x400]);
+    let fsm = DetectionFsm::for_ecu(&list, 1);
+
+    c.bench_function("handler/on_bit_idle_bus", |b| {
+        let mut handler = MichiCan::new(fsm.clone());
+        let mut t = 0u64;
+        b.iter(|| {
+            handler.on_bit(black_box(Level::Recessive), BitInstant::from_bits(t));
+            t += 1;
+        })
+    });
+
+    let benign = stuff_frame(&CanFrame::data_frame(CanId::from_raw(0x400), &[0x55; 8]).unwrap());
+    c.bench_function("handler/full_benign_frame", |b| {
+        let mut handler = MichiCan::new(fsm.clone());
+        b.iter(|| {
+            let mut t = 0u64;
+            for _ in 0..12 {
+                handler.on_bit(Level::Recessive, BitInstant::from_bits(t));
+                t += 1;
+            }
+            for &bit in &benign.bits {
+                handler.on_bit(black_box(bit), BitInstant::from_bits(t));
+                t += 1;
+            }
+        })
+    });
+
+    let attack = stuff_frame(&CanFrame::data_frame(CanId::from_raw(0x064), &[0; 8]).unwrap());
+    c.bench_function("handler/attack_frame_with_counterattack", |b| {
+        let mut handler = MichiCan::new(fsm.clone());
+        b.iter(|| {
+            let mut t = 0u64;
+            for _ in 0..12 {
+                handler.on_bit(Level::Recessive, BitInstant::from_bits(t));
+                t += 1;
+            }
+            for &bit in &attack.bits {
+                let seen = if handler.is_injecting() {
+                    Level::Dominant
+                } else {
+                    bit
+                };
+                handler.on_bit(black_box(seen), BitInstant::from_bits(t));
+                t += 1;
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_handler);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: counterattack window width (DESIGN.md §4, decision 4).
+//!
+//! MichiCAN pulls the bus low from destuffed frame position 13 to 20.
+//! This bench sweeps the release position, measuring whether the attacker
+//! is still bused off and how long the episode takes — demonstrating why
+//! the paper budgets the full 6-bit worst case.
+
+use std::hint::black_box;
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId};
+use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use michican::handler::{MichiCan, MichiCanConfig};
+use michican::prelude::*;
+
+/// Runs one episode with the given counterattack release position;
+/// returns bus-off duration in bits, or `None` if never bused off.
+fn episode_with_width(end_position: u32) -> Option<u64> {
+    let mut sim = Simulator::new(BusSpeed::K50);
+    // Worst-case attacker shape: recessive identifier LSB, DLC 1.
+    let frame = CanFrame::data_frame(CanId::from_raw(0x065), &[0x00]).unwrap();
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame, 400, 0)),
+    ));
+    let list = EcuList::from_raw(&[0x173]);
+    let config = MichiCanConfig {
+        counterattack_end: end_position,
+        ..MichiCanConfig::default()
+    };
+    sim.add_node(
+        Node::new("defender", Box::new(SilentApplication)).with_agent(Box::new(
+            MichiCan::with_config(DetectionFsm::for_ecu(&list, 0), config),
+        )),
+    );
+    sim.run_until(8_000, |e| matches!(e.kind, EventKind::BusOff))?;
+    bus_off_episodes(sim.events(), attacker)
+        .first()
+        .map(|e| e.duration().as_bits())
+}
+
+fn bench_injection_width(c: &mut Criterion) {
+    // Report the ablation outcomes once (criterion runs are about timing;
+    // the scientific result is printed for the record).
+    println!("\ninjection-width ablation (release position -> episode bits):");
+    for end in [14u32, 15, 16, 17, 18, 19, 20, 22] {
+        match episode_with_width(end) {
+            Some(bits) => println!("  release at {end:>2}: bused off in {bits} bits"),
+            None => println!("  release at {end:>2}: ATTACKER NOT BUSED OFF"),
+        }
+    }
+
+    c.bench_function("injection/default_width_episode", |b| {
+        b.iter(|| episode_with_width(black_box(20)))
+    });
+    c.bench_function("injection/narrow_width_episode", |b| {
+        b.iter(|| episode_with_width(black_box(16)))
+    });
+}
+
+criterion_group!(benches, bench_injection_width);
+criterion_main!(benches);

@@ -1,0 +1,663 @@
+//! Regenerates every table and figure of the MichiCAN evaluation.
+//!
+//! ```text
+//! experiments [all|table1|table2|table3|fig1a|fig1b|fig2|fig4b|fig6|
+//!              detection|cpu|bus_load|multi_attacker|on_vehicle|
+//!              ids_latency|feasibility|availability] [--full]
+//!             [--artifacts <dir>]   # fig6 CSV + VCD output
+//! ```
+//!
+//! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
+//! FSMs); the default is a faster configuration with identical shape.
+
+use std::env;
+use std::path::PathBuf;
+
+use bench::scenarios::{
+    self, run_experiment, run_multi_attacker, run_parksense, table2_experiments, TABLE2_SPEED,
+};
+use bench::{busload, cpu, detection, table1};
+use can_core::bitstream::{FrameField, FrameLayout};
+use can_core::counters::ERRORS_TO_BUS_OFF;
+use can_core::{BusSpeed, CanFrame, CanId, ErrorCounters, ErrorState};
+use can_trace::{Timeline, TimelineEvent};
+use can_sim::{ErrorRole, EventKind};
+use mcu::{ARDUINO_DUE, NXP_S32K144};
+use michican::prevention;
+use michican::Scenario;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let artifacts: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--artifacts")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut skip_next = false;
+    let which = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--artifacts" {
+                skip_next = true;
+                return false;
+            }
+            true
+        })
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("table1") {
+        section("Table I — countermeasure comparison");
+        print!("{}", table1::render_table1());
+    }
+    if run("fig1a") {
+        section("Fig. 1a — CAN 2.0A data frame layout");
+        fig1a();
+    }
+    if run("fig1b") {
+        section("Fig. 1b — error-state transitions");
+        fig1b();
+    }
+    if run("fig2") {
+        section("Fig. 2 — DoS attack taxonomy");
+        fig2();
+    }
+    if run("fig4b") {
+        section("Fig. 4b — worst-case counterattack pattern");
+        fig4b();
+    }
+    if run("detection") {
+        section("§V-B — detection latency (random FSMs)");
+        detection_latency(full);
+    }
+    if run("table2") {
+        section("Table II — empirical bus-off time (six experiments, 50 kbit/s)");
+        table2(full);
+    }
+    if run("table3") {
+        section("Table III — theoretical bus-off time");
+        table3();
+    }
+    if run("fig6") {
+        section("Fig. 6 — Experiment 5 bus pattern (0x066 vs 0x067)");
+        fig6(artifacts.as_deref());
+    }
+    if run("multi_attacker") {
+        section("§V-C — more than two attackers");
+        multi_attacker();
+    }
+    if run("cpu") {
+        section("§V-D — CPU utilization");
+        cpu_utilization();
+    }
+    if run("bus_load") {
+        section("§V-E — bus load: MichiCAN vs Parrot");
+        bus_load();
+    }
+    if run("on_vehicle") {
+        section("§V-F — on-vehicle ParkSense test (2017 Pacifica)");
+        on_vehicle();
+    }
+    if run("ids_latency") {
+        section("Extension — quantifying Table I's IDS row");
+        ids_latency();
+    }
+    if run("feasibility") {
+        section("Extension — analytic deadline feasibility (response-time analysis)");
+        feasibility();
+    }
+    if run("availability") {
+        section("Extension — benign-traffic availability under persistent attack");
+        availability();
+    }
+}
+
+fn availability() {
+    use bench::availability::{run as run_avail, Defense};
+    let ms = 400.0;
+    let healthy = run_avail(Defense::Healthy, ms);
+    let undefended = run_avail(Defense::Undefended, ms);
+    let defended = run_avail(Defense::MichiCan, ms);
+    let parrot = run_avail(Defense::Parrot, ms);
+    println!("Veh. D restbus at 500 kbit/s, {ms} ms, saturating DoS on 0x041\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>13} {:>10}",
+        "scenario", "benign frames", "attack frames", "eradications", "bus load"
+    );
+    for (label, a) in [
+        ("healthy", healthy),
+        ("undefended", undefended),
+        ("MichiCAN", defended),
+        ("Parrot", parrot),
+    ] {
+        println!(
+            "{:<14} {:>14} {:>14} {:>13} {:>9.1}%",
+            label,
+            a.benign_delivered,
+            a.attack_delivered,
+            a.eradications,
+            a.bus_load * 100.0
+        );
+    }
+    println!(
+        "\nbenign delivery restored: {:.0} % of healthy (undefended: {:.1} %)",
+        defended.benign_delivered as f64 / healthy.benign_delivered as f64 * 100.0,
+        undefended.benign_delivered as f64 / healthy.benign_delivered as f64 * 100.0
+    );
+}
+
+fn feasibility() {
+    use restbus::schedulability::{analyze, max_tolerable_blocking};
+    use restbus::{vehicle_matrix, Vehicle};
+    let matrix = vehicle_matrix(Vehicle::D, 0, BusSpeed::K500);
+    println!("matrix: {} ({} messages, min deadline {} ms)", matrix.name, matrix.len(),
+        matrix.min_deadline_ms().unwrap_or(0));
+    println!(
+        "{:<36} {:>12} {:>14}",
+        "defense-episode blocking", "bits", "all deadlines?"
+    );
+    for (label, blocking) in [
+        ("healthy bus", 0u64),
+        ("A=1 episode (measured)", 1_293),
+        ("A=2 episode (measured)", 2_389),
+        ("A=3 episode (measured)", 3_581),
+        ("A=4 episode (measured)", 4_693),
+        ("A=5 episode (measured)", 6_106),
+    ] {
+        let result = analyze(&matrix, blocking);
+        println!(
+            "{:<36} {:>12} {:>14}",
+            label,
+            blocking,
+            if result.all_schedulable() { "yes" } else { "NO" }
+        );
+    }
+    let budget = max_tolerable_blocking(&matrix);
+    println!(
+        "\nexact tolerable blocking budget: {} bits ({:.2} ms at 500 kbit/s)",
+        budget,
+        budget as f64 * 0.002
+    );
+    println!("(paper's crude bound: 5000 bits; the exact analysis accounts for interference)");
+}
+
+fn ids_latency() {
+    use bench::ids_compare::{ids_defense, michican_defense};
+    let ids = ids_defense(40_000);
+    let michican = michican_defense(40_000);
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "metric", "frame IDS", "MichiCAN"
+    );
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "detection latency (bits)",
+        ids.detection_latency_bits
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "never".into()),
+        michican
+            .detection_latency_bits
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "never".into()),
+    );
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "attack frames before detection",
+        ids.frames_before_detection,
+        michican.frames_before_detection
+    );
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "attack frames delivered (total)",
+        ids.total_attack_frames_delivered,
+        michican.total_attack_frames_delivered
+    );
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "attacker eradicated", ids.eradicated, michican.eradicated
+    );
+    println!("\n(the measured form of Table I: IDS = detection without real-time or eradication)");
+}
+
+fn section(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn fig1a() {
+    let layout = FrameLayout::for_payload(8);
+    println!("{:<16} {:>8} {:>8} {:>8}", "Field", "start", "end", "bits");
+    for field in FrameField::ALL {
+        let span = layout.span(field);
+        println!(
+            "{:<16} {:>8} {:>8} {:>8}",
+            field.name(),
+            span.start,
+            span.end,
+            span.len()
+        );
+    }
+    println!("(unstuffed bit offsets, 8-byte payload; stuffing applies SOF..CRC)");
+}
+
+fn fig1b() {
+    let mut counters = ErrorCounters::new();
+    println!("transmit-error ladder (TEC +8 per error, thresholds 128/256):");
+    let mut last_state = ErrorState::ErrorActive;
+    for error in 1..=ERRORS_TO_BUS_OFF {
+        let state = counters.on_transmit_error();
+        if state != last_state {
+            println!(
+                "  after error {:>2} (TEC {:>3}): {} -> {}",
+                error,
+                counters.tec(),
+                last_state,
+                state
+            );
+            last_state = state;
+        }
+    }
+    println!("  recovery: 128 sequences of 11 recessive bits -> error-active (TEC/REC reset)");
+}
+
+fn fig2() {
+    use can_attacks::{DosKind, SuspensionAttacker};
+    use can_core::app::Application;
+    use can_core::BitInstant;
+    let kinds: [(&str, DosKind); 3] = [
+        ("traditional", DosKind::Traditional),
+        (
+            "targeted",
+            DosKind::Targeted {
+                id: CanId::from_raw(0x25F),
+            },
+        ),
+        (
+            "random",
+            DosKind::Random {
+                below: CanId::from_raw(0x100),
+            },
+        ),
+    ];
+    for (name, kind) in kinds {
+        let mut attacker = SuspensionAttacker::new(kind, 1);
+        let ids: Vec<String> = (0..8)
+            .filter_map(|t| attacker.poll(BitInstant::from_bits(t)))
+            .map(|f| format!("{}", f.id()))
+            .collect();
+        println!("{name:>12}: {}", ids.join(" "));
+    }
+}
+
+fn fig4b() {
+    println!("attacker frame (worst case: recessive ID LSB, DLC=1):");
+    let frame = CanFrame::data_frame(CanId::from_raw(0x173), &[0x00]).unwrap();
+    let needed = prevention::injection_bits_to_error(&frame);
+    println!("  injected dominant bits until stuff error: {needed}");
+    println!(
+        "  error frame starts at frame bit {} -> t_a = {} bits, t_p = {} bits",
+        prevention::WORST_CASE_FLAG_START,
+        prevention::error_active_time(prevention::WORST_CASE_FLAG_START),
+        prevention::error_passive_time(prevention::WORST_CASE_FLAG_START)
+    );
+    println!("per-identifier injected-bit requirement (sampled):");
+    for raw in [0x000u16, 0x050, 0x064, 0x066, 0x173, 0x25F, 0x7D0] {
+        for dlc in [1usize, 8] {
+            let f = CanFrame::data_frame(CanId::from_raw(raw), &vec![0u8; dlc]).unwrap();
+            println!(
+                "  id {:>5}  dlc {}  -> {} bits",
+                format!("{}", f.id()),
+                dlc,
+                prevention::injection_bits_to_error(&f)
+            );
+        }
+    }
+}
+
+fn detection_latency(full: bool) {
+    let fsms = if full { 160_000 } else { 4_000 };
+    println!(
+        "sweep: {} random FSMs (IVN sizes 150-450; use --full for 160k)",
+        fsms
+    );
+    let sweep = detection::run_sweep(fsms, 0xD5_2025);
+    println!(
+        "  detection rate:          {:.1} %   (paper: 100 %)",
+        sweep.detection_rate * 100.0
+    );
+    println!(
+        "  false positives:         {:.3} %  (paper: 0 %)",
+        sweep.false_positive_rate * 100.0
+    );
+    println!(
+        "  mean detection position: {:.2} bits (paper: 9)",
+        sweep.mean_detection_position
+    );
+    println!("  mean FSM states:         {:.0}", sweep.mean_nodes);
+    println!("position vs IVN size (figure-style series):");
+    for n in [10usize, 20, 50, 100, 200, 300, 400] {
+        let s = detection::run_sweep_with_sizes(if full { 2_000 } else { 200 }, 0xD5, n, n);
+        println!("  N = {n:>3}: mean position {:.2}", s.mean_detection_position);
+    }
+}
+
+fn table2(full: bool) {
+    let capture_ms = if full { 10_000.0 } else { 2_000.0 };
+    println!("capture: {capture_ms} ms per experiment (paper: 2 s)");
+    println!(
+        "{:<5} {:<10} {:<9} {:>10} {:>12} {:>10} {:>9}",
+        "Exp.", "Attacker", "Restbus", "mu (ms)", "sigma (ms)", "max (ms)", "episodes"
+    );
+    let paper: &[(f64, f64, f64)] = &[
+        (24.6, 2.64, 58.6),
+        (24.2, 0.27, 25.2),
+        (25.1, 1.39, 38.3),
+        (24.9, 0.45, 25.2),
+        (39.0, 0.79, 48.6),
+        (35.4, 0.60, 44.0),
+        (24.9, 0.01, 25.4),
+        (24.9, 0.01, 25.4),
+    ];
+    let mut row = 0usize;
+    for exp in table2_experiments() {
+        let outcome = run_experiment(&exp, capture_ms);
+        for (id, stats) in &outcome.per_attacker {
+            match stats {
+                Some(s) => println!(
+                    "{:<5} 0x{:03X}     {:<9} {:>10.1} {:>12.2} {:>10.1} {:>9}   (paper: mu={} sd={} max={})",
+                    exp.number,
+                    id,
+                    if exp.restbus { "yes" } else { "no" },
+                    s.mean_millis(TABLE2_SPEED),
+                    s.std_millis(TABLE2_SPEED),
+                    s.max_millis(TABLE2_SPEED),
+                    s.count,
+                    paper[row].0,
+                    paper[row].1,
+                    paper[row].2,
+                ),
+                None => println!(
+                    "{:<5} 0x{id:03X}  -- no bus-off within capture --",
+                    exp.number
+                ),
+            }
+            row += 1;
+        }
+    }
+}
+
+fn table3() {
+    println!("clean runs (no interference):");
+    println!(
+        "{:<8} {:<6} {:>14} {:>15} {:>16}",
+        "Exp.", "Scen.", "t_a (bits)", "t_p (bits)", "total (bits)"
+    );
+    for row in prevention::theory_table(prevention::AVERAGE_FRAME_BITS, 0, 0, 0, 0, 0) {
+        println!(
+            "{:<8} {:<6} {:>14} {:>15} {:>16}",
+            row.experiments, row.scenario, row.active_bits, row.passive_bits, row.total_bits
+        );
+    }
+    println!("\nwith one interfering frame per gap (c_h,a = c_h,p+c_l,p = z_* = 1, s_f = 125):");
+    println!(
+        "{:<8} {:<6} {:>14} {:>15} {:>16}",
+        "Exp.", "Scen.", "t_a (bits)", "t_p (bits)", "total (bits)"
+    );
+    for row in prevention::theory_table(prevention::AVERAGE_FRAME_BITS, 1, 1, 1, 1, 1) {
+        println!(
+            "{:<8} {:<6} {:>14} {:>15} {:>16}",
+            row.experiments, row.scenario, row.active_bits, row.passive_bits, row.total_bits
+        );
+    }
+    println!(
+        "\nworst-case single attacker: {} bits = {:.2} ms at 50 kbit/s (paper: 1248)",
+        prevention::single_attacker_total(prevention::WORST_CASE_FLAG_START),
+        (prevention::single_attacker_total(prevention::WORST_CASE_FLAG_START) as f64) * 0.02
+    );
+    println!(
+        "best-case single attacker:  {} bits",
+        prevention::single_attacker_total(prevention::BEST_CASE_FLAG_START)
+    );
+}
+
+fn fig6(artifacts: Option<&std::path::Path>) {
+    // Re-run Experiment 5 with event capture and render the timeline.
+    let exp = table2_experiments()
+        .into_iter()
+        .find(|e| e.number == 5)
+        .unwrap();
+    let (mut sim, attackers) = scenarios::build_experiment(&exp);
+    sim.enable_trace();
+    // Run until both attackers are bused off once.
+    let mut off = std::collections::HashSet::new();
+    let mut checked = 0usize;
+    for _ in 0..20_000u64 {
+        sim.step();
+        while checked < sim.events().len() {
+            if matches!(sim.events()[checked].kind, EventKind::BusOff) {
+                off.insert(sim.events()[checked].node);
+            }
+            checked += 1;
+        }
+        if attackers.iter().all(|a| off.contains(a)) {
+            break;
+        }
+    }
+    let events: Vec<TimelineEvent> = sim
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::TransmissionStarted { .. } => Some(TimelineEvent::TransmissionStarted {
+                node: e.node,
+                at: e.at,
+            }),
+            EventKind::TransmissionSucceeded { .. } => {
+                Some(TimelineEvent::TransmissionSucceeded {
+                    node: e.node,
+                    at: e.at,
+                })
+            }
+            EventKind::ErrorDetected {
+                role: ErrorRole::Transmitter,
+                ..
+            } => Some(TimelineEvent::TransmitError {
+                node: e.node,
+                at: e.at,
+            }),
+            EventKind::BusOff => Some(TimelineEvent::BusOff {
+                node: e.node,
+                at: e.at,
+            }),
+            EventKind::Recovered => Some(TimelineEvent::Recovered {
+                node: e.node,
+                at: e.at,
+            }),
+            _ => None,
+        })
+        .collect();
+    let horizon = sim.now().bits();
+    let timeline = Timeline::build(&events, &attackers, horizon);
+    print!(
+        "{}",
+        timeline.render_ascii(&[(attackers[0], "0x066"), (attackers[1], "0x067")], 100)
+    );
+
+    if let Some(dir) = artifacts {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+        } else {
+            let csv_path = dir.join("fig6_spans.csv");
+            let _ = std::fs::write(&csv_path, timeline.to_csv());
+            if let Some(trace) = sim.trace() {
+                let vcd_path = dir.join("fig6_bus.vcd");
+                let signal = can_trace::VcdSignal::new("CAN_RX", trace.levels().to_vec());
+                let _ = std::fs::write(&vcd_path, can_trace::write_vcd(TABLE2_SPEED, &[signal]));
+                println!(
+                    "artifacts: {} and {} written",
+                    csv_path.display(),
+                    vcd_path.display()
+                );
+            }
+        }
+    }
+
+    // The paper's intertwining summary.
+    let errors = |node: usize| {
+        sim.events()
+            .iter()
+            .filter(|e| {
+                e.node == node
+                    && matches!(
+                        e.kind,
+                        EventKind::ErrorDetected {
+                            role: ErrorRole::Transmitter,
+                            ..
+                        }
+                    )
+            })
+            .count()
+    };
+    println!(
+        "0x066: {} destroyed attempts; 0x067: {} destroyed attempts (32 each expected)",
+        errors(attackers[0]),
+        errors(attackers[1])
+    );
+}
+
+fn multi_attacker() {
+    println!(
+        "{:>3} {:>14} {:>12}   {:<30}",
+        "A", "total (bits)", "total (ms)", "verdict vs 5000-bit deadline"
+    );
+    let paper: [(usize, Option<u64>); 5] = [
+        (1, Some(1248)),
+        (2, None),
+        (3, Some(3515)),
+        (4, Some(4660)),
+        (5, None),
+    ];
+    for (count, paper_bits) in paper {
+        match run_multi_attacker(count, 60_000) {
+            Some(bits) => {
+                let verdict = if bits <= 5_000 {
+                    "operable"
+                } else {
+                    "BUS INOPERABLE"
+                };
+                let reference = paper_bits
+                    .map(|b| format!(" (paper: {b})"))
+                    .unwrap_or_default();
+                println!(
+                    "{count:>3} {bits:>14} {:>12.1}   {verdict:<16}{reference}",
+                    bits as f64 * TABLE2_SPEED.bit_time_us() / 1000.0
+                );
+            }
+            None => println!("{count:>3}  -- not all attackers eradicated within horizon --"),
+        }
+    }
+}
+
+fn cpu_utilization() {
+    let rows = cpu::cpu_report(
+        &[&ARDUINO_DUE, &NXP_S32K144],
+        &[BusSpeed::K125, BusSpeed::K250, BusSpeed::K500],
+        &[Scenario::Full, Scenario::Light],
+    );
+    println!(
+        "{:<30} {:<12} {:<7} {:>9} {:>9} {:>9}",
+        "MCU", "speed", "scen.", "idle", "active", "combined"
+    );
+    for (mcu_name, speed, scenario) in [
+        (ARDUINO_DUE.name, BusSpeed::K125, Scenario::Full),
+        (ARDUINO_DUE.name, BusSpeed::K125, Scenario::Light),
+        (ARDUINO_DUE.name, BusSpeed::K250, Scenario::Full),
+        (NXP_S32K144.name, BusSpeed::K500, Scenario::Full),
+        (NXP_S32K144.name, BusSpeed::K500, Scenario::Light),
+    ] {
+        let sel: Vec<&cpu::CpuRow> = rows
+            .iter()
+            .filter(|r| r.mcu == mcu_name && r.speed == speed && r.scenario == scenario)
+            .collect();
+        let mean =
+            |f: fn(&cpu::CpuRow) -> f64| sel.iter().map(|r| f(r)).sum::<f64>() / sel.len() as f64;
+        println!(
+            "{:<30} {:<12} {:<7} {:>8.1}% {:>8.1}% {:>8.1}%",
+            mcu_name,
+            speed.to_string(),
+            format!("{scenario:?}"),
+            mean(|r| r.idle_load) * 100.0,
+            mean(|r| r.active_load) * 100.0,
+            mean(|r| r.combined_load) * 100.0
+        );
+    }
+    println!("(averages over the 8 vehicle buses; paper: Due@125k full=40%, light=30%, Due@250k=80%, S32K144@500k=44%)");
+}
+
+fn bus_load() {
+    let michican = busload::michican_load(400.0);
+    let parrot = busload::parrot_load(600.0);
+    println!("{:<26} {:>12} {:>12}", "metric", "MichiCAN", "Parrot");
+    println!(
+        "{:<26} {:>12.1} {:>12.1}",
+        "load during defense (%)",
+        michican.during_defense * 100.0,
+        parrot.during_defense * 100.0
+    );
+    println!(
+        "{:<26} {:>12.1} {:>12.1}",
+        "overall load (%)",
+        michican.overall * 100.0,
+        parrot.overall * 100.0
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "attacker bused off", michican.attacker_bused_off, parrot.attacker_bused_off
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "defender TEC after run", michican.defender_tec, parrot.defender_tec
+    );
+    println!(
+        "\nParrot theoretical flood load: {:.1} % (paper: 125/128 = 97.7 %)",
+        busload::parrot_theoretical_flood_load() * 100.0
+    );
+    if let Some(bits) = michican.busoff_bits {
+        println!(
+            "MichiCAN counterattack spike: {} bits = {:.1} ms at 50 kbit/s, then the bus is clean",
+            bits,
+            bits as f64 * 0.02
+        );
+    }
+}
+
+fn on_vehicle() {
+    let undefended = run_parksense(false, 600.0);
+    let defended = run_parksense(true, 600.0);
+    println!("targeted DoS on ParkSense: inject 0x25F against lowest relevant id 0x260\n");
+    println!("without MichiCAN dongle:");
+    println!(
+        "  PARKSENSE UNAVAILABLE: {} (at {:?} ms)  status frames: {}",
+        undefended.became_unavailable,
+        undefended.unavailable_at_ms,
+        undefended.status_frames_received
+    );
+    println!("with MichiCAN dongle on the OBD-II splitter:");
+    println!(
+        "  PARKSENSE UNAVAILABLE: {}   attacker bus-offs: {}  first episode attempts: {:?}",
+        defended.became_unavailable, defended.attacker_bus_offs, defended.first_episode_attempts
+    );
+    println!(
+        "  status frames delivered: {}",
+        defended.status_frames_received
+    );
+    println!("(paper: attack eradicated within 32 transmission attempts, ParkSense restored)");
+}

@@ -1,0 +1,227 @@
+//! `michican-gen` — the OEM-side initial-configuration tool (paper
+//! §IV-A): reads a communication matrix (mini-DBC subset), derives every
+//! ECU's detection range and emits the per-ECU FSM firmware sources.
+//!
+//! ```text
+//! michican-gen <matrix.dbc> [--lang c|rust|dot] [--scenario full|light]
+//!              [--ecu <hex-id>] [--out <dir>] [--report]
+//! michican-gen --builtin pacifica [--report]
+//! ```
+//!
+//! Without `--out`, sources go to stdout. `--report` prints the coverage/
+//! redundancy analysis instead of generating code.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use can_core::{BusSpeed, CanId};
+use michican::analysis::{coverage, depth_profile};
+use michican::codegen::{emit_c, emit_dot, emit_rust};
+use michican::fsm::DetectionFsm;
+use michican::{EcuList, Scenario};
+use restbus::dbc::parse_dbc;
+use restbus::{pacifica_matrix, CommMatrix};
+
+struct Options {
+    source: Source,
+    lang: Lang,
+    scenario: Scenario,
+    only_ecu: Option<CanId>,
+    out_dir: Option<PathBuf>,
+    report: bool,
+}
+
+enum Source {
+    DbcFile(PathBuf),
+    Builtin(String),
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lang {
+    C,
+    Rust,
+    Dot,
+}
+
+fn usage() -> &'static str {
+    "usage: michican-gen <matrix.dbc> [--lang c|rust|dot] [--scenario full|light]\n\
+     \x20                  [--ecu <hex-id>] [--out <dir>] [--report]\n\
+     \x20      michican-gen --builtin pacifica [--report]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = env::args().skip(1).peekable();
+    let mut source = None;
+    let mut lang = Lang::C;
+    let mut scenario = Scenario::Full;
+    let mut only_ecu = None;
+    let mut out_dir = None;
+    let mut report = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lang" => {
+                lang = match args.next().as_deref() {
+                    Some("c") => Lang::C,
+                    Some("rust") => Lang::Rust,
+                    Some("dot") => Lang::Dot,
+                    other => return Err(format!("unknown language {other:?}")),
+                };
+            }
+            "--scenario" => {
+                scenario = match args.next().as_deref() {
+                    Some("full") => Scenario::Full,
+                    Some("light") => Scenario::Light,
+                    other => return Err(format!("unknown scenario {other:?}")),
+                };
+            }
+            "--ecu" => {
+                let raw = args.next().ok_or("--ecu needs a hex identifier")?;
+                let raw = raw.trim_start_matches("0x");
+                let value =
+                    u16::from_str_radix(raw, 16).map_err(|_| format!("bad identifier {raw}"))?;
+                only_ecu =
+                    Some(CanId::new(value).map_err(|e| e.to_string())?);
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(
+                    args.next().ok_or("--out needs a directory")?,
+                ));
+            }
+            "--builtin" => {
+                source = Some(Source::Builtin(
+                    args.next().ok_or("--builtin needs a matrix name")?,
+                ));
+            }
+            "--report" => report = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            path if !path.starts_with('-') => {
+                source = Some(Source::DbcFile(PathBuf::from(path)));
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+
+    Ok(Options {
+        source: source.ok_or_else(|| usage().to_string())?,
+        lang,
+        scenario,
+        only_ecu,
+        out_dir,
+        report,
+    })
+}
+
+fn load_matrix(source: &Source) -> Result<CommMatrix, String> {
+    match source {
+        Source::DbcFile(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_dbc(
+                path.file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("matrix"),
+                BusSpeed::K500,
+                &text,
+            )
+            .map_err(|e| e.to_string())
+        }
+        Source::Builtin(name) => match name.as_str() {
+            "pacifica" => Ok(pacifica_matrix(BusSpeed::K500)),
+            other => Err(format!("unknown builtin matrix {other}")),
+        },
+    }
+}
+
+fn print_report(list: &EcuList, scenario: Scenario) {
+    let report = coverage(list, scenario);
+    println!(
+        "deployment report ({} ECUs, {:?} scenario):",
+        list.len(),
+        scenario
+    );
+    println!("  uncovered DoS identifiers: {}", report.uncovered_dos_ids);
+    println!(
+        "  redundancy over covered identifiers: min {}, mean {:.2}",
+        report.min_redundancy, report.mean_redundancy
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>14}",
+        "ECU", "FSM states", "mean depth", "max depth"
+    );
+    for index in 0..list.len() {
+        let fsm = DetectionFsm::for_scenario(list, index, scenario);
+        let profile = depth_profile(&fsm);
+        println!(
+            "{:<8} {:>12} {:>14.2} {:>14}",
+            format!("{}", list.id_at(index)),
+            fsm.node_count(),
+            profile.mean_malicious_depth,
+            profile.max_depth
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args()?;
+    let matrix = load_matrix(&options.source)?;
+    let list = EcuList::new(matrix.ids()).map_err(|e| e.to_string())?;
+
+    if options.report {
+        print_report(&list, options.scenario);
+        return Ok(());
+    }
+
+    if let Some(dir) = &options.out_dir {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+
+    let mut generated = 0usize;
+    for index in 0..list.len() {
+        let id = list.id_at(index);
+        if options.only_ecu.is_some_and(|only| only != id) {
+            continue;
+        }
+        let fsm = DetectionFsm::for_scenario(&list, index, options.scenario);
+        let symbol = format!("ecu_{:03x}", id.raw());
+        let (source, extension) = match options.lang {
+            Lang::C => (emit_c(&fsm, &symbol), "c"),
+            Lang::Rust => (emit_rust(&fsm, &symbol), "rs"),
+            Lang::Dot => (emit_dot(&fsm, &symbol), "dot"),
+        };
+        match &options.out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{symbol}.{extension}"));
+                fs::write(&path, &source)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                eprintln!("wrote {} ({} states)", path.display(), fsm.node_count());
+            }
+            None => {
+                println!("// ===== {} ({} states) =====", id, fsm.node_count());
+                println!("{source}");
+            }
+        }
+        generated += 1;
+    }
+
+    if generated == 0 {
+        return Err("no ECU matched --ecu".into());
+    }
+    eprintln!(
+        "generated {generated} FSM(s) for {} ({:?} scenario)",
+        matrix.name, options.scenario
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # bench — the MichiCAN evaluation harness
+//!
+//! Shared scenario builders and analysis used by the `experiments` binary
+//! (which regenerates every table and figure of the paper) and by the
+//! Criterion benches.
+//!
+//! * [`scenarios`] — the six Table II experiments, the multi-attacker
+//!   sweep and the on-vehicle ParkSense test;
+//! * [`table1`] — the qualitative countermeasure comparison;
+//! * [`detection`] — the random-FSM detection-latency sweep (§V-B);
+//! * [`cpu`] — CPU-utilization tables (§V-D);
+//! * [`busload`] — MichiCAN vs Parrot bus-load comparison (§V-E);
+//! * [`ids_compare`] — detection-latency quantification of Table I's IDS
+//!   row (extension);
+//! * [`availability`] — benign-traffic delivery under persistent attack,
+//!   healthy vs undefended vs defended (extension).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod busload;
+pub mod cpu;
+pub mod detection;
+pub mod ids_compare;
+pub mod scenarios;
+pub mod table1;

@@ -1,0 +1,177 @@
+//! Table I — qualitative comparison of CAN DoS countermeasures.
+//!
+//! The paper's Table I is a qualitative matrix; the data is encoded here
+//! structurally so it can be rendered and asserted on.
+
+/// Rating on a qualitative dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rating {
+    /// ● / yes / none-overhead (best).
+    Yes,
+    /// ◐ / negligible.
+    Partial,
+    /// ○ / no.
+    No,
+    /// ◑ medium overhead.
+    Medium,
+    /// ⬤ very high overhead.
+    VeryHigh,
+    /// Unknown from the literature.
+    Unknown,
+}
+
+impl Rating {
+    /// Compact glyph for table rendering.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Rating::Yes => "●",
+            Rating::Partial => "◐",
+            Rating::No => "○",
+            Rating::Medium => "◑",
+            Rating::VeryHigh => "⬤",
+            Rating::Unknown => "?",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Countermeasure {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Software-only, deployable on existing ECUs?
+    pub backward_compatible: Rating,
+    /// Detects attacks in real time (during transmission)?
+    pub real_time: Rating,
+    /// Traffic overhead imposed on the bus.
+    pub traffic_overhead: Rating,
+    /// Can it eradicate (not just detect) the attacker?
+    pub eradication: Rating,
+}
+
+/// The comparison matrix of the paper's Table I.
+pub fn table1() -> Vec<Countermeasure> {
+    use Rating::*;
+    vec![
+        Countermeasure {
+            name: "IDS [15]-[17]",
+            backward_compatible: Yes,
+            real_time: No,
+            traffic_overhead: Yes, // none: passive monitoring
+            eradication: No,
+        },
+        Countermeasure {
+            name: "Parrot+",
+            backward_compatible: Yes,
+            real_time: No,
+            traffic_overhead: VeryHigh,
+            eradication: Yes,
+        },
+        Countermeasure {
+            name: "CANSentry",
+            backward_compatible: No,
+            real_time: No,
+            traffic_overhead: Partial,
+            eradication: Yes,
+        },
+        Countermeasure {
+            name: "CANeleon",
+            backward_compatible: No,
+            real_time: Yes,
+            traffic_overhead: Medium,
+            eradication: Yes,
+        },
+        Countermeasure {
+            name: "CANARY",
+            backward_compatible: No,
+            real_time: Yes,
+            traffic_overhead: Medium,
+            eradication: Yes,
+        },
+        Countermeasure {
+            name: "ZBCAN",
+            backward_compatible: Yes,
+            real_time: Yes,
+            traffic_overhead: Partial,
+            eradication: Yes,
+        },
+        Countermeasure {
+            name: "MichiCAN",
+            backward_compatible: Yes,
+            real_time: Yes,
+            traffic_overhead: Yes, // none outside counterattacks
+            eradication: Yes,
+        },
+    ]
+}
+
+/// Renders Table I as aligned text.
+pub fn render_table1() -> String {
+    let rows = table1();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12}\n",
+        "Scheme", "Backward", "Real-time", "Overhead", "Eradication"
+    ));
+    for row in &rows {
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>12}\n",
+            row.name,
+            row.backward_compatible.glyph(),
+            row.real_time.glyph(),
+            row.traffic_overhead.glyph(),
+            row.eradication.glyph()
+        ));
+    }
+    out.push_str("● yes/none  ◐ negligible  ◑ medium  ⬤ very high  ○ no\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn michican_is_the_only_fully_positive_row() {
+        let rows = table1();
+        let michican = rows.iter().find(|r| r.name == "MichiCAN").unwrap();
+        assert_eq!(michican.backward_compatible, Rating::Yes);
+        assert_eq!(michican.real_time, Rating::Yes);
+        assert_eq!(michican.traffic_overhead, Rating::Yes);
+        assert_eq!(michican.eradication, Rating::Yes);
+
+        let fully_positive = rows
+            .iter()
+            .filter(|r| {
+                r.backward_compatible == Rating::Yes
+                    && r.real_time == Rating::Yes
+                    && r.traffic_overhead == Rating::Yes
+                    && r.eradication == Rating::Yes
+            })
+            .count();
+        assert_eq!(fully_positive, 1);
+    }
+
+    #[test]
+    fn ids_detects_but_does_not_eradicate() {
+        let rows = table1();
+        let ids = rows.iter().find(|r| r.name.starts_with("IDS")).unwrap();
+        assert_eq!(ids.eradication, Rating::No);
+        assert_eq!(ids.real_time, Rating::No);
+    }
+
+    #[test]
+    fn parrot_has_very_high_overhead() {
+        let rows = table1();
+        let parrot = rows.iter().find(|r| r.name.starts_with("Parrot")).unwrap();
+        assert_eq!(parrot.traffic_overhead, Rating::VeryHigh);
+    }
+
+    #[test]
+    fn rendering_contains_every_scheme() {
+        let text = render_table1();
+        for row in table1() {
+            assert!(text.contains(row.name.split(' ').next().unwrap()));
+        }
+    }
+}

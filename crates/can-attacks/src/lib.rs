@@ -1,0 +1,36 @@
+//! # can-attacks — the paper's threat-model attackers
+//!
+//! Implements every adversary of the MichiCAN threat model (§III) as a
+//! [`can_core::app::Application`] runnable on simulator nodes:
+//!
+//! * [`fabrication`] — spoofed frames with valid identifiers and attacker
+//!   data, injected at a higher frequency than the legitimate sender.
+//! * [`suspension`] — DoS attackers (Fig. 2): *traditional* (identifier
+//!   0x000 blocks everyone), *targeted* (an identifier just below the
+//!   victim's) and *random*.
+//! * [`masquerade`] — suspension of a victim followed by fabrication of
+//!   its traffic.
+//! * [`toggling`] — Experiment 6's attacker alternating between two
+//!   identifiers.
+//! * [`ghost`] — a CANnon-style *bit-level* bus-off attacker (§VI-A),
+//!   demonstrating the offensive side of integrated-controller access and
+//!   why it must be isolated from compromisable software (§III).
+//!
+//! All attackers comply with the CAN protocol at the controller level
+//! (they cannot bypass error handling — that is exactly what MichiCAN
+//! exploits to bus them off).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabrication;
+pub mod ghost;
+pub mod masquerade;
+pub mod suspension;
+pub mod toggling;
+
+pub use fabrication::FabricationAttacker;
+pub use ghost::GhostInjector;
+pub use masquerade::MasqueradeAttacker;
+pub use suspension::{DosKind, SuspensionAttacker};
+pub use toggling::TogglingAttacker;

@@ -1,0 +1,152 @@
+//! Masquerade attacks (paper §III).
+//!
+//! "Masquerade attacks combine both fabrication and suspension by first
+//! suspending a legitimate ECU's CAN broadcast and then fabricating its
+//! data." This attacker watches the victim's traffic; once the victim has
+//! been silent for a configurable window (e.g. because an accomplice
+//! bus-off attack succeeded, or the victim failed), it takes over the
+//! victim's identifier with fabricated data.
+
+use can_core::app::Application;
+use can_core::{BitInstant, CanFrame, CanId};
+
+/// Phase of a masquerade attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasqueradePhase {
+    /// Monitoring the victim's transmissions.
+    Waiting,
+    /// The victim is silent; fabricating its traffic.
+    Impersonating,
+}
+
+/// A masquerade attacker impersonating `victim_id` once it falls silent.
+#[derive(Debug, Clone)]
+pub struct MasqueradeAttacker {
+    victim_id: CanId,
+    fabricated: [u8; 8],
+    dlc: usize,
+    silence_window_bits: u64,
+    period_bits: u64,
+    last_victim_seen: u64,
+    next_due: u64,
+    phase: MasqueradePhase,
+    impersonated: u64,
+}
+
+impl MasqueradeAttacker {
+    /// Creates a masquerade attacker.
+    ///
+    /// * `silence_window_bits` — how long the victim must be silent before
+    ///   impersonation starts;
+    /// * `period_bits` — fabricated-message period once impersonating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_bits` is zero or the payload exceeds 8 bytes.
+    pub fn new(
+        victim_id: CanId,
+        fabricated: &[u8],
+        silence_window_bits: u64,
+        period_bits: u64,
+    ) -> Self {
+        assert!(period_bits > 0, "period must be positive");
+        assert!(fabricated.len() <= 8, "payload too long");
+        let mut payload = [0u8; 8];
+        payload[..fabricated.len()].copy_from_slice(fabricated);
+        MasqueradeAttacker {
+            victim_id,
+            fabricated: payload,
+            dlc: fabricated.len(),
+            silence_window_bits,
+            period_bits,
+            last_victim_seen: 0,
+            next_due: 0,
+            phase: MasqueradePhase::Waiting,
+            impersonated: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MasqueradePhase {
+        self.phase
+    }
+
+    /// Fabricated frames injected so far.
+    pub fn impersonated(&self) -> u64 {
+        self.impersonated
+    }
+}
+
+impl Application for MasqueradeAttacker {
+    fn poll(&mut self, now: BitInstant) -> Option<CanFrame> {
+        if self.phase == MasqueradePhase::Waiting {
+            if now.bits().saturating_sub(self.last_victim_seen) < self.silence_window_bits {
+                return None;
+            }
+            // The victim has been silent long enough: take over now.
+            self.phase = MasqueradePhase::Impersonating;
+            self.next_due = now.bits();
+        }
+        if now.bits() >= self.next_due {
+            self.next_due = now.bits() + self.period_bits;
+            self.impersonated += 1;
+            Some(
+                CanFrame::data_frame(self.victim_id, &self.fabricated[..self.dlc])
+                    .expect("valid fabricated frame"),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn on_frame(&mut self, frame: &CanFrame, now: BitInstant) {
+        if frame.id() == self.victim_id {
+            self.last_victim_seen = now.bits();
+            // A live victim resets the attack to the monitoring phase.
+            self.phase = MasqueradePhase::Waiting;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn victim_frame() -> CanFrame {
+        CanFrame::data_frame(CanId::from_raw(0x260), &[0x01]).unwrap()
+    }
+
+    #[test]
+    fn waits_while_victim_is_alive() {
+        let mut attacker = MasqueradeAttacker::new(CanId::from_raw(0x260), &[0xBA, 0xD0], 500, 100);
+        for t in (0..2_000).step_by(100) {
+            attacker.on_frame(&victim_frame(), BitInstant::from_bits(t));
+            assert!(attacker.poll(BitInstant::from_bits(t + 1)).is_none());
+        }
+        assert_eq!(attacker.phase(), MasqueradePhase::Waiting);
+        assert_eq!(attacker.impersonated(), 0);
+    }
+
+    #[test]
+    fn impersonates_after_silence() {
+        let mut attacker = MasqueradeAttacker::new(CanId::from_raw(0x260), &[0xBA, 0xD0], 500, 100);
+        attacker.on_frame(&victim_frame(), BitInstant::from_bits(100));
+        // Victim goes silent; 500 bits later the attacker takes over.
+        assert!(attacker.poll(BitInstant::from_bits(400)).is_none());
+        assert!(attacker.poll(BitInstant::from_bits(600)).is_some());
+        assert_eq!(attacker.phase(), MasqueradePhase::Impersonating);
+        let fabricated = attacker.poll(BitInstant::from_bits(700)).unwrap();
+        assert_eq!(fabricated.id().raw(), 0x260);
+        assert_eq!(fabricated.data(), &[0xBA, 0xD0]);
+    }
+
+    #[test]
+    fn victim_reappearing_stops_the_impersonation() {
+        let mut attacker = MasqueradeAttacker::new(CanId::from_raw(0x260), &[0xBA], 500, 100);
+        attacker.on_frame(&victim_frame(), BitInstant::from_bits(0));
+        assert!(attacker.poll(BitInstant::from_bits(600)).is_some());
+        attacker.on_frame(&victim_frame(), BitInstant::from_bits(650));
+        assert_eq!(attacker.phase(), MasqueradePhase::Waiting);
+        assert!(attacker.poll(BitInstant::from_bits(700)).is_none());
+    }
+}

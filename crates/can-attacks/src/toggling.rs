@@ -1,0 +1,88 @@
+//! The toggling attacker of Experiment 6 (paper §V-C).
+//!
+//! "The attacker node is sending two different CAN IDs consecutively,
+//! e.g., toggling between 0x050 and 0x051. An ECU adds each message that
+//! it schedules for transmission in a buffer until it is successfully
+//! transmitted."
+
+use can_core::app::Application;
+use can_core::{BitInstant, CanFrame, CanId};
+
+/// An attacker alternating between two identifiers on every injection.
+#[derive(Debug, Clone)]
+pub struct TogglingAttacker {
+    ids: [CanId; 2],
+    payload: [u8; 8],
+    period_bits: u64,
+    next_due: u64,
+    injected: u64,
+}
+
+impl TogglingAttacker {
+    /// Creates a toggling attacker alternating `first` and `second` every
+    /// `period_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_bits` is zero or both identifiers are equal.
+    pub fn new(first: CanId, second: CanId, period_bits: u64) -> Self {
+        assert!(period_bits > 0, "period must be positive");
+        assert_ne!(first, second, "toggling requires two distinct identifiers");
+        TogglingAttacker {
+            ids: [first, second],
+            payload: [0; 8],
+            period_bits,
+            next_due: 0,
+            injected: 0,
+        }
+    }
+
+    /// Frames handed to the controller so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The pair of identifiers.
+    pub fn ids(&self) -> [CanId; 2] {
+        self.ids
+    }
+}
+
+impl Application for TogglingAttacker {
+    fn poll(&mut self, now: BitInstant) -> Option<CanFrame> {
+        if now.bits() >= self.next_due {
+            self.next_due = now.bits() + self.period_bits;
+            let id = self.ids[(self.injected % 2) as usize];
+            self.injected += 1;
+            Some(CanFrame::data_frame(id, &self.payload).expect("valid attack frame"))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_alternate() {
+        let mut attacker = TogglingAttacker::new(
+            CanId::from_raw(0x050),
+            CanId::from_raw(0x051),
+            10,
+        );
+        let seq: Vec<u16> = (0..4)
+            .map(|i| attacker.poll(BitInstant::from_bits(i * 10)).unwrap().id().raw())
+            .collect();
+        assert_eq!(seq, vec![0x050, 0x051, 0x050, 0x051]);
+        assert_eq!(attacker.injected(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct identifiers")]
+    fn equal_identifiers_panic() {
+        let id = CanId::from_raw(0x10);
+        let _ = TogglingAttacker::new(id, id, 10);
+    }
+}

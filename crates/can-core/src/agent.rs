@@ -1,0 +1,82 @@
+//! Bit-level bus access for software-defined defenses.
+//!
+//! An integrated CAN controller with pin multiplexing gives software two —
+//! and only two — low-level capabilities (paper §IV-B):
+//!
+//! 1. sample the `CAN_RX` line once per nominal bit time, and
+//! 2. drive the `CAN_TX` line while multiplexing is enabled.
+//!
+//! [`BitAgent`] captures exactly this contract. `michican` and other
+//! defenses implement it; the simulator (or, on hardware, a timer
+//! interrupt) calls it. The defense never sees frames, nodes or the
+//! simulator — only bits, like real firmware.
+
+use crate::level::Level;
+use crate::time::BitInstant;
+
+/// A software component with per-bit access to the bus, as granted by a
+/// pin-multiplexed integrated CAN controller.
+///
+/// The driver (simulator or ISR) calls [`BitAgent::on_bit`] once per
+/// nominal bit time with the sampled bus level, then reads
+/// [`BitAgent::tx_level`] for the level to contribute to the *next* bit
+/// time. Returning `None` models an unmultiplexed `CAN_TX` pin (no
+/// contribution); `Some(level)` models a multiplexed, driven pin.
+///
+/// The one-bit delay between a sample and the earliest possible reaction is
+/// physical: controllers sample at ~70 % of the bit time, so a level change
+/// decided at the sample point is only observed by other nodes from the
+/// following bit onwards (§IV-C).
+pub trait BitAgent {
+    /// Processes the bus level sampled in the current bit time.
+    fn on_bit(&mut self, level: Level, now: BitInstant);
+
+    /// The level this agent drives during the next bit time, or `None` when
+    /// its `CAN_TX` pin is not multiplexed.
+    fn tx_level(&self) -> Option<Level>;
+
+    /// Informs the agent whether its own node's controller is currently
+    /// transmitting a frame.
+    ///
+    /// A distributed defense must not counterattack its own transmissions;
+    /// on hardware this is known from the controller's TX-mailbox status.
+    /// The default implementation ignores the hint.
+    fn set_own_transmission(&mut self, _transmitting: bool) {}
+}
+
+/// A no-op agent: observes nothing, drives nothing.
+///
+/// Useful as the default agent of simulator nodes without a defense.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassiveAgent;
+
+impl BitAgent for PassiveAgent {
+    fn on_bit(&mut self, _level: Level, _now: BitInstant) {}
+
+    fn tx_level(&self) -> Option<Level> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_agent_never_drives() {
+        let mut agent = PassiveAgent;
+        agent.on_bit(Level::Dominant, BitInstant::ZERO);
+        assert_eq!(agent.tx_level(), None);
+        agent.set_own_transmission(true);
+        assert_eq!(agent.tx_level(), None);
+    }
+
+    #[test]
+    fn bit_agent_is_object_safe() {
+        let mut agents: Vec<Box<dyn BitAgent>> = vec![Box::new(PassiveAgent)];
+        for agent in &mut agents {
+            agent.on_bit(Level::Recessive, BitInstant::ZERO);
+            assert!(agent.tx_level().is_none());
+        }
+    }
+}

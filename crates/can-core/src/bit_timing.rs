@@ -1,0 +1,272 @@
+//! Bit-timing segment configuration.
+//!
+//! A CAN controller divides each nominal bit time into *time quanta* (TQ)
+//! derived from the peripheral clock through a prescaler:
+//!
+//! ```text
+//! |SYNC| PROP       | PHASE1     | PHASE2   |
+//! | 1  | 1..8       | 1..8       | 2..8     |   sample point ↑
+//! ```
+//!
+//! The sample point sits between PHASE1 and PHASE2 — the ~70 % the paper's
+//! software synchronization replicates (§IV-C). This module computes valid
+//! segment configurations for a given MCU clock and bus speed, exactly the
+//! arithmetic a driver performs when programming a BTR register, and the
+//! basis for the defender's timer-interrupt period.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::time::BusSpeed;
+
+/// Segment bounds of classic CAN controllers (in time quanta).
+const SYNC_SEG: u32 = 1;
+const MAX_PROP: u32 = 8;
+const MAX_PHASE1: u32 = 8;
+const MIN_PHASE2: u32 = 2;
+const MAX_PHASE2: u32 = 8;
+const MIN_TQ_PER_BIT: u32 = SYNC_SEG + 1 + 1 + MIN_PHASE2;
+const MAX_TQ_PER_BIT: u32 = SYNC_SEG + MAX_PROP + MAX_PHASE1 + MAX_PHASE2;
+const MAX_PRESCALER: u32 = 1024;
+
+/// A valid bit-timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitTiming {
+    /// Clock prescaler: TQ = prescaler / clock.
+    pub prescaler: u32,
+    /// Propagation segment in TQ.
+    pub prop_seg: u32,
+    /// Phase segment 1 in TQ.
+    pub phase_seg1: u32,
+    /// Phase segment 2 in TQ.
+    pub phase_seg2: u32,
+    /// (Re)synchronization jump width in TQ.
+    pub sjw: u32,
+}
+
+impl BitTiming {
+    /// Total time quanta per bit (including the sync segment).
+    pub fn tq_per_bit(&self) -> u32 {
+        SYNC_SEG + self.prop_seg + self.phase_seg1 + self.phase_seg2
+    }
+
+    /// Sample point as a fraction of the bit time.
+    pub fn sample_point(&self) -> f64 {
+        (SYNC_SEG + self.prop_seg + self.phase_seg1) as f64 / self.tq_per_bit() as f64
+    }
+
+    /// The bus speed this configuration yields on `clock_hz`.
+    pub fn baud(&self, clock_hz: u64) -> f64 {
+        clock_hz as f64 / (self.prescaler as f64 * self.tq_per_bit() as f64)
+    }
+
+    /// Maximum tolerable relative oscillator mismatch (df) for correct
+    /// resynchronization, per the classic two-condition bound.
+    pub fn max_oscillator_tolerance(&self) -> f64 {
+        // Condition 1: df <= SJW / (2 * 10 * tq_per_bit)
+        let c1 = self.sjw as f64 / (20.0 * self.tq_per_bit() as f64);
+        // Condition 2: df <= min(PHASE1, PHASE2) / (2 * (13*tq - PHASE2))
+        let min_phase = self.phase_seg1.min(self.phase_seg2) as f64;
+        let c2 = min_phase
+            / (2.0 * (13.0 * self.tq_per_bit() as f64 - self.phase_seg2 as f64));
+        c1.min(c2)
+    }
+}
+
+impl fmt::Display for BitTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prescaler {} | 1+{}+{}+{} TQ (sample {:.0} %)",
+            self.prescaler,
+            self.prop_seg,
+            self.phase_seg1,
+            self.phase_seg2,
+            self.sample_point() * 100.0
+        )
+    }
+}
+
+/// No valid segment configuration exists for the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoTimingSolution {
+    /// The peripheral clock.
+    pub clock_hz: u64,
+    /// The requested speed.
+    pub speed: BusSpeed,
+}
+
+impl fmt::Display for NoTimingSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no bit-timing solution for {} from a {} Hz clock",
+            self.speed, self.clock_hz
+        )
+    }
+}
+
+impl Error for NoTimingSolution {}
+
+/// Computes the bit-timing configuration for `speed` from `clock_hz`,
+/// choosing the candidate whose sample point is closest to
+/// `target_sample_point` (the paper's 70 %), preferring more TQ per bit
+/// (finer resynchronization granularity) on ties.
+///
+/// # Errors
+///
+/// Returns [`NoTimingSolution`] when clock, prescaler range and segment
+/// bounds admit no exact divisor.
+///
+/// ```
+/// use can_core::bit_timing::solve;
+/// use can_core::BusSpeed;
+///
+/// // The classic 16 MHz / 500 kbit/s setup: 16 TQ per bit.
+/// let timing = solve(16_000_000, BusSpeed::K500, 0.70).unwrap();
+/// assert_eq!(timing.tq_per_bit(), 16);
+/// assert_eq!(timing.prescaler, 2);
+/// assert!((timing.sample_point() - 0.6875).abs() < 0.02);
+/// ```
+pub fn solve(
+    clock_hz: u64,
+    speed: BusSpeed,
+    target_sample_point: f64,
+) -> Result<BitTiming, NoTimingSolution> {
+    let baud = speed.bits_per_second();
+    let mut best: Option<(f64, u32, BitTiming)> = None;
+
+    for tq_per_bit in (MIN_TQ_PER_BIT..=MAX_TQ_PER_BIT).rev() {
+        let divisor = baud * tq_per_bit as u64;
+        if !clock_hz.is_multiple_of(divisor) {
+            continue;
+        }
+        let prescaler = (clock_hz / divisor) as u32;
+        if prescaler == 0 || prescaler > MAX_PRESCALER {
+            continue;
+        }
+        // Place the sample point as close to the target as the segment
+        // bounds allow.
+        let before_sample =
+            ((tq_per_bit as f64 * target_sample_point).round() as u32).clamp(
+                SYNC_SEG + 1 + 1,
+                tq_per_bit - MIN_PHASE2,
+            );
+        let phase_seg2 = (tq_per_bit - before_sample).clamp(MIN_PHASE2, MAX_PHASE2);
+        let before_sample = tq_per_bit - phase_seg2;
+        // Split the pre-sample region into PROP and PHASE1.
+        let budget = before_sample - SYNC_SEG;
+        let phase_seg1 = (budget / 2).clamp(1, MAX_PHASE1);
+        let prop_seg = budget - phase_seg1;
+        if !(1..=MAX_PROP).contains(&prop_seg) {
+            continue;
+        }
+        let timing = BitTiming {
+            prescaler,
+            prop_seg,
+            phase_seg1,
+            phase_seg2,
+            sjw: phase_seg1.min(4),
+        };
+        let error = (timing.sample_point() - target_sample_point).abs();
+        let better = match &best {
+            None => true,
+            Some((best_error, best_tq, _)) => {
+                error < *best_error - 1e-12
+                    || ((error - *best_error).abs() < 1e-12 && tq_per_bit > *best_tq)
+            }
+        };
+        if better {
+            best = Some((error, tq_per_bit, timing));
+        }
+    }
+
+    best.map(|(_, _, timing)| timing)
+        .ok_or(NoTimingSolution { clock_hz, speed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_16mhz_500k() {
+        let t = solve(16_000_000, BusSpeed::K500, 0.70).unwrap();
+        assert_eq!(t.baud(16_000_000), 500_000.0);
+        assert_eq!(t.tq_per_bit(), 16);
+        assert!((0.65..=0.75).contains(&t.sample_point()));
+    }
+
+    #[test]
+    fn all_paper_speeds_solve_on_paper_clocks() {
+        // SAM3X8E CAN peripheral clock (MCK/2 = 42 MHz), S32K144 (80 MHz
+        // typical CAN clock), classic 16 MHz standalone controllers.
+        for clock in [42_000_000u64, 80_000_000, 16_000_000] {
+            for speed in BusSpeed::ALL {
+                let t = solve(clock, speed, 0.70)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                assert_eq!(
+                    t.baud(clock),
+                    speed.bits_per_second() as f64,
+                    "clock {clock}, {speed}"
+                );
+                assert!(
+                    (0.6..=0.8).contains(&t.sample_point()),
+                    "clock {clock}, {speed}: sample {:.2}",
+                    t.sample_point()
+                );
+                assert!(t.tq_per_bit() >= 8, "enough quanta for resync");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_bounds_hold() {
+        for clock in [8_000_000u64, 24_000_000, 48_000_000, 120_000_000] {
+            for speed in BusSpeed::ALL {
+                if let Ok(t) = solve(clock, speed, 0.70) {
+                    assert!((1..=MAX_PROP).contains(&t.prop_seg));
+                    assert!((1..=MAX_PHASE1).contains(&t.phase_seg1));
+                    assert!((MIN_PHASE2..=MAX_PHASE2).contains(&t.phase_seg2));
+                    assert!(t.sjw >= 1 && t.sjw <= t.phase_seg1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oscillator_tolerance_is_in_crystal_territory() {
+        // The classic configuration tolerates far more than the ±100 ppm
+        // of automotive crystals — consistent with the drift analysis in
+        // michican::sync.
+        let t = solve(16_000_000, BusSpeed::K500, 0.70).unwrap();
+        let df = t.max_oscillator_tolerance();
+        assert!(
+            df > 100e-6,
+            "tolerance {df:.2e} must exceed crystal drift"
+        );
+        assert!(df < 0.02, "but stays below a percent-level sanity bound");
+    }
+
+    #[test]
+    fn impossible_requests_error() {
+        // A 1 MHz clock cannot divide into 1 Mbit/s with >= 5 TQ.
+        let err = solve(1_000_000, BusSpeed::M1, 0.70).unwrap_err();
+        assert_eq!(
+            err,
+            NoTimingSolution {
+                clock_hz: 1_000_000,
+                speed: BusSpeed::M1
+            }
+        );
+        assert!(err.to_string().contains("no bit-timing solution"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = solve(16_000_000, BusSpeed::K250, 0.70).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("prescaler"));
+        assert!(s.contains("TQ"));
+    }
+}

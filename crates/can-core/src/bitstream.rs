@@ -1,0 +1,749 @@
+//! Wire-level form of CAN frames: field layout, bit stuffing and destuffing.
+//!
+//! CAN 2.0A transmits a data frame as (Fig. 1a of the paper):
+//!
+//! ```text
+//! SOF | 11-bit ID | RTR | IDE | r0 | DLC(4) | DATA(0–64) | CRC-15 |
+//! CRC delim | ACK slot | ACK delim | EOF(7)
+//! ```
+//!
+//! Bit stuffing applies from the SOF through the end of the CRC sequence:
+//! after five consecutive bits of equal level the transmitter inserts one
+//! bit of the opposite level. Six consecutive equal levels inside that
+//! region are therefore always a *stuff error* — the mechanism MichiCAN's
+//! counterattack exploits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crc::Crc15;
+use crate::errors::DecodeError;
+use crate::frame::CanFrame;
+use crate::id::CanId;
+use crate::level::Level;
+
+/// Run length after which a stuff bit is inserted.
+pub const STUFF_RUN: usize = 5;
+
+/// Number of recessive end-of-frame bits.
+pub const EOF_BITS: usize = 7;
+
+/// Number of recessive intermission (inter-frame space) bits after EOF.
+pub const IFS_BITS: usize = 3;
+
+/// Minimum number of recessive bits between two frames on an idle bus
+/// (ACK delimiter + EOF + IFS), as stated in paper §II-A.
+pub const MIN_INTERFRAME_RECESSIVE: usize = 1 + EOF_BITS + IFS_BITS;
+
+/// The fields of a CAN 2.0A data frame, in wire order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameField {
+    /// Start-of-frame bit (dominant).
+    Sof,
+    /// The 11-bit identifier.
+    Id,
+    /// Remote-transmission-request bit.
+    Rtr,
+    /// Identifier-extension bit (dominant for 2.0A).
+    Ide,
+    /// Reserved bit r0 (dominant).
+    R0,
+    /// 4-bit data length code.
+    Dlc,
+    /// 0–8 payload bytes.
+    Data,
+    /// 15-bit CRC sequence.
+    Crc,
+    /// CRC delimiter (recessive).
+    CrcDelim,
+    /// ACK slot (transmitter recessive; receivers assert dominant).
+    AckSlot,
+    /// ACK delimiter (recessive).
+    AckDelim,
+    /// 7 recessive end-of-frame bits.
+    Eof,
+}
+
+impl FrameField {
+    /// All fields in wire order.
+    pub const ALL: [FrameField; 12] = [
+        FrameField::Sof,
+        FrameField::Id,
+        FrameField::Rtr,
+        FrameField::Ide,
+        FrameField::R0,
+        FrameField::Dlc,
+        FrameField::Data,
+        FrameField::Crc,
+        FrameField::CrcDelim,
+        FrameField::AckSlot,
+        FrameField::AckDelim,
+        FrameField::Eof,
+    ];
+
+    /// Human-readable field name as printed in Fig. 1a.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FrameField::Sof => "SOF",
+            FrameField::Id => "CAN ID",
+            FrameField::Rtr => "RTR",
+            FrameField::Ide => "IDE",
+            FrameField::R0 => "r0",
+            FrameField::Dlc => "DLC",
+            FrameField::Data => "Data",
+            FrameField::Crc => "CRC-15",
+            FrameField::CrcDelim => "CRC delimiter",
+            FrameField::AckSlot => "ACK slot",
+            FrameField::AckDelim => "ACK delimiter",
+            FrameField::Eof => "EOF",
+        }
+    }
+}
+
+/// Field spans of a frame in *unstuffed* bit coordinates (half-open ranges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameLayout {
+    data_bits: usize,
+}
+
+impl FrameLayout {
+    /// Layout of a frame carrying `data_bytes` payload bytes (0 for remote
+    /// frames).
+    pub fn for_payload(data_bytes: usize) -> Self {
+        assert!(data_bytes <= 8, "CAN 2.0A payload is at most 8 bytes");
+        FrameLayout {
+            data_bits: data_bytes * 8,
+        }
+    }
+
+    /// Layout matching a specific frame.
+    pub fn of(frame: &CanFrame) -> Self {
+        Self::for_payload(if frame.is_remote() {
+            0
+        } else {
+            frame.dlc() as usize
+        })
+    }
+
+    /// The half-open unstuffed bit range occupied by `field`.
+    pub fn span(&self, field: FrameField) -> core::ops::Range<usize> {
+        let d = self.data_bits;
+        match field {
+            FrameField::Sof => 0..1,
+            FrameField::Id => 1..12,
+            FrameField::Rtr => 12..13,
+            FrameField::Ide => 13..14,
+            FrameField::R0 => 14..15,
+            FrameField::Dlc => 15..19,
+            FrameField::Data => 19..19 + d,
+            FrameField::Crc => 19 + d..34 + d,
+            FrameField::CrcDelim => 34 + d..35 + d,
+            FrameField::AckSlot => 35 + d..36 + d,
+            FrameField::AckDelim => 36 + d..37 + d,
+            FrameField::Eof => 37 + d..44 + d,
+        }
+    }
+
+    /// Which field the unstuffed bit at `index` belongs to, if any.
+    pub fn field_at(&self, index: usize) -> Option<FrameField> {
+        FrameField::ALL
+            .iter()
+            .copied()
+            .find(|&f| self.span(f).contains(&index))
+    }
+
+    /// Total unstuffed frame length in bits (SOF through EOF).
+    pub fn total_bits(&self) -> usize {
+        self.span(FrameField::Eof).end
+    }
+
+    /// Unstuffed length of the stuffed region (SOF through CRC sequence).
+    pub fn stuffed_region_bits(&self) -> usize {
+        self.span(FrameField::Crc).end
+    }
+}
+
+/// Produces the unstuffed bit sequence of a frame as the transmitter sends
+/// it (ACK slot recessive).
+///
+/// The CRC is computed over SOF through the end of the data field.
+pub fn unstuffed_bits(frame: &CanFrame) -> Vec<Level> {
+    let layout = FrameLayout::of(frame);
+    let mut bits = Vec::with_capacity(layout.total_bits());
+
+    // SOF
+    bits.push(Level::Dominant);
+    // 11-bit identifier, MSB first
+    bits.extend(frame.id().bits());
+    // RTR
+    bits.push(Level::from_bit(frame.is_remote()));
+    // IDE (dominant = base format), r0 (dominant)
+    bits.push(Level::Dominant);
+    bits.push(Level::Dominant);
+    // DLC, MSB first
+    for i in (0..4).rev() {
+        bits.push(Level::from_bit((frame.dlc() >> i) & 1 == 1));
+    }
+    // Data
+    if !frame.is_remote() {
+        for byte in frame.data() {
+            for i in (0..8).rev() {
+                bits.push(Level::from_bit((byte >> i) & 1 == 1));
+            }
+        }
+    }
+    // CRC over everything so far
+    let mut crc = Crc15::new();
+    crc.push_bits(&bits);
+    let crc_value = crc.value();
+    for i in (0..15).rev() {
+        bits.push(Level::from_bit((crc_value >> i) & 1 == 1));
+    }
+    // CRC delimiter, ACK slot (transmitter sends recessive), ACK delimiter
+    bits.push(Level::Recessive);
+    bits.push(Level::Recessive);
+    bits.push(Level::Recessive);
+    // EOF
+    bits.extend(std::iter::repeat_n(Level::Recessive, EOF_BITS));
+
+    debug_assert_eq!(bits.len(), layout.total_bits());
+    bits
+}
+
+/// A frame serialized to the wire, with stuff bits inserted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// The stuffed bit sequence (SOF through EOF) as driven by the
+    /// transmitter.
+    pub bits: Vec<Level>,
+    /// Indices into [`WireFrame::bits`] that are stuff bits.
+    pub stuff_positions: Vec<usize>,
+    /// Length of the stuffed region (SOF through CRC, after stuffing).
+    pub stuffed_region_len: usize,
+}
+
+impl WireFrame {
+    /// Number of stuff bits inserted.
+    pub fn stuff_count(&self) -> usize {
+        self.stuff_positions.len()
+    }
+
+    /// Wire length including the 3-bit intermission that must follow.
+    pub fn bits_on_bus_with_ifs(&self) -> usize {
+        self.bits.len() + IFS_BITS
+    }
+}
+
+/// Serializes a frame to the wire, applying bit stuffing to the region from
+/// SOF through the CRC sequence.
+///
+/// ```
+/// use can_core::bitstream::stuff_frame;
+/// use can_core::{CanFrame, CanId};
+///
+/// // ID 0x000 starts with SOF + 11 dominant bits: stuffing must kick in.
+/// let frame = CanFrame::data_frame(CanId::from_raw(0), &[]).unwrap();
+/// let wire = stuff_frame(&frame);
+/// assert!(wire.stuff_count() >= 2);
+/// ```
+pub fn stuff_frame(frame: &CanFrame) -> WireFrame {
+    let raw = unstuffed_bits(frame);
+    let layout = FrameLayout::of(frame);
+    let stuffed_end = layout.stuffed_region_bits();
+
+    let mut stuffer = Stuffer::new();
+    let mut bits = Vec::with_capacity(raw.len() + raw.len() / STUFF_RUN);
+    let mut stuff_positions = Vec::new();
+
+    for &bit in &raw[..stuffed_end] {
+        bits.push(bit);
+        if let Some(stuff) = stuffer.push(bit) {
+            stuff_positions.push(bits.len());
+            bits.push(stuff);
+        }
+    }
+    let stuffed_region_len = bits.len();
+    bits.extend_from_slice(&raw[stuffed_end..]);
+
+    WireFrame {
+        bits,
+        stuff_positions,
+        stuffed_region_len,
+    }
+}
+
+/// Streaming bit-stuffing encoder.
+///
+/// Feed each payload bit with [`Stuffer::push`]; when it returns
+/// `Some(level)`, the transmitter must insert that stuff bit before the next
+/// payload bit.
+#[derive(Debug, Clone, Default)]
+pub struct Stuffer {
+    run_level: Option<Level>,
+    run_len: usize,
+}
+
+impl Stuffer {
+    /// Creates an encoder with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one payload bit; returns the stuff bit to insert, if any.
+    pub fn push(&mut self, bit: Level) -> Option<Level> {
+        match self.run_level {
+            Some(level) if level == bit => self.run_len += 1,
+            _ => {
+                self.run_level = Some(bit);
+                self.run_len = 1;
+            }
+        }
+        if self.run_len == STUFF_RUN {
+            let stuff = bit.opposite();
+            // The stuff bit participates in subsequent run counting.
+            self.run_level = Some(stuff);
+            self.run_len = 1;
+            Some(stuff)
+        } else {
+            None
+        }
+    }
+
+    /// Resets the run history (e.g. at a new SOF).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Outcome of feeding one wire bit to a [`Destuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destuffed {
+    /// A payload bit with the given level.
+    Bit(Level),
+    /// A stuff bit; discard before interpreting fields.
+    StuffBit,
+    /// Six consecutive equal levels: a stuff error.
+    Violation,
+}
+
+/// Streaming bit-destuffing decoder with stuff-error detection.
+///
+/// Mirrors the behaviour of a receiving CAN controller over the stuffed
+/// region of a frame, and of MichiCAN's Algorithm 1 lines 6–15.
+#[derive(Debug, Clone, Default)]
+pub struct Destuffer {
+    run_level: Option<Level>,
+    run_len: usize,
+    expect_stuff: bool,
+}
+
+impl Destuffer {
+    /// Creates a decoder with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one wire bit.
+    pub fn push(&mut self, bit: Level) -> Destuffed {
+        if self.expect_stuff {
+            self.expect_stuff = false;
+            let prev = self.run_level.expect("stuff expectation implies history");
+            if bit == prev {
+                // Sixth equal bit: stuff error.
+                self.run_level = Some(bit);
+                self.run_len += 1;
+                return Destuffed::Violation;
+            }
+            self.run_level = Some(bit);
+            self.run_len = 1;
+            return Destuffed::StuffBit;
+        }
+
+        match self.run_level {
+            Some(level) if level == bit => self.run_len += 1,
+            _ => {
+                self.run_level = Some(bit);
+                self.run_len = 1;
+            }
+        }
+        if self.run_len == STUFF_RUN {
+            self.expect_stuff = true;
+        }
+        Destuffed::Bit(bit)
+    }
+
+    /// Resets the run history (e.g. at a new SOF).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Whether the next wire bit is expected to be a stuff bit.
+    pub fn expecting_stuff(&self) -> bool {
+        self.expect_stuff
+    }
+}
+
+/// Decodes a complete *stuffed* wire bit sequence back into a frame,
+/// verifying stuffing, CRC and fixed-form fields.
+///
+/// The sequence must start at the SOF. The ACK slot may be either level
+/// (receivers assert it dominant on a live bus).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first protocol violation.
+pub fn decode_frame(wire: &[Level]) -> Result<CanFrame, DecodeError> {
+    // First destuff enough of the stream to know the DLC, then the rest.
+    let mut destuffer = Destuffer::new();
+    let mut unstuffed = Vec::with_capacity(wire.len());
+    let mut wire_iter = wire.iter().copied().enumerate();
+
+    // Helper: pull destuffed bits until `unstuffed` reaches `target` length.
+    let mut fill_to = |target: usize,
+                       unstuffed: &mut Vec<Level>,
+                       destuffer: &mut Destuffer|
+     -> Result<(), DecodeError> {
+        while unstuffed.len() < target {
+            let (pos, bit) = wire_iter.next().ok_or(DecodeError::Truncated)?;
+            match destuffer.push(bit) {
+                Destuffed::Bit(b) => unstuffed.push(b),
+                Destuffed::StuffBit => {}
+                Destuffed::Violation => {
+                    return Err(DecodeError::StuffViolation { position: pos })
+                }
+            }
+        }
+        Ok(())
+    };
+
+    // SOF + ID + RTR + IDE + r0 + DLC = 19 unstuffed bits.
+    fill_to(19, &mut unstuffed, &mut destuffer)?;
+    if unstuffed[0].is_recessive() {
+        return Err(DecodeError::FormViolation {
+            position: 0,
+            field: "SOF",
+        });
+    }
+    if unstuffed[13].is_recessive() {
+        return Err(DecodeError::ExtendedFrame);
+    }
+    let id_raw = unstuffed[1..12]
+        .iter()
+        .fold(0u16, |acc, l| (acc << 1) | l.to_bit() as u16);
+    let id = CanId::new(id_raw).expect("11 bits always fit");
+    let rtr = unstuffed[12].to_bit();
+    let dlc_raw = unstuffed[15..19]
+        .iter()
+        .fold(0u8, |acc, l| (acc << 1) | l.to_bit() as u8);
+    // DLC values 9..15 mean 8 data bytes per ISO 11898-1.
+    let data_bytes = if rtr { 0 } else { dlc_raw.min(8) as usize };
+
+    let layout = FrameLayout::for_payload(data_bytes);
+    // Destuff through the CRC sequence.
+    fill_to(layout.stuffed_region_bits(), &mut unstuffed, &mut destuffer)?;
+    // A run of five ending exactly at the last CRC bit still forces one
+    // final stuff bit on the wire, transmitted before the CRC delimiter.
+    if destuffer.expecting_stuff() {
+        let (pos, bit) = wire_iter.next().ok_or(DecodeError::Truncated)?;
+        if let Destuffed::Violation = destuffer.push(bit) {
+            return Err(DecodeError::StuffViolation { position: pos });
+        }
+    }
+
+    // The remaining fields are not stuffed.
+    let tail_len = layout.total_bits() - layout.stuffed_region_bits();
+    let mut tail = Vec::with_capacity(tail_len);
+    for _ in 0..tail_len {
+        let (_, bit) = wire_iter.next().ok_or(DecodeError::Truncated)?;
+        tail.push(bit);
+    }
+
+    // CRC check.
+    let crc_span = layout.span(FrameField::Crc);
+    let mut crc = Crc15::new();
+    crc.push_bits(&unstuffed[..crc_span.start]);
+    let computed = crc.value();
+    let received = unstuffed[crc_span.clone()]
+        .iter()
+        .fold(0u16, |acc, l| (acc << 1) | l.to_bit() as u16);
+    if computed != received {
+        return Err(DecodeError::CrcMismatch { computed, received });
+    }
+
+    // Form checks on the unstuffed tail: CRC delim, ACK delim, EOF must be
+    // recessive. (ACK slot may be either.)
+    let tail_base = layout.stuffed_region_bits();
+    for (offset, field) in [
+        (0usize, "CRC delimiter"),
+        (2, "ACK delimiter"),
+    ] {
+        if tail[offset].is_dominant() {
+            return Err(DecodeError::FormViolation {
+                position: tail_base + offset,
+                field,
+            });
+        }
+    }
+    for i in 0..EOF_BITS {
+        // A dominant level at the very last EOF bit is tolerated by
+        // receivers (it signals an overload condition, not an error).
+        if tail[3 + i].is_dominant() && i != EOF_BITS - 1 {
+            return Err(DecodeError::FormViolation {
+                position: tail_base + 3 + i,
+                field: "EOF",
+            });
+        }
+    }
+
+    // Reassemble the payload.
+    let data_span = layout.span(FrameField::Data);
+    let mut data = [0u8; 8];
+    for (i, chunk) in unstuffed[data_span].chunks(8).enumerate() {
+        data[i] = chunk
+            .iter()
+            .fold(0u8, |acc, l| (acc << 1) | l.to_bit() as u8);
+    }
+
+    if rtr {
+        Ok(CanFrame::remote_frame(id, dlc_raw.min(8))
+            .expect("validated DLC"))
+    } else {
+        Ok(CanFrame::data_frame(id, &data[..data_bytes]).expect("validated payload"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::CanFrame;
+
+    fn id(raw: u16) -> CanId {
+        CanId::from_raw(raw)
+    }
+
+    #[test]
+    fn layout_spans_are_contiguous() {
+        for payload in 0..=8usize {
+            let layout = FrameLayout::for_payload(payload);
+            let mut expected_start = 0;
+            for field in FrameField::ALL {
+                let span = layout.span(field);
+                assert_eq!(span.start, expected_start, "{field:?} with {payload} bytes");
+                expected_start = span.end;
+            }
+            assert_eq!(layout.total_bits(), 44 + payload * 8);
+        }
+    }
+
+    #[test]
+    fn field_at_boundaries() {
+        let layout = FrameLayout::for_payload(8);
+        assert_eq!(layout.field_at(0), Some(FrameField::Sof));
+        assert_eq!(layout.field_at(1), Some(FrameField::Id));
+        assert_eq!(layout.field_at(11), Some(FrameField::Id));
+        assert_eq!(layout.field_at(12), Some(FrameField::Rtr));
+        assert_eq!(layout.field_at(19), Some(FrameField::Data));
+        assert_eq!(layout.field_at(layout.total_bits() - 1), Some(FrameField::Eof));
+        assert_eq!(layout.field_at(layout.total_bits()), None);
+    }
+
+    #[test]
+    fn zero_payload_data_field_is_empty() {
+        let layout = FrameLayout::for_payload(0);
+        assert!(layout.span(FrameField::Data).is_empty());
+        assert_eq!(layout.field_at(19), Some(FrameField::Crc));
+    }
+
+    #[test]
+    fn stuffer_inserts_after_five() {
+        let mut stuffer = Stuffer::new();
+        for _ in 0..4 {
+            assert_eq!(stuffer.push(Level::Dominant), None);
+        }
+        assert_eq!(stuffer.push(Level::Dominant), Some(Level::Recessive));
+    }
+
+    #[test]
+    fn stuff_bit_participates_in_next_run() {
+        let mut stuffer = Stuffer::new();
+        for _ in 0..4 {
+            assert_eq!(stuffer.push(Level::Dominant), None);
+        }
+        // 5th dominant inserts a recessive stuff bit.
+        assert_eq!(stuffer.push(Level::Dominant), Some(Level::Recessive));
+        // Now four more recessive payload bits complete a run of five
+        // (stuff bit + 4) and trigger another stuff bit.
+        for _ in 0..3 {
+            assert_eq!(stuffer.push(Level::Recessive), None);
+        }
+        assert_eq!(stuffer.push(Level::Recessive), Some(Level::Dominant));
+    }
+
+    #[test]
+    fn destuffer_round_trips_stuffer() {
+        // Alternating and run-heavy patterns.
+        let patterns: Vec<Vec<Level>> = vec![
+            vec![Level::Dominant; 20],
+            vec![Level::Recessive; 20],
+            (0..40).map(|i| Level::from_bit(i % 2 == 0)).collect(),
+            (0..40).map(|i| Level::from_bit(i % 7 < 3)).collect(),
+        ];
+        for payload in patterns {
+            let mut stuffer = Stuffer::new();
+            let mut wire = Vec::new();
+            for &bit in &payload {
+                wire.push(bit);
+                if let Some(s) = stuffer.push(bit) {
+                    wire.push(s);
+                }
+            }
+            let mut destuffer = Destuffer::new();
+            let mut recovered = Vec::new();
+            for &bit in &wire {
+                match destuffer.push(bit) {
+                    Destuffed::Bit(b) => recovered.push(b),
+                    Destuffed::StuffBit => {}
+                    Destuffed::Violation => panic!("round trip must not violate"),
+                }
+            }
+            assert_eq!(recovered, payload);
+        }
+    }
+
+    #[test]
+    fn destuffer_flags_six_equal_bits() {
+        let mut destuffer = Destuffer::new();
+        for _ in 0..5 {
+            assert!(matches!(destuffer.push(Level::Dominant), Destuffed::Bit(_)));
+        }
+        assert!(destuffer.expecting_stuff());
+        assert_eq!(destuffer.push(Level::Dominant), Destuffed::Violation);
+    }
+
+    #[test]
+    fn wire_frame_has_expected_structure() {
+        let frame = CanFrame::data_frame(id(0x173), &[0x11, 0x22, 0x33]).unwrap();
+        let wire = stuff_frame(&frame);
+        assert_eq!(wire.bits[0], Level::Dominant, "SOF");
+        let unstuffed_len = FrameLayout::of(&frame).total_bits();
+        assert_eq!(wire.bits.len(), unstuffed_len + wire.stuff_count());
+        // EOF tail is recessive.
+        for &bit in &wire.bits[wire.bits.len() - EOF_BITS..] {
+            assert_eq!(bit, Level::Recessive);
+        }
+    }
+
+    #[test]
+    fn all_zero_id_produces_stuffing() {
+        // SOF + ID 0x000 is 12 consecutive dominant bits: stuff bits at
+        // positions 5 and 11 of the wire (after each run of five).
+        let frame = CanFrame::data_frame(id(0), &[]).unwrap();
+        let wire = stuff_frame(&frame);
+        assert_eq!(wire.stuff_positions[0], 5);
+        assert_eq!(wire.bits[5], Level::Recessive);
+    }
+
+    #[test]
+    fn no_six_equal_in_stuffed_region() {
+        // Property sampled over a spread of IDs/payloads: the stuffed
+        // region never contains six consecutive equal levels.
+        for raw in (0..=0x7FF).step_by(37) {
+            let payload = [(raw & 0xFF) as u8; 4];
+            let frame = CanFrame::data_frame(id(raw), &payload).unwrap();
+            let wire = stuff_frame(&frame);
+            let region = &wire.bits[..wire.stuffed_region_len];
+            let max_run = region
+                .windows(6)
+                .all(|w| !(w.iter().all(|&b| b == w[0])));
+            assert!(max_run, "id {raw:#x} produced 6 equal bits in stuffed region");
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_all_dlcs() {
+        for dlc in 0..=8usize {
+            let payload: Vec<u8> = (0..dlc).map(|i| (i * 31 + 7) as u8).collect();
+            let frame = CanFrame::data_frame(id(0x400 + dlc as u16), &payload).unwrap();
+            let wire = stuff_frame(&frame);
+            let decoded = decode_frame(&wire.bits).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_remote_frame() {
+        let frame = CanFrame::remote_frame(id(0x123), 0).unwrap();
+        let wire = stuff_frame(&frame);
+        assert_eq!(decode_frame(&wire.bits).unwrap(), frame);
+    }
+
+    #[test]
+    fn decode_accepts_dominant_ack_slot() {
+        let frame = CanFrame::data_frame(id(0x321), &[5, 6]).unwrap();
+        let mut wire = stuff_frame(&frame);
+        let layout = FrameLayout::of(&frame);
+        // On a live bus receivers assert the ACK slot dominant. The slot is
+        // in the unstuffed tail, offset by the number of stuff bits.
+        let ack_index = layout.span(FrameField::AckSlot).start + wire.stuff_count();
+        wire.bits[ack_index] = Level::Dominant;
+        assert_eq!(decode_frame(&wire.bits).unwrap(), frame);
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_crc() {
+        let frame = CanFrame::data_frame(id(0x222), &[1, 2, 3, 4]).unwrap();
+        let mut wire = stuff_frame(&frame);
+        // Flip a data bit well inside the stuffed region. Flipping may break
+        // stuffing instead of the CRC; accept either rejection.
+        wire.bits[25] = wire.bits[25].opposite();
+        let err = decode_frame(&wire.bits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::CrcMismatch { .. } | DecodeError::StuffViolation { .. }
+            ),
+            "corruption must be detected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_stream() {
+        let frame = CanFrame::data_frame(id(0x100), &[9; 8]).unwrap();
+        let wire = stuff_frame(&frame);
+        let err = decode_frame(&wire.bits[..30]).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated);
+    }
+
+    #[test]
+    fn decode_rejects_extended_frames() {
+        let frame = CanFrame::data_frame(id(0x155), &[]).unwrap();
+        let mut wire = stuff_frame(&frame);
+        // 0x155 alternates bits, so no stuff bits occur before the IDE bit
+        // at unstuffed index 13.
+        assert!(wire.stuff_positions.iter().all(|&p| p > 13));
+        wire.bits[13] = Level::Recessive; // IDE = 1 ⇒ extended format
+        assert_eq!(decode_frame(&wire.bits).unwrap_err(), DecodeError::ExtendedFrame);
+    }
+
+    #[test]
+    fn average_frame_size_matches_paper() {
+        // Paper: "an average CAN frame consists of 125 bits" including
+        // stuff bits and intermission. An 8-byte frame is 108 unstuffed
+        // bits; with typical stuffing + 3-bit IFS this lands near 115–125.
+        let frame = CanFrame::data_frame(id(0x3A5), &[0xA5; 8]).unwrap();
+        let wire = stuff_frame(&frame);
+        let with_ifs = wire.bits_on_bus_with_ifs();
+        assert!(
+            (108 + 3..=133).contains(&with_ifs),
+            "8-byte frame on the bus was {with_ifs} bits"
+        );
+    }
+
+    #[test]
+    fn field_names_cover_fig_1a() {
+        let names: Vec<&str> = FrameField::ALL.iter().map(|f| f.name()).collect();
+        assert!(names.contains(&"SOF"));
+        assert!(names.contains(&"CAN ID"));
+        assert!(names.contains(&"CRC-15"));
+        assert!(names.contains(&"EOF"));
+    }
+}

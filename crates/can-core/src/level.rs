@@ -1,0 +1,206 @@
+//! The physical CAN bus level and its wired-AND dominance rule.
+//!
+//! CAN is an open-collector ("wired-AND") bus: when any node drives the bus
+//! *dominant* (logical 0) the bus reads dominant, regardless of how many
+//! nodes output *recessive* (logical 1). This single rule underpins
+//! arbitration, acknowledgment, error flags — and both the DoS attacks and
+//! the MichiCAN counterattack studied in the paper.
+
+use core::fmt;
+use core::ops::{BitAnd, BitAndAssign};
+
+/// A single bus level during one nominal bit time.
+///
+/// `Dominant` corresponds to logical `0`, `Recessive` to logical `1`.
+/// Combining levels with `&` applies the wired-AND rule: dominant wins.
+///
+/// ```
+/// use can_core::Level;
+/// assert_eq!(Level::Dominant & Level::Recessive, Level::Dominant);
+/// assert_eq!(Level::Recessive & Level::Recessive, Level::Recessive);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Logical `0`; driven, overrides recessive on the bus.
+    Dominant,
+    /// Logical `1`; the idle/undriven state of the bus.
+    Recessive,
+}
+
+impl Level {
+    /// Converts a logical bit value (`true` = 1 = recessive) into a level.
+    ///
+    /// ```
+    /// use can_core::Level;
+    /// assert_eq!(Level::from_bit(true), Level::Recessive);
+    /// assert_eq!(Level::from_bit(false), Level::Dominant);
+    /// ```
+    #[inline]
+    pub const fn from_bit(bit: bool) -> Self {
+        if bit {
+            Level::Recessive
+        } else {
+            Level::Dominant
+        }
+    }
+
+    /// Converts this level to its logical bit value (`Recessive` ⇒ `true`).
+    #[inline]
+    pub const fn to_bit(self) -> bool {
+        matches!(self, Level::Recessive)
+    }
+
+    /// Returns `true` if this level is [`Level::Dominant`].
+    #[inline]
+    pub const fn is_dominant(self) -> bool {
+        matches!(self, Level::Dominant)
+    }
+
+    /// Returns `true` if this level is [`Level::Recessive`].
+    #[inline]
+    pub const fn is_recessive(self) -> bool {
+        matches!(self, Level::Recessive)
+    }
+
+    /// The opposite level, as inserted by the bit-stuffing rule.
+    ///
+    /// ```
+    /// use can_core::Level;
+    /// assert_eq!(Level::Dominant.opposite(), Level::Recessive);
+    /// ```
+    #[inline]
+    pub const fn opposite(self) -> Self {
+        match self {
+            Level::Dominant => Level::Recessive,
+            Level::Recessive => Level::Dominant,
+        }
+    }
+
+    /// Wired-AND of an iterator of contributed levels.
+    ///
+    /// An empty iterator yields [`Level::Recessive`] — an undriven bus floats
+    /// recessive.
+    ///
+    /// ```
+    /// use can_core::Level;
+    /// let bus = Level::wired_and([Level::Recessive, Level::Dominant]);
+    /// assert_eq!(bus, Level::Dominant);
+    /// assert_eq!(Level::wired_and([]), Level::Recessive);
+    /// ```
+    pub fn wired_and<I: IntoIterator<Item = Level>>(levels: I) -> Level {
+        levels
+            .into_iter()
+            .fold(Level::Recessive, |acc, l| acc & l)
+    }
+}
+
+impl Default for Level {
+    /// The default bus level is recessive (idle bus).
+    fn default() -> Self {
+        Level::Recessive
+    }
+}
+
+impl BitAnd for Level {
+    type Output = Level;
+
+    #[inline]
+    fn bitand(self, rhs: Level) -> Level {
+        if self.is_dominant() || rhs.is_dominant() {
+            Level::Dominant
+        } else {
+            Level::Recessive
+        }
+    }
+}
+
+impl BitAndAssign for Level {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Level) {
+        *self = *self & rhs;
+    }
+}
+
+impl From<bool> for Level {
+    #[inline]
+    fn from(bit: bool) -> Self {
+        Level::from_bit(bit)
+    }
+}
+
+impl From<Level> for bool {
+    #[inline]
+    fn from(level: Level) -> bool {
+        level.to_bit()
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Dominant => f.write_str("0"),
+            Level::Recessive => f.write_str("1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_wins_wired_and() {
+        assert_eq!(Level::Dominant & Level::Dominant, Level::Dominant);
+        assert_eq!(Level::Dominant & Level::Recessive, Level::Dominant);
+        assert_eq!(Level::Recessive & Level::Dominant, Level::Dominant);
+        assert_eq!(Level::Recessive & Level::Recessive, Level::Recessive);
+    }
+
+    #[test]
+    fn wired_and_of_many() {
+        let all_recessive = vec![Level::Recessive; 16];
+        assert_eq!(Level::wired_and(all_recessive), Level::Recessive);
+
+        let mut one_dominant = vec![Level::Recessive; 16];
+        one_dominant[7] = Level::Dominant;
+        assert_eq!(Level::wired_and(one_dominant), Level::Dominant);
+    }
+
+    #[test]
+    fn empty_bus_floats_recessive() {
+        assert_eq!(Level::wired_and(std::iter::empty()), Level::Recessive);
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for bit in [true, false] {
+            assert_eq!(Level::from_bit(bit).to_bit(), bit);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for l in [Level::Dominant, Level::Recessive] {
+            assert_eq!(l.opposite().opposite(), l);
+            assert_ne!(l.opposite(), l);
+        }
+    }
+
+    #[test]
+    fn and_assign_matches_and() {
+        let mut l = Level::Recessive;
+        l &= Level::Dominant;
+        assert_eq!(l, Level::Dominant);
+    }
+
+    #[test]
+    fn default_is_recessive() {
+        assert_eq!(Level::default(), Level::Recessive);
+    }
+
+    #[test]
+    fn display_is_logical_value() {
+        assert_eq!(Level::Dominant.to_string(), "0");
+        assert_eq!(Level::Recessive.to_string(), "1");
+    }
+}

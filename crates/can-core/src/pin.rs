@@ -1,0 +1,166 @@
+//! GPIO-shaped pin abstractions.
+//!
+//! On an MCU with an integrated CAN controller, the PIO controller can
+//! multiplex the `CAN_RX`/`CAN_TX` system pins onto general-purpose I/O
+//! (paper §IV-B, Fig. 4a), giving software direct read/write access to every
+//! bit on the bus. These traits model exactly that capability — nothing
+//! more — so that defense logic written against them would compile
+//! unchanged against memory-mapped registers on real hardware.
+
+use crate::level::Level;
+
+/// Read access to the `CAN_RX` line.
+pub trait RxPin {
+    /// Samples the current bus level.
+    fn read(&self) -> Level;
+}
+
+/// Multiplexable write access to the `CAN_TX` line.
+///
+/// While unmultiplexed (the default), the pin contributes nothing to the
+/// bus. MichiCAN enables multiplexing only for the duration of a
+/// counterattack and releases it immediately afterwards: holding the bus
+/// dominant would destroy all traffic, and holding it recessive would
+/// prevent the node's own controller from acknowledging frames (§IV-B).
+pub trait TxPin {
+    /// Routes the pin to the GPIO function so that [`TxPin::write`] takes
+    /// effect.
+    fn enable_multiplexing(&mut self);
+
+    /// Returns the pin to the CAN-controller function; the GPIO level no
+    /// longer reaches the bus.
+    fn disable_multiplexing(&mut self);
+
+    /// Whether the pin is currently multiplexed to GPIO.
+    fn is_multiplexed(&self) -> bool;
+
+    /// Drives the pin while multiplexed. Has no effect otherwise.
+    fn write(&mut self, level: Level);
+}
+
+/// An in-memory [`TxPin`] implementation used by simulators and tests.
+///
+/// The effective bus contribution is [`SoftTxPin::bus_contribution`]:
+/// recessive unless multiplexed *and* driven dominant.
+#[derive(Debug, Clone, Default)]
+pub struct SoftTxPin {
+    multiplexed: bool,
+    level: Level,
+}
+
+impl SoftTxPin {
+    /// Creates an unmultiplexed pin (recessive contribution).
+    pub fn new() -> Self {
+        SoftTxPin {
+            multiplexed: false,
+            level: Level::Recessive,
+        }
+    }
+
+    /// The level this pin currently contributes to the wired-AND bus.
+    pub fn bus_contribution(&self) -> Level {
+        if self.multiplexed {
+            self.level
+        } else {
+            Level::Recessive
+        }
+    }
+}
+
+impl TxPin for SoftTxPin {
+    fn enable_multiplexing(&mut self) {
+        self.multiplexed = true;
+    }
+
+    fn disable_multiplexing(&mut self) {
+        self.multiplexed = false;
+        // Defensive: a released pin must never keep pulling the bus low.
+        self.level = Level::Recessive;
+    }
+
+    fn is_multiplexed(&self) -> bool {
+        self.multiplexed
+    }
+
+    fn write(&mut self, level: Level) {
+        if self.multiplexed {
+            self.level = level;
+        }
+    }
+}
+
+/// An in-memory [`RxPin`] holding the most recent bus sample.
+#[derive(Debug, Clone, Default)]
+pub struct SoftRxPin {
+    level: Level,
+}
+
+impl SoftRxPin {
+    /// Creates a pin reading recessive (idle bus).
+    pub fn new() -> Self {
+        SoftRxPin {
+            level: Level::Recessive,
+        }
+    }
+
+    /// Updates the sample (called by the bus model each bit time).
+    pub fn set(&mut self, level: Level) {
+        self.level = level;
+    }
+}
+
+impl RxPin for SoftRxPin {
+    fn read(&self) -> Level {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmultiplexed_pin_contributes_recessive() {
+        let mut pin = SoftTxPin::new();
+        pin.write(Level::Dominant); // ignored: not multiplexed
+        assert_eq!(pin.bus_contribution(), Level::Recessive);
+    }
+
+    #[test]
+    fn multiplexed_pin_drives_the_bus() {
+        let mut pin = SoftTxPin::new();
+        pin.enable_multiplexing();
+        pin.write(Level::Dominant);
+        assert_eq!(pin.bus_contribution(), Level::Dominant);
+    }
+
+    #[test]
+    fn disabling_multiplexing_releases_the_bus() {
+        let mut pin = SoftTxPin::new();
+        pin.enable_multiplexing();
+        pin.write(Level::Dominant);
+        pin.disable_multiplexing();
+        assert_eq!(pin.bus_contribution(), Level::Recessive);
+        // Re-enabling must not resurrect the old dominant level.
+        pin.enable_multiplexing();
+        assert_eq!(pin.bus_contribution(), Level::Recessive);
+    }
+
+    #[test]
+    fn is_multiplexed_tracks_state() {
+        let mut pin = SoftTxPin::new();
+        assert!(!pin.is_multiplexed());
+        pin.enable_multiplexing();
+        assert!(pin.is_multiplexed());
+        pin.disable_multiplexing();
+        assert!(!pin.is_multiplexed());
+    }
+
+    #[test]
+    fn rx_pin_reflects_last_sample() {
+        let mut pin = SoftRxPin::new();
+        assert_eq!(pin.read(), Level::Recessive);
+        pin.set(Level::Dominant);
+        assert_eq!(pin.read(), Level::Dominant);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the CAN 2.0A data-link primitives.
+
+use can_core::bitstream::{
+    decode_frame, stuff_frame, Destuffed, Destuffer, FrameLayout, Stuffer, STUFF_RUN,
+};
+use can_core::crc::{checksum, Crc15};
+use can_core::{CanFrame, CanId, ErrorCounters, ErrorState, Level};
+use proptest::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = CanId> {
+    (0u16..=CanId::MAX_RAW).prop_map(CanId::from_raw)
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..=8)
+}
+
+fn arb_frame() -> impl Strategy<Value = CanFrame> {
+    (arb_id(), arb_payload())
+        .prop_map(|(id, payload)| CanFrame::data_frame(id, &payload).unwrap())
+}
+
+fn arb_levels(max: usize) -> impl Strategy<Value = Vec<Level>> {
+    proptest::collection::vec(any::<bool>().prop_map(Level::from_bit), 0..max)
+}
+
+proptest! {
+    /// Stuffed wire form decodes back to the original frame.
+    #[test]
+    fn encode_decode_round_trip(frame in arb_frame()) {
+        let wire = stuff_frame(&frame);
+        prop_assert_eq!(decode_frame(&wire.bits).unwrap(), frame);
+    }
+
+    /// The stuffed region never contains six consecutive equal levels.
+    #[test]
+    fn stuffing_bounds_runs(frame in arb_frame()) {
+        let wire = stuff_frame(&frame);
+        let region = &wire.bits[..wire.stuffed_region_len];
+        for window in region.windows(STUFF_RUN + 1) {
+            prop_assert!(
+                !window.iter().all(|&b| b == window[0]),
+                "six equal levels inside stuffed region"
+            );
+        }
+    }
+
+    /// Stuff-bit count is bounded by the theoretical maximum: one stuff bit
+    /// per four payload bits after the first run of five.
+    #[test]
+    fn stuff_count_is_bounded(frame in arb_frame()) {
+        let wire = stuff_frame(&frame);
+        let unstuffed = FrameLayout::of(&frame).stuffed_region_bits();
+        let max_stuff = (unstuffed.saturating_sub(1)) / 4;
+        prop_assert!(wire.stuff_count() <= max_stuff,
+            "{} stuff bits for a {}-bit region", wire.stuff_count(), unstuffed);
+    }
+
+    /// Streaming stuffer followed by streaming destuffer is the identity on
+    /// arbitrary payload bit sequences.
+    #[test]
+    fn stuffer_destuffer_identity(payload in arb_levels(256)) {
+        let mut stuffer = Stuffer::new();
+        let mut wire = Vec::new();
+        for &bit in &payload {
+            wire.push(bit);
+            if let Some(stuff) = stuffer.push(bit) {
+                wire.push(stuff);
+            }
+        }
+        let mut destuffer = Destuffer::new();
+        let mut recovered = Vec::new();
+        for &bit in &wire {
+            match destuffer.push(bit) {
+                Destuffed::Bit(b) => recovered.push(b),
+                Destuffed::StuffBit => {}
+                Destuffed::Violation => prop_assert!(false, "violation in round trip"),
+            }
+        }
+        prop_assert_eq!(recovered, payload);
+    }
+
+    /// CRC streaming equals batch computation regardless of split point.
+    #[test]
+    fn crc_streaming_split_invariance(bits in arb_levels(128), split in 0usize..128) {
+        let split = split.min(bits.len());
+        let mut crc = Crc15::new();
+        crc.push_bits(&bits[..split]);
+        crc.push_bits(&bits[split..]);
+        prop_assert_eq!(crc.value(), checksum(&bits));
+    }
+
+    /// Any single-bit corruption of the wire frame is detected by the
+    /// decoder (stuff, CRC or form violation) — never silently accepted as
+    /// a different valid frame with the same length.
+    #[test]
+    fn single_bit_corruption_never_yields_wrong_frame(
+        frame in arb_frame(),
+        flip_seed in any::<u64>(),
+    ) {
+        let wire = stuff_frame(&frame);
+        let idx = (flip_seed as usize) % wire.bits.len();
+        let mut corrupted = wire.bits.clone();
+        corrupted[idx] = corrupted[idx].opposite();
+        if let Ok(decoded) = decode_frame(&corrupted) {
+            // The only accepted single-bit changes are in bits carrying
+            // no frame content for a receiver: the ACK slot, or the
+            // tolerated final EOF bit. (An Err is the expected outcome.)
+            prop_assert_eq!(decoded, frame,
+                "decoder produced a different frame after corruption");
+        }
+    }
+
+    /// TEC bus-off always requires exactly ceil((256 - tec)/8) errors.
+    #[test]
+    fn counter_ladder_reaches_bus_off(pre_errors in 0u16..32) {
+        let mut c = ErrorCounters::new();
+        for _ in 0..pre_errors {
+            c.on_transmit_error();
+        }
+        let remaining = c.transmit_errors_until_bus_off();
+        for _ in 0..remaining.saturating_sub(1) {
+            c.on_transmit_error();
+        }
+        prop_assert_ne!(c.state(), ErrorState::BusOff);
+        c.on_transmit_error();
+        prop_assert_eq!(c.state(), ErrorState::BusOff);
+    }
+
+    /// Successful transmissions and errors never drive the TEC negative or
+    /// skip the passive band on the way up.
+    #[test]
+    fn counter_state_is_monotone_in_tec(ops in proptest::collection::vec(any::<bool>(), 0..600)) {
+        let mut c = ErrorCounters::new();
+        let mut prev_tec = 0u16;
+        for op in ops {
+            if op {
+                c.on_transmit_error();
+                prop_assert_eq!(c.tec(), prev_tec + 8);
+            } else {
+                c.on_transmit_success();
+                prop_assert_eq!(c.tec(), prev_tec.saturating_sub(1));
+            }
+            prev_tec = c.tec();
+            let expected = if c.tec() >= 256 {
+                ErrorState::BusOff
+            } else if c.tec() > 127 {
+                ErrorState::ErrorPassive
+            } else {
+                ErrorState::ErrorActive
+            };
+            prop_assert_eq!(c.state(), expected);
+        }
+    }
+
+    /// Identifier priority is a strict total order consistent with `Ord`.
+    #[test]
+    fn id_priority_matches_ord(a in arb_id(), b in arb_id()) {
+        prop_assert_eq!(a.outranks(b), a < b);
+        prop_assert!(!(a.outranks(b) && b.outranks(a)));
+    }
+
+    /// Wired-AND over any permutation yields the same level.
+    #[test]
+    fn wired_and_is_commutative(levels in arb_levels(16), rotation in 0usize..16) {
+        if levels.is_empty() {
+            return Ok(());
+        }
+        let rot = rotation % levels.len();
+        let mut rotated = levels.clone();
+        rotated.rotate_left(rot);
+        prop_assert_eq!(
+            Level::wired_and(levels),
+            Level::wired_and(rotated)
+        );
+    }
+}

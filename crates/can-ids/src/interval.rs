@@ -1,0 +1,186 @@
+//! Inter-arrival anomaly detector.
+//!
+//! Learns each identifier's transmission period during a training phase,
+//! then flags frames whose inter-arrival time deviates beyond a tolerance
+//! band — the classic timing-based spoofing detector (a fabrication
+//! attacker transmitting at a higher frequency than the victim compresses
+//! the inter-arrival times).
+
+use std::collections::HashMap;
+
+use can_core::{BitInstant, CanId};
+
+#[derive(Debug, Clone)]
+struct IdModel {
+    last_seen: Option<u64>,
+    /// Learned intervals during training.
+    samples: Vec<u64>,
+    mean: f64,
+    tolerance: f64,
+}
+
+/// Phase of the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdsPhase {
+    /// Learning per-identifier periods.
+    Training,
+    /// Raising alerts.
+    Armed,
+}
+
+/// An inter-arrival anomaly detector.
+#[derive(Debug, Clone)]
+pub struct IntervalIds {
+    phase: IdsPhase,
+    training_samples: usize,
+    tolerance_fraction: f64,
+    models: HashMap<CanId, IdModel>,
+}
+
+impl IntervalIds {
+    /// Creates a detector that trains on `training_samples` intervals per
+    /// identifier and alerts when an interval deviates more than
+    /// `tolerance_fraction` (e.g. 0.5 = ±50 %) from the learned mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training_samples < 2` or the tolerance is not positive.
+    pub fn new(training_samples: usize, tolerance_fraction: f64) -> Self {
+        assert!(training_samples >= 2, "need at least two training intervals");
+        assert!(tolerance_fraction > 0.0, "tolerance must be positive");
+        IntervalIds {
+            phase: IdsPhase::Training,
+            training_samples,
+            tolerance_fraction,
+            models: HashMap::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> IdsPhase {
+        self.phase
+    }
+
+    /// Forces the transition to the armed phase (e.g. training time over).
+    pub fn arm(&mut self) {
+        for model in self.models.values_mut() {
+            if !model.samples.is_empty() {
+                model.mean =
+                    model.samples.iter().sum::<u64>() as f64 / model.samples.len() as f64;
+                model.tolerance = model.mean * self.tolerance_fraction;
+            }
+        }
+        self.phase = IdsPhase::Armed;
+    }
+
+    /// Records a frame; returns `true` for an anomalous inter-arrival
+    /// time (armed phase only).
+    pub fn observe(&mut self, id: CanId, now: BitInstant) -> bool {
+        let training_samples = self.training_samples;
+        let model = self.models.entry(id).or_insert(IdModel {
+            last_seen: None,
+            samples: Vec::new(),
+            mean: 0.0,
+            tolerance: 0.0,
+        });
+        let interval = model.last_seen.map(|last| now.bits().saturating_sub(last));
+        model.last_seen = Some(now.bits());
+
+        match self.phase {
+            IdsPhase::Training => {
+                if let Some(interval) = interval {
+                    model.samples.push(interval);
+                }
+                // Auto-arm when every tracked identifier has enough data.
+                if self
+                    .models
+                    .values()
+                    .all(|m| m.samples.len() >= training_samples)
+                {
+                    self.arm();
+                }
+                false
+            }
+            IdsPhase::Armed => match interval {
+                Some(interval) if self.models[&id].mean > 0.0 => {
+                    let model = &self.models[&id];
+                    (interval as f64 - model.mean).abs() > model.tolerance
+                }
+                // Unknown identifier appearing after training: anomalous.
+                _ => self.models[&id].samples.len() < training_samples,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u16) -> CanId {
+        CanId::from_raw(raw)
+    }
+
+    fn trained(period: u64) -> IntervalIds {
+        let mut ids = IntervalIds::new(4, 0.5);
+        for k in 0..6u64 {
+            ids.observe(id(0x100), BitInstant::from_bits(k * period));
+        }
+        ids.arm();
+        ids
+    }
+
+    #[test]
+    fn trains_then_arms() {
+        let mut ids = IntervalIds::new(3, 0.5);
+        assert_eq!(ids.phase(), IdsPhase::Training);
+        for k in 0..5u64 {
+            ids.observe(id(0x100), BitInstant::from_bits(k * 500));
+        }
+        assert_eq!(ids.phase(), IdsPhase::Armed, "auto-arms after training");
+    }
+
+    #[test]
+    fn nominal_period_stays_quiet() {
+        let mut ids = trained(500);
+        for k in 6..20u64 {
+            assert!(!ids.observe(id(0x100), BitInstant::from_bits(k * 500)));
+        }
+    }
+
+    #[test]
+    fn overdriven_spoofing_alerts() {
+        let mut ids = trained(500);
+        // Attacker injects at 4× the victim's rate: intervals of ~125.
+        let mut t = 20 * 500;
+        let mut alerts = 0;
+        for _ in 0..8 {
+            if ids.observe(id(0x100), BitInstant::from_bits(t)) {
+                alerts += 1;
+            }
+            t += 125;
+        }
+        assert!(alerts >= 7, "compressed intervals must alert: {alerts}");
+    }
+
+    #[test]
+    fn suspension_gap_alerts() {
+        let mut ids = trained(500);
+        // The victim falls silent (DoS'd) and reappears much later.
+        assert!(ids.observe(id(0x100), BitInstant::from_bits(100_000)));
+    }
+
+    #[test]
+    fn jitter_within_tolerance_is_accepted() {
+        let mut ids = trained(500);
+        // Continue from the last training observation (k = 5 ⇒ t = 2500).
+        let mut t = 5 * 500;
+        for jitter in [-100i64, 80, -60, 120, 0] {
+            t += (500 + jitter) as u64;
+            assert!(
+                !ids.observe(id(0x100), BitInstant::from_bits(t)),
+                "±{jitter} bits is within the ±50 % band"
+            );
+        }
+    }
+}

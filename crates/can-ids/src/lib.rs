@@ -1,0 +1,27 @@
+//! # can-ids — frame-level intrusion-detection baselines
+//!
+//! The paper's Table I classifies IDS approaches \[15\]–\[17\] as backward
+//! compatible but **not real-time** and **without eradication**. This
+//! crate implements the two canonical frame-level detectors so that the
+//! classification can be *measured* instead of asserted:
+//!
+//! * [`frequency`] — a sliding-window rate detector (flooding DoS shows
+//!   up as an abnormal per-identifier or bus-wide frame rate);
+//! * [`interval`] — an inter-arrival anomaly detector (spoofing shows up
+//!   as frames arriving far off the learned period).
+//!
+//! Both observe *complete frames only* (the interface a classic
+//! controller exposes, paper §II-C) — which is precisely why their
+//! detection latency is lower-bounded by whole frames, while MichiCAN
+//! decides inside the identifier field of the *first* malicious frame.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frequency;
+pub mod interval;
+pub mod monitor;
+
+pub use frequency::FrequencyIds;
+pub use interval::IntervalIds;
+pub use monitor::{Alert, AlertKind, IdsMonitor};

@@ -1,0 +1,137 @@
+//! The IDS as a bus application: observes complete frames, raises
+//! timestamped alerts — and can do nothing else, which is the point
+//! (Table I: detection without eradication).
+
+use can_core::app::Application;
+use can_core::{BitInstant, CanFrame, CanId};
+
+use crate::frequency::FrequencyIds;
+use crate::interval::IntervalIds;
+
+/// Which detector raised an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Sliding-window frequency threshold exceeded.
+    Frequency,
+    /// Inter-arrival time outside the learned band.
+    Interval,
+}
+
+/// A timestamped IDS alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// When the alert fired (completion time of the triggering frame).
+    pub at: BitInstant,
+    /// The identifier concerned.
+    pub id: CanId,
+    /// Which detector fired.
+    pub kind: AlertKind,
+}
+
+/// A passive IDS node application combining both detectors.
+#[derive(Debug)]
+pub struct IdsMonitor {
+    frequency: FrequencyIds,
+    interval: IntervalIds,
+    alerts: Vec<Alert>,
+}
+
+impl IdsMonitor {
+    /// Creates a monitor from the two configured detectors.
+    pub fn new(frequency: FrequencyIds, interval: IntervalIds) -> Self {
+        IdsMonitor {
+            frequency,
+            interval,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// A typical configuration for a 500 kbit/s bus: 10 ms frequency
+    /// window with a 10-frame threshold; interval training over 8 samples
+    /// with ±50 % tolerance.
+    pub fn typical_500k() -> Self {
+        Self::new(FrequencyIds::new(5_000, 10), IntervalIds::new(8, 0.5))
+    }
+
+    /// All alerts so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The first alert, if any — the IDS's detection instant.
+    pub fn first_alert(&self) -> Option<&Alert> {
+        self.alerts.first()
+    }
+
+    /// Arms the interval detector (ends training).
+    pub fn arm(&mut self) {
+        self.interval.arm();
+    }
+}
+
+impl Application for IdsMonitor {
+    fn poll(&mut self, _now: BitInstant) -> Option<CanFrame> {
+        None // an IDS observes; it cannot transmit a counterattack in time
+    }
+
+    fn on_frame(&mut self, frame: &CanFrame, now: BitInstant) {
+        if self.frequency.observe(frame.id(), now) {
+            self.alerts.push(Alert {
+                at: now,
+                id: frame.id(),
+                kind: AlertKind::Frequency,
+            });
+        }
+        if self.interval.observe(frame.id(), now) {
+            self.alerts.push(Alert {
+                at: now,
+                id: frame.id(),
+                kind: AlertKind::Interval,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16) -> CanFrame {
+        CanFrame::data_frame(CanId::from_raw(id), &[0]).unwrap()
+    }
+
+    #[test]
+    fn monitor_collects_alerts_from_both_detectors() {
+        let mut monitor = IdsMonitor::new(FrequencyIds::new(2_000, 3), IntervalIds::new(2, 0.5));
+        // Train the interval detector with clean 500-bit periods.
+        for k in 0..4u64 {
+            monitor.on_frame(&frame(0x100), BitInstant::from_bits(k * 500));
+        }
+        monitor.arm();
+        // Now a flood of the same identifier trips both detectors.
+        for k in 0..6u64 {
+            monitor.on_frame(&frame(0x100), BitInstant::from_bits(2_000 + k * 130));
+        }
+        let kinds: Vec<AlertKind> = monitor.alerts().iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&AlertKind::Frequency));
+        assert!(kinds.contains(&AlertKind::Interval));
+        assert!(monitor.first_alert().is_some());
+    }
+
+    #[test]
+    fn monitor_never_transmits() {
+        let mut monitor = IdsMonitor::typical_500k();
+        for t in 0..1_000 {
+            assert!(monitor.poll(BitInstant::from_bits(t)).is_none());
+        }
+    }
+
+    #[test]
+    fn quiet_bus_raises_no_alerts() {
+        let mut monitor = IdsMonitor::typical_500k();
+        for k in 0..50u64 {
+            monitor.on_frame(&frame(0x200), BitInstant::from_bits(k * 1_000));
+        }
+        assert!(monitor.alerts().is_empty());
+    }
+}

@@ -1,0 +1,838 @@
+//! A complete CAN 2.0A controller: arbitration, transmission, reception,
+//! error signalling and fault confinement, stepped one bit time at a time.
+//!
+//! ## Timing convention
+//!
+//! The simulator runs a two-phase tick. For every nominal bit time `t`:
+//!
+//! 1. each controller's [`Controller::tx_level`] is collected and the bus
+//!    computes the wired-AND;
+//! 2. each controller's [`Controller::on_sample`] processes the resulting
+//!    bus level.
+//!
+//! A decision made while sampling bit `t` therefore first affects the bus
+//! at bit `t + 1` — the same one-bit reaction latency a real controller has
+//! when it samples at ~70 % of the bit time.
+
+use can_core::bitstream::{stuff_frame, IFS_BITS};
+use can_core::errors::CanErrorKind;
+use can_core::{counters, BitInstant, CanFrame, ErrorCounters, ErrorState, Level};
+
+use crate::event::{ErrorRole, EventKind};
+use crate::parser::{RxEvent, RxParser};
+
+/// Bits in an error flag (active or passive).
+pub const ERROR_FLAG_BITS: u8 = 6;
+
+/// Recessive bits in an error delimiter.
+pub const ERROR_DELIMITER_BITS: u8 = 8;
+
+/// Extra recessive bits an error-passive node waits after transmitting
+/// (suspend transmission).
+pub const SUSPEND_BITS: u8 = 8;
+
+/// Configuration of a [`Controller`].
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Whether this controller acknowledges valid frames (dominant ACK
+    /// slot). Disable for listen-only taps.
+    pub ack_enabled: bool,
+    /// Whether failed transmissions are retried (per ISO they always are;
+    /// disable for single-shot experiments).
+    pub retransmit: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            ack_enabled: true,
+            retransmit: true,
+        }
+    }
+}
+
+/// An in-flight transmission.
+#[derive(Debug, Clone)]
+struct TxJob {
+    frame: CanFrame,
+    bits: Vec<Level>,
+    /// Wire indices (into `bits`) that are stuff bits, sorted.
+    stuff_positions: Vec<usize>,
+    /// Wire index of the ACK slot.
+    ack_index: usize,
+    /// Number of bits already driven and sampled.
+    index: usize,
+}
+
+impl TxJob {
+    fn new(frame: CanFrame) -> Self {
+        let wire = stuff_frame(&frame);
+        // ACK slot is the second-to-10th bit from the end:
+        // ... CRC delim | ACK slot | ACK delim | EOF(7)
+        let ack_index = wire.bits.len() - 9;
+        TxJob {
+            frame,
+            bits: wire.bits,
+            stuff_positions: wire.stuff_positions,
+            ack_index,
+            index: 0,
+        }
+    }
+
+    fn is_stuff_bit(&self, index: usize) -> bool {
+        self.stuff_positions.binary_search(&index).is_ok()
+    }
+}
+
+/// Error-signalling sub-state.
+#[derive(Debug, Clone)]
+struct ErrSig {
+    /// Active (dominant) or passive (recessive) flag.
+    active: bool,
+    /// Active flag: bits left to drive.
+    flag_remaining: u8,
+    /// Passive flag completion: run of consecutive equal levels observed.
+    run_level: Option<Level>,
+    run_len: u8,
+    phase: ErrPhase,
+    /// The node was the transmitter of the destroyed frame.
+    was_transmitter: bool,
+    /// The node detected the error as a receiver (for the severe REC rule).
+    receiver_role: bool,
+    /// Severe REC rule applied at most once per flag.
+    severe_applied: bool,
+    /// Transition to bus-off (instead of intermission) after the delimiter.
+    then_bus_off: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrPhase {
+    Flag,
+    WaitRecessive,
+    Delimiter(u8),
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Waiting for 11 consecutive recessive bits before joining the bus.
+    Integrating { recessive_run: u8 },
+    Idle,
+    Receiving { parser: RxParser },
+    Transmitting { tx: TxJob, parser: RxParser },
+    ErrorSignaling(ErrSig),
+    Intermission { remaining: u8, then_suspend: bool },
+    Suspend { remaining: u8 },
+    BusOff { recessive_run: u8, sequences: u32 },
+}
+
+/// Callbacks surfaced by one [`Controller::on_sample`] step.
+///
+/// The owning node forwards these to its application and appends them to
+/// the simulator event log.
+#[derive(Debug, Default)]
+pub struct StepOutput {
+    /// Protocol events that occurred during this bit.
+    pub events: Vec<EventKind>,
+    /// A frame received for delivery to the application.
+    pub received: Option<CanFrame>,
+    /// A frame whose transmission completed successfully.
+    pub transmitted: Option<CanFrame>,
+}
+
+/// A full CAN 2.0A controller stepped at bit granularity.
+#[derive(Debug)]
+pub struct Controller {
+    config: ControllerConfig,
+    counters: ErrorCounters,
+    state: State,
+    /// Transmit mailboxes: at most one pending frame per identifier;
+    /// lowest identifier transmits first.
+    pending: Vec<CanFrame>,
+    /// Drive a dominant ACK during the next bit.
+    drive_ack: bool,
+    last_reported_state: ErrorState,
+}
+
+impl Controller {
+    /// Creates a controller in the integrating state (it joins the bus
+    /// after 11 recessive bits).
+    pub fn new(config: ControllerConfig) -> Self {
+        Controller {
+            config,
+            counters: ErrorCounters::new(),
+            state: State::Integrating { recessive_run: 0 },
+            pending: Vec::new(),
+            drive_ack: false,
+            last_reported_state: ErrorState::ErrorActive,
+        }
+    }
+
+    /// The controller's error counters.
+    pub fn counters(&self) -> ErrorCounters {
+        self.counters
+    }
+
+    /// The fault-confinement state.
+    pub fn error_state(&self) -> ErrorState {
+        if matches!(self.state, State::BusOff { .. }) {
+            ErrorState::BusOff
+        } else {
+            self.counters.state()
+        }
+    }
+
+    /// Whether the controller is currently transmitting (and has not lost
+    /// arbitration).
+    pub fn is_transmitting(&self) -> bool {
+        matches!(self.state, State::Transmitting { .. })
+    }
+
+    /// Whether the controller is in bus-off.
+    pub fn is_bus_off(&self) -> bool {
+        matches!(self.state, State::BusOff { .. })
+    }
+
+    /// Whether the controller considers the bus occupied by a frame or
+    /// error condition (used for bus-load accounting).
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self.state,
+            State::Transmitting { .. } | State::Receiving { .. } | State::ErrorSignaling(_)
+        )
+    }
+
+    /// Number of frames waiting in transmit mailboxes.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Places a frame in its transmit mailbox (one per identifier; a newer
+    /// frame with the same identifier overwrites the older one, like a
+    /// hardware mailbox).
+    pub fn enqueue(&mut self, frame: CanFrame) {
+        if let Some(slot) = self.pending.iter_mut().find(|f| f.id() == frame.id()) {
+            *slot = frame;
+        } else {
+            self.pending.push(frame);
+        }
+    }
+
+    fn take_highest_priority_pending(&mut self) -> Option<CanFrame> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.id())?
+            .0;
+        Some(self.pending.swap_remove(best))
+    }
+
+    /// Re-queues a frame whose transmission failed, unless the application
+    /// has meanwhile posted a newer frame with the same identifier.
+    fn requeue(&mut self, frame: CanFrame) {
+        if !self.config.retransmit {
+            return;
+        }
+        if !self.pending.iter().any(|f| f.id() == frame.id()) {
+            self.pending.push(frame);
+        }
+    }
+
+    /// The level this controller drives during the upcoming bit time.
+    pub fn tx_level(&self) -> Level {
+        match &self.state {
+            State::Transmitting { tx, .. } => tx.bits[tx.index],
+            State::ErrorSignaling(sig) if sig.phase == ErrPhase::Flag && sig.active => {
+                Level::Dominant
+            }
+            State::Receiving { .. } if self.drive_ack => Level::Dominant,
+            _ => Level::Recessive,
+        }
+    }
+
+    /// Processes the bus level sampled during the current bit time.
+    pub fn on_sample(&mut self, bus: Level, now: BitInstant) -> StepOutput {
+        let mut out = StepOutput::default();
+        // The ACK drive is one-shot: the bit being processed was the slot.
+        self.drive_ack = false;
+
+        // `state` is replaced wholesale to keep the borrow checker happy.
+        let state = std::mem::replace(&mut self.state, State::Idle);
+        self.state = match state {
+            State::Integrating { recessive_run } => {
+                let run = if bus.is_recessive() {
+                    recessive_run + 1
+                } else {
+                    0
+                };
+                if run >= 11 {
+                    State::Idle
+                } else {
+                    State::Integrating { recessive_run: run }
+                }
+            }
+            State::Idle => self.sample_idle(bus, now, &mut out),
+            State::Receiving { parser } => self.sample_receiving(parser, bus, now, &mut out),
+            State::Transmitting { tx, parser } => {
+                self.sample_transmitting(tx, parser, bus, now, &mut out)
+            }
+            State::ErrorSignaling(sig) => self.sample_error(sig, bus, now, &mut out),
+            State::Intermission {
+                remaining,
+                then_suspend,
+            } => self.sample_intermission(remaining, then_suspend, bus, now, &mut out),
+            State::Suspend { remaining } => self.sample_suspend(remaining, bus, now, &mut out),
+            State::BusOff {
+                recessive_run,
+                sequences,
+            } => self.sample_bus_off(recessive_run, sequences, bus, &mut out),
+        };
+
+        self.report_state_change(&mut out);
+        out
+    }
+
+    fn report_state_change(&mut self, out: &mut StepOutput) {
+        let state = self.error_state();
+        if state != self.last_reported_state {
+            self.last_reported_state = state;
+            out.events.push(EventKind::ErrorStateChanged { state });
+        }
+    }
+
+    fn start_transmission(&mut self, out: &mut StepOutput) -> State {
+        match self.take_highest_priority_pending() {
+            Some(frame) => {
+                out.events.push(EventKind::TransmissionStarted { id: frame.id() });
+                State::Transmitting {
+                    tx: TxJob::new(frame),
+                    parser: RxParser::new(),
+                }
+            }
+            None => State::Idle,
+        }
+    }
+
+    fn join_as_receiver(&mut self, sof: Level, now: BitInstant, out: &mut StepOutput) -> State {
+        debug_assert!(sof.is_dominant(), "joining requires a dominant SOF");
+        let parser = RxParser::new();
+        self.sample_receiving(parser, sof, now, out)
+    }
+
+    fn sample_idle(&mut self, bus: Level, now: BitInstant, out: &mut StepOutput) -> State {
+        if bus.is_dominant() {
+            self.join_as_receiver(bus, now, out)
+        } else if !self.pending.is_empty() {
+            self.start_transmission(out)
+        } else {
+            State::Idle
+        }
+    }
+
+    fn sample_receiving(
+        &mut self,
+        mut parser: RxParser,
+        bus: Level,
+        _now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        match parser.push(bus) {
+            RxEvent::Continue => State::Receiving { parser },
+            RxEvent::AckSlotNext => {
+                if self.config.ack_enabled {
+                    self.drive_ack = true;
+                }
+                State::Receiving { parser }
+            }
+            RxEvent::Done(frame) => {
+                self.counters.on_receive_success();
+                out.events.push(EventKind::FrameReceived { frame });
+                out.received = Some(frame);
+                State::Intermission {
+                    remaining: IFS_BITS as u8,
+                    then_suspend: false,
+                }
+            }
+            RxEvent::Fault(kind) => {
+                self.counters.on_receive_error();
+                out.events.push(EventKind::ErrorDetected {
+                    kind,
+                    role: ErrorRole::Receiver,
+                });
+                State::ErrorSignaling(self.new_error_signal(false, true, false))
+            }
+        }
+    }
+
+    fn sample_transmitting(
+        &mut self,
+        mut tx: TxJob,
+        mut parser: RxParser,
+        bus: Level,
+        now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        let sent = tx.bits[tx.index];
+        let in_arbitration = parser.in_arbitration();
+        let rx_event = parser.push(bus);
+        let mismatch = sent != bus;
+
+        if mismatch {
+            if in_arbitration && sent.is_recessive() && bus.is_dominant() {
+                // Lost arbitration: continue as receiver of the winner.
+                out.events.push(EventKind::ArbitrationLost { id: tx.frame.id() });
+                self.requeue(tx.frame);
+                // The parser already consumed this bit; stay receiving.
+                return match rx_event {
+                    RxEvent::Fault(kind) => {
+                        self.counters.on_receive_error();
+                        out.events.push(EventKind::ErrorDetected {
+                            kind,
+                            role: ErrorRole::Receiver,
+                        });
+                        State::ErrorSignaling(self.new_error_signal(false, true, false))
+                    }
+                    _ => State::Receiving { parser },
+                };
+            }
+            if tx.index == tx.ack_index && bus.is_dominant() {
+                // A receiver acknowledged the frame; not an error.
+                tx.index += 1;
+                return State::Transmitting { tx, parser };
+            }
+            // Bit or stuff error in our own transmission.
+            let kind = if tx.is_stuff_bit(tx.index) {
+                CanErrorKind::Stuff
+            } else {
+                CanErrorKind::Bit
+            };
+            return self.transmit_error(tx, kind, now, out);
+        }
+
+        // Levels matched.
+        if tx.index == tx.ack_index && bus.is_recessive() {
+            // Nobody acknowledged.
+            return self.transmit_ack_error(tx, now, out);
+        }
+
+        tx.index += 1;
+        if tx.index == tx.bits.len() {
+            self.counters.on_transmit_success();
+            out.events.push(EventKind::TransmissionSucceeded { frame: tx.frame });
+            out.transmitted = Some(tx.frame);
+            let then_suspend = self.counters.state() == ErrorState::ErrorPassive;
+            return State::Intermission {
+                remaining: IFS_BITS as u8,
+                then_suspend,
+            };
+        }
+        State::Transmitting { tx, parser }
+    }
+
+    fn transmit_error(
+        &mut self,
+        tx: TxJob,
+        kind: CanErrorKind,
+        _now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        // Flag polarity follows the state *before* the increment (paper
+        // Fig. 6: the 16th error is still signalled with an active flag).
+        let active_before = self.counters.state() == ErrorState::ErrorActive;
+        let new_state = self.counters.on_transmit_error();
+        out.events.push(EventKind::ErrorDetected {
+            kind,
+            role: ErrorRole::Transmitter,
+        });
+        self.requeue(tx.frame);
+        let mut sig = self.new_error_signal(true, false, active_before);
+        if new_state == ErrorState::BusOff {
+            sig.then_bus_off = true;
+        }
+        State::ErrorSignaling(sig)
+    }
+
+    fn transmit_ack_error(
+        &mut self,
+        tx: TxJob,
+        _now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        let active_before = self.counters.state() == ErrorState::ErrorActive;
+        // ISO 11898-1 exception: an error-passive transmitter detecting an
+        // ACK error (and no dominant bit during its passive flag) does not
+        // increment its TEC. A lone node on a bus therefore never reaches
+        // bus-off through missing acknowledgments.
+        let new_state = if active_before {
+            self.counters.on_transmit_error()
+        } else {
+            self.counters.state()
+        };
+        out.events.push(EventKind::ErrorDetected {
+            kind: CanErrorKind::Ack,
+            role: ErrorRole::Transmitter,
+        });
+        self.requeue(tx.frame);
+        let mut sig = self.new_error_signal(true, false, active_before);
+        if new_state == ErrorState::BusOff {
+            sig.then_bus_off = true;
+        }
+        State::ErrorSignaling(sig)
+    }
+
+    fn new_error_signal(
+        &self,
+        was_transmitter: bool,
+        receiver_role: bool,
+        active: bool,
+    ) -> ErrSig {
+        ErrSig {
+            active,
+            flag_remaining: ERROR_FLAG_BITS,
+            run_level: None,
+            run_len: 0,
+            phase: ErrPhase::Flag,
+            was_transmitter,
+            receiver_role,
+            severe_applied: false,
+            then_bus_off: false,
+        }
+    }
+
+    fn sample_error(
+        &mut self,
+        mut sig: ErrSig,
+        bus: Level,
+        now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        match sig.phase {
+            ErrPhase::Flag => {
+                if sig.active {
+                    // We are driving dominant; count our six flag bits.
+                    sig.flag_remaining -= 1;
+                    if sig.flag_remaining == 0 {
+                        sig.phase = ErrPhase::WaitRecessive;
+                    }
+                } else {
+                    // Passive flag: complete after six consecutive equal
+                    // levels on the bus (our own recessive or others'
+                    // dominant flags).
+                    match sig.run_level {
+                        Some(level) if level == bus => sig.run_len += 1,
+                        _ => {
+                            sig.run_level = Some(bus);
+                            sig.run_len = 1;
+                        }
+                    }
+                    if sig.run_len >= ERROR_FLAG_BITS {
+                        sig.phase = ErrPhase::WaitRecessive;
+                    }
+                }
+                State::ErrorSignaling(sig)
+            }
+            ErrPhase::WaitRecessive => {
+                if bus.is_recessive() {
+                    // First delimiter bit observed.
+                    sig.phase = ErrPhase::Delimiter(ERROR_DELIMITER_BITS - 1);
+                    State::ErrorSignaling(sig)
+                } else {
+                    // Someone is still flagging (superposed error flags).
+                    if sig.receiver_role && !sig.severe_applied {
+                        // Dominant right after our error flag: REC += 8.
+                        sig.severe_applied = true;
+                        self.counters.on_receive_error_severe();
+                    }
+                    State::ErrorSignaling(sig)
+                }
+            }
+            ErrPhase::Delimiter(remaining) => {
+                if bus.is_dominant() {
+                    // A dominant bit inside the delimiter restarts the wait
+                    // (superposed late flags; overload handling is out of
+                    // scope).
+                    sig.phase = ErrPhase::WaitRecessive;
+                    return State::ErrorSignaling(sig);
+                }
+                if remaining > 1 {
+                    sig.phase = ErrPhase::Delimiter(remaining - 1);
+                    State::ErrorSignaling(sig)
+                } else if sig.then_bus_off {
+                    out.events.push(EventKind::BusOff);
+                    let _ = now;
+                    State::BusOff {
+                        recessive_run: 0,
+                        sequences: 0,
+                    }
+                } else {
+                    let then_suspend = sig.was_transmitter
+                        && self.counters.state() == ErrorState::ErrorPassive;
+                    State::Intermission {
+                        remaining: IFS_BITS as u8,
+                        then_suspend,
+                    }
+                }
+            }
+        }
+    }
+
+    fn sample_intermission(
+        &mut self,
+        remaining: u8,
+        then_suspend: bool,
+        bus: Level,
+        now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        if bus.is_dominant() {
+            // Another node's SOF (a dominant bit during intermission is
+            // interpreted as a start of frame; overload frames are not
+            // modelled).
+            return self.join_as_receiver(bus, now, out);
+        }
+        if remaining > 1 {
+            State::Intermission {
+                remaining: remaining - 1,
+                then_suspend,
+            }
+        } else if then_suspend {
+            State::Suspend {
+                remaining: SUSPEND_BITS,
+            }
+        } else if !self.pending.is_empty() {
+            self.start_transmission(out)
+        } else {
+            State::Idle
+        }
+    }
+
+    fn sample_suspend(
+        &mut self,
+        remaining: u8,
+        bus: Level,
+        now: BitInstant,
+        out: &mut StepOutput,
+    ) -> State {
+        if bus.is_dominant() {
+            // Another node started first; we join as receiver and compete
+            // again afterwards (ISO 11898-1 suspend-transmission rule,
+            // central to the paper's Experiment 5 analysis).
+            return self.join_as_receiver(bus, now, out);
+        }
+        if remaining > 1 {
+            State::Suspend {
+                remaining: remaining - 1,
+            }
+        } else if !self.pending.is_empty() {
+            self.start_transmission(out)
+        } else {
+            State::Idle
+        }
+    }
+
+    fn sample_bus_off(
+        &mut self,
+        recessive_run: u8,
+        sequences: u32,
+        bus: Level,
+        out: &mut StepOutput,
+    ) -> State {
+        if bus.is_dominant() {
+            return State::BusOff {
+                recessive_run: 0,
+                sequences,
+            };
+        }
+        let run = recessive_run + 1;
+        if run as u32 == counters::RECOVERY_SEQUENCE_BITS {
+            let sequences = sequences + 1;
+            if sequences >= counters::RECOVERY_SEQUENCES {
+                self.counters.reset_after_recovery();
+                out.events.push(EventKind::Recovered);
+                return State::Idle;
+            }
+            State::BusOff {
+                recessive_run: 0,
+                sequences,
+            }
+        } else {
+            State::BusOff {
+                recessive_run: run,
+                sequences,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use can_core::CanId;
+
+    fn frame(id: u16, data: &[u8]) -> CanFrame {
+        CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+    }
+
+    /// Drives a set of controllers through one tick; returns the bus level.
+    fn tick(controllers: &mut [Controller], now: u64) -> (Level, Vec<StepOutput>) {
+        let bus = Level::wired_and(controllers.iter().map(|c| c.tx_level()));
+        let outs = controllers
+            .iter_mut()
+            .map(|c| c.on_sample(bus, BitInstant::from_bits(now)))
+            .collect();
+        (bus, outs)
+    }
+
+    fn run(controllers: &mut [Controller], ticks: u64) -> Vec<(u64, usize, EventKind)> {
+        let mut events = Vec::new();
+        for t in 0..ticks {
+            let (_, outs) = tick(controllers, t);
+            for (i, out) in outs.into_iter().enumerate() {
+                for kind in out.events {
+                    events.push((t, i, kind));
+                }
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn lone_frame_is_lost_without_ack_but_node_survives() {
+        // A lone transmitter never gets an ACK: ACK errors forever, but the
+        // ISO exception caps its TEC at the passive threshold.
+        let mut nodes = vec![Controller::new(ControllerConfig::default())];
+        nodes[0].enqueue(frame(0x100, &[1, 2]));
+        let events = run(&mut nodes, 20_000);
+        assert!(events
+            .iter()
+            .any(|(_, _, k)| matches!(k, EventKind::ErrorDetected { kind: CanErrorKind::Ack, .. })));
+        assert!(!nodes[0].is_bus_off());
+        assert_eq!(nodes[0].error_state(), ErrorState::ErrorPassive);
+    }
+
+    #[test]
+    fn two_nodes_exchange_a_frame() {
+        let mut nodes = vec![
+            Controller::new(ControllerConfig::default()),
+            Controller::new(ControllerConfig::default()),
+        ];
+        nodes[0].enqueue(frame(0x123, &[0xDE, 0xAD]));
+        let events = run(&mut nodes, 400);
+        let received = events.iter().find_map(|(_, node, k)| match k {
+            EventKind::FrameReceived { frame } => Some((*node, *frame)),
+            _ => None,
+        });
+        assert_eq!(received, Some((1, frame(0x123, &[0xDE, 0xAD]))));
+        assert!(events
+            .iter()
+            .any(|(_, node, k)| *node == 0 && matches!(k, EventKind::TransmissionSucceeded { .. })));
+        // A successful exchange leaves both nodes error-active with clean
+        // counters.
+        assert_eq!(nodes[0].counters().tec(), 0);
+        assert_eq!(nodes[1].counters().rec(), 0);
+    }
+
+    #[test]
+    fn arbitration_is_won_by_the_lower_id() {
+        let mut nodes = vec![
+            Controller::new(ControllerConfig::default()),
+            Controller::new(ControllerConfig::default()),
+            Controller::new(ControllerConfig::default()),
+        ];
+        // Enqueue in both before either can start: they SOF simultaneously.
+        nodes[0].enqueue(frame(0x300, &[1]));
+        nodes[1].enqueue(frame(0x0F0, &[2]));
+        let events = run(&mut nodes, 800);
+
+        let lost: Vec<_> = events
+            .iter()
+            .filter_map(|(t, node, k)| match k {
+                EventKind::ArbitrationLost { id } => Some((*t, *node, *id)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lost.len(), 1, "exactly one arbitration loss: {events:?}");
+        assert_eq!(lost[0].1, 0, "node 0 (higher id) must lose");
+
+        let successes: Vec<_> = events
+            .iter()
+            .filter_map(|(t, node, k)| match k {
+                EventKind::TransmissionSucceeded { frame } => Some((*t, *node, frame.id())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(successes.len(), 2, "both frames eventually complete");
+        assert_eq!(successes[0].1, 1, "0x0F0 completes first");
+        assert_eq!(successes[1].1, 0, "0x300 retries and completes");
+    }
+
+    #[test]
+    fn both_transmissions_start_simultaneously_and_winner_is_not_errored() {
+        let mut nodes = vec![
+            Controller::new(ControllerConfig::default()),
+            Controller::new(ControllerConfig::default()),
+        ];
+        nodes[0].enqueue(frame(0x005, &[1]));
+        nodes[1].enqueue(frame(0x006, &[2]));
+        let events = run(&mut nodes, 600);
+        // Arbitration must never produce an error.
+        assert!(
+            !events
+                .iter()
+                .any(|(_, _, k)| matches!(k, EventKind::ErrorDetected { .. })),
+            "arbitration losses are not errors: {events:?}"
+        );
+        assert_eq!(nodes[0].counters().tec(), 0);
+        assert_eq!(nodes[1].counters().tec(), 0);
+    }
+
+    #[test]
+    fn mailbox_overwrites_same_id() {
+        let mut c = Controller::new(ControllerConfig::default());
+        c.enqueue(frame(0x10, &[1]));
+        c.enqueue(frame(0x10, &[2]));
+        assert_eq!(c.pending_count(), 1);
+        c.enqueue(frame(0x11, &[3]));
+        assert_eq!(c.pending_count(), 2);
+    }
+
+    #[test]
+    fn integrating_requires_eleven_recessive_bits() {
+        let mut c = Controller::new(ControllerConfig::default());
+        c.enqueue(frame(0x1, &[]));
+        // Interrupt the integration with a dominant bit after 10 recessive.
+        for t in 0..10 {
+            c.on_sample(Level::Recessive, BitInstant::from_bits(t));
+            assert_eq!(c.tx_level(), Level::Recessive);
+        }
+        c.on_sample(Level::Dominant, BitInstant::from_bits(10));
+        // Ten more recessive bits are not enough (run restarted)...
+        for t in 11..21 {
+            c.on_sample(Level::Recessive, BitInstant::from_bits(t));
+        }
+        assert_eq!(c.tx_level(), Level::Recessive, "still integrating");
+        // ...the eleventh completes integration; it is Idle during that
+        // sample and starts its SOF right afterwards.
+        c.on_sample(Level::Recessive, BitInstant::from_bits(21));
+        c.on_sample(Level::Recessive, BitInstant::from_bits(22));
+        assert_eq!(c.tx_level(), Level::Dominant, "SOF after joining");
+    }
+
+    #[test]
+    fn transmit_success_decrements_tec() {
+        let mut nodes = vec![
+            Controller::new(ControllerConfig::default()),
+            Controller::new(ControllerConfig::default()),
+        ];
+        // Pre-load some TEC on node 0 by direct counter manipulation (unit
+        // scope: we only check the success path decrements).
+        for _ in 0..4 {
+            nodes[0].counters.on_transmit_error();
+        }
+        assert_eq!(nodes[0].counters().tec(), 32);
+        nodes[0].enqueue(frame(0x055, &[7; 7]));
+        run(&mut nodes, 400);
+        assert_eq!(nodes[0].counters().tec(), 31);
+    }
+}

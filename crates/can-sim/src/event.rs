@@ -1,0 +1,108 @@
+//! Simulation events.
+//!
+//! The simulator appends one [`Event`] per notable protocol occurrence.
+//! Benchmarks and tests reconstruct every paper metric (bus-off time,
+//! retransmission counts, interruption counts) from this log.
+
+use can_core::errors::CanErrorKind;
+use can_core::{BitInstant, CanFrame, CanId, ErrorState};
+
+/// Index of a node within its simulator.
+pub type NodeId = usize;
+
+/// Whether a node detected an error as the frame's transmitter or as a
+/// receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorRole {
+    /// The node was transmitting the affected frame.
+    Transmitter,
+    /// The node was receiving.
+    Receiver,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A node drove the SOF of a frame (first bit on the bus).
+    TransmissionStarted {
+        /// Identifier of the frame being transmitted.
+        id: CanId,
+    },
+    /// A node completed a transmission successfully (end of EOF).
+    TransmissionSucceeded {
+        /// The transmitted frame.
+        frame: CanFrame,
+    },
+    /// A node received a complete valid frame.
+    FrameReceived {
+        /// The received frame.
+        frame: CanFrame,
+    },
+    /// A node lost arbitration and turned into a receiver.
+    ArbitrationLost {
+        /// Identifier the node was trying to send.
+        id: CanId,
+    },
+    /// A node detected a protocol error and started signalling it.
+    ErrorDetected {
+        /// Which of the five CAN error types.
+        kind: CanErrorKind,
+        /// Transmitter or receiver role.
+        role: ErrorRole,
+    },
+    /// A node's fault-confinement state changed.
+    ErrorStateChanged {
+        /// The new state.
+        state: ErrorState,
+    },
+    /// A node entered bus-off (timestamped at the end of its final error
+    /// frame, matching the paper's bus-off-time definition).
+    BusOff,
+    /// A node completed bus-off recovery (128 × 11 recessive bits) and
+    /// rejoined as error-active.
+    Recovered,
+}
+
+/// A timestamped, node-attributed event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When the event occurred (bit time of the sample that triggered it).
+    pub at: BitInstant,
+    /// Which node it concerns.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(at: BitInstant, node: NodeId, kind: EventKind) -> Self {
+        Event { at, node, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_time_and_node() {
+        let e = Event::new(BitInstant::from_bits(42), 3, EventKind::BusOff);
+        assert_eq!(e.at.bits(), 42);
+        assert_eq!(e.node, 3);
+        assert_eq!(e.kind, EventKind::BusOff);
+    }
+
+    #[test]
+    fn event_kinds_compare() {
+        assert_ne!(EventKind::BusOff, EventKind::Recovered);
+        assert_eq!(
+            EventKind::ArbitrationLost {
+                id: CanId::from_raw(1)
+            },
+            EventKind::ArbitrationLost {
+                id: CanId::from_raw(1)
+            }
+        );
+    }
+}

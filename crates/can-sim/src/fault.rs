@@ -1,0 +1,146 @@
+//! Channel fault injection.
+//!
+//! The paper argues MichiCAN cannot false-positive a legitimate node into
+//! bus-off: "a node needs to encounter 32 consecutive errors for the TEC
+//! to reach a level that would trigger a bus-off condition. In case of
+//! sporadic errors, the likelihood of hitting this threshold is near
+//! zero" (§IV-E). This module adds a configurable bit-error channel to
+//! the simulated medium so that claim can be tested instead of assumed.
+//!
+//! Faults model *bus-level* disturbances (EMI glitches on the twisted
+//! pair): after the wired-AND resolves, the level every node samples may
+//! be flipped with a configured probability, or at scripted instants.
+
+use can_core::Level;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bus-level fault model applied after the wired-AND.
+#[derive(Debug)]
+#[derive(Default)]
+pub enum FaultModel {
+    /// No disturbance (default).
+    #[default]
+    None,
+    /// Each bit flips independently with probability `ber`.
+    RandomBitErrors {
+        /// Bit error rate, 0.0–1.0.
+        ber: f64,
+        /// Deterministic RNG for reproducible runs (boxed to keep the
+        /// enum small).
+        rng: Box<StdRng>,
+    },
+    /// Flip exactly the bits at the given instants (sorted, deduplicated).
+    Scripted {
+        /// Bit times at which the bus level is inverted.
+        flips: Vec<u64>,
+        /// Index of the next pending flip.
+        cursor: usize,
+    },
+}
+
+impl FaultModel {
+    /// A random-error channel with the given bit error rate and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ber <= 1.0`.
+    pub fn random(ber: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&ber), "BER must be a probability");
+        FaultModel::RandomBitErrors {
+            ber,
+            rng: Box::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// A scripted channel flipping exactly the given bit times.
+    pub fn scripted(mut flips: Vec<u64>) -> Self {
+        flips.sort_unstable();
+        flips.dedup();
+        FaultModel::Scripted { flips, cursor: 0 }
+    }
+
+    /// Applies the model to the resolved bus level at bit time `now`.
+    pub fn apply(&mut self, level: Level, now: u64) -> Level {
+        match self {
+            FaultModel::None => level,
+            FaultModel::RandomBitErrors { ber, rng } => {
+                if *ber > 0.0 && rng.random_bool(*ber) {
+                    level.opposite()
+                } else {
+                    level
+                }
+            }
+            FaultModel::Scripted { flips, cursor } => {
+                if flips.get(*cursor) == Some(&now) {
+                    *cursor += 1;
+                    level.opposite()
+                } else {
+                    level
+                }
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_transparent() {
+        let mut model = FaultModel::None;
+        for t in 0..100 {
+            assert_eq!(model.apply(Level::Recessive, t), Level::Recessive);
+            assert_eq!(model.apply(Level::Dominant, t), Level::Dominant);
+        }
+    }
+
+    #[test]
+    fn scripted_flips_exact_bits() {
+        let mut model = FaultModel::scripted(vec![5, 2, 5, 9]);
+        let mut flipped = Vec::new();
+        for t in 0..12 {
+            if model.apply(Level::Recessive, t).is_dominant() {
+                flipped.push(t);
+            }
+        }
+        assert_eq!(flipped, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn random_ber_matches_rate() {
+        let mut model = FaultModel::random(0.01, 42);
+        let flips = (0..100_000)
+            .filter(|&t| model.apply(Level::Recessive, t).is_dominant())
+            .count();
+        assert!((800..=1_200).contains(&flips), "≈ 1 % of 100k: {flips}");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut m = FaultModel::random(0.05, seed);
+            (0..1_000)
+                .map(|t| m.apply(Level::Recessive, t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be a probability")]
+    fn invalid_ber_panics() {
+        let _ = FaultModel::random(1.5, 0);
+    }
+
+    #[test]
+    fn zero_ber_never_flips() {
+        let mut model = FaultModel::random(0.0, 1);
+        for t in 0..10_000 {
+            assert_eq!(model.apply(Level::Dominant, t), Level::Dominant);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # can-sim — a bit-level, discrete-event CAN bus simulator
+//!
+//! This crate is the hardware substitute of the MichiCAN reproduction: it
+//! stands in for the paper's breadboard CAN bus (Arduino Dues, SN65HVD230
+//! transceivers, PCAN replay) with a bit-synchronous simulation of the
+//! wired-AND medium and fully ISO 11898-1-compliant controller state
+//! machines.
+//!
+//! * [`parser`] — streaming receive-path frame parser.
+//! * [`controller`] — the per-node protocol FSM: arbitration, transmission,
+//!   error signalling (active/passive flags, delimiters, suspend), fault
+//!   confinement, bus-off and recovery.
+//! * [`node`] — ECU = controller + [`Application`](can_core::app::Application)
+//!   \+ optional [`BitAgent`](can_core::agent::BitAgent) (the pin-multiplexed
+//!   defense hook).
+//! * [`sim`] — the two-phase tick driver, event log and signal trace.
+//! * [`event`] — protocol events for metric extraction.
+//! * [`measure`] — bus-off episodes and duration statistics (Table II).
+//!
+//! ## Example: one frame between two ECUs
+//!
+//! ```
+//! use can_core::app::{PeriodicSender, SilentApplication};
+//! use can_core::{BusSpeed, CanFrame, CanId};
+//! use can_sim::{EventKind, Node, Simulator};
+//!
+//! let mut sim = Simulator::new(BusSpeed::K500);
+//! let frame = CanFrame::data_frame(CanId::new(0x123).unwrap(), &[1, 2, 3]).unwrap();
+//! sim.add_node(Node::new("tx", Box::new(PeriodicSender::new(frame, 1_000, 0))));
+//! sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+//! sim.run(500);
+//! assert!(sim
+//!     .events()
+//!     .iter()
+//!     .any(|e| matches!(e.kind, EventKind::FrameReceived { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod event;
+pub mod fault;
+pub mod measure;
+pub mod node;
+pub mod parser;
+pub mod sim;
+
+pub use controller::{Controller, ControllerConfig, StepOutput};
+pub use event::{ErrorRole, Event, EventKind, NodeId};
+pub use fault::FaultModel;
+pub use measure::{bus_off_episodes, BusOffEpisode, DurationStats};
+pub use node::Node;
+pub use parser::{RxEvent, RxParser};
+pub use sim::{SignalTrace, Simulator};

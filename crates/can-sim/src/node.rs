@@ -1,0 +1,206 @@
+//! A simulated ECU: controller + application + optional bit agent.
+//!
+//! The node mirrors the paper's "CAN node C" (Fig. 1c): an MCU whose
+//! integrated CAN controller handles frames for the application, while pin
+//! multiplexing optionally grants a software *bit agent* (e.g. MichiCAN)
+//! direct access to the `CAN_RX`/`CAN_TX` lines. The node's contribution to
+//! the bus is the wired-AND of its controller output and its agent output —
+//! exactly what two drivers on the same open-collector pin produce.
+
+use can_core::agent::BitAgent;
+use can_core::app::Application;
+use can_core::{BitInstant, Level};
+
+use crate::controller::{Controller, ControllerConfig, StepOutput};
+
+/// Maximum frames an application may enqueue per bit time; guards against
+/// runaway flooding applications stalling the simulator.
+const MAX_ENQUEUE_PER_BIT: usize = 8;
+
+/// A simulated ECU.
+pub struct Node {
+    name: String,
+    controller: Controller,
+    app: Box<dyn Application>,
+    agent: Option<Box<dyn BitAgent>>,
+}
+
+impl Node {
+    /// Creates a node with the given application and default controller
+    /// configuration.
+    pub fn new(name: impl Into<String>, app: Box<dyn Application>) -> Self {
+        Node {
+            name: name.into(),
+            controller: Controller::new(ControllerConfig::default()),
+            app,
+            agent: None,
+        }
+    }
+
+    /// Creates a node with an explicit controller configuration.
+    pub fn with_config(
+        name: impl Into<String>,
+        app: Box<dyn Application>,
+        config: ControllerConfig,
+    ) -> Self {
+        Node {
+            name: name.into(),
+            controller: Controller::new(config),
+            app,
+            agent: None,
+        }
+    }
+
+    /// Attaches a bit agent (pin-multiplexed defense) to this node.
+    pub fn with_agent(mut self, agent: Box<dyn BitAgent>) -> Self {
+        self.agent = Some(agent);
+        self
+    }
+
+    /// The node's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Immutable access to the controller (for assertions and statistics).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Mutable access to the controller (e.g. to pre-load mailboxes).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// Immutable access to the application.
+    pub fn app(&self) -> &dyn Application {
+        self.app.as_ref()
+    }
+
+    /// Mutable access to the application.
+    pub fn app_mut(&mut self) -> &mut dyn Application {
+        self.app.as_mut()
+    }
+
+    /// Immutable access to the attached agent, if any.
+    pub fn agent(&self) -> Option<&dyn BitAgent> {
+        self.agent.as_deref()
+    }
+
+    /// The level this node contributes to the bus during the next bit.
+    pub fn tx_level(&self) -> Level {
+        let controller = self.controller.tx_level();
+        let agent = self
+            .agent
+            .as_ref()
+            .and_then(|a| a.tx_level())
+            .unwrap_or(Level::Recessive);
+        controller & agent
+    }
+
+    /// Processes the sampled bus level for the current bit.
+    pub fn on_sample(&mut self, bus: Level, now: BitInstant) -> StepOutput {
+        // Application poll first: a frame due at bit `t` can be on the bus
+        // at `t + 1`.
+        for _ in 0..MAX_ENQUEUE_PER_BIT {
+            match self.app.poll(now) {
+                Some(frame) => self.controller.enqueue(frame),
+                None => break,
+            }
+        }
+
+        let out = self.controller.on_sample(bus, now);
+
+        // Deliver controller callbacks to the application.
+        if let Some(frame) = &out.received {
+            self.app.on_frame(frame, now);
+        }
+        if let Some(frame) = &out.transmitted {
+            self.app.on_transmit_success(frame, now);
+        }
+        for event in &out.events {
+            use crate::event::EventKind;
+            match event {
+                EventKind::BusOff => self.app.on_bus_off(now),
+                EventKind::Recovered => self.app.on_recovered(now),
+                _ => {}
+            }
+        }
+
+        // The bit agent sees the same sample, plus whether the frame on the
+        // bus is this node's own transmission.
+        if let Some(agent) = &mut self.agent {
+            agent.set_own_transmission(self.controller.is_transmitting());
+            agent.on_bit(bus, now);
+        }
+
+        out
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name)
+            .field("controller", &self.controller)
+            .field("has_agent", &self.agent.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_core::app::{PeriodicSender, SilentApplication};
+    use can_core::{CanFrame, CanId};
+
+    struct DominantAgent;
+    impl BitAgent for DominantAgent {
+        fn on_bit(&mut self, _level: Level, _now: BitInstant) {}
+        fn tx_level(&self) -> Option<Level> {
+            Some(Level::Dominant)
+        }
+    }
+
+    #[test]
+    fn node_combines_controller_and_agent_levels() {
+        let node = Node::new("quiet", Box::new(SilentApplication));
+        assert_eq!(node.tx_level(), Level::Recessive);
+
+        let node = Node::new("agented", Box::new(SilentApplication))
+            .with_agent(Box::new(DominantAgent));
+        assert_eq!(node.tx_level(), Level::Dominant);
+    }
+
+    #[test]
+    fn application_frames_reach_the_mailbox() {
+        let frame = CanFrame::data_frame(CanId::from_raw(0x42), &[1]).unwrap();
+        let mut node = Node::new("tx", Box::new(PeriodicSender::new(frame, 1000, 0)));
+        node.on_sample(Level::Recessive, BitInstant::ZERO);
+        assert_eq!(node.controller().pending_count(), 1);
+    }
+
+    #[test]
+    fn flooding_application_is_bounded_per_bit() {
+        struct Flood;
+        impl Application for Flood {
+            fn poll(&mut self, _now: BitInstant) -> Option<CanFrame> {
+                // An unbounded stream of distinct ids.
+                use std::sync::atomic::{AtomicU16, Ordering};
+                static NEXT: AtomicU16 = AtomicU16::new(0);
+                let raw = NEXT.fetch_add(1, Ordering::Relaxed) % 0x7FF;
+                Some(CanFrame::data_frame(CanId::from_raw(raw), &[]).unwrap())
+            }
+        }
+        let mut node = Node::new("flood", Box::new(Flood));
+        node.on_sample(Level::Recessive, BitInstant::ZERO);
+        assert!(node.controller().pending_count() <= MAX_ENQUEUE_PER_BIT);
+    }
+
+    #[test]
+    fn name_is_reported() {
+        let node = Node::new("body-ecu", Box::new(SilentApplication));
+        assert_eq!(node.name(), "body-ecu");
+        assert!(format!("{node:?}").contains("body-ecu"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The discrete-event, bit-synchronous bus simulator.
+//!
+//! Every simulated nominal bit time, the [`Simulator`]:
+//!
+//! 1. collects each node's TX contribution,
+//! 2. resolves the bus level by wired-AND,
+//! 3. records the level (optional signal trace),
+//! 4. delivers the sample to every node.
+//!
+//! All paper metrics derive from the resulting [`Event`] log and signal
+//! trace.
+
+use can_core::{BitDuration, BitInstant, BusSpeed, Level};
+
+use crate::event::{Event, NodeId};
+use crate::fault::FaultModel;
+use crate::node::Node;
+
+/// A per-bit recording of the bus level.
+#[derive(Debug, Clone, Default)]
+pub struct SignalTrace {
+    levels: Vec<Level>,
+}
+
+impl SignalTrace {
+    /// The recorded levels, index = bit time.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Number of recorded bits.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// The bit-level CAN bus simulator.
+pub struct Simulator {
+    speed: BusSpeed,
+    nodes: Vec<Node>,
+    now: BitInstant,
+    events: Vec<Event>,
+    trace: Option<SignalTrace>,
+    busy_bits: u64,
+    fault: FaultModel,
+}
+
+impl Simulator {
+    /// Creates an empty simulator at the given bus speed.
+    pub fn new(speed: BusSpeed) -> Self {
+        Simulator {
+            speed,
+            nodes: Vec::new(),
+            now: BitInstant::ZERO,
+            events: Vec::new(),
+            trace: None,
+            busy_bits: 0,
+            fault: FaultModel::None,
+        }
+    }
+
+    /// Installs a channel fault model (EMI-style bus disturbances).
+    pub fn set_fault_model(&mut self, fault: FaultModel) {
+        self.fault = fault;
+    }
+
+    /// Enables per-bit signal tracing (needed for Fig. 6-style timelines).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(SignalTrace::default());
+        }
+    }
+
+    /// Adds a node; returns its [`NodeId`].
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The configured bus speed.
+    pub fn speed(&self) -> BusSpeed {
+        self.speed
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> BitInstant {
+        self.now
+    }
+
+    /// The event log so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Drains the event log, returning the accumulated events.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The signal trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&SignalTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Number of nodes on the bus.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of simulated bits during which the bus carried a frame or
+    /// error condition (for windowed bus-load measurements).
+    pub fn busy_bits(&self) -> u64 {
+        self.busy_bits
+    }
+
+    /// Fraction of simulated bits during which the bus carried a frame or
+    /// error condition — the observed *bus load*.
+    pub fn observed_bus_load(&self) -> f64 {
+        if self.now.bits() == 0 {
+            0.0
+        } else {
+            self.busy_bits as f64 / self.now.bits() as f64
+        }
+    }
+
+    /// Advances the simulation by one nominal bit time.
+    pub fn step(&mut self) -> Level {
+        let resolved = Level::wired_and(self.nodes.iter().map(Node::tx_level));
+        let bus = self.fault.apply(resolved, self.now.bits());
+        if let Some(trace) = &mut self.trace {
+            trace.levels.push(bus);
+        }
+
+        let mut busy = bus.is_dominant();
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            let out = node.on_sample(bus, self.now);
+            busy |= node.controller().is_busy();
+            for kind in out.events {
+                self.events.push(Event::new(self.now, id, kind));
+            }
+        }
+        if busy {
+            self.busy_bits += 1;
+        }
+
+        self.now += BitDuration::bits(1);
+        bus
+    }
+
+    /// Runs for `bits` nominal bit times.
+    pub fn run(&mut self, bits: u64) {
+        for _ in 0..bits {
+            self.step();
+        }
+    }
+
+    /// Runs for the given number of simulated milliseconds at the bus
+    /// speed.
+    pub fn run_millis(&mut self, millis: f64) {
+        self.run(self.speed.bits_in_millis(millis));
+    }
+
+    /// Runs until `predicate` returns `true` for a newly appended event, or
+    /// until `max_bits` elapse. Returns the matching event index, if any.
+    pub fn run_until<F>(&mut self, max_bits: u64, mut predicate: F) -> Option<usize>
+    where
+        F: FnMut(&Event) -> bool,
+    {
+        let mut checked = self.events.len();
+        for _ in 0..max_bits {
+            self.step();
+            while checked < self.events.len() {
+                if predicate(&self.events[checked]) {
+                    return Some(checked);
+                }
+                checked += 1;
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("speed", &self.speed)
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use can_core::app::{PeriodicSender, SilentApplication};
+    use can_core::{CanFrame, CanId};
+
+    fn frame(id: u16, data: &[u8]) -> CanFrame {
+        CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+    }
+
+    #[test]
+    fn idle_bus_stays_recessive() {
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.add_node(Node::new("a", Box::new(SilentApplication)));
+        sim.add_node(Node::new("b", Box::new(SilentApplication)));
+        sim.enable_trace();
+        sim.run(100);
+        assert!(sim
+            .trace()
+            .unwrap()
+            .levels()
+            .iter()
+            .all(|l| l.is_recessive()));
+        assert_eq!(sim.observed_bus_load(), 0.0);
+    }
+
+    #[test]
+    fn periodic_traffic_flows_end_to_end() {
+        let mut sim = Simulator::new(BusSpeed::K500);
+        let f = frame(0x0C4, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        sim.add_node(Node::new("sender", Box::new(PeriodicSender::new(f, 500, 0))));
+        sim.add_node(Node::new("receiver", Box::new(SilentApplication)));
+        sim.run(5_000);
+        let received = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::FrameReceived { frame } if *frame == f))
+            .count();
+        // 5000 bits / 500-bit period ≈ 10 transmissions (minus ramp-up).
+        assert!((8..=10).contains(&received), "received {received}");
+        assert!(sim.observed_bus_load() > 0.15);
+        assert!(sim.observed_bus_load() < 0.35);
+    }
+
+    #[test]
+    fn run_until_stops_at_matching_event() {
+        let mut sim = Simulator::new(BusSpeed::K50);
+        let f = frame(0x111, &[]);
+        sim.add_node(Node::new("sender", Box::new(PeriodicSender::new(f, 400, 0))));
+        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        let hit = sim.run_until(10_000, |e| {
+            matches!(e.kind, EventKind::TransmissionSucceeded { .. })
+        });
+        assert!(hit.is_some());
+        assert!(sim.now().bits() < 300, "stopped shortly after the event");
+    }
+
+    #[test]
+    fn two_senders_share_the_bus_without_errors() {
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.add_node(Node::new(
+            "hi",
+            Box::new(PeriodicSender::new(frame(0x050, &[0xA; 8]), 300, 0)),
+        ));
+        sim.add_node(Node::new(
+            "lo",
+            Box::new(PeriodicSender::new(frame(0x350, &[0xB; 8]), 300, 0)),
+        ));
+        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        sim.run(30_000);
+        assert!(
+            !sim.events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::ErrorDetected { .. })),
+            "healthy arbitration must be error-free"
+        );
+        let successes = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TransmissionSucceeded { .. }))
+            .count();
+        assert!(successes >= 190, "both periodic streams flow: {successes}");
+        for id in 0..3 {
+            assert_eq!(sim.node(id).controller().counters().tec(), 0);
+        }
+    }
+
+    #[test]
+    fn trace_records_every_bit() {
+        let mut sim = Simulator::new(BusSpeed::K125);
+        sim.add_node(Node::new("n", Box::new(SilentApplication)));
+        sim.enable_trace();
+        sim.run(77);
+        assert_eq!(sim.trace().unwrap().len(), 77);
+        assert_eq!(sim.now().bits(), 77);
+    }
+
+    #[test]
+    fn run_millis_converts_via_speed() {
+        let mut sim = Simulator::new(BusSpeed::K50);
+        sim.run_millis(2.0);
+        assert_eq!(sim.now().bits(), 100);
+    }
+}

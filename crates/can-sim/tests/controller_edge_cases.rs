@@ -1,0 +1,216 @@
+//! Controller edge cases: remote frames, listen-only taps, single-shot
+//! transmissions, DLC extremes, and queue behaviour under pressure.
+
+use can_core::app::{Application, PeriodicSender, SilentApplication};
+use can_core::{BitInstant, BusSpeed, CanFrame, CanId};
+use can_sim::{ControllerConfig, EventKind, Node, Simulator};
+
+fn frame(id: u16, data: &[u8]) -> CanFrame {
+    CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+}
+
+#[test]
+fn remote_frame_round_trip_on_the_bus() {
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let rtr = CanFrame::remote_frame(CanId::from_raw(0x321), 4).unwrap();
+    sim.add_node(Node::new(
+        "requester",
+        Box::new(PeriodicSender::new(rtr, 10_000, 0)),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run(400);
+    let delivered = sim
+        .events()
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::FrameReceived { frame } => Some(*frame),
+            _ => None,
+        })
+        .expect("the remote frame must arrive");
+    assert!(delivered.is_remote());
+    assert_eq!(delivered.dlc(), 4);
+    assert_eq!(delivered.data(), &[] as &[u8]);
+}
+
+#[test]
+fn zero_dlc_frame_round_trip() {
+    let mut sim = Simulator::new(BusSpeed::K500);
+    sim.add_node(Node::new(
+        "tx",
+        Box::new(PeriodicSender::new(frame(0x0AA, &[]), 10_000, 0)),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run(300);
+    assert!(sim.events().iter().any(|e| matches!(&e.kind,
+        EventKind::FrameReceived { frame } if frame.dlc() == 0)));
+}
+
+#[test]
+fn listen_only_node_does_not_acknowledge() {
+    // A transmitter with ONLY a listen-only witness never gets an ACK:
+    // the ISO passive-ACK-error rule caps it at error-passive forever.
+    let mut sim = Simulator::new(BusSpeed::K500);
+    sim.add_node(Node::new(
+        "tx",
+        Box::new(PeriodicSender::new(frame(0x111, &[1]), 300, 0)),
+    ));
+    sim.add_node(Node::with_config(
+        "tap",
+        Box::new(SilentApplication),
+        ControllerConfig {
+            ack_enabled: false,
+            retransmit: true,
+        },
+    ));
+    sim.run(20_000);
+    assert!(
+        !sim.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::TransmissionSucceeded { .. })),
+        "nothing can succeed without an acknowledging receiver"
+    );
+    assert!(sim
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::ErrorDetected { kind: can_core::errors::CanErrorKind::Ack, .. })));
+    // But the listen-only tap still receives the frames.
+    assert!(sim
+        .events()
+        .iter()
+        .any(|e| e.node == 1 && matches!(e.kind, EventKind::FrameReceived { .. })));
+}
+
+#[test]
+fn single_shot_mode_does_not_retransmit() {
+    // retransmit=false: the destroyed frame is dropped, not retried.
+    struct OneShot(Option<CanFrame>);
+    impl Application for OneShot {
+        fn poll(&mut self, _now: BitInstant) -> Option<CanFrame> {
+            self.0.take()
+        }
+    }
+    let mut sim = Simulator::new(BusSpeed::K500);
+    sim.add_node(Node::with_config(
+        "oneshot",
+        Box::new(OneShot(Some(frame(0x100, &[9])))),
+        ControllerConfig {
+            ack_enabled: true,
+            retransmit: false,
+        },
+    ));
+    // No other node: the ACK fails; with retransmission off the frame is
+    // abandoned after one attempt.
+    sim.run(3_000);
+    let starts = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TransmissionStarted { .. }))
+        .count();
+    assert_eq!(starts, 1, "single-shot means exactly one attempt");
+}
+
+#[test]
+fn mailbox_pressure_prioritizes_strictly_by_identifier() {
+    // One node holds three pending frames; they leave in priority order
+    // regardless of enqueue order.
+    struct Burst(Vec<CanFrame>);
+    impl Application for Burst {
+        fn poll(&mut self, _now: BitInstant) -> Option<CanFrame> {
+            self.0.pop()
+        }
+    }
+    let mut sim = Simulator::new(BusSpeed::K500);
+    sim.add_node(Node::new(
+        "burst",
+        Box::new(Burst(vec![
+            frame(0x050, &[1]),
+            frame(0x300, &[2]),
+            frame(0x100, &[3]),
+        ])),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run(2_000);
+    let order: Vec<u16> = sim
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::TransmissionSucceeded { frame } => Some(frame.id().raw()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(order, vec![0x050, 0x100, 0x300]);
+}
+
+#[test]
+fn back_to_back_frames_honor_the_interframe_space() {
+    // A saturating sender emits frames separated by exactly the 3-bit
+    // intermission: successive SOFs are frame_len + 3 apart.
+    struct Saturate(CanFrame);
+    impl Application for Saturate {
+        fn poll(&mut self, _now: BitInstant) -> Option<CanFrame> {
+            Some(self.0)
+        }
+    }
+    let mut sim = Simulator::new(BusSpeed::K500);
+    sim.add_node(Node::new("sat", Box::new(Saturate(frame(0x2AA, &[0x55; 8])))));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run(3_000);
+    let starts: Vec<u64> = sim
+        .events()
+        .iter()
+        .filter(|e| e.node == 0 && matches!(e.kind, EventKind::TransmissionStarted { .. }))
+        .map(|e| e.at.bits())
+        .collect();
+    assert!(starts.len() >= 3);
+    let wire_len = can_core::bitstream::stuff_frame(&frame(0x2AA, &[0x55; 8]))
+        .bits
+        .len() as u64;
+    for gap in starts.windows(2) {
+        let delta = gap[1] - gap[0];
+        assert_eq!(
+            delta,
+            wire_len + 3,
+            "SOF-to-SOF spacing must be frame + IFS"
+        );
+    }
+}
+
+#[test]
+fn fifteen_senders_share_one_bus_cleanly() {
+    let mut sim = Simulator::new(BusSpeed::K500);
+    for i in 0..15u16 {
+        sim.add_node(Node::new(
+            format!("ecu{i}"),
+            Box::new(PeriodicSender::new(
+                frame(0x080 + i * 0x20, &[i as u8; 8]),
+                2_500 + i as u64 * 13,
+                i as u64 * 29,
+            )),
+        ));
+    }
+    sim.run(50_000);
+    assert!(
+        !sim.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ErrorDetected { .. })),
+        "arbitration must keep a crowded bus error-free"
+    );
+    let successes = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TransmissionSucceeded { .. }))
+        .count();
+    assert!(successes > 250, "all senders make progress: {successes}");
+    // Strict priority inversion check: the event log respects arbitration —
+    // whenever two frames were pending simultaneously, the lower id won.
+    // (Weak proxy: the busiest high-priority sender is never starved.)
+    let high_priority_successes = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(&e.kind, EventKind::TransmissionSucceeded { frame }
+                if frame.id().raw() == 0x080)
+        })
+        .count();
+    assert!(high_priority_successes >= 18);
+}

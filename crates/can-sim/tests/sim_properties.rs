@@ -1,0 +1,139 @@
+//! Property tests over the simulator: protocol invariants that must hold
+//! for arbitrary benign configurations.
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId};
+use can_sim::{EventKind, Node, Simulator};
+use proptest::prelude::*;
+
+/// Distinct (id, period, payload) sender configurations.
+fn arb_senders() -> impl Strategy<Value = Vec<(u16, u64, Vec<u8>)>> {
+    proptest::collection::btree_map(
+        0u16..=CanId::MAX_RAW,
+        (600u64..4_000, proptest::collection::vec(any::<u8>(), 0..=8)),
+        1..8,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(id, (period, payload))| (id, period, payload))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary benign periodic traffic is error-free, and every frame
+    /// that completes is delivered to every other node byte-identical.
+    #[test]
+    fn benign_traffic_invariants(senders in arb_senders()) {
+        let mut sim = Simulator::new(BusSpeed::K500);
+        let n = senders.len();
+        for (i, (id, period, payload)) in senders.iter().enumerate() {
+            let frame = CanFrame::data_frame(CanId::from_raw(*id), payload).unwrap();
+            sim.add_node(Node::new(
+                format!("ecu{i}"),
+                Box::new(PeriodicSender::new(frame, *period, (i as u64) * 41)),
+            ));
+        }
+        sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+        sim.run(20_000);
+
+        // Invariant 1: no protocol errors.
+        let errors = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ErrorDetected { .. }))
+            .count();
+        prop_assert_eq!(errors, 0, "benign traffic must be error-free");
+
+        // Invariant 2: every successful transmission is received by all
+        // other nodes (n senders + 1 monitor ⇒ n receivers per frame).
+        let successes: Vec<CanFrame> = sim
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::TransmissionSucceeded { frame } => Some(*frame),
+                _ => None,
+            })
+            .collect();
+        let receptions: Vec<CanFrame> = sim
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::FrameReceived { frame } => Some(*frame),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(
+            receptions.len(),
+            successes.len() * n,
+            "every frame reaches every other node"
+        );
+        // Byte-identical delivery.
+        for frame in &successes {
+            prop_assert!(receptions.iter().filter(|r| *r == frame).count() >= n);
+        }
+
+        // Invariant 3: all counters stay clean.
+        for node in 0..sim.node_count() {
+            prop_assert_eq!(sim.node(node).controller().counters().tec(), 0);
+            prop_assert_eq!(sim.node(node).controller().counters().rec(), 0);
+        }
+    }
+
+    /// Arbitration never destroys a frame: with several saturating
+    /// senders on distinct identifiers, the highest-priority one is never
+    /// blocked and the bus stays error-free.
+    #[test]
+    fn arbitration_is_lossless(ids in proptest::collection::btree_set(0u16..=CanId::MAX_RAW, 2..6)) {
+        let ids: Vec<u16> = ids.into_iter().collect();
+        let mut sim = Simulator::new(BusSpeed::K500);
+        for (i, &id) in ids.iter().enumerate() {
+            let frame = CanFrame::data_frame(CanId::from_raw(id), &[i as u8; 8]).unwrap();
+            // Aggressive 700-bit periods force constant contention.
+            sim.add_node(Node::new(
+                format!("ecu{i}"),
+                Box::new(PeriodicSender::new(frame, 700, 0)),
+            ));
+        }
+        sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+        sim.run(15_000);
+
+        let errors = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ErrorDetected { .. }))
+            .count();
+        prop_assert_eq!(errors, 0, "contention is resolved by arbitration, not errors");
+
+        // The highest-priority sender always transmits on schedule.
+        let top = *ids.iter().min().unwrap();
+        let top_successes = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::TransmissionSucceeded { frame }
+                if frame.id().raw() == top))
+            .count();
+        prop_assert!(top_successes >= 15_000 / 700 - 2,
+            "highest priority is never starved: {}", top_successes);
+    }
+
+    /// The observed bus load equals the frame-bit ratio: for a single
+    /// sender, busy bits per period ≈ wire length + IFS.
+    #[test]
+    fn bus_load_accounting(period in 500u64..3_000, dlc in 0usize..=8) {
+        let mut sim = Simulator::new(BusSpeed::K500);
+        let frame = CanFrame::data_frame(CanId::from_raw(0x155), &vec![0xA5u8; dlc]).unwrap();
+        let wire_len = can_core::bitstream::stuff_frame(&frame).bits.len() as f64;
+        sim.add_node(Node::new("tx", Box::new(PeriodicSender::new(frame, period, 0))));
+        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        sim.run(period * 20);
+        let expected = (wire_len + 3.0) / period as f64;
+        let observed = sim.observed_bus_load();
+        prop_assert!(
+            (observed - expected).abs() < 0.03,
+            "observed {:.3} vs expected {:.3}", observed, expected
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # can-trace — CAN captures, timelines and traffic statistics
+//!
+//! The paper instruments its testbed with a logic analyzer and PCAN
+//! captures; this crate provides the software equivalents:
+//!
+//! * [`candump`] — SocketCAN candump-format logs (read/write);
+//! * [`timeline`] — per-node activity reconstruction and ASCII/CSV
+//!   rendering (the Fig. 6 logic-analyzer view);
+//! * [`stats`] — per-identifier rate and inter-arrival statistics;
+//! * [`vcd`] — Value Change Dump export for GTKWave/PulseView inspection;
+//! * [`replay`] — candump log replay onto a simulated bus (the software
+//!   form of the paper's PCAN restbus replay).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candump;
+pub mod replay;
+pub mod stats;
+pub mod timeline;
+pub mod vcd;
+
+pub use candump::{parse_log, write_log, LogEntry};
+pub use replay::LogReplayApp;
+pub use stats::{IdStats, TrafficStats};
+pub use timeline::{Activity, Span, Timeline, TimelineEvent};
+pub use vcd::{write_vcd, VcdSignal};

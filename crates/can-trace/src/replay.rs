@@ -1,0 +1,169 @@
+//! Log replay: driving a recorded capture back onto a (simulated) bus.
+//!
+//! The paper's restbus simulation replays PCAN recordings of a production
+//! vehicle through SocketCAN (§V-A). [`LogReplayApp`] is the software
+//! equivalent: it takes a parsed candump log and re-emits each frame at
+//! its recorded timestamp, preserving the original schedule (subject to
+//! arbitration, exactly like a real replay).
+
+use can_core::app::Application;
+use can_core::{BitInstant, BusSpeed, CanFrame};
+
+use crate::candump::LogEntry;
+
+/// An [`Application`] replaying a candump log with original timing.
+#[derive(Debug, Clone)]
+pub struct LogReplayApp {
+    /// (due-bit, frame), sorted by due time.
+    schedule: Vec<(u64, CanFrame)>,
+    cursor: usize,
+    /// Restart the log from the top after it finishes.
+    looping: bool,
+    /// Length of one loop iteration in bits.
+    loop_len_bits: u64,
+    loops_done: u64,
+}
+
+impl LogReplayApp {
+    /// Creates a replayer for `entries` at the given bus speed; the
+    /// timestamps are normalized so the first frame is due immediately.
+    pub fn new(entries: &[LogEntry], speed: BusSpeed) -> Self {
+        let mut schedule: Vec<(u64, CanFrame)> = entries
+            .iter()
+            .map(|e| {
+                let bits = (e.timestamp_s * speed.bits_per_second() as f64).round() as u64;
+                (bits, e.frame)
+            })
+            .collect();
+        schedule.sort_by_key(|&(t, _)| t);
+        let offset = schedule.first().map(|&(t, _)| t).unwrap_or(0);
+        for (t, _) in &mut schedule {
+            *t -= offset;
+        }
+        let loop_len_bits = schedule
+            .last()
+            .map(|&(t, _)| t + 200)
+            .unwrap_or(1)
+            .max(1);
+        LogReplayApp {
+            schedule,
+            cursor: 0,
+            looping: false,
+            loop_len_bits,
+            loops_done: 0,
+        }
+    }
+
+    /// Restarts the log from the beginning whenever it runs out — turning
+    /// a short capture into an endless restbus.
+    pub fn looping(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+
+    /// Frames remaining in the current pass.
+    pub fn remaining(&self) -> usize {
+        self.schedule.len() - self.cursor
+    }
+
+    /// Completed loop iterations.
+    pub fn loops_done(&self) -> u64 {
+        self.loops_done
+    }
+}
+
+impl Application for LogReplayApp {
+    fn poll(&mut self, now: BitInstant) -> Option<CanFrame> {
+        if self.schedule.is_empty() {
+            return None;
+        }
+        if self.cursor >= self.schedule.len() {
+            if !self.looping {
+                return None;
+            }
+            self.cursor = 0;
+            self.loops_done += 1;
+        }
+        let base = self.loops_done * self.loop_len_bits;
+        let (due, frame) = self.schedule[self.cursor];
+        if now.bits() >= base + due {
+            self.cursor += 1;
+            Some(frame)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_core::CanId;
+
+    fn entry(ts: f64, id: u16) -> LogEntry {
+        LogEntry {
+            timestamp_s: ts,
+            interface: "vcan0".into(),
+            frame: CanFrame::data_frame(CanId::from_raw(id), &[id as u8]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn replays_in_recorded_order_at_recorded_times() {
+        // 1 ms apart at 500 kbit/s = 500 bits apart.
+        let log = vec![entry(10.000, 0x100), entry(10.001, 0x200), entry(10.002, 0x300)];
+        let mut app = LogReplayApp::new(&log, BusSpeed::K500);
+        assert_eq!(app.remaining(), 3);
+
+        assert_eq!(
+            app.poll(BitInstant::from_bits(0)).unwrap().id().raw(),
+            0x100,
+            "timestamps are normalized to the first entry"
+        );
+        assert!(app.poll(BitInstant::from_bits(499)).is_none());
+        assert_eq!(app.poll(BitInstant::from_bits(500)).unwrap().id().raw(), 0x200);
+        assert_eq!(app.poll(BitInstant::from_bits(1_000)).unwrap().id().raw(), 0x300);
+        assert!(app.poll(BitInstant::from_bits(99_999)).is_none(), "log exhausted");
+    }
+
+    #[test]
+    fn unsorted_logs_are_sorted() {
+        let log = vec![entry(2.0, 0x200), entry(1.0, 0x100)];
+        let mut app = LogReplayApp::new(&log, BusSpeed::K50);
+        assert_eq!(app.poll(BitInstant::from_bits(0)).unwrap().id().raw(), 0x100);
+    }
+
+    #[test]
+    fn looping_replay_wraps_around() {
+        let log = vec![entry(0.0, 0x100), entry(0.01, 0x200)];
+        let mut app = LogReplayApp::new(&log, BusSpeed::K50).looping();
+        // First pass: frames at bits 0 and 500; loop length 500+200 = 700.
+        assert!(app.poll(BitInstant::from_bits(0)).is_some());
+        assert!(app.poll(BitInstant::from_bits(500)).is_some());
+        // Second pass begins at bit 700.
+        assert!(app.poll(BitInstant::from_bits(699)).is_none());
+        assert_eq!(app.poll(BitInstant::from_bits(700)).unwrap().id().raw(), 0x100);
+        assert_eq!(app.loops_done(), 1);
+    }
+
+    #[test]
+    fn empty_log_is_silent() {
+        let mut app = LogReplayApp::new(&[], BusSpeed::K500).looping();
+        for t in 0..1_000 {
+            assert!(app.poll(BitInstant::from_bits(t)).is_none());
+        }
+    }
+
+    #[test]
+    fn polling_like_a_node_emits_every_frame_once() {
+        let log = vec![entry(0.0, 0x123), entry(0.002, 0x321)];
+        let mut app = LogReplayApp::new(&log, BusSpeed::K500);
+        let mut emitted = Vec::new();
+        for t in 0..2_000u64 {
+            if let Some(f) = app.poll(BitInstant::from_bits(t)) {
+                emitted.push(f.id().raw());
+            }
+        }
+        assert_eq!(emitted, vec![0x123, 0x321]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Traffic statistics over captured logs.
+//!
+//! Frequency-based statistics are the bread and butter of CAN analysis —
+//! and of the IDS baselines MichiCAN's Table I compares against. This
+//! module computes per-identifier rates and inter-arrival statistics from
+//! a candump log.
+
+use std::collections::BTreeMap;
+
+use can_core::CanId;
+
+use crate::candump::LogEntry;
+
+/// Inter-arrival statistics for one identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdStats {
+    /// Number of frames observed.
+    pub count: usize,
+    /// Mean inter-arrival time in seconds (`None` for a single frame).
+    pub mean_interval_s: Option<f64>,
+    /// Standard deviation of the inter-arrival time in seconds.
+    pub std_interval_s: Option<f64>,
+    /// Shortest observed inter-arrival time in seconds.
+    pub min_interval_s: Option<f64>,
+}
+
+/// Aggregate statistics over a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficStats {
+    /// Capture duration in seconds (first to last timestamp).
+    pub duration_s: f64,
+    /// Per-identifier statistics.
+    pub per_id: BTreeMap<CanId, IdStats>,
+}
+
+impl TrafficStats {
+    /// Computes statistics over a log.
+    pub fn from_log(entries: &[LogEntry]) -> Self {
+        let mut per_id_times: BTreeMap<CanId, Vec<f64>> = BTreeMap::new();
+        for entry in entries {
+            per_id_times
+                .entry(entry.frame.id())
+                .or_default()
+                .push(entry.timestamp_s);
+        }
+        let duration_s = match (entries.first(), entries.last()) {
+            (Some(first), Some(last)) => (last.timestamp_s - first.timestamp_s).max(0.0),
+            _ => 0.0,
+        };
+
+        let per_id = per_id_times
+            .into_iter()
+            .map(|(id, mut times)| {
+                times.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+                let intervals: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+                let stats = if intervals.is_empty() {
+                    IdStats {
+                        count: times.len(),
+                        mean_interval_s: None,
+                        std_interval_s: None,
+                        min_interval_s: None,
+                    }
+                } else {
+                    let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
+                    let var = intervals
+                        .iter()
+                        .map(|&x| (x - mean) * (x - mean))
+                        .sum::<f64>()
+                        / intervals.len() as f64;
+                    IdStats {
+                        count: times.len(),
+                        mean_interval_s: Some(mean),
+                        std_interval_s: Some(var.sqrt()),
+                        min_interval_s: intervals
+                            .iter()
+                            .copied()
+                            .fold(None, |acc: Option<f64>, x| {
+                                Some(acc.map_or(x, |a| a.min(x)))
+                            }),
+                    }
+                };
+                (id, stats)
+            })
+            .collect();
+
+        TrafficStats { duration_s, per_id }
+    }
+
+    /// Total frames across all identifiers.
+    pub fn total_frames(&self) -> usize {
+        self.per_id.values().map(|s| s.count).sum()
+    }
+
+    /// Overall frame rate in frames per second.
+    pub fn frames_per_second(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.total_frames() as f64 / self.duration_s
+        }
+    }
+
+    /// Identifiers whose mean rate exceeds `threshold_hz` — a classic
+    /// flooding-detection heuristic (the IDS approach MichiCAN's Table I
+    /// classifies as non-real-time).
+    pub fn flooding_suspects(&self, threshold_hz: f64) -> Vec<CanId> {
+        self.per_id
+            .iter()
+            .filter(|(_, s)| {
+                s.mean_interval_s
+                    .is_some_and(|mean| mean > 0.0 && 1.0 / mean > threshold_hz)
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_core::CanFrame;
+
+    fn entry(ts: f64, id: u16) -> LogEntry {
+        LogEntry {
+            timestamp_s: ts,
+            interface: "vcan0".into(),
+            frame: CanFrame::data_frame(CanId::from_raw(id), &[0]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn periodic_traffic_statistics() {
+        let entries: Vec<LogEntry> = (0..11).map(|i| entry(i as f64 * 0.010, 0x100)).collect();
+        let stats = TrafficStats::from_log(&entries);
+        let id_stats = &stats.per_id[&CanId::from_raw(0x100)];
+        assert_eq!(id_stats.count, 11);
+        assert!((id_stats.mean_interval_s.unwrap() - 0.010).abs() < 1e-12);
+        assert!(id_stats.std_interval_s.unwrap() < 1e-12);
+        assert!((stats.duration_s - 0.1).abs() < 1e-12);
+        assert!((stats.frames_per_second() - 110.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_frame_has_no_intervals() {
+        let stats = TrafficStats::from_log(&[entry(1.0, 0x200)]);
+        let id_stats = &stats.per_id[&CanId::from_raw(0x200)];
+        assert_eq!(id_stats.count, 1);
+        assert_eq!(id_stats.mean_interval_s, None);
+    }
+
+    #[test]
+    fn flooding_suspects_are_flagged() {
+        let mut entries = Vec::new();
+        // 0x000 floods at 1 kHz; 0x300 is benign at 10 Hz.
+        for i in 0..100 {
+            entries.push(entry(i as f64 * 0.001, 0x000));
+        }
+        for i in 0..2 {
+            entries.push(entry(i as f64 * 0.1, 0x300));
+        }
+        let stats = TrafficStats::from_log(&entries);
+        let suspects = stats.flooding_suspects(500.0);
+        assert_eq!(suspects, vec![CanId::from_raw(0x000)]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let stats = TrafficStats::from_log(&[]);
+        assert_eq!(stats.total_frames(), 0);
+        assert_eq!(stats.frames_per_second(), 0.0);
+    }
+
+    #[test]
+    fn unsorted_timestamps_are_handled() {
+        let entries = vec![entry(0.02, 0x10), entry(0.0, 0x10), entry(0.01, 0x10)];
+        let stats = TrafficStats::from_log(&entries);
+        let id_stats = &stats.per_id[&CanId::from_raw(0x10)];
+        assert!((id_stats.mean_interval_s.unwrap() - 0.01).abs() < 1e-12);
+        assert!((id_stats.min_interval_s.unwrap() - 0.01).abs() < 1e-12);
+    }
+}

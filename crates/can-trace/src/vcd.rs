@@ -1,0 +1,158 @@
+//! Value Change Dump (IEEE 1364) export.
+//!
+//! The paper reads its Fig. 6 off a logic analyzer; VCD is the interchange
+//! format those instruments (and viewers like GTKWave or PulseView) speak.
+//! This module dumps a simulated bus trace — optionally with per-node TX
+//! contributions — as a VCD file, so simulated captures can be inspected
+//! with the same tooling as hardware ones.
+
+use can_core::{BusSpeed, Level};
+
+/// One VCD signal: a name and its per-bit levels.
+#[derive(Debug, Clone)]
+pub struct VcdSignal {
+    /// Signal name (e.g. `CAN_RX`, `node0_TX`).
+    pub name: String,
+    /// Level per bit time.
+    pub levels: Vec<Level>,
+}
+
+impl VcdSignal {
+    /// Creates a signal.
+    pub fn new(name: impl Into<String>, levels: Vec<Level>) -> Self {
+        VcdSignal {
+            name: name.into(),
+            levels,
+        }
+    }
+}
+
+/// Identifier characters assigned to signals (VCD shorthand codes).
+const CODES: &[u8] = b"!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNO";
+
+/// Serializes signals to VCD text with one timestep per nominal bit time.
+///
+/// The timescale is derived from the bus speed (e.g. 2 µs at 500 kbit/s ⇒
+/// `timescale 1ns` with steps of 2000). Signals shorter than the longest
+/// one hold their last value.
+///
+/// # Panics
+///
+/// Panics if more than 47 signals are given (single-character VCD codes).
+pub fn write_vcd(speed: BusSpeed, signals: &[VcdSignal]) -> String {
+    assert!(
+        signals.len() <= CODES.len(),
+        "too many signals for single-character codes"
+    );
+    let bit_ns = speed.bit_time_ns() as u64;
+    let mut out = String::new();
+    out.push_str("$date simulated $end\n");
+    out.push_str("$version michican-repro can-trace $end\n");
+    out.push_str("$timescale 1ns $end\n");
+    out.push_str("$scope module can_bus $end\n");
+    for (i, signal) in signals.iter().enumerate() {
+        out.push_str(&format!(
+            "$var wire 1 {} {} $end\n",
+            CODES[i] as char, signal.name
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let horizon = signals.iter().map(|s| s.levels.len()).max().unwrap_or(0);
+    let mut last: Vec<Option<Level>> = vec![None; signals.len()];
+    for t in 0..horizon {
+        let mut changes = String::new();
+        for (i, signal) in signals.iter().enumerate() {
+            let level = signal
+                .levels
+                .get(t)
+                .copied()
+                .or(last[i])
+                .unwrap_or(Level::Recessive);
+            if last[i] != Some(level) {
+                changes.push_str(&format!(
+                    "{}{}\n",
+                    if level.is_recessive() { '1' } else { '0' },
+                    CODES[i] as char
+                ));
+                last[i] = Some(level);
+            }
+        }
+        if !changes.is_empty() {
+            out.push_str(&format!("#{}\n{}", t as u64 * bit_ns, changes));
+        }
+    }
+    out.push_str(&format!("#{}\n", horizon as u64 * bit_ns));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn levels(pattern: &str) -> Vec<Level> {
+        pattern
+            .chars()
+            .map(|c| Level::from_bit(c == '1'))
+            .collect()
+    }
+
+    #[test]
+    fn header_carries_signal_definitions() {
+        let vcd = write_vcd(
+            BusSpeed::K500,
+            &[
+                VcdSignal::new("CAN_RX", levels("1101")),
+                VcdSignal::new("defender_TX", levels("1111")),
+            ],
+        );
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! CAN_RX $end"));
+        assert!(vcd.contains("$var wire 1 \" defender_TX $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn only_changes_are_dumped() {
+        let vcd = write_vcd(BusSpeed::M1, &[VcdSignal::new("rx", levels("111000111"))]);
+        // Initial value at #0, change to 0 at bit 3 (3000 ns at 1 Mbit/s),
+        // back to 1 at bit 6.
+        assert!(vcd.contains("#0\n1!"));
+        assert!(vcd.contains("#3000\n0!"));
+        assert!(vcd.contains("#6000\n1!"));
+        // No dump entries for the unchanged bits 1, 2, 4, 5, 7, 8.
+        assert!(!vcd.contains("#1000\n"));
+        assert!(!vcd.contains("#4000\n"));
+    }
+
+    #[test]
+    fn timescale_follows_bus_speed() {
+        let fast = write_vcd(BusSpeed::M1, &[VcdSignal::new("rx", levels("10"))]);
+        let slow = write_vcd(BusSpeed::K50, &[VcdSignal::new("rx", levels("10"))]);
+        assert!(fast.contains("#1000\n0!"), "1 µs bit at 1 Mbit/s");
+        assert!(slow.contains("#20000\n0!"), "20 µs bit at 50 kbit/s");
+    }
+
+    #[test]
+    fn shorter_signals_hold_their_last_value() {
+        let vcd = write_vcd(
+            BusSpeed::M1,
+            &[
+                VcdSignal::new("long", levels("11110000")),
+                VcdSignal::new("short", levels("10")),
+            ],
+        );
+        // `short` changes at bit 1 and never again (held at 0).
+        let short_changes = vcd.matches('\"').count();
+        assert_eq!(short_changes, 3, "declaration + 2 value changes");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many signals")]
+    fn too_many_signals_panics() {
+        let signals: Vec<VcdSignal> = (0..48)
+            .map(|i| VcdSignal::new(format!("s{i}"), levels("1")))
+            .collect();
+        let _ = write_vcd(BusSpeed::K500, &signals);
+    }
+}

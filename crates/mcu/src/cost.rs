@@ -1,0 +1,247 @@
+//! CPU-utilization analysis of the MichiCAN handler (paper §V-D).
+//!
+//! The handler runs once per bit time; its CPU utilization is the handler
+//! execution time divided by the nominal bit time. Three loads are
+//! distinguished, as in the paper:
+//!
+//! * **idle load** — only the SOF-hunting path runs (bus idle),
+//! * **active load** — the full frame path runs (frame on the bus),
+//! * **combined load** — the average, weighted by the observed bus
+//!   utilization.
+
+use can_core::BusSpeed;
+use michican::fsm::DetectionFsm;
+
+use crate::profile::McuProfile;
+
+/// Which detection variant an ECU runs (paper §IV-A, §V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// Full detection range 𝔻 via the table FSM.
+    Full {
+        /// FSM state count (affects table-walk cost).
+        fsm_nodes: usize,
+    },
+    /// Light-scenario lower half: spoofing-only comparison against the own
+    /// identifier.
+    SpoofOnly,
+}
+
+impl DetectionMode {
+    /// The mode for a concrete FSM (full scenario).
+    pub fn for_fsm(fsm: &DetectionFsm) -> Self {
+        DetectionMode::Full {
+            fsm_nodes: fsm.node_count(),
+        }
+    }
+}
+
+/// Handler execution cost on the *active* (frame) path, in cycles.
+pub fn active_cycles(profile: &McuProfile, mode: DetectionMode) -> f64 {
+    let detection = match mode {
+        DetectionMode::Full { fsm_nodes } => {
+            let nodes = fsm_nodes.max(2) as f64;
+            profile.fsm_step_base_cycles + profile.fsm_step_log_cycles * nodes.log2()
+        }
+        DetectionMode::SpoofOnly => profile.spoof_compare_cycles,
+    };
+    profile.isr_overhead_cycles + profile.gpio_read_cycles + profile.frame_path_cycles + detection
+}
+
+/// Handler execution cost on the *idle* (SOF-hunting) path, in cycles.
+pub fn idle_cycles(profile: &McuProfile) -> f64 {
+    profile.isr_overhead_cycles + profile.gpio_read_cycles + profile.idle_path_cycles
+}
+
+/// Active-path CPU utilization at `speed` (1.0 = one full core).
+pub fn active_utilization(profile: &McuProfile, speed: BusSpeed, mode: DetectionMode) -> f64 {
+    active_cycles(profile, mode) / profile.cycles_per_bit(speed.bit_time_ns())
+}
+
+/// Idle-path CPU utilization at `speed`.
+pub fn idle_utilization(profile: &McuProfile, speed: BusSpeed) -> f64 {
+    idle_cycles(profile) / profile.cycles_per_bit(speed.bit_time_ns())
+}
+
+/// Combined load given the fraction of bit times with a frame on the bus
+/// (the paper's ≈ 40 % observed bus load).
+pub fn combined_utilization(
+    profile: &McuProfile,
+    speed: BusSpeed,
+    mode: DetectionMode,
+    bus_busy_fraction: f64,
+) -> f64 {
+    active_utilization(profile, speed, mode) * bus_busy_fraction
+        + idle_utilization(profile, speed) * (1.0 - bus_busy_fraction)
+}
+
+/// Slack between the handler's execution time and one nominal bit time,
+/// in nanoseconds — the budget left for interrupt jitter and application
+/// code. Negative slack means the handler cannot keep up at all (the
+/// paper's "does not always reliably work ... not accounting for jitter").
+pub fn jitter_margin_ns(profile: &McuProfile, speed: BusSpeed, mode: DetectionMode) -> f64 {
+    speed.bit_time_ns() - profile.cycles_to_ns(active_cycles(profile, mode))
+}
+
+/// The fastest bus speed at which the handler still fits in a bit time
+/// with the given headroom (e.g. 0.8 = at most 80 % of a bit for the
+/// handler, leaving 20 % for jitter and the application).
+pub fn max_sustainable_speed(
+    profile: &McuProfile,
+    mode: DetectionMode,
+    headroom: f64,
+) -> Option<BusSpeed> {
+    BusSpeed::ALL
+        .iter()
+        .rev()
+        .copied()
+        .find(|&speed| active_utilization(profile, speed, mode) <= headroom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ARDUINO_DUE, NXP_S32K144};
+
+    /// A representative full-scenario FSM size for a production bus
+    /// (ECU_N of a ~50-message matrix lands near 128 hash-consed states).
+    const TYPICAL_FSM_NODES: usize = 128;
+
+    #[test]
+    fn due_full_scenario_matches_paper_40_percent() {
+        let util = active_utilization(
+            &ARDUINO_DUE,
+            BusSpeed::K125,
+            DetectionMode::Full {
+                fsm_nodes: TYPICAL_FSM_NODES,
+            },
+        );
+        assert!(
+            (0.37..=0.43).contains(&util),
+            "paper: ≈ 40 % at 125 kbit/s, model: {:.1} %",
+            util * 100.0
+        );
+    }
+
+    #[test]
+    fn due_light_scenario_matches_paper_30_percent() {
+        let util = active_utilization(&ARDUINO_DUE, BusSpeed::K125, DetectionMode::SpoofOnly);
+        assert!(
+            (0.27..=0.33).contains(&util),
+            "paper: ≈ 30 % light, model: {:.1} %",
+            util * 100.0
+        );
+    }
+
+    #[test]
+    fn due_doubles_at_250k() {
+        // Paper: "a 125 kbit/s bus averages 40 % CPU load, implying an
+        // 80 % load for a 250 kbit/s bus".
+        let at_125 = active_utilization(
+            &ARDUINO_DUE,
+            BusSpeed::K125,
+            DetectionMode::Full {
+                fsm_nodes: TYPICAL_FSM_NODES,
+            },
+        );
+        let at_250 = active_utilization(
+            &ARDUINO_DUE,
+            BusSpeed::K250,
+            DetectionMode::Full {
+                fsm_nodes: TYPICAL_FSM_NODES,
+            },
+        );
+        assert!((at_250 / at_125 - 2.0).abs() < 1e-9);
+        assert!(at_250 > 0.75, "≈ 80 % at 250 kbit/s");
+    }
+
+    #[test]
+    fn s32k144_matches_paper_44_percent_at_500k() {
+        let util = active_utilization(
+            &NXP_S32K144,
+            BusSpeed::K500,
+            DetectionMode::Full {
+                fsm_nodes: TYPICAL_FSM_NODES,
+            },
+        );
+        assert!(
+            (0.40..=0.48).contains(&util),
+            "paper: ≈ 44 % on the S32K144 at 500 kbit/s, model: {:.1} %",
+            util * 100.0
+        );
+    }
+
+    #[test]
+    fn idle_load_is_well_below_active() {
+        for speed in [BusSpeed::K125, BusSpeed::K500] {
+            let idle = idle_utilization(&ARDUINO_DUE, speed);
+            let active = active_utilization(
+                &ARDUINO_DUE,
+                speed,
+                DetectionMode::Full { fsm_nodes: 64 },
+            );
+            assert!(idle < active * 0.6, "idle {idle:.3} vs active {active:.3}");
+        }
+    }
+
+    #[test]
+    fn combined_load_interpolates() {
+        let mode = DetectionMode::Full { fsm_nodes: 64 };
+        let idle = combined_utilization(&ARDUINO_DUE, BusSpeed::K125, mode, 0.0);
+        let busy = combined_utilization(&ARDUINO_DUE, BusSpeed::K125, mode, 1.0);
+        let mid = combined_utilization(&ARDUINO_DUE, BusSpeed::K125, mode, 0.4);
+        assert!((idle - idle_utilization(&ARDUINO_DUE, BusSpeed::K125)).abs() < 1e-12);
+        assert!((busy - active_utilization(&ARDUINO_DUE, BusSpeed::K125, mode)).abs() < 1e-12);
+        assert!(idle < mid && mid < busy);
+    }
+
+    #[test]
+    fn fsm_size_increases_load() {
+        // Paper: "A larger FSM increases clock cycle usage."
+        let small = active_utilization(
+            &ARDUINO_DUE,
+            BusSpeed::K125,
+            DetectionMode::Full { fsm_nodes: 16 },
+        );
+        let large = active_utilization(
+            &ARDUINO_DUE,
+            BusSpeed::K125,
+            DetectionMode::Full { fsm_nodes: 1024 },
+        );
+        assert!(large > small);
+    }
+
+    #[test]
+    fn jitter_margin_explains_the_due_limit() {
+        let mode = DetectionMode::Full {
+            fsm_nodes: TYPICAL_FSM_NODES,
+        };
+        // At 125 kbit/s the Due has several microseconds of slack; at
+        // 250 kbit/s the slack shrinks below one ISR entry — any jitter
+        // makes it miss samples, matching the paper's reliability note.
+        let at_125 = jitter_margin_ns(&ARDUINO_DUE, BusSpeed::K125, mode);
+        let at_250 = jitter_margin_ns(&ARDUINO_DUE, BusSpeed::K250, mode);
+        assert!(at_125 > 4_000.0, "125k margin {at_125:.0} ns");
+        assert!(
+            at_250 < ARDUINO_DUE.cycles_to_ns(ARDUINO_DUE.isr_overhead_cycles),
+            "250k margin {at_250:.0} ns is thinner than one ISR entry"
+        );
+        // The S32K144 at 500 kbit/s keeps a healthy margin.
+        let s32k = jitter_margin_ns(&NXP_S32K144, BusSpeed::K500, mode);
+        assert!(s32k > 1_000.0, "S32K144 margin {s32k:.0} ns");
+    }
+
+    #[test]
+    fn due_cannot_sustain_250k_but_s32k_sustains_500k() {
+        // Paper: MichiCAN "does not always reliably work on higher bus
+        // speeds than 125 kbit/s on Arduino Dues"; the S32K144 "fully
+        // works on a 500 kbit/s CAN".
+        let mode = DetectionMode::Full {
+            fsm_nodes: TYPICAL_FSM_NODES,
+        };
+        let due_max = max_sustainable_speed(&ARDUINO_DUE, mode, 0.75).unwrap();
+        assert_eq!(due_max, BusSpeed::K125);
+        let s32k_max = max_sustainable_speed(&NXP_S32K144, mode, 0.75).unwrap();
+        assert!(s32k_max.bits_per_second() >= BusSpeed::K500.bits_per_second());
+    }
+}

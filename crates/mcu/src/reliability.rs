@@ -1,0 +1,138 @@
+//! Sampling-reliability model: why MichiCAN "does not always reliably
+//! work on higher bus speeds than 125 kbit/s on Arduino Dues" (§V-D).
+//!
+//! Each bit's sample is displaced from its nominal point by interrupt
+//! *jitter*: variable-latency ISR entry (other interrupts, flash wait
+//! states, bus contention on the MCU matrix). Modeling jitter as uniform
+//! on `[0, j_max]` and requiring (a) the handler to finish within the bit
+//! and (b) the sample to stay inside the bit, the per-bit success
+//! probability and the per-frame reliability follow in closed form.
+
+use can_core::BusSpeed;
+
+use crate::cost::{active_cycles, DetectionMode};
+use crate::profile::McuProfile;
+
+/// Per-bit and per-frame sampling reliability under jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reliability {
+    /// Probability that one bit is sampled and processed in time.
+    pub per_bit: f64,
+    /// Probability that an entire monitored prefix (the 20 destuffed bit
+    /// positions Algorithm 1 needs) is processed without a miss.
+    pub per_frame: f64,
+}
+
+/// Computes sampling reliability for a handler with uniform ISR jitter of
+/// up to `jitter_max_ns`.
+///
+/// A bit is processed successfully when `jitter + handler_time <=
+/// bit_time` — otherwise the next timer interrupt fires late or the
+/// sample slides out of its bit.
+pub fn reliability(
+    profile: &McuProfile,
+    speed: BusSpeed,
+    mode: DetectionMode,
+    jitter_max_ns: f64,
+) -> Reliability {
+    assert!(jitter_max_ns >= 0.0, "jitter must be non-negative");
+    let bit_ns = speed.bit_time_ns();
+    let handler_ns = profile.cycles_to_ns(active_cycles(profile, mode));
+    let slack = bit_ns - handler_ns;
+    let per_bit = if slack <= 0.0 {
+        0.0
+    } else if jitter_max_ns <= slack {
+        1.0
+    } else {
+        slack / jitter_max_ns
+    };
+    // Algorithm 1 must survive the monitored prefix of every frame
+    // (counterattack window ends at destuffed position 20).
+    let per_frame = per_bit.powi(20);
+    Reliability { per_bit, per_frame }
+}
+
+/// The highest speed at which per-frame reliability stays at 1.0 under
+/// the given jitter — the deployable-speed claim of §V-D/§VI-B.
+pub fn max_reliable_speed(
+    profile: &McuProfile,
+    mode: DetectionMode,
+    jitter_max_ns: f64,
+) -> Option<BusSpeed> {
+    BusSpeed::ALL
+        .iter()
+        .rev()
+        .copied()
+        .find(|&speed| reliability(profile, speed, mode, jitter_max_ns).per_frame >= 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ARDUINO_DUE, NXP_S32K144};
+
+    const MODE: DetectionMode = DetectionMode::Full { fsm_nodes: 128 };
+    /// A realistic worst-case ISR jitter budget: one competing ISR.
+    const JITTER_NS: f64 = 1_500.0;
+
+    #[test]
+    fn due_is_reliable_at_125k_but_not_250k() {
+        let at_125 = reliability(&ARDUINO_DUE, BusSpeed::K125, MODE, JITTER_NS);
+        assert_eq!(at_125.per_frame, 1.0, "125 kbit/s has slack for the jitter");
+
+        let at_250 = reliability(&ARDUINO_DUE, BusSpeed::K250, MODE, JITTER_NS);
+        assert!(
+            at_250.per_bit < 1.0,
+            "250 kbit/s: jitter can push the handler past the bit"
+        );
+        assert!(
+            at_250.per_frame < 0.9,
+            "frames are missed — the paper's 'not always reliable': {:.3}",
+            at_250.per_frame
+        );
+    }
+
+    #[test]
+    fn s32k144_is_reliable_at_500k() {
+        let r = reliability(&NXP_S32K144, BusSpeed::K500, MODE, JITTER_NS / 2.0);
+        assert_eq!(r.per_frame, 1.0, "the paper's S32K144 claim");
+    }
+
+    #[test]
+    fn zero_slack_means_zero_reliability() {
+        // The Due at 1 Mbit/s: bit time 1 µs < handler time.
+        let r = reliability(&ARDUINO_DUE, BusSpeed::M1, MODE, 0.0);
+        assert_eq!(r.per_bit, 0.0);
+        assert_eq!(r.per_frame, 0.0);
+    }
+
+    #[test]
+    fn max_reliable_speed_matches_paper_platforms() {
+        assert_eq!(
+            max_reliable_speed(&ARDUINO_DUE, MODE, JITTER_NS),
+            Some(BusSpeed::K125),
+            "Due tops out at 125 kbit/s"
+        );
+        let s32k = max_reliable_speed(&NXP_S32K144, MODE, JITTER_NS / 2.0).unwrap();
+        assert!(
+            s32k.bits_per_second() >= BusSpeed::K500.bits_per_second(),
+            "S32K144 fully works at 500 kbit/s"
+        );
+    }
+
+    #[test]
+    fn reliability_degrades_monotonically_with_jitter() {
+        let mut last = 1.1;
+        for jitter in [0.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0] {
+            let r = reliability(&ARDUINO_DUE, BusSpeed::K250, MODE, jitter);
+            assert!(r.per_bit <= last + 1e-12, "jitter {jitter}");
+            last = r.per_bit;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be non-negative")]
+    fn negative_jitter_panics() {
+        let _ = reliability(&ARDUINO_DUE, BusSpeed::K125, MODE, -1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! External-timer measurement emulation (paper §V-D).
+//!
+//! The paper measures the handler's execution time with an ESP8266: pins
+//! toggle at handler entry/exit, the ESP counts clock cycles between the
+//! edges at 160 MHz and multiplies by its 6.25 ns resolution. This module
+//! reproduces that measurement chain — including its quantization — so the
+//! CPU-utilization experiments report numbers the same way the paper does.
+
+use serde::{Deserialize, Serialize};
+
+/// An edge-to-edge cycle-counting timer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExternalTimer {
+    /// Timer clock in hertz (ESP8266: 160 MHz ⇒ 6.25 ns resolution).
+    pub clock_hz: u64,
+}
+
+/// The ESP8266 used by the paper, clocked at 160 MHz.
+pub const ESP8266: ExternalTimer = ExternalTimer {
+    clock_hz: 160_000_000,
+};
+
+impl ExternalTimer {
+    /// The timer resolution in nanoseconds.
+    pub fn resolution_ns(&self) -> f64 {
+        1e9 / self.clock_hz as f64
+    }
+
+    /// Measures a true duration: returns the duration as the timer reports
+    /// it, quantized to whole timer cycles (round-down, as a cycle counter
+    /// does).
+    pub fn measure_ns(&self, true_ns: f64) -> f64 {
+        let cycles = (true_ns / self.resolution_ns()).floor();
+        cycles * self.resolution_ns()
+    }
+
+    /// Number of timer cycles counted for a true duration.
+    pub fn cycles_for(&self, true_ns: f64) -> u64 {
+        (true_ns / self.resolution_ns()).floor() as u64
+    }
+
+    /// Worst-case quantization error of one measurement, in nanoseconds.
+    pub fn quantization_error_ns(&self) -> f64 {
+        self.resolution_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esp8266_resolution_matches_paper() {
+        // §V-D: "multiplied by the 6.25 ns resolution".
+        assert!((ESP8266.resolution_ns() - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_quantizes_down() {
+        // A 100 ns handler: 16 cycles = 100 ns exactly.
+        assert_eq!(ESP8266.cycles_for(100.0), 16);
+        assert!((ESP8266.measure_ns(100.0) - 100.0).abs() < 1e-9);
+        // 103 ns still reads as 16 cycles = 100 ns.
+        assert_eq!(ESP8266.cycles_for(103.0), 16);
+        assert!((ESP8266.measure_ns(103.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_is_bounded_by_resolution() {
+        for true_ns in [13.0, 99.9, 3200.7, 12345.0] {
+            let measured = ESP8266.measure_ns(true_ns);
+            assert!(measured <= true_ns);
+            assert!(true_ns - measured < ESP8266.quantization_error_ns());
+        }
+    }
+
+    #[test]
+    fn due_handler_measurement_scale() {
+        // A ≈ 3.2 µs handler (40 % of an 8 µs bit) is 512 ESP cycles —
+        // plenty of resolution for the paper's per-line analysis.
+        assert_eq!(ESP8266.cycles_for(3200.0), 512);
+    }
+}

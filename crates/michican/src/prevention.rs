@@ -1,0 +1,297 @@
+//! Prevention analysis: injection requirements and theoretical bus-off
+//! times (paper §IV-E, §V-C, Table III).
+//!
+//! MichiCAN cannot inject during arbitration (the attacker would merely
+//! lose arbitration without an error), so the counterattack starts right
+//! after the identifier field, in the RTR slot. Depending on the attacker's
+//! identifier tail and DLC, 1–6 injected dominant bits suffice to force a
+//! bit or stuff error; MichiCAN always budgets 6 (excess dominant bits
+//! merge harmlessly into the attacker's active error flag).
+
+use can_core::bitstream::{stuff_frame, IFS_BITS};
+use can_core::counters::{ERROR_DELIMITER_BITS, ERROR_FLAG_BITS, SUSPEND_BITS};
+use can_core::CanFrame;
+
+/// Frame bit position (1-based) at which the error frame starts in the
+/// best case: MichiCAN's dominant bit lands on a stuff bit right after the
+/// RTR slot (1 SOF + 11 ID + 1 RTR ⇒ 14).
+pub const BEST_CASE_FLAG_START: u64 = 14;
+
+/// Frame bit position at which the error frame starts in the worst case:
+/// six injected bits are needed (⇒ 19).
+pub const WORST_CASE_FLAG_START: u64 = 19;
+
+/// Retransmissions in each fault-confinement phase: 16 errors take the TEC
+/// from 0 to 128 (error-passive), 16 more to 256 (bus-off).
+pub const RETRANSMISSIONS_PER_PHASE: u64 = 16;
+
+/// Average CAN frame length on the bus including stuff bits (paper: "an
+/// average CAN frame consists of 125 bits").
+pub const AVERAGE_FRAME_BITS: u64 = 125;
+
+/// Duration of one destroyed transmission attempt while the attacker is
+/// error-active, in bits: the frame prefix up to the error flag, the
+/// 14-bit error frame (6 flag + 8 delimiter) and the 3-bit intermission.
+///
+/// ```
+/// use michican::prevention::{error_active_time, WORST_CASE_FLAG_START};
+/// assert_eq!(error_active_time(WORST_CASE_FLAG_START), 35); // paper §V-C
+/// assert_eq!(error_active_time(14), 30); // best case
+/// ```
+pub const fn error_active_time(flag_start: u64) -> u64 {
+    (flag_start - 1) + (ERROR_FLAG_BITS + ERROR_DELIMITER_BITS) as u64 + IFS_BITS as u64
+}
+
+/// Duration of one destroyed attempt while the attacker is error-passive:
+/// like [`error_active_time`] plus the 8-bit suspend-transmission period.
+///
+/// ```
+/// use michican::prevention::error_passive_time;
+/// assert_eq!(error_passive_time(19), 43); // paper §V-C worst case
+/// assert_eq!(error_passive_time(14), 38); // best case
+/// ```
+pub const fn error_passive_time(flag_start: u64) -> u64 {
+    error_active_time(flag_start) + SUSPEND_BITS as u64
+}
+
+/// Total theoretical bus-off time for a single uninterrupted attacker:
+/// `16 · (t_a + t_p)` (Table III, Experiments 2/4/6).
+///
+/// ```
+/// use michican::prevention::single_attacker_total;
+/// assert_eq!(single_attacker_total(19), 1248); // worst case, paper §V-C
+/// assert_eq!(single_attacker_total(14), 1088); // best case
+/// ```
+pub const fn single_attacker_total(flag_start: u64) -> u64 {
+    RETRANSMISSIONS_PER_PHASE * (error_active_time(flag_start) + error_passive_time(flag_start))
+}
+
+/// Error-active attempt time with `interruptions` benign frames (of
+/// `frame_bits` each) winning arbitration during the retransmission gap:
+/// `t_a = 35 + s_f · c_{h,a}` (Table III, Experiments 1/3).
+pub const fn interrupted_active_time(flag_start: u64, frame_bits: u64, interruptions: u64) -> u64 {
+    error_active_time(flag_start) + frame_bits * interruptions
+}
+
+/// Error-passive attempt time with interrupting frames: in the passive
+/// region *any* pending message can intervene thanks to the suspend
+/// period: `t_p = 43 + s_f · (c_{h,p} + c_{l,p})`.
+pub const fn interrupted_passive_time(flag_start: u64, frame_bits: u64, interruptions: u64) -> u64 {
+    error_passive_time(flag_start) + frame_bits * interruptions
+}
+
+/// Number of bit times, counting the RTR slot as 1, that MichiCAN must
+/// hold the bus dominant before the attacker's transmission errors out —
+/// computed exactly from the attacker's stuffed wire form.
+///
+/// The result is the offset of the attacker's first recessive wire bit at
+/// or after the RTR slot (a DLC "1" bit or an inserted stuff bit). Per the
+/// paper's analysis this is between 1 and 6; MichiCAN always injects the
+/// worst-case budget.
+///
+/// ```
+/// use can_core::{CanFrame, CanId};
+/// use michican::prevention::injection_bits_to_error;
+///
+/// // DLC = 8 ⇒ the DLC's leading "1" errors at the 4th injected bit
+/// // (RTR, IDE, r0 are dominant anyway).
+/// let f = CanFrame::data_frame(CanId::new(0x173).unwrap(), &[0; 8]).unwrap();
+/// assert_eq!(injection_bits_to_error(&f), 4);
+/// ```
+pub fn injection_bits_to_error(frame: &CanFrame) -> u64 {
+    let wire = stuff_frame(frame);
+    // Locate the RTR bit on the wire by walking and counting destuffed
+    // bits (the RTR is destuffed position 13, SOF = 1).
+    let mut destuffed = 0usize;
+    let mut rtr_wire = None;
+    let mut is_stuff = vec![false; wire.bits.len()];
+    for &p in &wire.stuff_positions {
+        is_stuff[p] = true;
+    }
+    for (i, _) in wire.bits.iter().enumerate() {
+        if !is_stuff[i] {
+            destuffed += 1; // SOF is destuffed index 1
+            if destuffed == 13 {
+                rtr_wire = Some(i);
+                break;
+            }
+        }
+    }
+    let rtr_wire = rtr_wire.expect("every frame has an RTR bit");
+    for (offset, &bit) in wire.bits[rtr_wire..].iter().enumerate() {
+        if bit.is_recessive() {
+            return offset as u64 + 1;
+        }
+    }
+    unreachable!("a frame always contains a recessive bit after the RTR slot")
+}
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoryRow {
+    /// Experiment label (e.g. "2, 4, 6").
+    pub experiments: &'static str,
+    /// Scenario label ("All", "H.P.", "L.P.").
+    pub scenario: &'static str,
+    /// Error-active time formula rendered with the given parameters.
+    pub active_bits: u64,
+    /// Error-passive time with the given parameters.
+    pub passive_bits: u64,
+    /// Total bus-off time in bits.
+    pub total_bits: u64,
+}
+
+/// Builds Table III for given interference parameters.
+///
+/// * `c_ha`, `c_hp_lp` — benign frames interrupting active/passive
+///   retransmissions (Experiments 1/3);
+/// * `z_ha`, `z_lp`, `z_hp` — adversarial frames intervening in Experiment
+///   5's HP/LP cases;
+/// * `s_f` — frame length used for the products.
+pub fn theory_table(
+    s_f: u64,
+    c_ha: u64,
+    c_hp_lp: u64,
+    z_ha: u64,
+    z_lp: u64,
+    z_hp: u64,
+) -> Vec<TheoryRow> {
+    let fs = WORST_CASE_FLAG_START;
+    let t_a_clean = error_active_time(fs);
+    let t_p_clean = error_passive_time(fs);
+    let row13_a = interrupted_active_time(fs, s_f, c_ha);
+    let row13_p = interrupted_passive_time(fs, s_f, c_hp_lp);
+    let hp_p = interrupted_passive_time(fs, s_f, z_lp);
+    let lp_a = interrupted_active_time(fs, s_f, z_ha);
+    let lp_p = interrupted_passive_time(fs, s_f, z_hp);
+    vec![
+        TheoryRow {
+            experiments: "1, 3",
+            scenario: "All",
+            active_bits: row13_a,
+            passive_bits: row13_p,
+            total_bits: RETRANSMISSIONS_PER_PHASE * (row13_a + row13_p),
+        },
+        TheoryRow {
+            experiments: "2, 4, 6",
+            scenario: "All",
+            active_bits: t_a_clean,
+            passive_bits: t_p_clean,
+            total_bits: RETRANSMISSIONS_PER_PHASE * (t_a_clean + t_p_clean),
+        },
+        TheoryRow {
+            experiments: "5",
+            scenario: "H.P.",
+            active_bits: t_a_clean,
+            passive_bits: hp_p,
+            total_bits: RETRANSMISSIONS_PER_PHASE * t_a_clean
+                + RETRANSMISSIONS_PER_PHASE * hp_p,
+        },
+        TheoryRow {
+            experiments: "5",
+            scenario: "L.P.",
+            active_bits: lp_a,
+            passive_bits: lp_p,
+            total_bits: RETRANSMISSIONS_PER_PHASE * (lp_a + lp_p),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_core::CanId;
+
+    fn frame(id: u16, data: &[u8]) -> CanFrame {
+        CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+    }
+
+    #[test]
+    fn paper_attempt_times() {
+        assert_eq!(error_active_time(WORST_CASE_FLAG_START), 35);
+        assert_eq!(error_active_time(BEST_CASE_FLAG_START), 30);
+        assert_eq!(error_passive_time(WORST_CASE_FLAG_START), 43);
+        assert_eq!(error_passive_time(BEST_CASE_FLAG_START), 38);
+    }
+
+    #[test]
+    fn paper_total_bus_off_time() {
+        assert_eq!(single_attacker_total(WORST_CASE_FLAG_START), 1248);
+        // 16 active at 560 bits total (paper's Exp. 5 HP row constant).
+        assert_eq!(RETRANSMISSIONS_PER_PHASE * error_active_time(WORST_CASE_FLAG_START), 560);
+    }
+
+    #[test]
+    fn interruption_formulas() {
+        // One average benign frame per active gap adds s_f bits.
+        assert_eq!(interrupted_active_time(19, AVERAGE_FRAME_BITS, 1), 160);
+        assert_eq!(interrupted_passive_time(19, AVERAGE_FRAME_BITS, 0), 43);
+        assert_eq!(interrupted_passive_time(19, 125, 2), 43 + 250);
+    }
+
+    #[test]
+    fn injection_bits_dlc8_errors_at_fourth_bit() {
+        // Paper §IV-E: DLC "1000" ⇒ earliest bit error at the fourth
+        // injected bit (RTR, IDE, r0 pass silently).
+        for raw in [0x173u16, 0x064, 0x7FF] {
+            let f = frame(raw, &[0xAB; 8]);
+            assert!(
+                injection_bits_to_error(&f) <= 4,
+                "id {raw:#x}: {}",
+                injection_bits_to_error(&f)
+            );
+        }
+    }
+
+    #[test]
+    fn injection_bits_worst_case_is_six() {
+        // DLC = 1 ("0001") with a recessive identifier LSB: RTR, IDE, r0,
+        // DLC3, DLC2 are five dominant bits, the stuff bit after them is
+        // the first recessive ⇒ 6 bits (paper's worst case).
+        let f = frame(0x173, &[0x00]); // LSB of 0x173 is 1 (recessive)
+        assert_eq!(injection_bits_to_error(&f), 6);
+    }
+
+    #[test]
+    fn injection_bits_best_case_single_bit() {
+        // Four trailing dominant identifier bits + dominant RTR form a run
+        // of five; the attacker stuffs a recessive bit right after the RTR
+        // slot, which the very first injected bit overrides.
+        // 0x7D0 = 11111010000: four trailing dominant bits.
+        let f = frame(0x7D0, &[0u8; 8]);
+        let bits = injection_bits_to_error(&f);
+        assert!(
+            (1..=2).contains(&bits),
+            "near-best case expected, got {bits}"
+        );
+    }
+
+    #[test]
+    fn injection_bits_always_within_paper_bounds() {
+        for raw in (0..=0x7FF).step_by(13) {
+            for dlc in [1usize, 4, 8] {
+                let f = frame(raw, &vec![0u8; dlc]);
+                let bits = injection_bits_to_error(&f);
+                assert!(
+                    (1..=6).contains(&bits),
+                    "id {raw:#x} dlc {dlc}: {bits} outside 1..=6"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theory_table_matches_paper_rows() {
+        let table = theory_table(AVERAGE_FRAME_BITS, 0, 0, 0, 0, 0);
+        let clean = table.iter().find(|r| r.experiments == "2, 4, 6").unwrap();
+        assert_eq!(clean.active_bits, 35);
+        assert_eq!(clean.passive_bits, 43);
+        assert_eq!(clean.total_bits, 1248);
+
+        // With interference the totals grow by s_f per interruption and
+        // attempt.
+        let noisy = theory_table(125, 1, 1, 0, 0, 0);
+        let row13 = noisy.iter().find(|r| r.experiments == "1, 3").unwrap();
+        assert_eq!(row13.total_bits, 16 * (160 + 168));
+    }
+}

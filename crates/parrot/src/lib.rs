@@ -1,0 +1,198 @@
+//! # parrot — the Parrot baseline defense (Dagan & Wool, ESCAR 2016)
+//!
+//! Parrot is the closest prior work MichiCAN compares against (§I, §V):
+//! a *software-only* anti-spoofing defense in which each ECU monitors the
+//! bus for frames carrying its own identifier. Lacking bit-level access,
+//! Parrot:
+//!
+//! 1. can only detect a spoof after the **first complete instance** of the
+//!    spoofed frame has been received (the attacker's first message goes
+//!    through unopposed), and
+//! 2. counterattacks by **flooding**: it transmits back-to-back frames
+//!    with the same identifier and an all-dominant payload, hoping to
+//!    collide with the attacker's next instances. During the flood the bus
+//!    load approaches 100 % (the paper computes 125/128 ≈ 97.7 %).
+//!
+//! Both deficiencies are exactly what MichiCAN's arbitration-phase
+//! detection and synchronized single-frame injection remove. The
+//! implementation here is protocol-compliant: the flood raises the
+//! attacker's TEC through data-field bit errors, but — unlike MichiCAN —
+//! the collisions also destroy Parrot's own frames, so Parrot's TEC climbs
+//! in lock-step (quantified by the comparison benches).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use can_core::app::Application;
+use can_core::{BitInstant, CanFrame, CanId};
+
+/// Running counters of a [`ParrotDefender`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParrotStats {
+    /// Complete spoofed instances observed (each one reached every ECU —
+    /// the detection cost Parrot pays and MichiCAN does not).
+    pub spoofs_observed: u64,
+    /// Counterattack frames handed to the controller.
+    pub flood_frames: u64,
+    /// Floods started.
+    pub floods: u64,
+}
+
+/// The Parrot defense as an ECU application.
+///
+/// `own_id` is the identifier this ECU legitimately transmits; any
+/// complete received frame with that identifier must have been spoofed
+/// (identifiers are unique per ECU).
+#[derive(Debug, Clone)]
+pub struct ParrotDefender {
+    own_id: CanId,
+    /// Legitimate periodic transmission of this ECU, if any.
+    own_period_bits: Option<u64>,
+    next_own_due: u64,
+    /// Remaining flood window in bit times (refreshed per detection).
+    flood_until: Option<u64>,
+    flood_window_bits: u64,
+    stats: ParrotStats,
+}
+
+impl ParrotDefender {
+    /// Creates a Parrot defender for `own_id`, flooding for
+    /// `flood_window_bits` after each detected spoof instance.
+    pub fn new(own_id: CanId, flood_window_bits: u64) -> Self {
+        ParrotDefender {
+            own_id,
+            own_period_bits: None,
+            next_own_due: 0,
+            flood_until: None,
+            flood_window_bits,
+            stats: ParrotStats::default(),
+        }
+    }
+
+    /// Adds this ECU's legitimate periodic transmission of `own_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_bits` is zero.
+    pub fn with_own_traffic(mut self, period_bits: u64) -> Self {
+        assert!(period_bits > 0, "period must be positive");
+        self.own_period_bits = Some(period_bits);
+        self
+    }
+
+    /// The defender's counters.
+    pub fn stats(&self) -> ParrotStats {
+        self.stats
+    }
+
+    /// Whether a flood is currently active.
+    pub fn is_flooding(&self, now: BitInstant) -> bool {
+        self.flood_until.is_some_and(|until| now.bits() < until)
+    }
+
+    fn counterattack_frame(&self) -> CanFrame {
+        // All-dominant payload: maximally aggressive in the data field.
+        CanFrame::data_frame(self.own_id, &[0u8; 8]).expect("valid counterattack frame")
+    }
+}
+
+impl Application for ParrotDefender {
+    fn poll(&mut self, now: BitInstant) -> Option<CanFrame> {
+        if self.is_flooding(now) {
+            // Keep the mailbox saturated: the controller transmits
+            // back-to-back, colliding with every attacker retransmission.
+            self.stats.flood_frames += 1;
+            return Some(self.counterattack_frame());
+        }
+        self.flood_until = None;
+        if let Some(period) = self.own_period_bits {
+            if now.bits() >= self.next_own_due {
+                self.next_own_due = now.bits() + period;
+                // Legitimate payload distinct from the counterattack.
+                return Some(
+                    CanFrame::data_frame(self.own_id, &[0xA5; 8]).expect("valid frame"),
+                );
+            }
+        }
+        None
+    }
+
+    fn on_frame(&mut self, frame: &CanFrame, now: BitInstant) {
+        if frame.id() == self.own_id {
+            // A complete foreign frame with our identifier: spoofing.
+            self.stats.spoofs_observed += 1;
+            if self.flood_until.is_none() {
+                self.stats.floods += 1;
+            }
+            self.flood_until = Some(now.bits() + self.flood_window_bits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spoof() -> CanFrame {
+        CanFrame::data_frame(CanId::from_raw(0x173), &[0xFF; 8]).unwrap()
+    }
+
+    #[test]
+    fn quiet_until_first_spoof_instance() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 5_000);
+        for t in 0..1_000 {
+            assert!(parrot.poll(BitInstant::from_bits(t)).is_none());
+        }
+        assert_eq!(parrot.stats().floods, 0);
+    }
+
+    #[test]
+    fn first_complete_spoof_starts_the_flood() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 5_000);
+        parrot.on_frame(&spoof(), BitInstant::from_bits(500));
+        assert!(parrot.is_flooding(BitInstant::from_bits(501)));
+        let frame = parrot.poll(BitInstant::from_bits(501)).unwrap();
+        assert_eq!(frame.id().raw(), 0x173);
+        assert_eq!(frame.data(), &[0u8; 8], "all-dominant payload");
+        assert_eq!(parrot.stats().floods, 1);
+        assert_eq!(parrot.stats().spoofs_observed, 1);
+    }
+
+    #[test]
+    fn flood_expires_after_the_window() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 1_000);
+        parrot.on_frame(&spoof(), BitInstant::from_bits(0));
+        assert!(parrot.poll(BitInstant::from_bits(999)).is_some());
+        assert!(parrot.poll(BitInstant::from_bits(1_000)).is_none());
+        assert!(!parrot.is_flooding(BitInstant::from_bits(1_000)));
+    }
+
+    #[test]
+    fn repeated_spoofs_extend_the_window_without_new_flood_count() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 1_000);
+        parrot.on_frame(&spoof(), BitInstant::from_bits(0));
+        parrot.on_frame(&spoof(), BitInstant::from_bits(800));
+        assert!(parrot.is_flooding(BitInstant::from_bits(1_500)));
+        assert_eq!(parrot.stats().floods, 1, "one logical flood");
+        assert_eq!(parrot.stats().spoofs_observed, 2);
+    }
+
+    #[test]
+    fn own_traffic_flows_outside_floods() {
+        let mut parrot =
+            ParrotDefender::new(CanId::from_raw(0x173), 1_000).with_own_traffic(500);
+        let f = parrot.poll(BitInstant::from_bits(0)).unwrap();
+        assert_eq!(f.data(), &[0xA5; 8]);
+        assert!(parrot.poll(BitInstant::from_bits(1)).is_none());
+        assert!(parrot.poll(BitInstant::from_bits(500)).is_some());
+    }
+
+    #[test]
+    fn foreign_ids_do_not_trigger() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 1_000);
+        let other = CanFrame::data_frame(CanId::from_raw(0x064), &[0; 8]).unwrap();
+        parrot.on_frame(&other, BitInstant::from_bits(0));
+        assert_eq!(parrot.stats().spoofs_observed, 0);
+        assert!(!parrot.is_flooding(BitInstant::from_bits(1)));
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal DBC-subset parser and emitter.
+//!
+//! The paper builds its attack from "a publicly available CAN
+//! communication matrix (OpenDBC)". OpenDBC ships `.dbc` files; this
+//! module reads and writes the subset needed to exchange communication
+//! matrices: `BO_` message definitions plus the common
+//! `GenMsgCycleTime` attribute for periods.
+//!
+//! ```text
+//! BO_ 608 PARKSENSE_STATUS: 8 parksense
+//! BA_ "GenMsgCycleTime" BO_ 608 50;
+//! ```
+
+use core::fmt;
+use std::error::Error;
+
+use can_core::{BusSpeed, CanId};
+
+use crate::matrix::{CommMatrix, Message};
+
+/// Default period assigned to messages without a cycle-time attribute.
+pub const DEFAULT_PERIOD_MS: u32 = 100;
+
+/// A DBC parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbcError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DBC parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for DbcError {}
+
+/// Parses the supported DBC subset into a [`CommMatrix`].
+///
+/// Unsupported lines (signals `SG_`, comments, version headers) are
+/// skipped, as real-world DBC consumers do.
+///
+/// # Errors
+///
+/// Returns a [`DbcError`] for malformed `BO_`/`BA_` lines or identifiers
+/// outside the 11-bit range.
+pub fn parse_dbc(name: &str, speed: BusSpeed, source: &str) -> Result<CommMatrix, DbcError> {
+    let mut messages: Vec<Message> = Vec::new();
+
+    for (index, line) in source.lines().enumerate() {
+        let line_no = index + 1;
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("BO_ ") {
+            // BO_ <id> <NAME>: <dlc> <sender>
+            let mut parts = rest.split_whitespace();
+            let id_raw: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, "missing or invalid message id"))?;
+            let name_tok = parts
+                .next()
+                .ok_or_else(|| err(line_no, "missing message name"))?;
+            let msg_name = name_tok.trim_end_matches(':');
+            let dlc: u8 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, "missing or invalid DLC"))?;
+            let sender = parts
+                .next()
+                .ok_or_else(|| err(line_no, "missing sender"))?;
+            if dlc > 8 {
+                return Err(err(line_no, "DLC exceeds 8"));
+            }
+            let id = CanId::new(
+                u16::try_from(id_raw).map_err(|_| err(line_no, "identifier out of range"))?,
+            )
+            .map_err(|_| err(line_no, "identifier exceeds 11 bits"))?;
+            messages.push(Message {
+                id,
+                period_ms: DEFAULT_PERIOD_MS,
+                dlc,
+                sender: sender.to_string(),
+                name: msg_name.to_string(),
+            });
+        } else if let Some(rest) = line.strip_prefix("BA_ \"GenMsgCycleTime\" BO_ ") {
+            // BA_ "GenMsgCycleTime" BO_ <id> <ms>;
+            let mut parts = rest.trim_end_matches(';').split_whitespace();
+            let id_raw: u16 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, "missing attribute message id"))?;
+            let period: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, "missing cycle time"))?;
+            let id =
+                CanId::new(id_raw).map_err(|_| err(line_no, "identifier exceeds 11 bits"))?;
+            if let Some(m) = messages.iter_mut().find(|m| m.id == id) {
+                m.period_ms = period.max(1);
+            } else {
+                return Err(err(line_no, "cycle time for unknown message"));
+            }
+        }
+        // Everything else (VERSION, SG_, CM_, …) is ignored.
+    }
+
+    Ok(CommMatrix::new(name, speed, messages))
+}
+
+fn err(line: usize, message: &str) -> DbcError {
+    DbcError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Emits the matrix in the supported DBC subset (round-trips through
+/// [`parse_dbc`]).
+pub fn emit_dbc(matrix: &CommMatrix) -> String {
+    let mut out = String::new();
+    out.push_str("VERSION \"\"\n\n");
+    for m in matrix.messages() {
+        out.push_str(&format!(
+            "BO_ {} {}: {} {}\n",
+            m.id.raw(),
+            m.name,
+            m.dlc,
+            m.sender
+        ));
+    }
+    out.push('\n');
+    for m in matrix.messages() {
+        out.push_str(&format!(
+            "BA_ \"GenMsgCycleTime\" BO_ {} {};\n",
+            m.id.raw(),
+            m.period_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pacifica::pacifica_matrix;
+
+    #[test]
+    fn parses_minimal_dbc() {
+        let src = "\
+VERSION \"\"
+BO_ 608 PARKSENSE_STATUS: 8 parksense
+ SG_ distance : 0|8@1+ (1,0) [0|255] \"cm\" receiver
+BO_ 164 ENGINE_TORQUE: 8 ecm
+BA_ \"GenMsgCycleTime\" BO_ 608 50;
+BA_ \"GenMsgCycleTime\" BO_ 164 10;
+";
+        let matrix = parse_dbc("test", BusSpeed::K500, src).unwrap();
+        assert_eq!(matrix.len(), 2);
+        let ps = matrix.message(CanId::from_raw(608)).unwrap();
+        assert_eq!(ps.period_ms, 50);
+        assert_eq!(ps.sender, "parksense");
+        assert_eq!(ps.name, "PARKSENSE_STATUS");
+        assert_eq!(
+            matrix.message(CanId::from_raw(164)).unwrap().period_ms,
+            10
+        );
+    }
+
+    #[test]
+    fn missing_cycle_time_gets_default() {
+        let src = "BO_ 100 X: 4 a\n";
+        let matrix = parse_dbc("t", BusSpeed::K500, src).unwrap();
+        assert_eq!(
+            matrix.message(CanId::from_raw(100)).unwrap().period_ms,
+            DEFAULT_PERIOD_MS
+        );
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(parse_dbc("t", BusSpeed::K500, "BO_ nope X: 8 a\n").is_err());
+        assert!(parse_dbc("t", BusSpeed::K500, "BO_ 4096 X: 8 a\n").is_err());
+        assert!(parse_dbc("t", BusSpeed::K500, "BO_ 100 X: 9 a\n").is_err());
+        let orphan = "BA_ \"GenMsgCycleTime\" BO_ 5 10;\n";
+        let e = parse_dbc("t", BusSpeed::K500, orphan).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("unknown message"));
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let original = pacifica_matrix(BusSpeed::K500);
+        let dbc = emit_dbc(&original);
+        let parsed = parse_dbc("pacifica-2017/chassis", BusSpeed::K500, &dbc).unwrap();
+        assert_eq!(parsed.messages(), original.messages());
+    }
+}

@@ -1,0 +1,33 @@
+//! # restbus — synthetic vehicle traffic for restbus simulation
+//!
+//! The paper replays production-vehicle CAN traffic ("restbus
+//! simulation", §V-A) behind its attacks. The recordings are proprietary,
+//! so this crate synthesizes deterministic communication matrices with the
+//! statistics the evaluation depends on (≈ 40 % bus load, 10 ms minimum
+//! deadline class, realistic identifier/period/DLC distributions), plus:
+//!
+//! * [`matrix`] — [`CommMatrix`]/[`Message`] and the bus-load formula
+//!   `b = (s_f / f_baud) · Σ 1/p_m` (§V-E);
+//! * [`vehicles`] — seeded matrices for Veh. A–D × 2 buses;
+//! * [`pacifica`] — the 2017 Chrysler Pacifica ParkSense excerpt of the
+//!   on-vehicle test (§V-F);
+//! * [`replay`] — an [`can_core::app::Application`] replaying a matrix
+//!   onto the simulated bus;
+//! * [`dbc`] — a mini-DBC parser/emitter for matrix exchange;
+//! * [`schedulability`] — CAN response-time analysis (the paper's reference \[49\])
+//!   with an attack-blocking term for defense-feasibility checks (§V-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbc;
+pub mod matrix;
+pub mod pacifica;
+pub mod replay;
+pub mod schedulability;
+pub mod vehicles;
+
+pub use matrix::{CommMatrix, Message};
+pub use pacifica::{pacifica_matrix, ParkSense, ATTACK_ID, PARKSENSE_ID};
+pub use replay::ReplayApp;
+pub use vehicles::{all_buses, vehicle_matrix, Vehicle};

@@ -1,0 +1,95 @@
+//! Property tests for the CAN response-time analysis.
+
+use can_core::{BusSpeed, CanId};
+use proptest::prelude::*;
+use restbus::schedulability::{analyze, max_tolerable_blocking};
+use restbus::{CommMatrix, Message};
+
+fn matrix_from(defs: Vec<(u16, u32, u8)>) -> CommMatrix {
+    let messages: Vec<Message> = defs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (raw, period_ms, dlc))| Message {
+            id: CanId::from_raw(raw),
+            period_ms,
+            dlc,
+            sender: format!("ecu{i}"),
+            name: format!("M{raw:03X}"),
+        })
+        .collect();
+    CommMatrix::new("prop", BusSpeed::K500, messages)
+}
+
+fn arb_defs() -> impl Strategy<Value = Vec<(u16, u32, u8)>> {
+    proptest::collection::btree_map(0u16..=CanId::MAX_RAW, (5u32..2_000, 0u8..=8), 1..24)
+        .prop_map(|m| m.into_iter().map(|(id, (p, d))| (id, p, d)).collect())
+}
+
+proptest! {
+    /// More blocking never shortens any response time, and never turns an
+    /// unschedulable message schedulable.
+    #[test]
+    fn blocking_is_monotone(defs in arb_defs(), blocking in 0u64..4_000) {
+        let matrix = matrix_from(defs);
+        let base = analyze(&matrix, 0);
+        let attacked = analyze(&matrix, blocking);
+        for (b, a) in base.messages.iter().zip(&attacked.messages) {
+            prop_assert!(a.response_bits >= b.response_bits);
+            prop_assert!(!(a.schedulable && !b.schedulable),
+                "blocking must not make {} schedulable", a.id);
+        }
+    }
+
+    /// Response times are monotone down the priority order for
+    /// equal-shape messages.
+    #[test]
+    fn priority_orders_response_times(
+        ids in proptest::collection::btree_set(0u16..=CanId::MAX_RAW, 2..12),
+    ) {
+        let defs: Vec<(u16, u32, u8)> = ids.into_iter().map(|id| (id, 100, 8)).collect();
+        let matrix = matrix_from(defs);
+        let analysis = analyze(&matrix, 0);
+        for pair in analysis.messages.windows(2) {
+            prop_assert!(pair[0].response_bits <= pair[1].response_bits);
+        }
+    }
+
+    /// The binary-searched budget is exact: schedulable at the budget,
+    /// unschedulable one bit above (when a finite budget exists).
+    #[test]
+    fn tolerable_blocking_is_tight(defs in arb_defs()) {
+        let matrix = matrix_from(defs);
+        let budget = max_tolerable_blocking(&matrix);
+        if budget == 0 {
+            return Ok(());
+        }
+        prop_assert!(analyze(&matrix, budget).all_schedulable());
+        // The search's upper bound is 2× the largest period; a budget at
+        // that cap means "effectively unlimited" and has no tight edge.
+        let cap = matrix
+            .messages()
+            .iter()
+            .map(|m| matrix.speed.bits_in_millis(m.period_ms as f64))
+            .max()
+            .unwrap_or(0) * 2;
+        if budget < cap {
+            prop_assert!(!analyze(&matrix, budget + 1).all_schedulable());
+        }
+    }
+
+    /// Utilization above 100 % is always unschedulable.
+    #[test]
+    fn overload_is_always_caught(seed in 1u32..50) {
+        // Construct deliberate overload: N messages each needing ~135 bits
+        // every 135·N/2 bits.
+        let n = (seed % 8 + 2) as usize;
+        let period_ms = 0.27 * n as f64 / 2.0; // half the required period
+        let defs: Vec<(u16, u32, u8)> = (0..n)
+            .map(|i| (0x100 + i as u16, (period_ms.max(1.0)) as u32, 8))
+            .collect();
+        let matrix = matrix_from(defs);
+        if matrix.predicted_bus_load() > 1.05 {
+            prop_assert!(!analyze(&matrix, 0).all_schedulable());
+        }
+    }
+}

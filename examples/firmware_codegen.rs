@@ -1,0 +1,65 @@
+//! Initial configuration as an OEM would run it (paper §IV-A): take a
+//! communication matrix, derive each ECU's detection range, and emit the
+//! per-ECU FSM as C source ready to be patched into firmware.
+//!
+//! ```text
+//! cargo run --example firmware_codegen
+//! ```
+
+use michican::codegen::{emit_c, emit_rust};
+use michican::prelude::*;
+use restbus::{pacifica_matrix, Vehicle};
+
+fn main() {
+    let matrix = pacifica_matrix(can_core::BusSpeed::K500);
+    let list = EcuList::new(matrix.ids()).expect("matrix identifiers are unique");
+
+    println!(
+        "generating detection FSMs for {} ECUs of {}",
+        list.len(),
+        matrix.name
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>18}",
+        "ECU id", "|D|", "FSM states", "C source bytes"
+    );
+    for index in 0..list.len() {
+        let range = michican::detection_range(&list, index);
+        let fsm = DetectionFsm::for_ecu(&list, index);
+        let c_source = emit_c(&fsm, &format!("ecu_{:03x}", list.id_at(index).raw()));
+        println!(
+            "{:<8} {:>10} {:>12} {:>18}",
+            format!("{}", list.id_at(index)),
+            range.len(),
+            fsm.node_count(),
+            c_source.len()
+        );
+    }
+
+    // Show one generated artifact in full (the ParkSense ECU).
+    let ps_index = list
+        .index_of(restbus::PARKSENSE_ID)
+        .expect("ParkSense is on the bus");
+    let fsm = DetectionFsm::for_ecu(&list, ps_index);
+    println!("\n--- generated C for the ParkSense ECU (0x260) ---\n");
+    println!("{}", emit_c(&fsm, "parksense"));
+    println!("--- same FSM as Rust ---\n");
+    println!("{}", emit_rust(&fsm, "parksense_fsm"));
+
+    // Light scenario: the lower half of a big vehicle runs spoofing-only.
+    let big = restbus::vehicle_matrix(Vehicle::D, 0, can_core::BusSpeed::K500);
+    let big_list = EcuList::new(big.ids()).unwrap();
+    let full_nodes: usize = (0..big_list.len())
+        .map(|i| DetectionFsm::for_scenario(&big_list, i, Scenario::Full).node_count())
+        .sum();
+    let light_nodes: usize = (0..big_list.len())
+        .map(|i| DetectionFsm::for_scenario(&big_list, i, Scenario::Light).node_count())
+        .sum();
+    println!(
+        "firmware footprint across {} ({} ECUs): full scenario {} states, light scenario {} states",
+        big.name,
+        big_list.len(),
+        full_nodes,
+        light_nodes
+    );
+}

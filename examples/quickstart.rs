@@ -1,0 +1,64 @@
+//! Quickstart: configure MichiCAN for a small IVN, launch a DoS attack in
+//! the bit-level simulator, and watch the attacker get bused off.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use can_core::app::SilentApplication;
+use can_core::{BusSpeed, CanId};
+use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_attacks::{DosKind, SuspensionAttacker};
+use michican::prelude::*;
+
+fn main() {
+    // 1. OEM configuration: the legitimate identifiers on this bus.
+    //    Each identifier belongs to exactly one ECU; this defender owns
+    //    0x173.
+    let list = EcuList::from_raw(&[0x0A4, 0x0D0, 0x173, 0x260, 0x3E6]);
+    let own = CanId::new(0x173).unwrap();
+    let index = list.index_of(own).expect("own id is in the list");
+
+    // 2. Generate the per-ECU detection FSM (normally patched into the
+    //    firmware at manufacturing time).
+    let fsm = DetectionFsm::for_ecu(&list, index);
+    println!(
+        "detection FSM for ECU {own}: {} states, detects {} identifiers",
+        fsm.node_count(),
+        michican::detection_range(&list, index).len()
+    );
+
+    // 3. Build a bus: one attacker flooding identifier 0x064 (a DoS — it
+    //    outranks everything legitimate below 0x173) and the defender.
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(SuspensionAttacker::saturating(DosKind::Targeted {
+            id: CanId::new(0x064).unwrap(),
+        })),
+    ));
+    sim.add_node(
+        Node::new("defender", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(fsm))),
+    );
+
+    // 4. Run until the attacker's controller is forced into bus-off.
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
+        .expect("the attacker must be eradicated");
+
+    let episode = &bus_off_episodes(sim.events(), attacker)[0];
+    println!(
+        "attacker bused off after {} transmission attempts in {} bit times ({:.2} ms at {})",
+        episode.attempts,
+        episode.duration().as_bits(),
+        episode.duration().as_millis(sim.speed()),
+        sim.speed()
+    );
+    let errors = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ErrorDetected { .. }))
+        .count();
+    println!("protocol errors logged on the way: {errors}");
+    println!("defender error counters: {}", sim.node(1).controller().counters());
+}

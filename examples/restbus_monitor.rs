@@ -1,0 +1,77 @@
+//! Restbus simulation + traffic capture: replay a synthetic Veh. D matrix,
+//! record the delivered frames as a candump log, and print per-identifier
+//! statistics — the tooling view of a healthy (and then attacked) bus.
+//!
+//! ```text
+//! cargo run --release --example restbus_monitor
+//! ```
+
+use can_core::app::SilentApplication;
+use can_core::BusSpeed;
+use can_sim::{EventKind, Node, Simulator};
+use can_attacks::{DosKind, SuspensionAttacker};
+use can_trace::{write_log, LogEntry, TrafficStats};
+use restbus::{vehicle_matrix, ReplayApp, Vehicle};
+
+fn capture(with_attacker: bool, ms: f64) -> Vec<LogEntry> {
+    let speed = BusSpeed::K500;
+    let matrix = vehicle_matrix(Vehicle::D, 0, speed);
+    let mut sim = Simulator::new(speed);
+    sim.add_node(Node::new("restbus", Box::new(ReplayApp::for_matrix(&matrix))));
+    let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+    if with_attacker {
+        sim.add_node(Node::new(
+            "attacker",
+            Box::new(SuspensionAttacker::saturating(DosKind::Traditional)),
+        ));
+    }
+    sim.run_millis(ms);
+
+    sim.events()
+        .iter()
+        .filter(|e| e.node == monitor)
+        .filter_map(|e| match &e.kind {
+            EventKind::FrameReceived { frame } => Some(LogEntry::from_bits(
+                e.at.bits(),
+                speed,
+                "vcan0",
+                *frame,
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("--- healthy bus (200 ms capture) ---");
+    let healthy = capture(false, 200.0);
+    let stats = TrafficStats::from_log(&healthy);
+    println!(
+        "{} frames, {:.0} frames/s over {} identifiers",
+        stats.total_frames(),
+        stats.frames_per_second(),
+        stats.per_id.len()
+    );
+    println!("first log lines:");
+    for line in write_log(&healthy).lines().take(5) {
+        println!("  {line}");
+    }
+
+    println!("\n--- under a traditional DoS (identifier 0x000 flood) ---");
+    let attacked = capture(true, 200.0);
+    let stats = TrafficStats::from_log(&attacked);
+    println!(
+        "{} frames, {:.0} frames/s over {} identifiers",
+        stats.total_frames(),
+        stats.frames_per_second(),
+        stats.per_id.len()
+    );
+    let suspects = stats.flooding_suspects(500.0);
+    println!(
+        "frequency-based IDS flags: {:?} (after-the-fact — the bus was already starved; \
+         this is Table I's 'IDS detects but cannot eradicate')",
+        suspects.iter().map(|id| format!("{id}")).collect::<Vec<_>>()
+    );
+    let benign_flow = stats.per_id.keys().filter(|id| id.raw() != 0).count();
+    println!("benign identifiers still flowing: {benign_flow}");
+}

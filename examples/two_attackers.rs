@@ -1,0 +1,99 @@
+//! Experiment 5 (paper §V-C, Fig. 6): two DoS attackers, 0x066 and 0x067,
+//! get bused off with intertwined retransmissions. Renders the
+//! logic-analyzer-style timeline and per-attacker statistics.
+//!
+//! ```text
+//! cargo run --release --example two_attackers
+//! ```
+
+use can_core::app::SilentApplication;
+use can_core::{BusSpeed, CanId};
+use can_sim::{bus_off_episodes, ErrorRole, EventKind, Node, Simulator};
+use can_attacks::{DosKind, SuspensionAttacker};
+use can_trace::{Timeline, TimelineEvent};
+use michican::prelude::*;
+
+fn main() {
+    let speed = BusSpeed::K50;
+    let mut sim = Simulator::new(speed);
+    let a = sim.add_node(Node::new(
+        "attacker-0x066",
+        Box::new(SuspensionAttacker::new(
+            DosKind::Targeted {
+                id: CanId::new(0x066).unwrap(),
+            },
+            1_500,
+        )),
+    ));
+    let b = sim.add_node(Node::new(
+        "attacker-0x067",
+        Box::new(SuspensionAttacker::new(
+            DosKind::Targeted {
+                id: CanId::new(0x067).unwrap(),
+            },
+            1_537,
+        )),
+    ));
+    let list = EcuList::from_raw(&[0x173]);
+    sim.add_node(
+        Node::new("defender", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+    );
+
+    // Run until both attackers have been bused off once.
+    let mut off = std::collections::HashSet::new();
+    let mut checked = 0;
+    while off.len() < 2 && sim.now().bits() < 30_000 {
+        sim.step();
+        while checked < sim.events().len() {
+            if matches!(sim.events()[checked].kind, EventKind::BusOff) {
+                off.insert(sim.events()[checked].node);
+            }
+            checked += 1;
+        }
+    }
+
+    // Timeline (the Fig. 6 view).
+    let events: Vec<TimelineEvent> = sim
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::TransmissionStarted { .. } => Some(TimelineEvent::TransmissionStarted {
+                node: e.node,
+                at: e.at,
+            }),
+            EventKind::ErrorDetected {
+                role: ErrorRole::Transmitter,
+                ..
+            } => Some(TimelineEvent::TransmitError {
+                node: e.node,
+                at: e.at,
+            }),
+            EventKind::BusOff => Some(TimelineEvent::BusOff {
+                node: e.node,
+                at: e.at,
+            }),
+            _ => None,
+        })
+        .collect();
+    let timeline = Timeline::build(&events, &[a, b], sim.now().bits());
+    print!(
+        "{}",
+        timeline.render_ascii(&[(a, "0x066"), (b, "0x067")], 100)
+    );
+
+    for (node, label) in [(a, "0x066"), (b, "0x067")] {
+        for ep in bus_off_episodes(sim.events(), node) {
+            println!(
+                "{label}: bused off after {} attempts, {} bits ({:.1} ms)",
+                ep.attempts,
+                ep.duration().as_bits(),
+                ep.duration().as_millis(speed)
+            );
+        }
+    }
+    println!(
+        "\npaper Table II: 0x066 mean 39.0 ms, 0x067 mean 35.4 ms — the first\n\
+         attacker's bus-off takes ≈ 1.5×, not 2×, thanks to intertwining."
+    );
+}

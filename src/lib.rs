@@ -1,0 +1,20 @@
+//! # michican-suite — umbrella crate of the MichiCAN (DSN 2025) reproduction
+//!
+//! Re-exports every crate of the workspace and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use can_attacks;
+pub use can_core;
+pub use can_ids;
+pub use can_sim;
+pub use can_trace;
+pub use mcu;
+pub use michican;
+pub use parrot;
+pub use restbus;
+pub use ::bench as harness;

@@ -1,0 +1,115 @@
+//! The paper's "Attacker Limitations" discussion (§III) made executable:
+//! integrated-controller bit access is a double-edged sword. A
+//! CANnon-style bit-level attacker can bus-off *victims*, and MichiCAN's
+//! counterattack cannot touch it — there is no protocol controller behind
+//! the attack whose TEC could be inflated. Isolation (hypervisor/MPU/
+//! TrustZone, Fig. 3) is therefore a prerequisite, not an optimization.
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
+use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_attacks::GhostInjector;
+use michican::prelude::*;
+
+fn frame(id: u16, data: &[u8]) -> CanFrame {
+    CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+}
+
+#[test]
+fn ghost_injector_buses_off_a_legitimate_victim() {
+    // The offensive use of bit-level access: every victim transmission is
+    // destroyed; the victim's own TEC walks to 256.
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let victim = sim.add_node(Node::new(
+        "victim",
+        Box::new(PeriodicSender::new(frame(0x0F0, &[0x42; 8]), 400, 0)),
+    ));
+    sim.add_node(
+        Node::new("compromised-ecu", Box::new(SilentApplication))
+            .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x0F0)))),
+    );
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
+        .expect("the victim must be forced off the bus");
+    let episodes = bus_off_episodes(sim.events(), victim);
+    assert_eq!(episodes[0].attempts, 32, "the same 32-error ladder, abused");
+}
+
+#[test]
+fn michican_cannot_eradicate_a_bit_level_attacker() {
+    // The ghost has no controller: MichiCAN detects nothing attackable.
+    // Its injections target the victim's *legitimate* identifier, which
+    // MichiCAN cannot flag (Definition IV.1 applies to the true owner
+    // only) — and even a hypothetical counterattack would find no TEC to
+    // inflate. The victim is lost despite the defense.
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let victim = sim.add_node(Node::new(
+        "victim-0x0F0",
+        Box::new(PeriodicSender::new(frame(0x0F0, &[0x42; 8]), 400, 0)),
+    ));
+    sim.add_node(
+        Node::new("compromised-ecu", Box::new(SilentApplication))
+            .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x0F0)))),
+    );
+    // A MichiCAN defender protecting a *different* identifier watches on.
+    let list = EcuList::from_raw(&[0x0F0, 0x173]);
+    sim.add_node(
+        Node::new("defender-0x173", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
+    );
+
+    sim.run(20_000);
+
+    assert_eq!(
+        sim.node(victim).controller().error_state(),
+        ErrorState::BusOff,
+        "the victim falls despite MichiCAN being present"
+    );
+    // Nothing for the defense to eradicate: the only bus-offs are the
+    // victim's own.
+    let bus_off_nodes: std::collections::HashSet<usize> = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::BusOff))
+        .map(|e| e.node)
+        .collect();
+    assert_eq!(
+        bus_off_nodes,
+        std::collections::HashSet::from([victim]),
+        "only the victim is ever bused off — the ghost is untouchable"
+    );
+}
+
+#[test]
+fn ghost_against_michicans_own_id_is_a_stalemate_of_injections() {
+    // The ghost attacks MichiCAN's own identifier: the defender's frames
+    // are destroyed (availability lost for that ECU), but the defender's
+    // bit agent likewise cannot be eradicated, and the defender's
+    // controller TEC climbs only as a *transmitter* — walking IT toward
+    // bus-off. This quantifies why the paper insists the CAN-controller
+    // path must be isolated from compromise: against a peer with bit
+    // access, the protocol offers no defense at all.
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let list = EcuList::from_raw(&[0x173]);
+    let defender = sim.add_node(
+        Node::new(
+            "michican-0x173",
+            Box::new(PeriodicSender::new(frame(0x173, &[0xA5; 8]), 400, 0)),
+        )
+        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+    );
+    sim.add_node(
+        Node::new("ghost", Box::new(SilentApplication))
+            .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x173)))),
+    );
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+
+    sim.run(20_000);
+
+    assert_eq!(
+        sim.node(defender).controller().error_state(),
+        ErrorState::BusOff,
+        "bit-level attackers defeat even defended ECUs — isolation is mandatory"
+    );
+}

@@ -1,0 +1,221 @@
+//! Defense coverage across the threat model (§III) and deployment
+//! scenarios (§IV-A): fabrication, masquerade, miscellaneous identifiers,
+//! the light scenario's division of labor, and detection-only (IDS) mode.
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId};
+use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_attacks::{FabricationAttacker, MasqueradeAttacker};
+use michican::handler::{MichiCan, MichiCanConfig};
+use michican::prelude::*;
+
+fn frame(id: u16, data: &[u8]) -> CanFrame {
+    CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+}
+
+fn defender(list: &EcuList, index: usize) -> Node {
+    Node::new("defender", Box::new(SilentApplication))
+        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(list, index))))
+}
+
+#[test]
+fn fabrication_attacker_is_eradicated_before_overriding_the_victim() {
+    // The attacker spoofs 0x1A0 (a legitimate identifier owned by the
+    // defender) at 4× the victim's rate. With MichiCAN, not a single
+    // fabricated frame completes.
+    let list = EcuList::from_raw(&[0x1A0, 0x300]);
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let attacker = sim.add_node(Node::new(
+        "fabricator",
+        Box::new(FabricationAttacker::new(
+            CanId::from_raw(0x1A0),
+            &[0xBA, 0xD0, 0xBA, 0xD0],
+            2_000,
+            4,
+        )),
+    ));
+    sim.add_node(defender(&list, 0));
+    let observer = sim.add_node(Node::new("observer", Box::new(SilentApplication)));
+
+    sim.run(12_000);
+
+    let episodes = bus_off_episodes(sim.events(), attacker);
+    assert!(!episodes.is_empty(), "fabricator must be bused off");
+    let fabricated_received = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            e.node == observer
+                && matches!(&e.kind, EventKind::FrameReceived { frame }
+                    if frame.data() == [0xBA, 0xD0, 0xBA, 0xD0])
+        })
+        .count();
+    assert_eq!(fabricated_received, 0, "no fabricated frame may complete");
+}
+
+#[test]
+fn masquerade_takeover_is_blocked() {
+    // A masquerade attacker waits for the victim (0x260) to fall silent,
+    // then impersonates it. The victim here is simply absent (e.g. failed);
+    // the defender still detects the spoofed 0x260 and kills it — the
+    // masquerade's fabrication phase cannot complete a single frame.
+    let list = EcuList::from_raw(&[0x260, 0x3E6]);
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let attacker = sim.add_node(Node::new(
+        "masquerader",
+        Box::new(MasqueradeAttacker::new(
+            CanId::from_raw(0x260),
+            &[0xEE; 8],
+            1_000,
+            500,
+        )),
+    ));
+    // The 0x260 owner runs MichiCAN (spoofing detection on its own id).
+    sim.add_node(defender(&list, 0));
+    let observer = sim.add_node(Node::new("observer", Box::new(SilentApplication)));
+    sim.run(15_000);
+
+    assert!(
+        !bus_off_episodes(sim.events(), attacker).is_empty(),
+        "the masquerader's controller must be forced off the bus"
+    );
+    let impersonated = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            e.node == observer
+                && matches!(&e.kind, EventKind::FrameReceived { frame }
+                    if frame.id() == CanId::from_raw(0x260))
+        })
+        .count();
+    assert_eq!(impersonated, 0, "no impersonated frame may be delivered");
+}
+
+#[test]
+fn miscellaneous_identifiers_are_left_alone_end_to_end() {
+    // Definition IV.3: identifiers above every legitimate one lose
+    // arbitration to real traffic and are harmless; MichiCAN must not
+    // attack them.
+    let list = EcuList::from_raw(&[0x100, 0x173]);
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let misc = sim.add_node(Node::new(
+        "misc-sender",
+        Box::new(PeriodicSender::new(frame(0x500, &[1, 2, 3]), 1_000, 0)),
+    ));
+    sim.add_node(defender(&list, 1));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run(10_000);
+
+    assert!(
+        bus_off_episodes(sim.events(), misc).is_empty(),
+        "miscellaneous traffic must never be counterattacked"
+    );
+    assert!(
+        sim.events()
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::FrameReceived { frame }
+                if frame.id() == CanId::from_raw(0x500))),
+        "miscellaneous frames flow normally"
+    );
+    assert_eq!(sim.node(misc).controller().counters().tec(), 0);
+}
+
+#[test]
+fn light_scenario_lower_half_only_defends_itself() {
+    // In the light scenario the lower half of 𝔼 runs spoofing-only
+    // detection. A DoS identifier below a lower-half member must NOT be
+    // attacked by that member — but the upper half still catches it.
+    let list = EcuList::from_raw(&[0x100, 0x200, 0x300, 0x400]);
+    let lower_fsm = DetectionFsm::for_scenario(&list, 0, Scenario::Light); // 0x100, 𝔼₁
+    let upper_fsm = DetectionFsm::for_scenario(&list, 3, Scenario::Light); // 0x400, 𝔼₂
+
+    // DoS identifier 0x050 outranks everything.
+    let dos = CanId::from_raw(0x050);
+    assert!(
+        !lower_fsm.classify(dos),
+        "lower-half members ignore DoS identifiers in the light scenario"
+    );
+    assert!(upper_fsm.classify(dos), "the upper half still catches DoS");
+
+    // Spoofing the lower-half member is still caught by that member.
+    assert!(lower_fsm.classify(CanId::from_raw(0x100)));
+
+    // End to end: a bus where only the light-scenario upper half defends
+    // still eradicates the attacker.
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
+    ));
+    sim.add_node(
+        Node::new("light-lower", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(lower_fsm))),
+    );
+    sim.add_node(
+        Node::new("light-upper", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(upper_fsm))),
+    );
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
+        .expect("the light scenario still protects against DoS");
+    assert_eq!(bus_off_episodes(sim.events(), attacker)[0].attempts, 32);
+}
+
+#[test]
+fn multiple_defenders_detect_simultaneously_without_interfering() {
+    // §IV-A: "each ECU_i will detect a malicious transmission
+    // simultaneously — beneficial in case legitimate ECUs fail." Two
+    // full-scenario defenders inject in the same window; the superposed
+    // dominant levels are indistinguishable from one injection.
+    let list = EcuList::from_raw(&[0x173, 0x200]);
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
+    ));
+    sim.add_node(defender(&list, 0));
+    sim.add_node(defender(&list, 1));
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
+        .expect("attacker bused off");
+    let ep = &bus_off_episodes(sim.events(), attacker)[0];
+    assert_eq!(ep.attempts, 32, "double injection does not slow the ladder");
+    // Redundancy: drop one defender, the other still suffices (already
+    // covered by other tests); here we check neither defender was harmed.
+    for node in [1usize, 2] {
+        assert_eq!(sim.node(node).controller().counters().tec(), 0);
+    }
+}
+
+#[test]
+fn detection_only_mode_observes_but_does_not_prevent() {
+    // MichiCAN as a pure IDS (prevention disabled): the attack is detected
+    // but traffic keeps flowing — Table I's "detection without
+    // eradication" row, reproduced.
+    let list = EcuList::from_raw(&[0x173]);
+    let ids_config = MichiCanConfig {
+        prevention_enabled: false,
+        ..MichiCanConfig::default()
+    };
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
+    ));
+    sim.add_node(
+        Node::new("ids", Box::new(SilentApplication)).with_agent(Box::new(
+            MichiCan::with_config(DetectionFsm::for_ecu(&list, 0), ids_config),
+        )),
+    );
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run(10_000);
+
+    assert!(
+        bus_off_episodes(sim.events(), attacker).is_empty(),
+        "IDS mode must not eradicate"
+    );
+    let delivered = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FrameReceived { .. }))
+        .count();
+    assert!(delivered > 20, "the DoS flows unhindered: {delivered}");
+}

@@ -1,0 +1,129 @@
+//! Everything-together soak: restbus traffic, a remote-frame
+//! request/response pair, an IDS monitor, a MichiCAN defender, channel
+//! noise AND a persistent DoS attacker on one bus — global invariants
+//! must hold simultaneously.
+
+use can_core::app::{PeriodicSender, RemoteResponder, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
+use can_sim::{bus_off_episodes, EventKind, FaultModel, Node, Simulator};
+use can_attacks::{DosKind, SuspensionAttacker};
+use can_ids::IdsMonitor;
+use michican::prelude::*;
+use restbus::{pacifica_matrix, ReplayApp};
+
+#[test]
+fn the_whole_stack_coexists() {
+    let speed = BusSpeed::K500;
+    let matrix = pacifica_matrix(speed);
+    let mut sim = Simulator::new(speed);
+
+    // Restbus: the Pacifica chassis traffic split per sender.
+    let mut node_names = Vec::new();
+    for sender in matrix.by_sender().keys() {
+        let id = sim.add_node(Node::new(
+            sender.to_string(),
+            Box::new(ReplayApp::for_sender(&matrix, sender)),
+        ));
+        node_names.push((id, sender.to_string()));
+    }
+
+    // A request/response pair on a dedicated identifier. It outranks the
+    // attacker (0x0C8 < 0x0CF), so requests can interrupt error-active
+    // retransmission gaps — Table III's c_{h,a} path, exercised live.
+    // (A lowest-priority service id would legitimately starve while the
+    // bus is at war ~50 % of the time.)
+    let service_id = CanId::from_raw(0x0C8);
+    let responder = sim.add_node(Node::new(
+        "diag-service",
+        Box::new(RemoteResponder::new(service_id, &[0xCA, 0xFE, 0xBA, 0xBE])),
+    ));
+    let request = CanFrame::remote_frame(service_id, 4).unwrap();
+    sim.add_node(Node::new(
+        "diag-tester",
+        Box::new(PeriodicSender::new(request, speed.bits_in_millis(40.0), 500)),
+    ));
+
+    // An IDS monitor (observes, never transmits).
+    sim.add_node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
+
+    // The MichiCAN dongle, aware of the whole matrix + the service id.
+    let mut all_ids = matrix.ids();
+    all_ids.push(service_id);
+    let list = EcuList::new(all_ids).unwrap();
+    let defender = sim.add_node(
+        Node::new("michican", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(
+                &list,
+                list.len() - 1,
+            )))),
+    );
+
+    // The attacker: saturating targeted DoS one step above the brake
+    // pressure message.
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(
+            SuspensionAttacker::saturating(DosKind::Targeted {
+                id: CanId::from_raw(0x0CF),
+            })
+            .with_payload(&[0xBA; 8]),
+        ),
+    ));
+
+    // Mild channel noise on top.
+    sim.set_fault_model(FaultModel::random(2e-5, 0x50AC));
+
+    sim.run_millis(300.0);
+
+    // 1. The attacker is repeatedly eradicated and never completes a frame.
+    let episodes = bus_off_episodes(sim.events(), attacker);
+    assert!(episodes.len() >= 10, "eradications: {}", episodes.len());
+    let attack_delivered = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(&e.kind, EventKind::FrameReceived { frame }
+                if frame.id().raw() == 0x0CF)
+        })
+        .count();
+    assert_eq!(attack_delivered, 0);
+
+    // 2. No benign node is ever bused off (noise + defense are harmless).
+    for (node, name) in &node_names {
+        assert_ne!(
+            sim.node(*node).controller().error_state(),
+            ErrorState::BusOff,
+            "benign node {name} must survive"
+        );
+    }
+    assert_ne!(
+        sim.node(responder).controller().error_state(),
+        ErrorState::BusOff
+    );
+    assert_eq!(sim.node(defender).controller().counters().tec(), 0);
+
+    // 3. The request/response service keeps working through everything.
+    let responses = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            e.node == responder
+                && matches!(&e.kind, EventKind::TransmissionSucceeded { frame }
+                    if frame.id() == service_id && !frame.is_remote())
+        })
+        .count();
+    assert!(responses >= 4, "diagnostic responses flowed: {responses}");
+
+    // 4. Benign traffic flows at a healthy rate despite the ongoing war.
+    let benign_delivered = sim
+        .events()
+        .iter()
+        .filter(|e| {
+            e.node == defender && matches!(e.kind, EventKind::FrameReceived { .. })
+        })
+        .count();
+    assert!(
+        benign_delivered > 150,
+        "benign frames at the defender: {benign_delivered}"
+    );
+}

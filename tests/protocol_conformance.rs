@@ -1,0 +1,231 @@
+//! ISO 11898-1 conformance checks at simulator level: retransmission
+//! gaps, suspend transmission, recovery timing, error-flag superposition —
+//! the protocol mechanics every paper number rests on.
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::counters::{RECOVERY_SEQUENCES, RECOVERY_SEQUENCE_BITS};
+use can_core::{BusSpeed, CanFrame, CanId};
+use can_sim::{EventKind, Node, Simulator};
+use michican::prelude::*;
+
+fn frame(id: u16, data: &[u8]) -> CanFrame {
+    CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+}
+
+fn attack_sim(attacker_id: u16) -> (Simulator, usize) {
+    let mut sim = Simulator::new(BusSpeed::K50);
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame(attacker_id, &[0; 8]), 400, 0)),
+    ));
+    let list = EcuList::from_raw(&[0x173]);
+    sim.add_node(
+        Node::new("defender", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+    );
+    (sim, attacker)
+}
+
+/// Collects the attacker's transmission-start instants of the first
+/// episode.
+fn episode_starts(sim: &Simulator, attacker: usize) -> Vec<u64> {
+    let mut starts = Vec::new();
+    for e in sim.events() {
+        if e.node == attacker {
+            match e.kind {
+                EventKind::TransmissionStarted { .. } => starts.push(e.at.bits()),
+                EventKind::BusOff => break,
+                _ => {}
+            }
+        }
+    }
+    starts
+}
+
+#[test]
+fn error_active_retransmission_gap_matches_paper() {
+    // Worst case (paper §V-C): each error-active destroyed attempt spans
+    // 35 bits — error at frame bit 18, 14-bit error frame, 3-bit IFS.
+    let (mut sim, attacker) = attack_sim(0x064);
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff));
+    let starts = episode_starts(&sim, attacker);
+    assert_eq!(starts.len(), 32);
+
+    // Error-active attempts are the first 16; measure their spacing.
+    let active_gaps: Vec<u64> = starts[..16].windows(2).map(|w| w[1] - w[0]).collect();
+    for gap in &active_gaps {
+        assert!(
+            (30..=40).contains(gap),
+            "error-active retransmission gap {gap} outside 30–40 bits \
+             (paper: 35 clean, ± injection-window margin)"
+        );
+    }
+}
+
+#[test]
+fn error_passive_gap_includes_the_suspend_period() {
+    let (mut sim, attacker) = attack_sim(0x064);
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff));
+    let starts = episode_starts(&sim, attacker);
+
+    let passive_gaps: Vec<u64> = starts[16..].windows(2).map(|w| w[1] - w[0]).collect();
+    let active_gaps: Vec<u64> = starts[..16].windows(2).map(|w| w[1] - w[0]).collect();
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    let delta = mean(&passive_gaps) - mean(&active_gaps);
+    // Theory: +8 (suspend). The measured delta runs a few bits higher
+    // because the defender's injection tail delays the *passive* flag's
+    // six-equal-bits completion, an interaction absent in active flags.
+    assert!(
+        (7.0..=16.0).contains(&delta),
+        "passive attempts add the suspend period, measured delta {delta:.1}"
+    );
+}
+
+#[test]
+fn recovery_takes_128_sequences_of_11_recessive_bits() {
+    let (mut sim, attacker) = attack_sim(0x064);
+    sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff));
+    let off_at = sim
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::BusOff))
+        .unwrap()
+        .at
+        .bits();
+    sim.run_until(5_000, |e| matches!(e.kind, EventKind::Recovered));
+    let recovered_at = sim
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Recovered))
+        .expect("recovery on an idle bus")
+        .at
+        .bits();
+    let expected = (RECOVERY_SEQUENCES * RECOVERY_SEQUENCE_BITS) as u64;
+    let took = recovered_at - off_at;
+    assert!(
+        (expected..=expected + 16).contains(&took),
+        "recovery took {took} bits, expected ≈ {expected} on an idle bus"
+    );
+    let _ = attacker;
+}
+
+#[test]
+fn no_errors_and_no_bus_off_without_an_attacker() {
+    // Long mixed benign traffic: zero protocol errors, zero bus-offs.
+    //
+    // Deployment contract: the defender agent lives ON the ECU that owns
+    // the identifier its FSM treats as "own" — attaching an FSM for 0x400
+    // to a node that never transmits 0x400 would make the real owner's
+    // frames look like spoofing (by Definition IV.1 they are: two nodes
+    // claiming one identifier).
+    let mut sim = Simulator::new(BusSpeed::K500);
+    for (i, (id, period)) in [(0x0A0u16, 500u64), (0x150, 700), (0x2B0, 1_100)]
+        .iter()
+        .enumerate()
+    {
+        sim.add_node(Node::new(
+            format!("ecu{i}"),
+            Box::new(PeriodicSender::new(
+                frame(*id, &[i as u8; 8]),
+                *period,
+                (i as u64) * 37,
+            )),
+        ));
+    }
+    let list = EcuList::from_raw(&[0x0A0, 0x150, 0x2B0, 0x400]);
+    // The 0x400 owner itself runs MichiCAN: its own transmissions are
+    // exempted via the own-transmission hint.
+    sim.add_node(
+        Node::new(
+            "ecu3-defender",
+            Box::new(PeriodicSender::new(frame(0x400, &[3; 8]), 1_900, 111)),
+        )
+        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 3)))),
+    );
+    sim.run(60_000);
+
+    assert!(
+        !sim.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ErrorDetected { .. })),
+        "benign traffic must be error-free under a watching defender"
+    );
+    assert!(
+        !sim.events().iter().any(|e| matches!(e.kind, EventKind::BusOff)),
+        "no false-positive eradications"
+    );
+    let delivered = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FrameReceived { .. }))
+        .count();
+    assert!(delivered > 200, "traffic flows: {delivered}");
+}
+
+#[test]
+fn higher_priority_benign_frame_interrupts_active_retransmissions() {
+    // Table III, Experiments 1/3: in the error-active region only
+    // higher-priority messages win the retransmission race.
+    let mut sim = Simulator::new(BusSpeed::K50);
+    let attacker = sim.add_node(Node::new(
+        "attacker",
+        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 5_000, 0)),
+    ));
+    // Higher-priority benign sender (0x020 < 0x064), due mid-episode.
+    sim.add_node(Node::new(
+        "hp-benign",
+        Box::new(PeriodicSender::new(frame(0x020, &[7; 8]), 5_000, 200)),
+    ));
+    let list = EcuList::from_raw(&[0x020, 0x173]);
+    sim.add_node(
+        Node::new("defender", Box::new(SilentApplication))
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
+    );
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.run_until(20_000, |e| matches!(e.kind, EventKind::BusOff))
+        .expect("attacker still bused off despite interruptions");
+
+    // The benign frame completed during the episode.
+    let benign_success = sim.events().iter().any(|e| {
+        matches!(&e.kind, EventKind::TransmissionSucceeded { frame }
+            if frame.id() == CanId::from_raw(0x020))
+    });
+    assert!(benign_success, "the higher-priority message must get through");
+    // And the episode stretched beyond the clean 1248 + margin bits.
+    let episodes = can_sim::bus_off_episodes(sim.events(), attacker);
+    assert!(
+        episodes[0].duration().as_bits() > 1_300,
+        "interruption lengthens the episode: {}",
+        episodes[0].duration().as_bits()
+    );
+}
+
+#[test]
+fn bus_level_is_dominated_during_error_flags() {
+    // Error flags are six dominant bits: trace the bus and find at least
+    // one dominant run of ≥ 6 outside the frame prefix whenever an error
+    // occurs.
+    let (mut sim, _) = attack_sim(0x064);
+    sim.enable_trace();
+    sim.run_until(3_000, |e| {
+        matches!(e.kind, EventKind::ErrorDetected { .. })
+    })
+    .expect("an error must occur");
+    sim.run(40); // let the flag play out
+    let trace = sim.trace().unwrap();
+    let max_dominant_run = trace
+        .levels()
+        .iter()
+        .fold((0usize, 0usize), |(best, run), level| {
+            if level.is_dominant() {
+                ((best).max(run + 1), run + 1)
+            } else {
+                (best, 0)
+            }
+        })
+        .0;
+    assert!(
+        max_dominant_run >= 6,
+        "superposed error flags must dominate ≥ 6 bits, saw {max_dominant_run}"
+    );
+}
