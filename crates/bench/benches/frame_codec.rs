@@ -27,8 +27,7 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("codec/roundtrip_all_dlcs", |b| {
         let frames: Vec<CanFrame> = (0..=8usize)
             .map(|dlc| {
-                CanFrame::data_frame(CanId::from_raw(0x100 + dlc as u16), &vec![0x3C; dlc])
-                    .unwrap()
+                CanFrame::data_frame(CanId::from_raw(0x100 + dlc as u16), &vec![0x3C; dlc]).unwrap()
             })
             .collect();
         b.iter(|| {

@@ -7,10 +7,10 @@
 //! the benign traffic actually gets through — undefended, defended by
 //! MichiCAN, and on a healthy bus — over multi-second horizons.
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
 use can_sim::{EventKind, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use michican::prelude::*;
 use parrot::ParrotDefender;
 use restbus::{vehicle_matrix, ReplayApp, Vehicle};
@@ -58,21 +58,26 @@ pub fn run(defense: Defense, run_ms: f64) -> Availability {
     let matrix = restbus::CommMatrix::new("veh-d-availability", speed, messages);
 
     let mut sim = Simulator::new(speed);
-    sim.add_node(Node::new("restbus", Box::new(ReplayApp::for_matrix(&matrix))));
+    sim.add_node(Node::new(
+        "restbus",
+        Box::new(ReplayApp::for_matrix(&matrix)),
+    ));
     let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
 
     let attacker = if defense != Defense::Healthy {
-        Some(sim.add_node(Node::new(
-            "attacker",
-            Box::new(
-                SuspensionAttacker::saturating(DosKind::Targeted {
-                    id: CanId::from_raw(ATTACK_ID_RAW),
-                })
-                // Distinct payload: a spoof that is byte-identical to the
-                // defender's counterattack frames would collide invisibly.
-                .with_payload(&[0xFF; 8]),
-            ),
-        )))
+        Some(
+            sim.add_node(Node::new(
+                "attacker",
+                Box::new(
+                    SuspensionAttacker::saturating(DosKind::Targeted {
+                        id: CanId::from_raw(ATTACK_ID_RAW),
+                    })
+                    // Distinct payload: a spoof that is byte-identical to the
+                    // defender's counterattack frames would collide invisibly.
+                    .with_payload(&[0xFF; 8]),
+                ),
+            )),
+        )
     } else {
         None
     };
@@ -80,7 +85,9 @@ pub fn run(defense: Defense, run_ms: f64) -> Availability {
     match defense {
         Defense::MichiCan => {
             let list = EcuList::new(matrix.ids()).expect("matrix ids unique");
-            let fsm = DetectionFsm::for_ecu(&list, list.len() - 1);
+            // Dongle: DoS range only — it owns no id, and adopting a list
+            // member's id would attack that member's legitimate frames.
+            let fsm = DetectionFsm::for_monitor(&list);
             sim.add_node(
                 Node::new("michican", Box::new(SilentApplication))
                     .with_agent(Box::new(MichiCan::new(fsm))),

@@ -22,11 +22,11 @@
 use std::env;
 use std::process::ExitCode;
 
+use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{bus_off_episodes, ErrorRole, EventKind, FaultModel, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use can_ids::IdsMonitor;
+use can_sim::{bus_off_episodes, ErrorRole, EventKind, FaultModel, Node, Simulator};
 use can_trace::{write_log, LogEntry, Timeline, TimelineEvent};
 use michican::prelude::*;
 use parrot::ParrotDefender;
@@ -161,7 +161,11 @@ fn run() -> Result<(), String> {
     if let Some((a, b)) = scenario.toggle {
         let node = sim.add_node(Node::new(
             "attacker-toggle",
-            Box::new(TogglingAttacker::new(a, b, speed.bits_in_millis(10.0).max(1))),
+            Box::new(TogglingAttacker::new(
+                a,
+                b,
+                speed.bits_in_millis(10.0).max(1),
+            )),
         ));
         watched.push((node, format!("tgl {a}")));
     }
@@ -232,25 +236,37 @@ fn run() -> Result<(), String> {
             .events()
             .iter()
             .filter_map(|e| match &e.kind {
-                EventKind::TransmissionStarted { .. } => {
-                    Some(TimelineEvent::TransmissionStarted { node: e.node, at: e.at })
-                }
+                EventKind::TransmissionStarted { .. } => Some(TimelineEvent::TransmissionStarted {
+                    node: e.node,
+                    at: e.at,
+                }),
                 EventKind::TransmissionSucceeded { .. } => {
-                    Some(TimelineEvent::TransmissionSucceeded { node: e.node, at: e.at })
+                    Some(TimelineEvent::TransmissionSucceeded {
+                        node: e.node,
+                        at: e.at,
+                    })
                 }
-                EventKind::ErrorDetected { role: ErrorRole::Transmitter, .. } => {
-                    Some(TimelineEvent::TransmitError { node: e.node, at: e.at })
-                }
-                EventKind::BusOff => Some(TimelineEvent::BusOff { node: e.node, at: e.at }),
-                EventKind::Recovered => Some(TimelineEvent::Recovered { node: e.node, at: e.at }),
+                EventKind::ErrorDetected {
+                    role: ErrorRole::Transmitter,
+                    ..
+                } => Some(TimelineEvent::TransmitError {
+                    node: e.node,
+                    at: e.at,
+                }),
+                EventKind::BusOff => Some(TimelineEvent::BusOff {
+                    node: e.node,
+                    at: e.at,
+                }),
+                EventKind::Recovered => Some(TimelineEvent::Recovered {
+                    node: e.node,
+                    at: e.at,
+                }),
                 _ => None,
             })
             .collect();
         let nodes: Vec<usize> = watched.iter().map(|&(n, _)| n).collect();
-        let labels: Vec<(usize, &str)> = watched
-            .iter()
-            .map(|&(n, ref l)| (n, l.as_str()))
-            .collect();
+        let labels: Vec<(usize, &str)> =
+            watched.iter().map(|&(n, ref l)| (n, l.as_str())).collect();
         let timeline = Timeline::build(&events, &nodes, sim.now().bits());
         print!("{}", timeline.render_ascii(&labels, 100));
     }
@@ -268,12 +284,9 @@ fn run() -> Result<(), String> {
             .iter()
             .filter(|e| e.node == monitor)
             .filter_map(|e| match &e.kind {
-                EventKind::FrameReceived { frame } => Some(LogEntry::from_bits(
-                    e.at.bits(),
-                    speed,
-                    "vcan0",
-                    *frame,
-                )),
+                EventKind::FrameReceived { frame } => {
+                    Some(LogEntry::from_bits(e.at.bits(), speed, "vcan0", *frame))
+                }
                 _ => None,
             })
             .collect();

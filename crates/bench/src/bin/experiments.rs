@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|table2|table3|fig1a|fig1b|fig2|fig4b|fig6|
 //!              detection|cpu|bus_load|multi_attacker|on_vehicle|
-//!              ids_latency|feasibility|availability] [--full]
+//!              ids_latency|feasibility|availability|faults] [--full]
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
 //! ```
 //!
@@ -20,8 +20,8 @@ use bench::{busload, cpu, detection, table1};
 use can_core::bitstream::{FrameField, FrameLayout};
 use can_core::counters::ERRORS_TO_BUS_OFF;
 use can_core::{BusSpeed, CanFrame, CanId, ErrorCounters, ErrorState};
-use can_trace::{Timeline, TimelineEvent};
 use can_sim::{ErrorRole, EventKind};
+use can_trace::{Timeline, TimelineEvent};
 use mcu::{ARDUINO_DUE, NXP_S32K144};
 use michican::prevention;
 use michican::Scenario;
@@ -118,6 +118,20 @@ fn main() {
         section("Extension — benign-traffic availability under persistent attack");
         availability();
     }
+    if run("faults") {
+        section("Extension — fault-injection campaign (robustness grid)");
+        faults(full);
+    }
+}
+
+fn faults(full: bool) {
+    use bench::campaign::{run_campaign, CampaignConfig};
+    let config = CampaignConfig {
+        run_ms: if full { 600.0 } else { 150.0 },
+        ..CampaignConfig::default()
+    };
+    print!("{}", run_campaign(&config).render());
+    println!("(seeded and deterministic: rerunning reproduces this table byte for byte)");
 }
 
 fn availability() {
@@ -158,8 +172,12 @@ fn feasibility() {
     use restbus::schedulability::{analyze, max_tolerable_blocking};
     use restbus::{vehicle_matrix, Vehicle};
     let matrix = vehicle_matrix(Vehicle::D, 0, BusSpeed::K500);
-    println!("matrix: {} ({} messages, min deadline {} ms)", matrix.name, matrix.len(),
-        matrix.min_deadline_ms().unwrap_or(0));
+    println!(
+        "matrix: {} ({} messages, min deadline {} ms)",
+        matrix.name,
+        matrix.len(),
+        matrix.min_deadline_ms().unwrap_or(0)
+    );
     println!(
         "{:<36} {:>12} {:>14}",
         "defense-episode blocking", "bits", "all deadlines?"
@@ -177,7 +195,11 @@ fn feasibility() {
             "{:<36} {:>12} {:>14}",
             label,
             blocking,
-            if result.all_schedulable() { "yes" } else { "NO" }
+            if result.all_schedulable() {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     let budget = max_tolerable_blocking(&matrix);
@@ -193,10 +215,7 @@ fn ids_latency() {
     use bench::ids_compare::{ids_defense, michican_defense};
     let ids = ids_defense(40_000);
     let michican = michican_defense(40_000);
-    println!(
-        "{:<34} {:>14} {:>14}",
-        "metric", "frame IDS", "MichiCAN"
-    );
+    println!("{:<34} {:>14} {:>14}", "metric", "frame IDS", "MichiCAN");
     println!(
         "{:<34} {:>14} {:>14}",
         "detection latency (bits)",
@@ -346,7 +365,10 @@ fn detection_latency(full: bool) {
     println!("position vs IVN size (figure-style series):");
     for n in [10usize, 20, 50, 100, 200, 300, 400] {
         let s = detection::run_sweep_with_sizes(if full { 2_000 } else { 200 }, 0xD5, n, n);
-        println!("  N = {n:>3}: mean position {:.2}", s.mean_detection_position);
+        println!(
+            "  N = {n:>3}: mean position {:.2}",
+            s.mean_detection_position
+        );
     }
 }
 
@@ -460,12 +482,10 @@ fn fig6(artifacts: Option<&std::path::Path>) {
                 node: e.node,
                 at: e.at,
             }),
-            EventKind::TransmissionSucceeded { .. } => {
-                Some(TimelineEvent::TransmissionSucceeded {
-                    node: e.node,
-                    at: e.at,
-                })
-            }
+            EventKind::TransmissionSucceeded { .. } => Some(TimelineEvent::TransmissionSucceeded {
+                node: e.node,
+                at: e.at,
+            }),
             EventKind::ErrorDetected {
                 role: ErrorRole::Transmitter,
                 ..

@@ -82,13 +82,10 @@ fn parse_args() -> Result<Options, String> {
                 let raw = raw.trim_start_matches("0x");
                 let value =
                     u16::from_str_radix(raw, 16).map_err(|_| format!("bad identifier {raw}"))?;
-                only_ecu =
-                    Some(CanId::new(value).map_err(|e| e.to_string())?);
+                only_ecu = Some(CanId::new(value).map_err(|e| e.to_string())?);
             }
             "--out" => {
-                out_dir = Some(PathBuf::from(
-                    args.next().ok_or("--out needs a directory")?,
-                ));
+                out_dir = Some(PathBuf::from(args.next().ok_or("--out needs a directory")?));
             }
             "--builtin" => {
                 source = Some(Source::Builtin(

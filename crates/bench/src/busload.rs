@@ -5,10 +5,10 @@
 //! episode. Parrot floods the bus with back-to-back counterattack frames,
 //! pushing the load toward 125/128 ≈ 97.7 %.
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
 use can_sim::{bus_off_episodes, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use michican::prelude::*;
 use parrot::ParrotDefender;
 

@@ -108,10 +108,10 @@ mod tests {
             &[BusSpeed::K125],
             &[Scenario::Full, Scenario::Light],
         );
-        let full = mean_active_load(&rows, ARDUINO_DUE.name, BusSpeed::K125, Scenario::Full)
-            .unwrap();
-        let light = mean_active_load(&rows, ARDUINO_DUE.name, BusSpeed::K125, Scenario::Light)
-            .unwrap();
+        let full =
+            mean_active_load(&rows, ARDUINO_DUE.name, BusSpeed::K125, Scenario::Full).unwrap();
+        let light =
+            mean_active_load(&rows, ARDUINO_DUE.name, BusSpeed::K125, Scenario::Light).unwrap();
         assert!((0.35..=0.45).contains(&full), "full {full:.3}");
         assert!((0.25..=0.35).contains(&light), "light {light:.3}");
         assert!(full > light, "paper: full ≈ 40 %, light ≈ 30 %");
@@ -120,8 +120,8 @@ mod tests {
     #[test]
     fn s32k144_paper_calibration_holds() {
         let rows = cpu_report(&[&NXP_S32K144], &[BusSpeed::K500], &[Scenario::Full]);
-        let load = mean_active_load(&rows, NXP_S32K144.name, BusSpeed::K500, Scenario::Full)
-            .unwrap();
+        let load =
+            mean_active_load(&rows, NXP_S32K144.name, BusSpeed::K500, Scenario::Full).unwrap();
         assert!((0.38..=0.50).contains(&load), "S32K144 {load:.3}");
     }
 

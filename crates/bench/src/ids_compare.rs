@@ -8,11 +8,11 @@
 //! * MichiCAN flags the *first* malicious frame inside its identifier
 //!   field and has destroyed it before its data field even starts.
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
-use can_sim::{EventKind, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use can_ids::IdsMonitor;
+use can_sim::{EventKind, Node, Simulator};
 use michican::prelude::*;
 
 /// Outcome of one defense-vs-flood run.

@@ -13,13 +13,16 @@
 //! * [`ids_compare`] — detection-latency quantification of Table I's IDS
 //!   row (extension);
 //! * [`availability`] — benign-traffic delivery under persistent attack,
-//!   healthy vs undefended vs defended (extension).
+//!   healthy vs undefended vs defended (extension);
+//! * [`campaign`] — the seeded fault-injection campaign grid (robustness
+//!   extension).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod availability;
 pub mod busload;
+pub mod campaign;
 pub mod cpu;
 pub mod detection;
 pub mod ids_compare;

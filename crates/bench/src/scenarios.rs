@@ -2,12 +2,14 @@
 //! multi-attacker sweep and the on-vehicle ParkSense test, built exactly
 //! as described in paper §V.
 
+use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
 use can_sim::{bus_off_episodes, DurationStats, EventKind, Node, NodeId, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use michican::prelude::*;
-use restbus::{pacifica_matrix, vehicle_matrix, ParkSense, ReplayApp, Vehicle, ATTACK_ID, PARKSENSE_ID};
+use restbus::{
+    pacifica_matrix, vehicle_matrix, ParkSense, ReplayApp, Vehicle, ATTACK_ID, PARKSENSE_ID,
+};
 
 /// The bus speed of the paper's online evaluation (Table II).
 pub const TABLE2_SPEED: BusSpeed = BusSpeed::K50;
@@ -31,12 +33,42 @@ pub struct Experiment {
 /// The paper's six experiments (§V-C).
 pub fn table2_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { number: 1, attacker_ids: vec![0x173], restbus: true, kind: "spoofing" },
-        Experiment { number: 2, attacker_ids: vec![0x173], restbus: false, kind: "spoofing" },
-        Experiment { number: 3, attacker_ids: vec![0x064], restbus: true, kind: "DoS" },
-        Experiment { number: 4, attacker_ids: vec![0x064], restbus: false, kind: "DoS" },
-        Experiment { number: 5, attacker_ids: vec![0x066, 0x067], restbus: false, kind: "2×DoS" },
-        Experiment { number: 6, attacker_ids: vec![0x050, 0x051], restbus: false, kind: "toggling" },
+        Experiment {
+            number: 1,
+            attacker_ids: vec![0x173],
+            restbus: true,
+            kind: "spoofing",
+        },
+        Experiment {
+            number: 2,
+            attacker_ids: vec![0x173],
+            restbus: false,
+            kind: "spoofing",
+        },
+        Experiment {
+            number: 3,
+            attacker_ids: vec![0x064],
+            restbus: true,
+            kind: "DoS",
+        },
+        Experiment {
+            number: 4,
+            attacker_ids: vec![0x064],
+            restbus: false,
+            kind: "DoS",
+        },
+        Experiment {
+            number: 5,
+            attacker_ids: vec![0x066, 0x067],
+            restbus: false,
+            kind: "2×DoS",
+        },
+        Experiment {
+            number: 6,
+            attacker_ids: vec![0x050, 0x051],
+            restbus: false,
+            kind: "toggling",
+        },
     ]
 }
 
@@ -231,8 +263,7 @@ pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
         .events()
         .iter()
         .find(|e| {
-            attackers.contains(&e.node)
-                && matches!(e.kind, EventKind::TransmissionStarted { .. })
+            attackers.contains(&e.node) && matches!(e.kind, EventKind::TransmissionStarted { .. })
         })?
         .at
         .bits();
@@ -269,11 +300,7 @@ pub fn run_parksense(defended: bool, run_ms: f64) -> ParkSenseOutcome {
     let mut sim = Simulator::new(speed);
 
     // One node per sending ECU for full arbitration fidelity.
-    let senders: Vec<String> = matrix
-        .by_sender()
-        .keys()
-        .map(|s| s.to_string())
-        .collect();
+    let senders: Vec<String> = matrix.by_sender().keys().map(|s| s.to_string()).collect();
     for sender in &senders {
         sim.add_node(Node::new(
             sender.clone(),
@@ -289,11 +316,12 @@ pub fn run_parksense(defended: bool, run_ms: f64) -> ParkSenseOutcome {
         })),
     ));
 
-    // The MichiCAN dongle (Arduino Due on the OBD-II splitter) watches as
-    // the highest-priority list member would: it knows the full matrix.
+    // The MichiCAN dongle (Arduino Due on the OBD-II splitter) knows the
+    // full matrix but owns no identifier, so it watches the DoS range
+    // only: adopting a list member's id would attack its owner.
     if defended {
         let list = EcuList::new(matrix.ids()).expect("matrix ids are unique");
-        let fsm = DetectionFsm::for_ecu(&list, list.len() - 1);
+        let fsm = DetectionFsm::for_monitor(&list);
         sim.add_node(
             Node::new("michican-dongle", Box::new(SilentApplication))
                 .with_agent(Box::new(MichiCan::new(fsm))),

@@ -67,13 +67,16 @@ mod tests {
 
     #[test]
     fn identifiers_alternate() {
-        let mut attacker = TogglingAttacker::new(
-            CanId::from_raw(0x050),
-            CanId::from_raw(0x051),
-            10,
-        );
+        let mut attacker =
+            TogglingAttacker::new(CanId::from_raw(0x050), CanId::from_raw(0x051), 10);
         let seq: Vec<u16> = (0..4)
-            .map(|i| attacker.poll(BitInstant::from_bits(i * 10)).unwrap().id().raw())
+            .map(|i| {
+                attacker
+                    .poll(BitInstant::from_bits(i * 10))
+                    .unwrap()
+                    .id()
+                    .raw()
+            })
             .collect();
         assert_eq!(seq, vec![0x050, 0x051, 0x050, 0x051]);
         assert_eq!(attacker.injected(), 4);

@@ -44,6 +44,20 @@ pub trait BitAgent {
     fn set_own_transmission(&mut self, _transmitting: bool) {}
 }
 
+impl<T: BitAgent + ?Sized> BitAgent for Box<T> {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
+        (**self).on_bit(level, now);
+    }
+
+    fn tx_level(&self) -> Option<Level> {
+        (**self).tx_level()
+    }
+
+    fn set_own_transmission(&mut self, transmitting: bool) {
+        (**self).set_own_transmission(transmitting);
+    }
+}
+
 /// A no-op agent: observes nothing, drives nothing.
 ///
 /// Useful as the default agent of simulator nodes without a defense.

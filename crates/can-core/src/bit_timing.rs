@@ -67,8 +67,7 @@ impl BitTiming {
         let c1 = self.sjw as f64 / (20.0 * self.tq_per_bit() as f64);
         // Condition 2: df <= min(PHASE1, PHASE2) / (2 * (13*tq - PHASE2))
         let min_phase = self.phase_seg1.min(self.phase_seg2) as f64;
-        let c2 = min_phase
-            / (2.0 * (13.0 * self.tq_per_bit() as f64 - self.phase_seg2 as f64));
+        let c2 = min_phase / (2.0 * (13.0 * self.tq_per_bit() as f64 - self.phase_seg2 as f64));
         c1.min(c2)
     }
 }
@@ -147,11 +146,8 @@ pub fn solve(
         }
         // Place the sample point as close to the target as the segment
         // bounds allow.
-        let before_sample =
-            ((tq_per_bit as f64 * target_sample_point).round() as u32).clamp(
-                SYNC_SEG + 1 + 1,
-                tq_per_bit - MIN_PHASE2,
-            );
+        let before_sample = ((tq_per_bit as f64 * target_sample_point).round() as u32)
+            .clamp(SYNC_SEG + 1 + 1, tq_per_bit - MIN_PHASE2);
         let phase_seg2 = (tq_per_bit - before_sample).clamp(MIN_PHASE2, MAX_PHASE2);
         let before_sample = tq_per_bit - phase_seg2;
         // Split the pre-sample region into PROP and PHASE1.
@@ -203,8 +199,7 @@ mod tests {
         // typical CAN clock), classic 16 MHz standalone controllers.
         for clock in [42_000_000u64, 80_000_000, 16_000_000] {
             for speed in BusSpeed::ALL {
-                let t = solve(clock, speed, 0.70)
-                    .unwrap_or_else(|e| panic!("{e}"));
+                let t = solve(clock, speed, 0.70).unwrap_or_else(|e| panic!("{e}"));
                 assert_eq!(
                     t.baud(clock),
                     speed.bits_per_second() as f64,
@@ -241,10 +236,7 @@ mod tests {
         // michican::sync.
         let t = solve(16_000_000, BusSpeed::K500, 0.70).unwrap();
         let df = t.max_oscillator_tolerance();
-        assert!(
-            df > 100e-6,
-            "tolerance {df:.2e} must exceed crystal drift"
-        );
+        assert!(df > 100e-6, "tolerance {df:.2e} must exceed crystal drift");
         assert!(df < 0.02, "but stays below a percent-level sanity bound");
     }
 

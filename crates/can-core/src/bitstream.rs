@@ -407,9 +407,7 @@ pub fn decode_frame(wire: &[Level]) -> Result<CanFrame, DecodeError> {
             match destuffer.push(bit) {
                 Destuffed::Bit(b) => unstuffed.push(b),
                 Destuffed::StuffBit => {}
-                Destuffed::Violation => {
-                    return Err(DecodeError::StuffViolation { position: pos })
-                }
+                Destuffed::Violation => return Err(DecodeError::StuffViolation { position: pos }),
             }
         }
         Ok(())
@@ -472,10 +470,7 @@ pub fn decode_frame(wire: &[Level]) -> Result<CanFrame, DecodeError> {
     // Form checks on the unstuffed tail: CRC delim, ACK delim, EOF must be
     // recessive. (ACK slot may be either.)
     let tail_base = layout.stuffed_region_bits();
-    for (offset, field) in [
-        (0usize, "CRC delimiter"),
-        (2, "ACK delimiter"),
-    ] {
+    for (offset, field) in [(0usize, "CRC delimiter"), (2, "ACK delimiter")] {
         if tail[offset].is_dominant() {
             return Err(DecodeError::FormViolation {
                 position: tail_base + offset,
@@ -504,8 +499,7 @@ pub fn decode_frame(wire: &[Level]) -> Result<CanFrame, DecodeError> {
     }
 
     if rtr {
-        Ok(CanFrame::remote_frame(id, dlc_raw.min(8))
-            .expect("validated DLC"))
+        Ok(CanFrame::remote_frame(id, dlc_raw.min(8)).expect("validated DLC"))
     } else {
         Ok(CanFrame::data_frame(id, &data[..data_bytes]).expect("validated payload"))
     }
@@ -542,7 +536,10 @@ mod tests {
         assert_eq!(layout.field_at(11), Some(FrameField::Id));
         assert_eq!(layout.field_at(12), Some(FrameField::Rtr));
         assert_eq!(layout.field_at(19), Some(FrameField::Data));
-        assert_eq!(layout.field_at(layout.total_bits() - 1), Some(FrameField::Eof));
+        assert_eq!(
+            layout.field_at(layout.total_bits() - 1),
+            Some(FrameField::Eof)
+        );
         assert_eq!(layout.field_at(layout.total_bits()), None);
     }
 
@@ -651,10 +648,11 @@ mod tests {
             let frame = CanFrame::data_frame(id(raw), &payload).unwrap();
             let wire = stuff_frame(&frame);
             let region = &wire.bits[..wire.stuffed_region_len];
-            let max_run = region
-                .windows(6)
-                .all(|w| !(w.iter().all(|&b| b == w[0])));
-            assert!(max_run, "id {raw:#x} produced 6 equal bits in stuffed region");
+            let max_run = region.windows(6).all(|w| !(w.iter().all(|&b| b == w[0])));
+            assert!(
+                max_run,
+                "id {raw:#x} produced 6 equal bits in stuffed region"
+            );
         }
     }
 
@@ -721,7 +719,10 @@ mod tests {
         // at unstuffed index 13.
         assert!(wire.stuff_positions.iter().all(|&p| p > 13));
         wire.bits[13] = Level::Recessive; // IDE = 1 ⇒ extended format
-        assert_eq!(decode_frame(&wire.bits).unwrap_err(), DecodeError::ExtendedFrame);
+        assert_eq!(
+            decode_frame(&wire.bits).unwrap_err(),
+            DecodeError::ExtendedFrame
+        );
     }
 
     #[test]

@@ -149,7 +149,9 @@ mod tests {
     fn detects_burst_errors_up_to_15_bits() {
         // A CRC with a degree-15 generator detects all burst errors of
         // length <= 15.
-        let data = bits_of(&[0, 1, 1, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1, 1]);
+        let data = bits_of(&[
+            0, 1, 1, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1, 1,
+        ]);
         let reference = checksum(&data);
         for burst_len in 1..=15usize {
             for start in 0..=(data.len() - burst_len) {

@@ -96,7 +96,10 @@ impl fmt::Display for InvalidFrame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InvalidFrame::PayloadTooLong { len } => {
-                write!(f, "payload of {len} bytes exceeds the CAN 2.0A maximum of 8")
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the CAN 2.0A maximum of 8"
+                )
             }
             InvalidFrame::DlcTooLarge { dlc } => {
                 write!(f, "DLC {dlc} exceeds the CAN 2.0A maximum of 8")
@@ -152,9 +155,7 @@ impl fmt::Display for DecodeError {
                 write!(f, "form violation in {field} at bit {position}")
             }
             DecodeError::Truncated => f.write_str("bit stream ended mid-frame"),
-            DecodeError::ExtendedFrame => {
-                f.write_str("extended (29-bit) frames are not supported")
-            }
+            DecodeError::ExtendedFrame => f.write_str("extended (29-bit) frames are not supported"),
         }
     }
 }

@@ -148,9 +148,7 @@ impl CanFrameBuilder {
     /// Returns [`InvalidFrame::PayloadTooLong`] if `payload.len() > 8`.
     pub fn data(mut self, payload: &[u8]) -> Result<Self, InvalidFrame> {
         if payload.len() > MAX_PAYLOAD {
-            return Err(InvalidFrame::PayloadTooLong {
-                len: payload.len(),
-            });
+            return Err(InvalidFrame::PayloadTooLong { len: payload.len() });
         }
         self.dlc = payload.len() as u8;
         self.data = [0; MAX_PAYLOAD];

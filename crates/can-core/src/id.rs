@@ -28,9 +28,7 @@ use crate::level::Level;
 /// assert!(brake.outranks(infotainment));
 /// assert_eq!(format!("{brake}"), "0x064");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CanId(u16);
 

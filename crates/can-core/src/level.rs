@@ -88,9 +88,7 @@ impl Level {
     /// assert_eq!(Level::wired_and([]), Level::Recessive);
     /// ```
     pub fn wired_and<I: IntoIterator<Item = Level>>(levels: I) -> Level {
-        levels
-            .into_iter()
-            .fold(Level::Recessive, |acc, l| acc & l)
+        levels.into_iter().fold(Level::Recessive, |acc, l| acc & l)
     }
 }
 

@@ -16,8 +16,7 @@ fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn arb_frame() -> impl Strategy<Value = CanFrame> {
-    (arb_id(), arb_payload())
-        .prop_map(|(id, payload)| CanFrame::data_frame(id, &payload).unwrap())
+    (arb_id(), arb_payload()).prop_map(|(id, payload)| CanFrame::data_frame(id, &payload).unwrap())
 }
 
 fn arb_levels(max: usize) -> impl Strategy<Value = Vec<Level>> {

@@ -46,7 +46,10 @@ impl IntervalIds {
     ///
     /// Panics if `training_samples < 2` or the tolerance is not positive.
     pub fn new(training_samples: usize, tolerance_fraction: f64) -> Self {
-        assert!(training_samples >= 2, "need at least two training intervals");
+        assert!(
+            training_samples >= 2,
+            "need at least two training intervals"
+        );
         assert!(tolerance_fraction > 0.0, "tolerance must be positive");
         IntervalIds {
             phase: IdsPhase::Training,
@@ -65,8 +68,7 @@ impl IntervalIds {
     pub fn arm(&mut self) {
         for model in self.models.values_mut() {
             if !model.samples.is_empty() {
-                model.mean =
-                    model.samples.iter().sum::<u64>() as f64 / model.samples.len() as f64;
+                model.mean = model.samples.iter().sum::<u64>() as f64 / model.samples.len() as f64;
                 model.tolerance = model.mean * self.tolerance_fraction;
             }
         }

@@ -115,14 +115,29 @@ enum ErrPhase {
 #[derive(Debug, Clone)]
 enum State {
     /// Waiting for 11 consecutive recessive bits before joining the bus.
-    Integrating { recessive_run: u8 },
+    Integrating {
+        recessive_run: u8,
+    },
     Idle,
-    Receiving { parser: RxParser },
-    Transmitting { tx: TxJob, parser: RxParser },
+    Receiving {
+        parser: RxParser,
+    },
+    Transmitting {
+        tx: TxJob,
+        parser: RxParser,
+    },
     ErrorSignaling(ErrSig),
-    Intermission { remaining: u8, then_suspend: bool },
-    Suspend { remaining: u8 },
-    BusOff { recessive_run: u8, sequences: u32 },
+    Intermission {
+        remaining: u8,
+        then_suspend: bool,
+    },
+    Suspend {
+        remaining: u8,
+    },
+    BusOff {
+        recessive_run: u8,
+        sequences: u32,
+    },
 }
 
 /// Callbacks surfaced by one [`Controller::on_sample`] step.
@@ -165,6 +180,17 @@ impl Controller {
             drive_ack: false,
             last_reported_state: ErrorState::ErrorActive,
         }
+    }
+
+    /// Hardware-style reset: error counters cleared, mailboxes flushed,
+    /// back to the integrating state (11 recessive bits before rejoining).
+    /// Models an MCU restart after a transient crash.
+    pub fn reset(&mut self) {
+        self.counters = ErrorCounters::new();
+        self.state = State::Integrating { recessive_run: 0 };
+        self.pending.clear();
+        self.drive_ack = false;
+        self.last_reported_state = ErrorState::ErrorActive;
     }
 
     /// The controller's error counters.
@@ -303,7 +329,8 @@ impl Controller {
     fn start_transmission(&mut self, out: &mut StepOutput) -> State {
         match self.take_highest_priority_pending() {
             Some(frame) => {
-                out.events.push(EventKind::TransmissionStarted { id: frame.id() });
+                out.events
+                    .push(EventKind::TransmissionStarted { id: frame.id() });
                 State::Transmitting {
                     tx: TxJob::new(frame),
                     parser: RxParser::new(),
@@ -380,7 +407,8 @@ impl Controller {
         if mismatch {
             if in_arbitration && sent.is_recessive() && bus.is_dominant() {
                 // Lost arbitration: continue as receiver of the winner.
-                out.events.push(EventKind::ArbitrationLost { id: tx.frame.id() });
+                out.events
+                    .push(EventKind::ArbitrationLost { id: tx.frame.id() });
                 self.requeue(tx.frame);
                 // The parser already consumed this bit; stay receiving.
                 return match rx_event {
@@ -418,7 +446,8 @@ impl Controller {
         tx.index += 1;
         if tx.index == tx.bits.len() {
             self.counters.on_transmit_success();
-            out.events.push(EventKind::TransmissionSucceeded { frame: tx.frame });
+            out.events
+                .push(EventKind::TransmissionSucceeded { frame: tx.frame });
             out.transmitted = Some(tx.frame);
             let then_suspend = self.counters.state() == ErrorState::ErrorPassive;
             return State::Intermission {
@@ -452,12 +481,7 @@ impl Controller {
         State::ErrorSignaling(sig)
     }
 
-    fn transmit_ack_error(
-        &mut self,
-        tx: TxJob,
-        _now: BitInstant,
-        out: &mut StepOutput,
-    ) -> State {
+    fn transmit_ack_error(&mut self, tx: TxJob, _now: BitInstant, out: &mut StepOutput) -> State {
         let active_before = self.counters.state() == ErrorState::ErrorActive;
         // ISO 11898-1 exception: an error-passive transmitter detecting an
         // ACK error (and no dominant bit during its passive flag) does not
@@ -480,12 +504,7 @@ impl Controller {
         State::ErrorSignaling(sig)
     }
 
-    fn new_error_signal(
-        &self,
-        was_transmitter: bool,
-        receiver_role: bool,
-        active: bool,
-    ) -> ErrSig {
+    fn new_error_signal(&self, was_transmitter: bool, receiver_role: bool, active: bool) -> ErrSig {
         ErrSig {
             active,
             flag_remaining: ERROR_FLAG_BITS,
@@ -565,8 +584,8 @@ impl Controller {
                         sequences: 0,
                     }
                 } else {
-                    let then_suspend = sig.was_transmitter
-                        && self.counters.state() == ErrorState::ErrorPassive;
+                    let then_suspend =
+                        sig.was_transmitter && self.counters.state() == ErrorState::ErrorPassive;
                     State::Intermission {
                         remaining: IFS_BITS as u8,
                         then_suspend,
@@ -704,9 +723,13 @@ mod tests {
         let mut nodes = vec![Controller::new(ControllerConfig::default())];
         nodes[0].enqueue(frame(0x100, &[1, 2]));
         let events = run(&mut nodes, 20_000);
-        assert!(events
-            .iter()
-            .any(|(_, _, k)| matches!(k, EventKind::ErrorDetected { kind: CanErrorKind::Ack, .. })));
+        assert!(events.iter().any(|(_, _, k)| matches!(
+            k,
+            EventKind::ErrorDetected {
+                kind: CanErrorKind::Ack,
+                ..
+            }
+        )));
         assert!(!nodes[0].is_bus_off());
         assert_eq!(nodes[0].error_state(), ErrorState::ErrorPassive);
     }
@@ -724,9 +747,12 @@ mod tests {
             _ => None,
         });
         assert_eq!(received, Some((1, frame(0x123, &[0xDE, 0xAD]))));
-        assert!(events
-            .iter()
-            .any(|(_, node, k)| *node == 0 && matches!(k, EventKind::TransmissionSucceeded { .. })));
+        assert!(
+            events
+                .iter()
+                .any(|(_, node, k)| *node == 0
+                    && matches!(k, EventKind::TransmissionSucceeded { .. }))
+        );
         // A successful exchange leaves both nodes error-active with clean
         // counters.
         assert_eq!(nodes[0].counters().tec(), 0);

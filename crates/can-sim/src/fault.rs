@@ -1,23 +1,89 @@
-//! Channel fault injection.
+//! Fault injection: channel, transmitter and defender-pin faults.
 //!
 //! The paper argues MichiCAN cannot false-positive a legitimate node into
 //! bus-off: "a node needs to encounter 32 consecutive errors for the TEC
 //! to reach a level that would trigger a bus-off condition. In case of
 //! sporadic errors, the likelihood of hitting this threshold is near
-//! zero" (§IV-E). This module adds a configurable bit-error channel to
-//! the simulated medium so that claim can be tested instead of assumed.
+//! zero" (§IV-E). This module makes that claim — and the defender's
+//! behaviour when its own assumptions break — testable instead of assumed,
+//! at three seams:
 //!
-//! Faults model *bus-level* disturbances (EMI glitches on the twisted
-//! pair): after the wired-AND resolves, the level every node samples may
-//! be flipped with a configured probability, or at scripted instants.
+//! * **Channel faults** ([`FaultModel`], stacked via [`FaultStack`]) model
+//!   bus-level disturbances (EMI glitches on the twisted pair): after the
+//!   wired-AND resolves, the level every node samples may be flipped —
+//!   independently per bit, in bursts (Gilbert–Elliott), or at scripted
+//!   instants.
+//! * **Transmitter faults** ([`TxFault`], attached per node) model a
+//!   faulty ECU rather than a noisy wire: a transceiver stuck dominant, a
+//!   babbling node driving garbage, or a transient crash and restart.
+//! * **Defender pin faults** ([`PinFaultConfig`] + [`FaultyAgent`]) sit on
+//!   the `CAN_RX` seam between the bus and a
+//!   [`BitAgent`](can_core::agent::BitAgent): sampling jitter, missed
+//!   bit-interrupts and delayed start-of-frame hard-syncs — the failure
+//!   modes a software-defined defense must degrade gracefully under.
 
-use can_core::Level;
+use can_core::agent::BitAgent;
+use can_core::{BitInstant, Level};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Consecutive recessive bits after which the next dominant edge is a
+/// start-of-frame (matches the controllers' integration rule).
+const IDLE_BITS_BEFORE_SOF: u32 = 11;
+
+fn assert_probability(p: f64, what: &str) {
+    assert!((0.0..=1.0).contains(&p), "{what} must be a probability");
+}
+
+/// Parameters of the Gilbert–Elliott two-state burst-error channel.
+///
+/// The channel alternates between a *good* and a *bad* state with the
+/// given per-bit transition probabilities; each state flips bits with its
+/// own error rate. Mean burst length is `1 / p_bad_to_good` bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstParams {
+    /// Per-bit probability of entering the bad (burst) state.
+    pub p_good_to_bad: f64,
+    /// Per-bit probability of leaving the bad state.
+    pub p_bad_to_good: f64,
+    /// Bit error rate while in the good state (usually ≈ 0).
+    pub ber_good: f64,
+    /// Bit error rate while in the bad state.
+    pub ber_bad: f64,
+}
+
+impl BurstParams {
+    /// Validates every field as a probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field lies outside `0.0..=1.0`.
+    pub fn validate(&self) {
+        assert_probability(self.p_good_to_bad, "p_good_to_bad");
+        assert_probability(self.p_bad_to_good, "p_bad_to_good");
+        assert_probability(self.ber_good, "ber_good");
+        assert_probability(self.ber_bad, "ber_bad");
+    }
+
+    /// The long-run fraction of bits spent in the bad state.
+    pub fn bad_state_fraction(&self) -> f64 {
+        let total = self.p_good_to_bad + self.p_bad_to_good;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.p_good_to_bad / total
+        }
+    }
+
+    /// The long-run average bit error rate of the channel.
+    pub fn mean_ber(&self) -> f64 {
+        let bad = self.bad_state_fraction();
+        self.ber_bad * bad + self.ber_good * (1.0 - bad)
+    }
+}
+
 /// A bus-level fault model applied after the wired-AND.
-#[derive(Debug)]
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub enum FaultModel {
     /// No disturbance (default).
     #[default]
@@ -28,6 +94,16 @@ pub enum FaultModel {
         ber: f64,
         /// Deterministic RNG for reproducible runs (boxed to keep the
         /// enum small).
+        rng: Box<StdRng>,
+    },
+    /// A Gilbert–Elliott burst-error channel: errors cluster while the
+    /// channel is in its bad state.
+    Bursty {
+        /// Channel parameters.
+        params: BurstParams,
+        /// Whether the channel is currently in the bad state.
+        in_bad_state: bool,
+        /// Deterministic RNG.
         rng: Box<StdRng>,
     },
     /// Flip exactly the bits at the given instants (sorted, deduplicated).
@@ -46,9 +122,23 @@ impl FaultModel {
     ///
     /// Panics unless `0.0 <= ber <= 1.0`.
     pub fn random(ber: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&ber), "BER must be a probability");
+        assert_probability(ber, "BER");
         FaultModel::RandomBitErrors {
             ber,
+            rng: Box::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// A Gilbert–Elliott burst channel starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not a probability.
+    pub fn bursty(params: BurstParams, seed: u64) -> Self {
+        params.validate();
+        FaultModel::Bursty {
+            params,
+            in_bad_state: false,
             rng: Box::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -71,6 +161,30 @@ impl FaultModel {
                     level
                 }
             }
+            FaultModel::Bursty {
+                params,
+                in_bad_state,
+                rng,
+            } => {
+                let p_leave = if *in_bad_state {
+                    params.p_bad_to_good
+                } else {
+                    params.p_good_to_bad
+                };
+                if p_leave > 0.0 && rng.random_bool(p_leave) {
+                    *in_bad_state = !*in_bad_state;
+                }
+                let ber = if *in_bad_state {
+                    params.ber_bad
+                } else {
+                    params.ber_good
+                };
+                if ber > 0.0 && rng.random_bool(ber) {
+                    level.opposite()
+                } else {
+                    level
+                }
+            }
             FaultModel::Scripted { flips, cursor } => {
                 if flips.get(*cursor) == Some(&now) {
                     *cursor += 1;
@@ -83,6 +197,326 @@ impl FaultModel {
     }
 }
 
+/// An ordered stack of channel fault models, applied first-to-last.
+///
+/// Stacking composes independent disturbances — e.g. a low background BER
+/// plus an EMI burst channel plus a scripted flip at one frame-boundary
+/// bit — without baking every combination into one model.
+#[derive(Debug, Default)]
+pub struct FaultStack {
+    layers: Vec<FaultModel>,
+}
+
+impl FaultStack {
+    /// The empty (transparent) stack.
+    pub fn new() -> Self {
+        FaultStack::default()
+    }
+
+    /// Builder-style: appends a layer and returns the stack.
+    pub fn layer(mut self, model: FaultModel) -> Self {
+        self.push(model);
+        self
+    }
+
+    /// Appends a layer applied after the existing ones.
+    pub fn push(&mut self, model: FaultModel) {
+        if !matches!(model, FaultModel::None) {
+            self.layers.push(model);
+        }
+    }
+
+    /// Number of (non-transparent) layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack disturbs nothing.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Applies every layer in order to the resolved bus level.
+    pub fn apply(&mut self, level: Level, now: u64) -> Level {
+        self.layers
+            .iter_mut()
+            .fold(level, |lvl, layer| layer.apply(lvl, now))
+    }
+}
+
+impl From<FaultModel> for FaultStack {
+    fn from(model: FaultModel) -> Self {
+        FaultStack::new().layer(model)
+    }
+}
+
+/// A transmitter-side fault attached to one node: the ECU itself (MCU or
+/// transceiver) misbehaves, rather than the wire.
+///
+/// Windows are half-open `[from, until)` intervals in bit times; pass
+/// `u64::MAX` for an unbounded fault.
+#[derive(Debug)]
+pub enum TxFault {
+    /// The transceiver output is shorted dominant: the node jams the bus
+    /// for the whole window regardless of its controller.
+    StuckDominant {
+        /// First faulty bit time.
+        from: u64,
+        /// First healthy bit time again.
+        until: u64,
+    },
+    /// A babbling node: drives pseudo-random garbage (dominant with
+    /// probability `duty` per bit) for the whole window.
+    Babbling {
+        /// First faulty bit time.
+        from: u64,
+        /// First healthy bit time again.
+        until: u64,
+        /// Per-bit probability of driving dominant.
+        duty: f64,
+        /// Deterministic RNG.
+        rng: Box<StdRng>,
+    },
+    /// The MCU crashes at `down_at` (node falls silent, controller frozen)
+    /// and restarts from reset at `up_at`.
+    CrashRestart {
+        /// Bit time of the crash.
+        down_at: u64,
+        /// Bit time of the restart (`u64::MAX`: never restarts).
+        up_at: u64,
+        /// Whether the reset was already delivered.
+        restarted: bool,
+    },
+}
+
+impl TxFault {
+    /// A transceiver stuck dominant during `[from, until)`.
+    pub fn stuck_dominant(from: u64, until: u64) -> Self {
+        TxFault::StuckDominant { from, until }
+    }
+
+    /// A babbling node during `[from, until)` driving dominant with
+    /// probability `duty` per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= duty <= 1.0`.
+    pub fn babbling(from: u64, until: u64, duty: f64, seed: u64) -> Self {
+        assert_probability(duty, "duty");
+        TxFault::Babbling {
+            from,
+            until,
+            duty,
+            rng: Box::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// A transient crash at `down_at` with a restart-from-reset at `up_at`.
+    pub fn crash_restart(down_at: u64, up_at: u64) -> Self {
+        assert!(down_at <= up_at, "restart precedes the crash");
+        TxFault::CrashRestart {
+            down_at,
+            up_at,
+            restarted: false,
+        }
+    }
+
+    /// The level forced onto the node's TX contribution at `now`, if the
+    /// fault is active. Call exactly once per bit time (advances the
+    /// babble RNG).
+    pub fn tx_override(&mut self, now: u64) -> Option<Level> {
+        match self {
+            TxFault::StuckDominant { from, until } => {
+                (*from..*until).contains(&now).then_some(Level::Dominant)
+            }
+            TxFault::Babbling {
+                from,
+                until,
+                duty,
+                rng,
+            } => (*from..*until).contains(&now).then(|| {
+                if *duty > 0.0 && rng.random_bool(*duty) {
+                    Level::Dominant
+                } else {
+                    Level::Recessive
+                }
+            }),
+            TxFault::CrashRestart { down_at, up_at, .. } => (*down_at..*up_at)
+                .contains(&now)
+                .then_some(Level::Recessive),
+        }
+    }
+
+    /// Whether the node's MCU is down at `now` (controller, application
+    /// and agent must not run).
+    pub fn is_down(&self, now: u64) -> bool {
+        match self {
+            TxFault::CrashRestart { down_at, up_at, .. } => (*down_at..*up_at).contains(&now),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` exactly once, at the first bit time at or after the
+    /// restart instant: the owner must reset its controller.
+    pub fn take_restart(&mut self, now: u64) -> bool {
+        match self {
+            TxFault::CrashRestart {
+                up_at, restarted, ..
+            } if !*restarted && now >= *up_at => {
+                *restarted = true;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Fault rates for a defender's pin access (sampling and edge interrupts).
+///
+/// All fields default to zero (a healthy pin).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PinFaultConfig {
+    /// Probability that a sample reads the wrong level (sampling jitter
+    /// near an edge, ringing, or a marginal threshold).
+    pub sample_flip_prob: f64,
+    /// Probability that the per-bit interrupt never fires, so the agent
+    /// misses the bit entirely.
+    pub missed_bit_prob: f64,
+    /// Probability that a start-of-frame edge is detected late (the
+    /// hard-sync interrupt is masked), delaying the agent's view of the
+    /// frame start.
+    pub sof_delay_prob: f64,
+    /// How many bits late a delayed start-of-frame is seen.
+    pub sof_delay_bits: u8,
+}
+
+impl PinFaultConfig {
+    /// Validates every probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate lies outside `0.0..=1.0`.
+    pub fn validate(&self) {
+        assert_probability(self.sample_flip_prob, "sample_flip_prob");
+        assert_probability(self.missed_bit_prob, "missed_bit_prob");
+        assert_probability(self.sof_delay_prob, "sof_delay_prob");
+    }
+
+    /// Whether the pin is fault-free.
+    pub fn is_healthy(&self) -> bool {
+        self.sample_flip_prob == 0.0 && self.missed_bit_prob == 0.0 && self.sof_delay_prob == 0.0
+    }
+}
+
+/// Wraps a [`BitAgent`] behind a faulty `CAN_RX` pin.
+///
+/// The wrapped agent receives a disturbed view of the bus: samples may be
+/// flipped, dropped (the bit interrupt never fires) or — for the first
+/// dominant bit after a bus-idle period — delivered late, exactly the
+/// degradations a real pin-multiplexed defense faces. TX is untouched:
+/// the fault sits on the receive path.
+///
+/// Generic over the inner agent so callers keep typed access to it
+/// (defense statistics, health state); `A = Box<dyn BitAgent>` works too.
+pub struct FaultyAgent<A> {
+    inner: A,
+    config: PinFaultConfig,
+    rng: StdRng,
+    /// Consecutive recessive bits observed on the true bus.
+    idle_run: u32,
+    /// Remaining bits during which a delayed SOF is masked.
+    sof_mask: u8,
+}
+
+impl<A: BitAgent> FaultyAgent<A> {
+    /// Wraps `inner` behind a pin with the given fault rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate in `config` is not a probability.
+    pub fn new(inner: A, config: PinFaultConfig, seed: u64) -> Self {
+        config.validate();
+        FaultyAgent {
+            inner,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            idle_run: IDLE_BITS_BEFORE_SOF,
+            sof_mask: 0,
+        }
+    }
+
+    /// The wrapped agent.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped agent.
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Unwraps the inner agent.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A> std::fmt::Debug for FaultyAgent<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyAgent")
+            .field("config", &self.config)
+            .field("idle_run", &self.idle_run)
+            .field("sof_mask", &self.sof_mask)
+            .finish()
+    }
+}
+
+impl<A: BitAgent> BitAgent for FaultyAgent<A> {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
+        let sof_edge = level.is_dominant() && self.idle_run >= IDLE_BITS_BEFORE_SOF;
+        if level.is_recessive() {
+            self.idle_run = self.idle_run.saturating_add(1);
+        } else {
+            self.idle_run = 0;
+        }
+
+        if sof_edge
+            && self.config.sof_delay_prob > 0.0
+            && self.config.sof_delay_bits > 0
+            && self.rng.random_bool(self.config.sof_delay_prob)
+        {
+            self.sof_mask = self.config.sof_delay_bits;
+        }
+        if self.sof_mask > 0 {
+            // The hard-sync interrupt has not fired yet: the agent still
+            // believes the bus is idle.
+            self.sof_mask -= 1;
+            self.inner.on_bit(Level::Recessive, now);
+            return;
+        }
+
+        if self.config.missed_bit_prob > 0.0 && self.rng.random_bool(self.config.missed_bit_prob) {
+            return;
+        }
+
+        let seen = if self.config.sample_flip_prob > 0.0
+            && self.rng.random_bool(self.config.sample_flip_prob)
+        {
+            level.opposite()
+        } else {
+            level
+        };
+        self.inner.on_bit(seen, now);
+    }
+
+    fn tx_level(&self) -> Option<Level> {
+        self.inner.tx_level()
+    }
+
+    fn set_own_transmission(&mut self, transmitting: bool) {
+        self.inner.set_own_transmission(transmitting);
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -142,5 +576,278 @@ mod tests {
         for t in 0..10_000 {
             assert_eq!(model.apply(Level::Dominant, t), Level::Dominant);
         }
+    }
+
+    fn emi_burst() -> BurstParams {
+        BurstParams {
+            p_good_to_bad: 0.001,
+            p_bad_to_good: 0.05,
+            ber_good: 0.0,
+            ber_bad: 0.3,
+        }
+    }
+
+    #[test]
+    fn bursty_errors_cluster() {
+        // Same long-run error count, very different clustering: compare
+        // gaps between errors for an iid channel and a GE channel of
+        // equal mean BER.
+        let params = emi_burst();
+        let mean_ber = params.mean_ber();
+        let errors = |model: &mut FaultModel| -> Vec<u64> {
+            (0..500_000)
+                .filter(|&t| model.apply(Level::Recessive, t).is_dominant())
+                .collect()
+        };
+        let mut ge = FaultModel::bursty(params, 11);
+        let mut iid = FaultModel::random(mean_ber, 11);
+        let ge_errors = errors(&mut ge);
+        let iid_errors = errors(&mut iid);
+
+        // Comparable totals (same mean rate).
+        let ratio = ge_errors.len() as f64 / iid_errors.len() as f64;
+        assert!((0.5..=2.0).contains(&ratio), "rates comparable: {ratio}");
+
+        // Clustering: the fraction of errors whose predecessor is within
+        // 8 bits is far higher for the burst channel.
+        let near = |errs: &[u64]| {
+            errs.windows(2).filter(|w| w[1] - w[0] <= 8).count() as f64 / errs.len().max(1) as f64
+        };
+        assert!(
+            near(&ge_errors) > 4.0 * near(&iid_errors),
+            "GE {:.3} vs iid {:.3}",
+            near(&ge_errors),
+            near(&iid_errors)
+        );
+    }
+
+    #[test]
+    fn burst_params_mean_ber() {
+        let p = emi_burst();
+        let bad = 0.001 / 0.051;
+        assert!((p.bad_state_fraction() - bad).abs() < 1e-12);
+        assert!((p.mean_ber() - 0.3 * bad).abs() < 1e-12);
+        let silent = BurstParams {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+            ber_good: 0.0,
+            ber_bad: 1.0,
+        };
+        assert_eq!(silent.bad_state_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ber_bad must be a probability")]
+    fn invalid_burst_params_panic() {
+        let _ = FaultModel::bursty(
+            BurstParams {
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 0.1,
+                ber_good: 0.0,
+                ber_bad: 1.5,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn stack_composes_layers_in_order() {
+        // A scripted flip at t=3 under an otherwise transparent stack.
+        let mut stack = FaultStack::new()
+            .layer(FaultModel::None)
+            .layer(FaultModel::scripted(vec![3]))
+            .layer(FaultModel::scripted(vec![3, 7]));
+        assert_eq!(stack.len(), 2, "transparent layers are dropped");
+        // t=3: both layers flip — they cancel out.
+        assert_eq!(stack.apply(Level::Recessive, 3), Level::Recessive);
+        // t=7: only the second layer flips.
+        assert_eq!(stack.apply(Level::Recessive, 7), Level::Dominant);
+        assert_eq!(stack.apply(Level::Recessive, 8), Level::Recessive);
+    }
+
+    #[test]
+    fn empty_stack_is_transparent() {
+        let mut stack = FaultStack::new();
+        assert!(stack.is_empty());
+        for t in 0..50 {
+            assert_eq!(stack.apply(Level::Dominant, t), Level::Dominant);
+        }
+    }
+
+    #[test]
+    fn stuck_dominant_holds_the_window() {
+        let mut fault = TxFault::stuck_dominant(10, 20);
+        assert_eq!(fault.tx_override(9), None);
+        assert_eq!(fault.tx_override(10), Some(Level::Dominant));
+        assert_eq!(fault.tx_override(19), Some(Level::Dominant));
+        assert_eq!(fault.tx_override(20), None);
+        assert!(!fault.is_down(15));
+    }
+
+    #[test]
+    fn babbling_respects_duty_and_window() {
+        let mut fault = TxFault::babbling(0, 100_000, 0.25, 9);
+        let dominant = (0..100_000)
+            .filter(|&t| fault.tx_override(t) == Some(Level::Dominant))
+            .count();
+        assert!((23_000..=27_000).contains(&dominant), "≈ 25 %: {dominant}");
+        assert_eq!(fault.tx_override(100_000), None);
+    }
+
+    #[test]
+    fn crash_restart_fires_reset_once() {
+        let mut fault = TxFault::crash_restart(5, 10);
+        assert!(!fault.is_down(4));
+        assert!(fault.is_down(5));
+        assert_eq!(fault.tx_override(7), Some(Level::Recessive));
+        assert!(!fault.take_restart(9));
+        assert!(fault.take_restart(10), "reset fires at the restart");
+        assert!(!fault.take_restart(11), "reset fires only once");
+        assert!(!fault.is_down(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "restart precedes the crash")]
+    fn crash_restart_rejects_reversed_window() {
+        let _ = TxFault::crash_restart(10, 5);
+    }
+
+    /// Records the levels an agent was shown.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<Level>,
+    }
+
+    impl BitAgent for Recorder {
+        fn on_bit(&mut self, level: Level, _now: BitInstant) {
+            self.seen.push(level);
+        }
+        fn tx_level(&self) -> Option<Level> {
+            None
+        }
+    }
+
+    fn drive<A: BitAgent>(agent: &mut FaultyAgent<A>, wire: &[Level]) {
+        for (t, &level) in wire.iter().enumerate() {
+            agent.on_bit(level, BitInstant::from_bits(t as u64));
+        }
+    }
+
+    #[test]
+    fn healthy_pin_is_transparent() {
+        let wire = [
+            Level::Recessive,
+            Level::Dominant,
+            Level::Dominant,
+            Level::Recessive,
+            Level::Dominant,
+        ];
+        let mut agent = FaultyAgent::new(Recorder::default(), PinFaultConfig::default(), 1);
+        drive(&mut agent, &wire);
+        assert_eq!(agent.inner().seen, wire);
+        assert!(agent.into_inner().seen.len() == wire.len());
+    }
+
+    #[test]
+    fn boxed_inner_agent_works() {
+        let inner: Box<dyn BitAgent> = Box::new(Recorder::default());
+        let mut agent = FaultyAgent::new(inner, PinFaultConfig::default(), 1);
+        agent.on_bit(Level::Dominant, BitInstant::ZERO);
+        agent.set_own_transmission(true);
+        assert_eq!(agent.tx_level(), None);
+    }
+
+    #[test]
+    fn missed_bits_drop_samples() {
+        struct Counter(u64);
+        impl BitAgent for Counter {
+            fn on_bit(&mut self, _l: Level, _n: BitInstant) {
+                self.0 += 1;
+            }
+            fn tx_level(&self) -> Option<Level> {
+                None
+            }
+        }
+        let mut agent = FaultyAgent::new(
+            Counter(0),
+            PinFaultConfig {
+                missed_bit_prob: 0.2,
+                ..PinFaultConfig::default()
+            },
+            7,
+        );
+        for t in 0..10_000u64 {
+            agent.on_bit(Level::Recessive, BitInstant::from_bits(t));
+        }
+        let delivered = agent.inner().0;
+        assert!(
+            (7_700..=8_300).contains(&delivered),
+            "≈ 80 % delivered: {delivered}"
+        );
+    }
+
+    #[test]
+    fn delayed_sof_masks_the_frame_start() {
+        struct FirstDominant(Option<u64>);
+        impl BitAgent for FirstDominant {
+            fn on_bit(&mut self, level: Level, now: BitInstant) {
+                if level.is_dominant() && self.0.is_none() {
+                    self.0 = Some(now.bits());
+                }
+            }
+            fn tx_level(&self) -> Option<Level> {
+                None
+            }
+        }
+        // 12 idle bits, then a long dominant run (a frame start).
+        let mut wire = vec![Level::Recessive; 12];
+        wire.extend(std::iter::repeat_n(Level::Dominant, 6));
+
+        // sof_delay_prob = 1: the SOF edge at t=12 must be masked for
+        // exactly 3 bits, so the inner agent first sees dominant at t=15.
+        let mut agent = FaultyAgent::new(
+            FirstDominant(None),
+            PinFaultConfig {
+                sof_delay_prob: 1.0,
+                sof_delay_bits: 3,
+                ..PinFaultConfig::default()
+            },
+            3,
+        );
+        drive(&mut agent, &wire);
+        assert_eq!(agent.sof_mask, 0, "the mask must be exhausted");
+        assert_eq!(agent.inner().0, Some(15));
+    }
+
+    #[test]
+    fn sample_flips_disturb_levels() {
+        struct Flips(u64);
+        impl BitAgent for Flips {
+            fn on_bit(&mut self, level: Level, _n: BitInstant) {
+                if level.is_dominant() {
+                    self.0 += 1;
+                }
+            }
+            fn tx_level(&self) -> Option<Level> {
+                None
+            }
+        }
+        let mut agent = FaultyAgent::new(
+            Flips(0),
+            PinFaultConfig {
+                sample_flip_prob: 0.1,
+                ..PinFaultConfig::default()
+            },
+            13,
+        );
+        // Feed only recessive; every dominant the inner sees is a flip.
+        for t in 0..10_000u64 {
+            agent.on_bit(Level::Recessive, BitInstant::from_bits(t));
+        }
+        let flipped = agent.inner().0;
+        assert!(
+            (800..=1_200).contains(&flipped),
+            "≈ 10 % flipped: {flipped}"
+        );
     }
 }

@@ -48,7 +48,7 @@ pub mod sim;
 
 pub use controller::{Controller, ControllerConfig, StepOutput};
 pub use event::{ErrorRole, Event, EventKind, NodeId};
-pub use fault::FaultModel;
+pub use fault::{BurstParams, FaultModel, FaultStack, FaultyAgent, PinFaultConfig, TxFault};
 pub use measure::{bus_off_episodes, BusOffEpisode, DurationStats};
 pub use node::Node;
 pub use parser::{RxEvent, RxParser};

@@ -12,6 +12,7 @@ use can_core::app::Application;
 use can_core::{BitInstant, Level};
 
 use crate::controller::{Controller, ControllerConfig, StepOutput};
+use crate::fault::TxFault;
 
 /// Maximum frames an application may enqueue per bit time; guards against
 /// runaway flooding applications stalling the simulator.
@@ -23,6 +24,10 @@ pub struct Node {
     controller: Controller,
     app: Box<dyn Application>,
     agent: Option<Box<dyn BitAgent>>,
+    tx_fault: Option<TxFault>,
+    /// Level forced by an active TX fault during the current bit, cached
+    /// by [`Node::prepare_bit`] so [`Node::tx_level`] stays `&self`.
+    forced_tx: Option<Level>,
 }
 
 impl Node {
@@ -34,6 +39,8 @@ impl Node {
             controller: Controller::new(ControllerConfig::default()),
             app,
             agent: None,
+            tx_fault: None,
+            forced_tx: None,
         }
     }
 
@@ -48,6 +55,8 @@ impl Node {
             controller: Controller::new(config),
             app,
             agent: None,
+            tx_fault: None,
+            forced_tx: None,
         }
     }
 
@@ -55,6 +64,19 @@ impl Node {
     pub fn with_agent(mut self, agent: Box<dyn BitAgent>) -> Self {
         self.agent = Some(agent);
         self
+    }
+
+    /// Attaches a transmitter-side fault (stuck-dominant transceiver,
+    /// babbling node, transient crash/restart) to this node.
+    pub fn with_tx_fault(mut self, fault: TxFault) -> Self {
+        self.tx_fault = Some(fault);
+        self
+    }
+
+    /// Installs or clears the transmitter-side fault at runtime.
+    pub fn set_tx_fault(&mut self, fault: Option<TxFault>) {
+        self.tx_fault = fault;
+        self.forced_tx = None;
     }
 
     /// The node's display name.
@@ -87,8 +109,24 @@ impl Node {
         self.agent.as_deref()
     }
 
+    /// Advances the node's fault state to bit time `now`: delivers a
+    /// pending restart reset and caches the fault's TX override. The
+    /// simulator calls this once per bit, before collecting TX levels.
+    pub fn prepare_bit(&mut self, now: BitInstant) {
+        self.forced_tx = None;
+        if let Some(fault) = &mut self.tx_fault {
+            if fault.take_restart(now.bits()) {
+                self.controller.reset();
+            }
+            self.forced_tx = fault.tx_override(now.bits());
+        }
+    }
+
     /// The level this node contributes to the bus during the next bit.
     pub fn tx_level(&self) -> Level {
+        if let Some(forced) = self.forced_tx {
+            return forced;
+        }
         let controller = self.controller.tx_level();
         let agent = self
             .agent
@@ -100,6 +138,16 @@ impl Node {
 
     /// Processes the sampled bus level for the current bit.
     pub fn on_sample(&mut self, bus: Level, now: BitInstant) -> StepOutput {
+        // A crashed MCU samples nothing: controller, application and
+        // agent are all frozen until the restart.
+        if self
+            .tx_fault
+            .as_ref()
+            .is_some_and(|fault| fault.is_down(now.bits()))
+        {
+            return StepOutput::default();
+        }
+
         // Application poll first: a frame due at bit `t` can be on the bus
         // at `t + 1`.
         for _ in 0..MAX_ENQUEUE_PER_BIT {
@@ -167,8 +215,8 @@ mod tests {
         let node = Node::new("quiet", Box::new(SilentApplication));
         assert_eq!(node.tx_level(), Level::Recessive);
 
-        let node = Node::new("agented", Box::new(SilentApplication))
-            .with_agent(Box::new(DominantAgent));
+        let node =
+            Node::new("agented", Box::new(SilentApplication)).with_agent(Box::new(DominantAgent));
         assert_eq!(node.tx_level(), Level::Dominant);
     }
 

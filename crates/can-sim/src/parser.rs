@@ -295,7 +295,10 @@ mod tests {
         assert_eq!(*events.last().unwrap(), RxEvent::Done(f));
         assert!(parser.is_finished());
         assert_eq!(
-            events.iter().filter(|e| matches!(e, RxEvent::Done(_))).count(),
+            events
+                .iter()
+                .filter(|e| matches!(e, RxEvent::Done(_)))
+                .count(),
             1
         );
     }
@@ -386,8 +389,7 @@ mod tests {
                     break;
                 }
             }
-            if events.contains(&RxEvent::Fault(CanErrorKind::Crc))
-            {
+            if events.contains(&RxEvent::Fault(CanErrorKind::Crc)) {
                 flipped = Some((probe.clone(), events));
                 break;
             }
@@ -444,7 +446,10 @@ mod tests {
         for &bit in &wire.bits[..n - 4] {
             parser.push(bit);
         }
-        assert_eq!(parser.push(Level::Dominant), RxEvent::Fault(CanErrorKind::Form));
+        assert_eq!(
+            parser.push(Level::Dominant),
+            RxEvent::Fault(CanErrorKind::Form)
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use can_core::{BitDuration, BitInstant, BusSpeed, Level};
 
 use crate::event::{Event, NodeId};
-use crate::fault::FaultModel;
+use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
 
 /// A per-bit recording of the bus level.
@@ -47,7 +47,7 @@ pub struct Simulator {
     events: Vec<Event>,
     trace: Option<SignalTrace>,
     busy_bits: u64,
-    fault: FaultModel,
+    faults: FaultStack,
 }
 
 impl Simulator {
@@ -60,13 +60,24 @@ impl Simulator {
             events: Vec::new(),
             trace: None,
             busy_bits: 0,
-            fault: FaultModel::None,
+            faults: FaultStack::new(),
         }
     }
 
-    /// Installs a channel fault model (EMI-style bus disturbances).
+    /// Installs a single channel fault model (EMI-style bus
+    /// disturbances), replacing any existing stack.
     pub fn set_fault_model(&mut self, fault: FaultModel) {
-        self.fault = fault;
+        self.faults = FaultStack::from(fault);
+    }
+
+    /// Installs a full channel fault stack, replacing any existing one.
+    pub fn set_fault_stack(&mut self, faults: FaultStack) {
+        self.faults = faults;
+    }
+
+    /// Appends a channel fault layer on top of the existing stack.
+    pub fn add_fault_layer(&mut self, fault: FaultModel) {
+        self.faults.push(fault);
     }
 
     /// Enables per-bit signal tracing (needed for Fig. 6-style timelines).
@@ -148,8 +159,11 @@ impl Simulator {
 
     /// Advances the simulation by one nominal bit time.
     pub fn step(&mut self) -> Level {
+        for node in &mut self.nodes {
+            node.prepare_bit(self.now);
+        }
         let resolved = Level::wired_and(self.nodes.iter().map(Node::tx_level));
-        let bus = self.fault.apply(resolved, self.now.bits());
+        let bus = self.faults.apply(resolved, self.now.bits());
         if let Some(trace) = &mut self.trace {
             trace.levels.push(bus);
         }
@@ -245,7 +259,10 @@ mod tests {
     fn periodic_traffic_flows_end_to_end() {
         let mut sim = Simulator::new(BusSpeed::K500);
         let f = frame(0x0C4, &[1, 2, 3, 4, 5, 6, 7, 8]);
-        sim.add_node(Node::new("sender", Box::new(PeriodicSender::new(f, 500, 0))));
+        sim.add_node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(f, 500, 0)),
+        ));
         sim.add_node(Node::new("receiver", Box::new(SilentApplication)));
         sim.run(5_000);
         let received = sim
@@ -263,7 +280,10 @@ mod tests {
     fn run_until_stops_at_matching_event() {
         let mut sim = Simulator::new(BusSpeed::K50);
         let f = frame(0x111, &[]);
-        sim.add_node(Node::new("sender", Box::new(PeriodicSender::new(f, 400, 0))));
+        sim.add_node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(f, 400, 0)),
+        ));
         sim.add_node(Node::new("rx", Box::new(SilentApplication)));
         let hit = sim.run_until(10_000, |e| {
             matches!(e.kind, EventKind::TransmissionSucceeded { .. })
@@ -310,6 +330,73 @@ mod tests {
         sim.run(77);
         assert_eq!(sim.trace().unwrap().len(), 77);
         assert_eq!(sim.now().bits(), 77);
+    }
+
+    #[test]
+    fn stuck_dominant_transmitter_jams_the_bus() {
+        use crate::fault::TxFault;
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.add_node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(frame(0x100, &[1, 2]), 400, 0)),
+        ));
+        sim.add_node(
+            Node::new("broken", Box::new(SilentApplication))
+                .with_tx_fault(TxFault::stuck_dominant(1_000, 3_000)),
+        );
+        sim.enable_trace();
+        sim.run(5_000);
+        let levels = sim.trace().unwrap().levels();
+        assert!(
+            levels[1_000..3_000].iter().all(|l| l.is_dominant()),
+            "the bus is jammed for the whole window"
+        );
+        // The healthy sender keeps succeeding once the jam clears.
+        let after_jam = sim
+            .events()
+            .iter()
+            .filter(|e| {
+                e.at.bits() > 3_000 && matches!(e.kind, EventKind::TransmissionSucceeded { .. })
+            })
+            .count();
+        assert!(after_jam >= 3, "recovered after the jam: {after_jam}");
+    }
+
+    #[test]
+    fn crashed_node_falls_silent_then_rejoins_after_reset() {
+        use crate::fault::TxFault;
+        let mut sim = Simulator::new(BusSpeed::K500);
+        let sender = sim.add_node(
+            Node::new(
+                "flaky",
+                Box::new(PeriodicSender::new(frame(0x123, &[7]), 500, 0)),
+            )
+            .with_tx_fault(TxFault::crash_restart(2_000, 8_000)),
+        );
+        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        sim.run(14_000);
+
+        let successes: Vec<u64> = sim
+            .events()
+            .iter()
+            .filter(|e| {
+                e.node == sender && matches!(e.kind, EventKind::TransmissionSucceeded { .. })
+            })
+            .map(|e| e.at.bits())
+            .collect();
+        assert!(
+            successes.iter().any(|&t| t < 2_000),
+            "transmits before the crash"
+        );
+        assert!(
+            !successes.iter().any(|&t| (2_000..8_011).contains(&t)),
+            "silent while down (plus re-integration)"
+        );
+        assert!(
+            successes.iter().any(|&t| t > 8_011),
+            "resumes after the restart"
+        );
+        assert_eq!(sim.node(sender).controller().counters().tec(), 0);
     }
 
     #[test]

@@ -69,10 +69,13 @@ fn listen_only_node_does_not_acknowledge() {
             .any(|e| matches!(e.kind, EventKind::TransmissionSucceeded { .. })),
         "nothing can succeed without an acknowledging receiver"
     );
-    assert!(sim
-        .events()
-        .iter()
-        .any(|e| matches!(e.kind, EventKind::ErrorDetected { kind: can_core::errors::CanErrorKind::Ack, .. })));
+    assert!(sim.events().iter().any(|e| matches!(
+        e.kind,
+        EventKind::ErrorDetected {
+            kind: can_core::errors::CanErrorKind::Ack,
+            ..
+        }
+    )));
     // But the listen-only tap still receives the frames.
     assert!(sim
         .events()
@@ -152,7 +155,10 @@ fn back_to_back_frames_honor_the_interframe_space() {
         }
     }
     let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new("sat", Box::new(Saturate(frame(0x2AA, &[0x55; 8])))));
+    sim.add_node(Node::new(
+        "sat",
+        Box::new(Saturate(frame(0x2AA, &[0x55; 8]))),
+    ));
     sim.add_node(Node::new("rx", Box::new(SilentApplication)));
     sim.run(3_000);
     let starts: Vec<u64> = sim

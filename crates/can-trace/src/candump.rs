@@ -68,7 +68,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "candump parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "candump parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -105,8 +109,14 @@ pub fn parse_log(source: &str) -> Result<Vec<LogEntry>, ParseError> {
         let rest = line
             .strip_prefix('(')
             .ok_or_else(|| err("expected '(timestamp)'"))?;
-        let (ts, rest) = rest.split_once(") ").ok_or_else(|| err("unterminated timestamp"))?;
-        let timestamp_s: f64 = ts.parse().map_err(|_| err("invalid timestamp"))?;
+        let (ts, rest) = rest
+            .split_once(") ")
+            .ok_or_else(|| err("unterminated timestamp"))?;
+        let timestamp_s: f64 = ts
+            .parse()
+            .ok()
+            .filter(|t: &f64| t.is_finite())
+            .ok_or_else(|| err("invalid timestamp"))?;
         let (interface, payload) = rest
             .split_once(' ')
             .ok_or_else(|| err("missing interface"))?;
@@ -188,7 +198,10 @@ mod tests {
             "can0",
             CanFrame::data_frame(CanId::from_raw(1), &[]).unwrap(),
         );
-        assert!((e.timestamp_s - 1.0).abs() < 1e-12, "50k bits at 50 kbit/s = 1 s");
+        assert!(
+            (e.timestamp_s - 1.0).abs() < 1e-12,
+            "50k bits at 50 kbit/s = 1 s"
+        );
     }
 
     #[test]
@@ -196,9 +209,16 @@ mod tests {
         assert!(parse_log("no parens can0 1#00").is_err());
         assert!(parse_log("(0.0) can0 999999#00").is_err());
         assert!(parse_log("(0.0) can0 173#0").is_err(), "odd data length");
-        assert!(parse_log("(0.0) can0 173#112233445566778899").is_err(), "9 bytes");
+        assert!(
+            parse_log("(0.0) can0 173#112233445566778899").is_err(),
+            "9 bytes"
+        );
         let e = parse_log("(abc) can0 1#00").unwrap_err();
         assert_eq!(e.line, 1);
+        // f64::parse accepts "nan"/"inf"; a capture timestamp must be a
+        // real instant (downstream statistics sort by it).
+        assert!(parse_log("(nan) can0 1#00").is_err());
+        assert!(parse_log("(inf) can0 1#00").is_err());
     }
 
     #[test]

@@ -40,11 +40,7 @@ impl LogReplayApp {
         for (t, _) in &mut schedule {
             *t -= offset;
         }
-        let loop_len_bits = schedule
-            .last()
-            .map(|&(t, _)| t + 200)
-            .unwrap_or(1)
-            .max(1);
+        let loop_len_bits = schedule.last().map(|&(t, _)| t + 200).unwrap_or(1).max(1);
         LogReplayApp {
             schedule,
             cursor: 0,
@@ -111,7 +107,11 @@ mod tests {
     #[test]
     fn replays_in_recorded_order_at_recorded_times() {
         // 1 ms apart at 500 kbit/s = 500 bits apart.
-        let log = vec![entry(10.000, 0x100), entry(10.001, 0x200), entry(10.002, 0x300)];
+        let log = vec![
+            entry(10.000, 0x100),
+            entry(10.001, 0x200),
+            entry(10.002, 0x300),
+        ];
         let mut app = LogReplayApp::new(&log, BusSpeed::K500);
         assert_eq!(app.remaining(), 3);
 
@@ -121,16 +121,28 @@ mod tests {
             "timestamps are normalized to the first entry"
         );
         assert!(app.poll(BitInstant::from_bits(499)).is_none());
-        assert_eq!(app.poll(BitInstant::from_bits(500)).unwrap().id().raw(), 0x200);
-        assert_eq!(app.poll(BitInstant::from_bits(1_000)).unwrap().id().raw(), 0x300);
-        assert!(app.poll(BitInstant::from_bits(99_999)).is_none(), "log exhausted");
+        assert_eq!(
+            app.poll(BitInstant::from_bits(500)).unwrap().id().raw(),
+            0x200
+        );
+        assert_eq!(
+            app.poll(BitInstant::from_bits(1_000)).unwrap().id().raw(),
+            0x300
+        );
+        assert!(
+            app.poll(BitInstant::from_bits(99_999)).is_none(),
+            "log exhausted"
+        );
     }
 
     #[test]
     fn unsorted_logs_are_sorted() {
         let log = vec![entry(2.0, 0x200), entry(1.0, 0x100)];
         let mut app = LogReplayApp::new(&log, BusSpeed::K50);
-        assert_eq!(app.poll(BitInstant::from_bits(0)).unwrap().id().raw(), 0x100);
+        assert_eq!(
+            app.poll(BitInstant::from_bits(0)).unwrap().id().raw(),
+            0x100
+        );
     }
 
     #[test]
@@ -142,7 +154,10 @@ mod tests {
         assert!(app.poll(BitInstant::from_bits(500)).is_some());
         // Second pass begins at bit 700.
         assert!(app.poll(BitInstant::from_bits(699)).is_none());
-        assert_eq!(app.poll(BitInstant::from_bits(700)).unwrap().id().raw(), 0x100);
+        assert_eq!(
+            app.poll(BitInstant::from_bits(700)).unwrap().id().raw(),
+            0x100
+        );
         assert_eq!(app.loops_done(), 1);
     }
 

@@ -51,7 +51,7 @@ impl TrafficStats {
         let per_id = per_id_times
             .into_iter()
             .map(|(id, mut times)| {
-                times.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+                times.sort_by(f64::total_cmp);
                 let intervals: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
                 let stats = if intervals.is_empty() {
                     IdStats {

@@ -210,7 +210,10 @@ impl Timeline {
                     }
                 }
             }
-            out.push_str(&format!("{label:>10} |{}|\n", row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{label:>10} |{}|\n",
+                row.iter().collect::<String>()
+            ));
         }
         out.push_str("legend: '#' transmitting, 'x' error frame, '=' bus-off, '.' idle\n");
         out
@@ -240,11 +243,26 @@ mod tests {
     #[test]
     fn reconstructs_attack_spans() {
         let events = vec![
-            TimelineEvent::TransmissionStarted { node: 0, at: at(10) },
-            TimelineEvent::TransmitError { node: 0, at: at(28) },
-            TimelineEvent::TransmissionStarted { node: 0, at: at(45) },
-            TimelineEvent::TransmitError { node: 0, at: at(63) },
-            TimelineEvent::BusOff { node: 0, at: at(80) },
+            TimelineEvent::TransmissionStarted {
+                node: 0,
+                at: at(10),
+            },
+            TimelineEvent::TransmitError {
+                node: 0,
+                at: at(28),
+            },
+            TimelineEvent::TransmissionStarted {
+                node: 0,
+                at: at(45),
+            },
+            TimelineEvent::TransmitError {
+                node: 0,
+                at: at(63),
+            },
+            TimelineEvent::BusOff {
+                node: 0,
+                at: at(80),
+            },
         ];
         let tl = Timeline::build(&events, &[0], 200);
         let spans: Vec<_> = tl.spans_of(0).collect();
@@ -261,7 +279,10 @@ mod tests {
     fn successful_transmission_closes_span() {
         let events = vec![
             TimelineEvent::TransmissionStarted { node: 1, at: at(0) },
-            TimelineEvent::TransmissionSucceeded { node: 1, at: at(110) },
+            TimelineEvent::TransmissionSucceeded {
+                node: 1,
+                at: at(110),
+            },
         ];
         let tl = Timeline::build(&events, &[1], 150);
         let spans: Vec<_> = tl.spans_of(1).collect();
@@ -272,8 +293,14 @@ mod tests {
     #[test]
     fn recovery_closes_bus_off_span() {
         let events = vec![
-            TimelineEvent::BusOff { node: 0, at: at(100) },
-            TimelineEvent::Recovered { node: 0, at: at(1508) },
+            TimelineEvent::BusOff {
+                node: 0,
+                at: at(100),
+            },
+            TimelineEvent::Recovered {
+                node: 0,
+                at: at(1508),
+            },
         ];
         let tl = Timeline::build(&events, &[0], 2000);
         let spans: Vec<_> = tl.spans_of(0).collect();
@@ -285,9 +312,18 @@ mod tests {
     fn ascii_render_contains_rows_and_legend() {
         let events = vec![
             TimelineEvent::TransmissionStarted { node: 0, at: at(0) },
-            TimelineEvent::TransmitError { node: 0, at: at(50) },
-            TimelineEvent::TransmissionStarted { node: 1, at: at(70) },
-            TimelineEvent::TransmitError { node: 1, at: at(120) },
+            TimelineEvent::TransmitError {
+                node: 0,
+                at: at(50),
+            },
+            TimelineEvent::TransmissionStarted {
+                node: 1,
+                at: at(70),
+            },
+            TimelineEvent::TransmitError {
+                node: 1,
+                at: at(120),
+            },
         ];
         let tl = Timeline::build(&events, &[0, 1], 200);
         let chart = tl.render_ascii(&[(0, "0x066"), (1, "0x067")], 80);
@@ -302,7 +338,10 @@ mod tests {
     fn csv_export_is_parseable() {
         let events = vec![
             TimelineEvent::TransmissionStarted { node: 0, at: at(5) },
-            TimelineEvent::TransmitError { node: 0, at: at(25) },
+            TimelineEvent::TransmitError {
+                node: 0,
+                at: at(25),
+            },
         ];
         let tl = Timeline::build(&events, &[0], 100);
         let csv = tl.to_csv();

@@ -91,10 +91,7 @@ mod tests {
     use super::*;
 
     fn levels(pattern: &str) -> Vec<Level> {
-        pattern
-            .chars()
-            .map(|c| Level::from_bit(c == '1'))
-            .collect()
+        pattern.chars().map(|c| Level::from_bit(c == '1')).collect()
     }
 
     #[test]

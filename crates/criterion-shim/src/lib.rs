@@ -1,0 +1,162 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this workspace-local crate provides the slice of criterion the benches
+//! use: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a calibration pass sizes the batch
+//! so one sample takes ≥ ~5 ms of wall clock, then a fixed number of
+//! samples report min/median/mean per-iteration times. No statistics
+//! beyond that, no HTML reports, no comparison baselines — enough to spot
+//! order-of-magnitude regressions without any dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, criterion-style.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for a single measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Measured samples per benchmark.
+const SAMPLES: usize = 15;
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            batch: 1,
+            calibrated: false,
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &bencher.per_iter);
+        self
+    }
+}
+
+/// Runs the closure batches and records per-iteration timings.
+#[derive(Debug)]
+pub struct Bencher {
+    batch: u64,
+    calibrated: bool,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, criterion-style.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.calibrated {
+            // Grow the batch until one batch meets the sample target.
+            loop {
+                let start = Instant::now();
+                for _ in 0..self.batch {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= TARGET_SAMPLE || self.batch >= 1 << 30 {
+                    break;
+                }
+                let grow = if elapsed.is_zero() {
+                    16
+                } else {
+                    (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+                };
+                self.batch = self.batch.saturating_mul(grow.clamp(2, 16));
+            }
+            self.calibrated = true;
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(routine());
+            }
+            self.per_iter.push(start.elapsed() / self.batch as u32);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name:<40} median {:>12} min {:>12} mean {:>12}",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    }
+}
+
+/// Declares a benchmark group: a named function invoking each benchmark
+/// function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn formatting_covers_units() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+    }
+}

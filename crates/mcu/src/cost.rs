@@ -175,11 +175,8 @@ mod tests {
     fn idle_load_is_well_below_active() {
         for speed in [BusSpeed::K125, BusSpeed::K500] {
             let idle = idle_utilization(&ARDUINO_DUE, speed);
-            let active = active_utilization(
-                &ARDUINO_DUE,
-                speed,
-                DetectionMode::Full { fsm_nodes: 64 },
-            );
+            let active =
+                active_utilization(&ARDUINO_DUE, speed, DetectionMode::Full { fsm_nodes: 64 });
             assert!(idle < active * 0.6, "idle {idle:.3} vs active {active:.3}");
         }
     }

@@ -138,8 +138,7 @@ mod tests {
 
     #[test]
     fn profiles_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            ALL_PROFILES.iter().map(|p| p.name).collect();
+        let names: std::collections::HashSet<_> = ALL_PROFILES.iter().map(|p| p.name).collect();
         assert_eq!(names.len(), ALL_PROFILES.len());
     }
 }

@@ -218,6 +218,22 @@ pub fn detection_range(list: &EcuList, index: usize) -> IdSet {
     IdSet::prefix_minus_points(own, &list.ids()[..index])
 }
 
+/// The detection range of a non-transmitting monitor (an OBD-II dongle):
+/// every non-legitimate identifier that ties or outranks the
+/// lowest-priority legitimate identifier — the DoS component of
+/// Definition IV.4 from the lowest-priority ECU's perspective, with no
+/// spoofing component.
+///
+/// A dongle owns no identifier, so it must not claim one: only the true
+/// owner of an identifier can tell (via its own transmission state)
+/// whether a frame carrying that identifier is spoofed. A dongle that
+/// "adopts" a list member's identifier would counterattack the owner's
+/// legitimate traffic.
+pub fn monitor_range(list: &EcuList) -> IdSet {
+    let lowest_priority = list.id_at(list.len() - 1);
+    IdSet::prefix_minus_points(lowest_priority, list.ids())
+}
+
 /// The detection range under a given scenario: the light scenario's lower
 /// half only watches its own identifier.
 pub fn scenario_range(list: &EcuList, index: usize, scenario: Scenario) -> IdSet {
@@ -245,7 +261,10 @@ mod tests {
         for raw in 0x000..=0x004 {
             assert!(range.contains(id(raw)), "{raw:#x} must be detected");
         }
-        assert!(!range.contains(id(0x005)), "legitimate peer is not detected");
+        assert!(
+            !range.contains(id(0x005)),
+            "legitimate peer is not detected"
+        );
         for raw in 0x006..=0x00F {
             assert!(range.contains(id(raw)), "{raw:#x} must be detected");
         }
@@ -345,6 +364,20 @@ mod tests {
             scenario_range(&list, 0, Scenario::Full),
             detection_range(&list, 0)
         );
+    }
+
+    #[test]
+    fn monitor_range_excludes_every_legitimate_id() {
+        let list = EcuList::from_raw(&[0x010, 0x080, 0x173, 0x400]);
+        let range = monitor_range(&list);
+        for raw in 0..=CanId::MAX_RAW {
+            let observed = id(raw);
+            let expected = raw <= 0x400 && !list.contains(observed);
+            assert_eq!(range.contains(observed), expected, "id {raw:#x}");
+        }
+        // The lowest-priority legitimate id is NOT watched: the dongle
+        // cannot tell its owner's frames from a spoofer's.
+        assert!(!range.contains(id(0x400)));
     }
 
     #[test]

@@ -118,6 +118,13 @@ impl DetectionFsm {
         Self::from_set(&crate::detect::detection_range(list, index))
     }
 
+    /// Builds the FSM of a non-transmitting monitor (an OBD-II dongle)
+    /// aware of the whole list: the DoS range only, no own identifier
+    /// (see [`crate::detect::monitor_range`]).
+    pub fn for_monitor(list: &crate::config::EcuList) -> Self {
+        Self::from_set(&crate::detect::monitor_range(list))
+    }
+
     /// Builds the FSM of the ECU at `index` under `scenario`.
     pub fn for_scenario(
         list: &crate::config::EcuList,
@@ -361,11 +368,7 @@ mod tests {
             let set = detection_range(&list, index);
             let fsm = DetectionFsm::from_set(&set);
             for id in CanId::all() {
-                assert_eq!(
-                    fsm.classify(id),
-                    set.contains(id),
-                    "index {index} id {id}"
-                );
+                assert_eq!(fsm.classify(id), set.contains(id), "index {index} id {id}");
             }
         }
     }
@@ -410,10 +413,8 @@ mod tests {
         assert!(!empty.classify(CanId::from_raw(0)));
         assert_eq!(empty.decision_position(CanId::from_raw(0)), 0);
 
-        let full = DetectionFsm::from_set(&IdSet::interval(
-            CanId::from_raw(0),
-            CanId::from_raw(0x7FF),
-        ));
+        let full =
+            DetectionFsm::from_set(&IdSet::interval(CanId::from_raw(0), CanId::from_raw(0x7FF)));
         assert!(full.classify(CanId::from_raw(0x7FF)));
         assert_eq!(full.node_count(), 2, "terminals only");
     }

@@ -86,7 +86,10 @@ impl MichiCanStats {
             None
         } else {
             Some(
-                self.detection_positions.iter().map(|&p| p as u64).sum::<u64>() as f64
+                self.detection_positions
+                    .iter()
+                    .map(|&p| p as u64)
+                    .sum::<u64>() as f64
                     / self.detection_positions.len() as f64,
             )
         }
@@ -165,6 +168,21 @@ impl MichiCan {
     /// The accumulated statistics.
     pub fn stats(&self) -> &MichiCanStats {
         &self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MichiCanConfig {
+        &self.config
+    }
+
+    /// Enables or disables prevention at runtime. Disabling releases the
+    /// `CAN_TX` pin immediately; detection keeps running (IDS mode). Used
+    /// by the health watchdog to fall back to detect-only mode.
+    pub fn set_prevention(&mut self, enabled: bool) {
+        self.config.prevention_enabled = enabled;
+        if !enabled {
+            self.injecting = false;
+        }
     }
 
     /// Whether a counterattack is in progress (the `CAN_TX` pin is
@@ -379,7 +397,10 @@ mod tests {
         // injection stretches the window slightly (stuff-skips), but it
         // must stay well below the attacker's error-flag end.
         assert!((6..=9).contains(&injected), "injected {injected} bits");
-        assert!(!defender.is_injecting(), "pin released by frame position 20");
+        assert!(
+            !defender.is_injecting(),
+            "pin released by frame position 20"
+        );
     }
 
     #[test]

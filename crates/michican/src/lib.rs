@@ -25,6 +25,8 @@
 //!   Algorithm 1 as a [`BitAgent`](can_core::agent::BitAgent).
 //! * [`prevention`] — injection analysis and theoretical bus-off times
 //!   (Table III).
+//! * [`health`] — watchdog + graceful degradation: detect-only fallback,
+//!   capped-backoff re-arm, bounded counterattack budget.
 //! * [`codegen`] — per-ECU firmware source generation (C and Rust).
 //! * [`analysis`] — exact decision-depth statistics and the deployment
 //!   coverage/redundancy matrix (§IV-A's robustness argument).
@@ -53,18 +55,22 @@ pub mod config;
 pub mod detect;
 pub mod fsm;
 pub mod handler;
+pub mod health;
 pub mod prevention;
 pub mod sync;
 
 pub use config::{EcuList, Scenario};
-pub use detect::{classify, detection_range, AttackClass, IdSet};
+pub use detect::{classify, detection_range, monitor_range, AttackClass, IdSet};
 pub use fsm::{DetectionFsm, DetectionStats, FsmCursor, FsmStep};
 pub use handler::{MichiCan, MichiCanConfig, MichiCanStats};
+pub use health::{DegradeReason, HealthConfig, HealthState, HealthStats, SupervisedMichiCan};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::config::{EcuList, Scenario};
-    pub use crate::detect::{classify, detection_range, AttackClass, IdSet};
+    pub use crate::detect::{classify, detection_range, monitor_range, AttackClass, IdSet};
     pub use crate::fsm::{DetectionFsm, DetectionStats};
     pub use crate::handler::{MichiCan, MichiCanConfig};
+    pub use crate::health::{HealthConfig, HealthState, SupervisedMichiCan};
+    pub use crate::sync::SyncConfig;
 }

@@ -184,8 +184,7 @@ pub fn theory_table(
             scenario: "H.P.",
             active_bits: t_a_clean,
             passive_bits: hp_p,
-            total_bits: RETRANSMISSIONS_PER_PHASE * t_a_clean
-                + RETRANSMISSIONS_PER_PHASE * hp_p,
+            total_bits: RETRANSMISSIONS_PER_PHASE * t_a_clean + RETRANSMISSIONS_PER_PHASE * hp_p,
         },
         TheoryRow {
             experiments: "5",
@@ -218,7 +217,10 @@ mod tests {
     fn paper_total_bus_off_time() {
         assert_eq!(single_attacker_total(WORST_CASE_FLAG_START), 1248);
         // 16 active at 560 bits total (paper's Exp. 5 HP row constant).
-        assert_eq!(RETRANSMISSIONS_PER_PHASE * error_active_time(WORST_CASE_FLAG_START), 560);
+        assert_eq!(
+            RETRANSMISSIONS_PER_PHASE * error_active_time(WORST_CASE_FLAG_START),
+            560
+        );
     }
 
     #[test]

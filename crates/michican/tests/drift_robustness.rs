@@ -30,7 +30,11 @@ fn resample(wire: &[Level], config: SyncConfig, hard_sync_at_sof: bool) -> Vec<L
         let offset = sync.offset_fraction();
         let t = (k as f64 + offset) * bit_ns;
         let index = (t / bit_ns).floor() as usize;
-        samples.push(*wire.get(index.min(wire.len() - 1)).unwrap_or(&Level::Recessive));
+        samples.push(
+            *wire
+                .get(index.min(wire.len() - 1))
+                .unwrap_or(&Level::Recessive),
+        );
         sync.advance_bit();
     }
     samples

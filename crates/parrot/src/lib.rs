@@ -109,9 +109,7 @@ impl Application for ParrotDefender {
             if now.bits() >= self.next_own_due {
                 self.next_own_due = now.bits() + period;
                 // Legitimate payload distinct from the counterattack.
-                return Some(
-                    CanFrame::data_frame(self.own_id, &[0xA5; 8]).expect("valid frame"),
-                );
+                return Some(CanFrame::data_frame(self.own_id, &[0xA5; 8]).expect("valid frame"));
             }
         }
         None
@@ -179,8 +177,7 @@ mod tests {
 
     #[test]
     fn own_traffic_flows_outside_floods() {
-        let mut parrot =
-            ParrotDefender::new(CanId::from_raw(0x173), 1_000).with_own_traffic(500);
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 1_000).with_own_traffic(500);
         let f = parrot.poll(BitInstant::from_bits(0)).unwrap();
         assert_eq!(f.data(), &[0xA5; 8]);
         assert!(parrot.poll(BitInstant::from_bits(1)).is_none());

@@ -68,9 +68,7 @@ pub fn parse_dbc(name: &str, speed: BusSpeed, source: &str) -> Result<CommMatrix
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| err(line_no, "missing or invalid DLC"))?;
-            let sender = parts
-                .next()
-                .ok_or_else(|| err(line_no, "missing sender"))?;
+            let sender = parts.next().ok_or_else(|| err(line_no, "missing sender"))?;
             if dlc > 8 {
                 return Err(err(line_no, "DLC exceeds 8"));
             }
@@ -78,6 +76,9 @@ pub fn parse_dbc(name: &str, speed: BusSpeed, source: &str) -> Result<CommMatrix
                 u16::try_from(id_raw).map_err(|_| err(line_no, "identifier out of range"))?,
             )
             .map_err(|_| err(line_no, "identifier exceeds 11 bits"))?;
+            if messages.iter().any(|m| m.id == id) {
+                return Err(err(line_no, "duplicate message identifier"));
+            }
             messages.push(Message {
                 id,
                 period_ms: DEFAULT_PERIOD_MS,
@@ -96,8 +97,7 @@ pub fn parse_dbc(name: &str, speed: BusSpeed, source: &str) -> Result<CommMatrix
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| err(line_no, "missing cycle time"))?;
-            let id =
-                CanId::new(id_raw).map_err(|_| err(line_no, "identifier exceeds 11 bits"))?;
+            let id = CanId::new(id_raw).map_err(|_| err(line_no, "identifier exceeds 11 bits"))?;
             if let Some(m) = messages.iter_mut().find(|m| m.id == id) {
                 m.period_ms = period.max(1);
             } else {
@@ -107,7 +107,9 @@ pub fn parse_dbc(name: &str, speed: BusSpeed, source: &str) -> Result<CommMatrix
         // Everything else (VERSION, SG_, CM_, …) is ignored.
     }
 
-    Ok(CommMatrix::new(name, speed, messages))
+    // The per-line checks above make this infallible today, but future
+    // matrix invariants must surface as parse errors, never aborts.
+    CommMatrix::try_new(name, speed, messages).map_err(|e| err(0, &e.to_string()))
 }
 
 fn err(line: usize, message: &str) -> DbcError {
@@ -163,10 +165,7 @@ BA_ \"GenMsgCycleTime\" BO_ 164 10;
         assert_eq!(ps.period_ms, 50);
         assert_eq!(ps.sender, "parksense");
         assert_eq!(ps.name, "PARKSENSE_STATUS");
-        assert_eq!(
-            matrix.message(CanId::from_raw(164)).unwrap().period_ms,
-            10
-        );
+        assert_eq!(matrix.message(CanId::from_raw(164)).unwrap().period_ms, 10);
     }
 
     #[test]
@@ -184,6 +183,11 @@ BA_ \"GenMsgCycleTime\" BO_ 164 10;
         assert!(parse_dbc("t", BusSpeed::K500, "BO_ nope X: 8 a\n").is_err());
         assert!(parse_dbc("t", BusSpeed::K500, "BO_ 4096 X: 8 a\n").is_err());
         assert!(parse_dbc("t", BusSpeed::K500, "BO_ 100 X: 9 a\n").is_err());
+        // A duplicate definition must be a parse error, not an abort.
+        let dup = "BO_ 100 X: 8 a\nBO_ 100 Y: 8 b\n";
+        let e = parse_dbc("t", BusSpeed::K500, dup).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("duplicate"));
         let orphan = "BA_ \"GenMsgCycleTime\" BO_ 5 10;\n";
         let e = parse_dbc("t", BusSpeed::K500, orphan).unwrap_err();
         assert_eq!(e.line, 1);

@@ -27,7 +27,7 @@ pub mod replay;
 pub mod schedulability;
 pub mod vehicles;
 
-pub use matrix::{CommMatrix, Message};
+pub use matrix::{CommMatrix, MatrixError, Message};
 pub use pacifica::{pacifica_matrix, ParkSense, ATTACK_ID, PARKSENSE_ID};
 pub use replay::ReplayApp;
 pub use vehicles::{all_buses, vehicle_matrix, Vehicle};

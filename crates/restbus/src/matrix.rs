@@ -60,28 +60,74 @@ pub struct CommMatrix {
     messages: Vec<Message>,
 }
 
+/// Why a set of messages does not form a valid matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two messages share an identifier (a matrix maps identifiers 1:1 to
+    /// senders, §IV-A).
+    DuplicateId(CanId),
+    /// A message declares a DLC above the CAN 2.0A maximum of 8.
+    DlcTooLarge {
+        /// The offending message identifier.
+        id: CanId,
+        /// Its declared DLC.
+        dlc: u8,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DuplicateId(id) => write!(f, "duplicate identifier {id} in matrix"),
+            MatrixError::DlcTooLarge { id, dlc } => {
+                write!(f, "message {id} declares DLC {dlc} > 8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
 impl CommMatrix {
-    /// Creates a matrix; messages are sorted by identifier and duplicate
-    /// identifiers are rejected.
+    /// Creates a matrix from trusted (literal) definitions; messages are
+    /// sorted by identifier.
     ///
     /// # Panics
     ///
-    /// Panics on duplicate identifiers (a matrix maps identifiers 1:1 to
-    /// senders).
-    pub fn new(name: impl Into<String>, speed: BusSpeed, mut messages: Vec<Message>) -> Self {
+    /// Panics on duplicate identifiers or DLC > 8. Use [`Self::try_new`]
+    /// for untrusted input (e.g. parsed files).
+    pub fn new(name: impl Into<String>, speed: BusSpeed, messages: Vec<Message>) -> Self {
+        Self::try_new(name, speed, messages).unwrap_or_else(|e| panic!("invalid matrix: {e}"))
+    }
+
+    /// Creates a matrix, rejecting duplicate identifiers and over-long
+    /// DLCs; messages are sorted by identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MatrixError`] naming the offending identifier.
+    pub fn try_new(
+        name: impl Into<String>,
+        speed: BusSpeed,
+        mut messages: Vec<Message>,
+    ) -> Result<Self, MatrixError> {
         messages.sort_by_key(|m| m.id);
         for pair in messages.windows(2) {
-            assert_ne!(
-                pair[0].id, pair[1].id,
-                "duplicate identifier {} in matrix",
-                pair[0].id
-            );
+            if pair[0].id == pair[1].id {
+                return Err(MatrixError::DuplicateId(pair[0].id));
+            }
         }
-        CommMatrix {
+        if let Some(m) = messages.iter().find(|m| m.dlc > 8) {
+            return Err(MatrixError::DlcTooLarge {
+                id: m.id,
+                dlc: m.dlc,
+            });
+        }
+        Ok(CommMatrix {
             name: name.into(),
             speed,
             messages,
-        }
+        })
     }
 
     /// The messages, sorted by identifier (priority order).

@@ -59,7 +59,10 @@ impl ReplayApp {
                 }
             })
             .collect();
-        ReplayApp { slots, generated: 0 }
+        ReplayApp {
+            slots,
+            generated: 0,
+        }
     }
 
     /// Frames handed to the controller so far.

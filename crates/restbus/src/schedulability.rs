@@ -266,7 +266,10 @@ mod tests {
         // The paper's crude 5000-bit bound ignores interference; the exact
         // analysis lands below it but comfortably above one episode.
         assert!(budget >= 1_300, "budget {budget} must fit one episode");
-        assert!(budget < 6_100, "budget {budget} must exclude the A=5 episode");
+        assert!(
+            budget < 6_100,
+            "budget {budget} must exclude the A=5 episode"
+        );
         assert!(analyze(&m, budget).all_schedulable());
         assert!(!analyze(&m, budget + 1).all_schedulable());
     }

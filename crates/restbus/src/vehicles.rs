@@ -187,11 +187,7 @@ mod tests {
             for bus in 0..2 {
                 let m = vehicle_matrix(vehicle, bus, BusSpeed::K500);
                 let load = m.predicted_bus_load();
-                assert!(
-                    (0.20..=0.55).contains(&load),
-                    "{}: load {load:.3}",
-                    m.name
-                );
+                assert!((0.20..=0.55).contains(&load), "{}: load {load:.3}", m.name);
             }
         }
     }
@@ -208,8 +204,7 @@ mod tests {
     fn eight_buses_total() {
         let buses = all_buses(BusSpeed::K500);
         assert_eq!(buses.len(), 8);
-        let names: std::collections::HashSet<_> =
-            buses.iter().map(|m| m.name.clone()).collect();
+        let names: std::collections::HashSet<_> = buses.iter().map(|m| m.name.clone()).collect();
         assert_eq!(names.len(), 8, "bus names are unique");
     }
 

@@ -50,8 +50,8 @@ fn benign_under_noise(ber: f64) {
         .map(|n| sim.node(n).controller().counters().tec())
         .max()
         .unwrap();
-    let any_bus_off = (0..sim.node_count())
-        .any(|n| sim.node(n).controller().error_state() == ErrorState::BusOff);
+    let any_bus_off =
+        (0..sim.node_count()).any(|n| sim.node(n).controller().error_state() == ErrorState::BusOff);
     println!(
         "BER {ber:>8.0e}: {errors:>5} channel errors, {delivered:>5} frames delivered, \
          worst TEC {worst_tec:>3}, any bus-off: {any_bus_off}"

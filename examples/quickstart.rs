@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
 use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use michican::prelude::*;
 
 fn main() {
@@ -38,8 +38,7 @@ fn main() {
         })),
     ));
     sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(fsm))),
+        Node::new("defender", Box::new(SilentApplication)).with_agent(Box::new(MichiCan::new(fsm))),
     );
 
     // 4. Run until the attacker's controller is forced into bus-off.
@@ -60,5 +59,8 @@ fn main() {
         .filter(|e| matches!(e.kind, EventKind::ErrorDetected { .. }))
         .count();
     println!("protocol errors logged on the way: {errors}");
-    println!("defender error counters: {}", sim.node(1).controller().counters());
+    println!(
+        "defender error counters: {}",
+        sim.node(1).controller().counters()
+    );
 }

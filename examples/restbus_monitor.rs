@@ -6,10 +6,10 @@
 //! cargo run --release --example restbus_monitor
 //! ```
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::BusSpeed;
 use can_sim::{EventKind, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use can_trace::{write_log, LogEntry, TrafficStats};
 use restbus::{vehicle_matrix, ReplayApp, Vehicle};
 
@@ -17,7 +17,10 @@ fn capture(with_attacker: bool, ms: f64) -> Vec<LogEntry> {
     let speed = BusSpeed::K500;
     let matrix = vehicle_matrix(Vehicle::D, 0, speed);
     let mut sim = Simulator::new(speed);
-    sim.add_node(Node::new("restbus", Box::new(ReplayApp::for_matrix(&matrix))));
+    sim.add_node(Node::new(
+        "restbus",
+        Box::new(ReplayApp::for_matrix(&matrix)),
+    ));
     let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
     if with_attacker {
         sim.add_node(Node::new(
@@ -31,12 +34,9 @@ fn capture(with_attacker: bool, ms: f64) -> Vec<LogEntry> {
         .iter()
         .filter(|e| e.node == monitor)
         .filter_map(|e| match &e.kind {
-            EventKind::FrameReceived { frame } => Some(LogEntry::from_bits(
-                e.at.bits(),
-                speed,
-                "vcan0",
-                *frame,
-            )),
+            EventKind::FrameReceived { frame } => {
+                Some(LogEntry::from_bits(e.at.bits(), speed, "vcan0", *frame))
+            }
             _ => None,
         })
         .collect()
@@ -70,7 +70,10 @@ fn main() {
     println!(
         "frequency-based IDS flags: {:?} (after-the-fact — the bus was already starved; \
          this is Table I's 'IDS detects but cannot eradicate')",
-        suspects.iter().map(|id| format!("{id}")).collect::<Vec<_>>()
+        suspects
+            .iter()
+            .map(|id| format!("{id}"))
+            .collect::<Vec<_>>()
     );
     let benign_flow = stats.per_id.keys().filter(|id| id.raw() != 0).count();
     println!("benign identifiers still flowing: {benign_flow}");

@@ -6,10 +6,10 @@
 //! cargo run --release --example two_attackers
 //! ```
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
 use can_sim::{bus_off_episodes, ErrorRole, EventKind, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use can_trace::{Timeline, TimelineEvent};
 use michican::prelude::*;
 

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ::bench as harness;
 pub use can_attacks;
 pub use can_core;
 pub use can_ids;
@@ -17,4 +18,3 @@ pub use mcu;
 pub use michican;
 pub use parrot;
 pub use restbus;
-pub use ::bench as harness;

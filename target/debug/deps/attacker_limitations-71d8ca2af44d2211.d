@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacker_limitations-71d8ca2af44d2211.d: tests/attacker_limitations.rs
+
+/root/repo/target/debug/deps/attacker_limitations-71d8ca2af44d2211: tests/attacker_limitations.rs
+
+tests/attacker_limitations.rs:

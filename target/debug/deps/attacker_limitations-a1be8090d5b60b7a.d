@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacker_limitations-a1be8090d5b60b7a.d: tests/attacker_limitations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacker_limitations-a1be8090d5b60b7a.rmeta: tests/attacker_limitations.rs Cargo.toml
+
+tests/attacker_limitations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

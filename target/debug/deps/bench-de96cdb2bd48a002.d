@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bench-de96cdb2bd48a002.d: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libbench-de96cdb2bd48a002.rlib: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libbench-de96cdb2bd48a002.rmeta: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/availability.rs:
+crates/bench/src/busload.rs:
+crates/bench/src/campaign.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/ids_compare.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table1.rs:

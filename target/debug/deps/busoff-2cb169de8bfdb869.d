@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/busoff-2cb169de8bfdb869.d: crates/bench/benches/busoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbusoff-2cb169de8bfdb869.rmeta: crates/bench/benches/busoff.rs Cargo.toml
+
+crates/bench/benches/busoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/busoff_ladder-978bfd54cfe5705c.d: tests/busoff_ladder.rs
+
+/root/repo/target/debug/deps/busoff_ladder-978bfd54cfe5705c: tests/busoff_ladder.rs
+
+tests/busoff_ladder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/busoff_ladder-a5d87821930c5033.d: tests/busoff_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbusoff_ladder-a5d87821930c5033.rmeta: tests/busoff_ladder.rs Cargo.toml
+
+tests/busoff_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

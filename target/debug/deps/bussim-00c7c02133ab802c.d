@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bussim-00c7c02133ab802c.d: crates/bench/src/bin/bussim.rs
+
+/root/repo/target/debug/deps/bussim-00c7c02133ab802c: crates/bench/src/bin/bussim.rs
+
+crates/bench/src/bin/bussim.rs:

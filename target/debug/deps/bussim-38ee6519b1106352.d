@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bussim-38ee6519b1106352.d: crates/bench/src/bin/bussim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbussim-38ee6519b1106352.rmeta: crates/bench/src/bin/bussim.rs Cargo.toml
+
+crates/bench/src/bin/bussim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

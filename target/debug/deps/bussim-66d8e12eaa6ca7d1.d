@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bussim-66d8e12eaa6ca7d1.d: crates/bench/src/bin/bussim.rs
+
+/root/repo/target/debug/deps/bussim-66d8e12eaa6ca7d1: crates/bench/src/bin/bussim.rs
+
+crates/bench/src/bin/bussim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/can_attacks-395c2986ac62a3de.d: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcan_attacks-395c2986ac62a3de.rmeta: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs Cargo.toml
+
+crates/can-attacks/src/lib.rs:
+crates/can-attacks/src/fabrication.rs:
+crates/can-attacks/src/ghost.rs:
+crates/can-attacks/src/masquerade.rs:
+crates/can-attacks/src/suspension.rs:
+crates/can-attacks/src/toggling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/can_attacks-807851932d4cefa1.d: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+/root/repo/target/debug/deps/can_attacks-807851932d4cefa1: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+crates/can-attacks/src/lib.rs:
+crates/can-attacks/src/fabrication.rs:
+crates/can-attacks/src/ghost.rs:
+crates/can-attacks/src/masquerade.rs:
+crates/can-attacks/src/suspension.rs:
+crates/can-attacks/src/toggling.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/can_attacks-8ec8a75ed9bb91c1.d: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+/root/repo/target/debug/deps/libcan_attacks-8ec8a75ed9bb91c1.rlib: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+/root/repo/target/debug/deps/libcan_attacks-8ec8a75ed9bb91c1.rmeta: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+crates/can-attacks/src/lib.rs:
+crates/can-attacks/src/fabrication.rs:
+crates/can-attacks/src/ghost.rs:
+crates/can-attacks/src/masquerade.rs:
+crates/can-attacks/src/suspension.rs:
+crates/can-attacks/src/toggling.rs:

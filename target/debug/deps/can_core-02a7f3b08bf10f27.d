@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/can_core-02a7f3b08bf10f27.d: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcan_core-02a7f3b08bf10f27.rmeta: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs Cargo.toml
+
+crates/can-core/src/lib.rs:
+crates/can-core/src/agent.rs:
+crates/can-core/src/app.rs:
+crates/can-core/src/bit_timing.rs:
+crates/can-core/src/bitstream.rs:
+crates/can-core/src/counters.rs:
+crates/can-core/src/crc.rs:
+crates/can-core/src/errors.rs:
+crates/can-core/src/frame.rs:
+crates/can-core/src/id.rs:
+crates/can-core/src/level.rs:
+crates/can-core/src/pin.rs:
+crates/can-core/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/can_core-9e3c58a85d6cfd51.d: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs
+
+/root/repo/target/debug/deps/libcan_core-9e3c58a85d6cfd51.rlib: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs
+
+/root/repo/target/debug/deps/libcan_core-9e3c58a85d6cfd51.rmeta: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs
+
+crates/can-core/src/lib.rs:
+crates/can-core/src/agent.rs:
+crates/can-core/src/app.rs:
+crates/can-core/src/bit_timing.rs:
+crates/can-core/src/bitstream.rs:
+crates/can-core/src/counters.rs:
+crates/can-core/src/crc.rs:
+crates/can-core/src/errors.rs:
+crates/can-core/src/frame.rs:
+crates/can-core/src/id.rs:
+crates/can-core/src/level.rs:
+crates/can-core/src/pin.rs:
+crates/can-core/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/can_ids-67dd842e28234df0.d: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+/root/repo/target/debug/deps/libcan_ids-67dd842e28234df0.rlib: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+/root/repo/target/debug/deps/libcan_ids-67dd842e28234df0.rmeta: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+crates/can-ids/src/lib.rs:
+crates/can-ids/src/frequency.rs:
+crates/can-ids/src/interval.rs:
+crates/can-ids/src/monitor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/can_ids-b8478c08cf8ec6a5.d: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcan_ids-b8478c08cf8ec6a5.rmeta: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs Cargo.toml
+
+crates/can-ids/src/lib.rs:
+crates/can-ids/src/frequency.rs:
+crates/can-ids/src/interval.rs:
+crates/can-ids/src/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

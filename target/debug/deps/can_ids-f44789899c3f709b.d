@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/can_ids-f44789899c3f709b.d: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+/root/repo/target/debug/deps/can_ids-f44789899c3f709b: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+crates/can-ids/src/lib.rs:
+crates/can-ids/src/frequency.rs:
+crates/can-ids/src/interval.rs:
+crates/can-ids/src/monitor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/can_sim-43d4683267c0a8ad.d: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+/root/repo/target/debug/deps/can_sim-43d4683267c0a8ad: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+crates/can-sim/src/lib.rs:
+crates/can-sim/src/controller.rs:
+crates/can-sim/src/event.rs:
+crates/can-sim/src/fault.rs:
+crates/can-sim/src/measure.rs:
+crates/can-sim/src/node.rs:
+crates/can-sim/src/parser.rs:
+crates/can-sim/src/sim.rs:

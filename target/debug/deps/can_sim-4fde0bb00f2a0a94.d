@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/can_sim-4fde0bb00f2a0a94.d: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcan_sim-4fde0bb00f2a0a94.rmeta: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs Cargo.toml
+
+crates/can-sim/src/lib.rs:
+crates/can-sim/src/controller.rs:
+crates/can-sim/src/event.rs:
+crates/can-sim/src/fault.rs:
+crates/can-sim/src/measure.rs:
+crates/can-sim/src/node.rs:
+crates/can-sim/src/parser.rs:
+crates/can-sim/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/can_sim-80390cc907bf7a61.d: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+/root/repo/target/debug/deps/libcan_sim-80390cc907bf7a61.rlib: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+/root/repo/target/debug/deps/libcan_sim-80390cc907bf7a61.rmeta: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+crates/can-sim/src/lib.rs:
+crates/can-sim/src/controller.rs:
+crates/can-sim/src/event.rs:
+crates/can-sim/src/fault.rs:
+crates/can-sim/src/measure.rs:
+crates/can-sim/src/node.rs:
+crates/can-sim/src/parser.rs:
+crates/can-sim/src/sim.rs:

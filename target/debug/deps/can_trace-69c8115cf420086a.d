@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/can_trace-69c8115cf420086a.d: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+/root/repo/target/debug/deps/can_trace-69c8115cf420086a: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+crates/can-trace/src/lib.rs:
+crates/can-trace/src/candump.rs:
+crates/can-trace/src/replay.rs:
+crates/can-trace/src/stats.rs:
+crates/can-trace/src/timeline.rs:
+crates/can-trace/src/vcd.rs:

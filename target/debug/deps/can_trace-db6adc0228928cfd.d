@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/can_trace-db6adc0228928cfd.d: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcan_trace-db6adc0228928cfd.rmeta: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs Cargo.toml
+
+crates/can-trace/src/lib.rs:
+crates/can-trace/src/candump.rs:
+crates/can-trace/src/replay.rs:
+crates/can-trace/src/stats.rs:
+crates/can-trace/src/timeline.rs:
+crates/can-trace/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/can_trace-e6dfb4455ec717d4.d: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+/root/repo/target/debug/deps/libcan_trace-e6dfb4455ec717d4.rlib: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+/root/repo/target/debug/deps/libcan_trace-e6dfb4455ec717d4.rmeta: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+crates/can-trace/src/lib.rs:
+crates/can-trace/src/candump.rs:
+crates/can-trace/src/replay.rs:
+crates/can-trace/src/stats.rs:
+crates/can-trace/src/timeline.rs:
+crates/can-trace/src/vcd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller_edge_cases-3649392783c15143.d: crates/can-sim/tests/controller_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller_edge_cases-3649392783c15143.rmeta: crates/can-sim/tests/controller_edge_cases.rs Cargo.toml
+
+crates/can-sim/tests/controller_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_edge_cases-a6a9af9033125287.d: crates/can-sim/tests/controller_edge_cases.rs
+
+/root/repo/target/debug/deps/controller_edge_cases-a6a9af9033125287: crates/can-sim/tests/controller_edge_cases.rs
+
+crates/can-sim/tests/controller_edge_cases.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b7e36888a4a84afc.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b7e36888a4a84afc.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b7e36888a4a84afc.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

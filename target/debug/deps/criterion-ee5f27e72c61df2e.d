@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ee5f27e72c61df2e.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-ee5f27e72c61df2e: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

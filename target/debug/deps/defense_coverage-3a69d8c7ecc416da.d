@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_coverage-3a69d8c7ecc416da.d: tests/defense_coverage.rs
+
+/root/repo/target/debug/deps/defense_coverage-3a69d8c7ecc416da: tests/defense_coverage.rs
+
+tests/defense_coverage.rs:

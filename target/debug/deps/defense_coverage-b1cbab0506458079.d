@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_coverage-b1cbab0506458079.d: tests/defense_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_coverage-b1cbab0506458079.rmeta: tests/defense_coverage.rs Cargo.toml
+
+tests/defense_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

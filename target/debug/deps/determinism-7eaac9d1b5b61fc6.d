@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-7eaac9d1b5b61fc6.d: crates/can-sim/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-7eaac9d1b5b61fc6.rmeta: crates/can-sim/tests/determinism.rs Cargo.toml
+
+crates/can-sim/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

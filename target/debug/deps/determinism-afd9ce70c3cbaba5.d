@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-afd9ce70c3cbaba5.d: crates/can-sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-afd9ce70c3cbaba5: crates/can-sim/tests/determinism.rs
+
+crates/can-sim/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drift_robustness-6fbdb00f81f8f2eb.d: crates/michican/tests/drift_robustness.rs
+
+/root/repo/target/debug/deps/drift_robustness-6fbdb00f81f8f2eb: crates/michican/tests/drift_robustness.rs
+
+crates/michican/tests/drift_robustness.rs:

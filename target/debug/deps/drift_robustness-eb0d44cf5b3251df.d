@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drift_robustness-eb0d44cf5b3251df.d: crates/michican/tests/drift_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrift_robustness-eb0d44cf5b3251df.rmeta: crates/michican/tests/drift_robustness.rs Cargo.toml
+
+crates/michican/tests/drift_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-406134de99fdc137.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-406134de99fdc137: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

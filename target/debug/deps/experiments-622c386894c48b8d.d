@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-622c386894c48b8d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-622c386894c48b8d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

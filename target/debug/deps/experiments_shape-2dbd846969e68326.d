@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_shape-2dbd846969e68326.d: tests/experiments_shape.rs
+
+/root/repo/target/debug/deps/experiments_shape-2dbd846969e68326: tests/experiments_shape.rs
+
+tests/experiments_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_shape-fe53a24ba5dcc1d1.d: tests/experiments_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_shape-fe53a24ba5dcc1d1.rmeta: tests/experiments_shape.rs Cargo.toml
+
+tests/experiments_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

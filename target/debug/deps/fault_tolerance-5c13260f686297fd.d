@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-5c13260f686297fd.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-5c13260f686297fd: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

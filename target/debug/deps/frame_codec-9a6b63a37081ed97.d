@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frame_codec-9a6b63a37081ed97.d: crates/bench/benches/frame_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframe_codec-9a6b63a37081ed97.rmeta: crates/bench/benches/frame_codec.rs Cargo.toml
+
+crates/bench/benches/frame_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

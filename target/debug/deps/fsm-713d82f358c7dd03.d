@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fsm-713d82f358c7dd03.d: crates/bench/benches/fsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsm-713d82f358c7dd03.rmeta: crates/bench/benches/fsm.rs Cargo.toml
+
+crates/bench/benches/fsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

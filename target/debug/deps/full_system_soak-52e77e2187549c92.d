@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_system_soak-52e77e2187549c92.d: tests/full_system_soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_system_soak-52e77e2187549c92.rmeta: tests/full_system_soak.rs Cargo.toml
+
+tests/full_system_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

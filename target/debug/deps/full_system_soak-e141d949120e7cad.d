@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system_soak-e141d949120e7cad.d: tests/full_system_soak.rs
+
+/root/repo/target/debug/deps/full_system_soak-e141d949120e7cad: tests/full_system_soak.rs
+
+tests/full_system_soak.rs:

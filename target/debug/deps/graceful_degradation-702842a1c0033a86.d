@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graceful_degradation-702842a1c0033a86.d: tests/graceful_degradation.rs
+
+/root/repo/target/debug/deps/graceful_degradation-702842a1c0033a86: tests/graceful_degradation.rs
+
+tests/graceful_degradation.rs:

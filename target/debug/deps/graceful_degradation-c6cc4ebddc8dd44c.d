@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graceful_degradation-c6cc4ebddc8dd44c.d: tests/graceful_degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraceful_degradation-c6cc4ebddc8dd44c.rmeta: tests/graceful_degradation.rs Cargo.toml
+
+tests/graceful_degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

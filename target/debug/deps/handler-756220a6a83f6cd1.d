@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handler-756220a6a83f6cd1.d: crates/bench/benches/handler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandler-756220a6a83f6cd1.rmeta: crates/bench/benches/handler.rs Cargo.toml
+
+crates/bench/benches/handler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/id_collision-8ee8efb650a09399.d: tests/id_collision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libid_collision-8ee8efb650a09399.rmeta: tests/id_collision.rs Cargo.toml
+
+tests/id_collision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_collision-9a3be256b873d98e.d: tests/id_collision.rs
+
+/root/repo/target/debug/deps/id_collision-9a3be256b873d98e: tests/id_collision.rs
+
+tests/id_collision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ids_properties-dddd514d3ffdb9fe.d: crates/can-ids/tests/ids_properties.rs
+
+/root/repo/target/debug/deps/ids_properties-dddd514d3ffdb9fe: crates/can-ids/tests/ids_properties.rs
+
+crates/can-ids/tests/ids_properties.rs:

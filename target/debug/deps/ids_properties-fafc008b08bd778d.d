@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ids_properties-fafc008b08bd778d.d: crates/can-ids/tests/ids_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libids_properties-fafc008b08bd778d.rmeta: crates/can-ids/tests/ids_properties.rs Cargo.toml
+
+crates/can-ids/tests/ids_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

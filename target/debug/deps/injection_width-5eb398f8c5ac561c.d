@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/injection_width-5eb398f8c5ac561c.d: crates/bench/benches/injection_width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinjection_width-5eb398f8c5ac561c.rmeta: crates/bench/benches/injection_width.rs Cargo.toml
+
+crates/bench/benches/injection_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

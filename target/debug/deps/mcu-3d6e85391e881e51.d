@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcu-3d6e85391e881e51.d: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+/root/repo/target/debug/deps/mcu-3d6e85391e881e51: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/cost.rs:
+crates/mcu/src/profile.rs:
+crates/mcu/src/reliability.rs:
+crates/mcu/src/timer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcu-4fd3a3e5342d57fc.d: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcu-4fd3a3e5342d57fc.rmeta: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs Cargo.toml
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/cost.rs:
+crates/mcu/src/profile.rs:
+crates/mcu/src/reliability.rs:
+crates/mcu/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcu-fce690d0083e31dc.d: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+/root/repo/target/debug/deps/libmcu-fce690d0083e31dc.rlib: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+/root/repo/target/debug/deps/libmcu-fce690d0083e31dc.rmeta: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/cost.rs:
+crates/mcu/src/profile.rs:
+crates/mcu/src/reliability.rs:
+crates/mcu/src/timer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/michican-304fc64a87105d03.d: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs
+
+/root/repo/target/debug/deps/michican-304fc64a87105d03: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs
+
+crates/michican/src/lib.rs:
+crates/michican/src/analysis.rs:
+crates/michican/src/codegen.rs:
+crates/michican/src/config.rs:
+crates/michican/src/detect.rs:
+crates/michican/src/fsm.rs:
+crates/michican/src/handler.rs:
+crates/michican/src/health.rs:
+crates/michican/src/prevention.rs:
+crates/michican/src/sync.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/michican-4b4d49fbbdaaa938.d: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmichican-4b4d49fbbdaaa938.rmeta: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs Cargo.toml
+
+crates/michican/src/lib.rs:
+crates/michican/src/analysis.rs:
+crates/michican/src/codegen.rs:
+crates/michican/src/config.rs:
+crates/michican/src/detect.rs:
+crates/michican/src/fsm.rs:
+crates/michican/src/handler.rs:
+crates/michican/src/health.rs:
+crates/michican/src/prevention.rs:
+crates/michican/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

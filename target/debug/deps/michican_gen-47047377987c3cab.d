@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/michican_gen-47047377987c3cab.d: crates/bench/src/bin/michican_gen.rs
+
+/root/repo/target/debug/deps/michican_gen-47047377987c3cab: crates/bench/src/bin/michican_gen.rs
+
+crates/bench/src/bin/michican_gen.rs:

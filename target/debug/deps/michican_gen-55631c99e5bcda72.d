@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/michican_gen-55631c99e5bcda72.d: crates/bench/src/bin/michican_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmichican_gen-55631c99e5bcda72.rmeta: crates/bench/src/bin/michican_gen.rs Cargo.toml
+
+crates/bench/src/bin/michican_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

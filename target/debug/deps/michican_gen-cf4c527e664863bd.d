@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/michican_gen-cf4c527e664863bd.d: crates/bench/src/bin/michican_gen.rs
+
+/root/repo/target/debug/deps/michican_gen-cf4c527e664863bd: crates/bench/src/bin/michican_gen.rs
+
+crates/bench/src/bin/michican_gen.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/michican_suite-6e0d340af740c04b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmichican_suite-6e0d340af740c04b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmichican_suite-6e0d340af740c04b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/michican_suite-9cdaf1d560e4f9a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/michican_suite-9cdaf1d560e4f9a2: src/lib.rs
+
+src/lib.rs:

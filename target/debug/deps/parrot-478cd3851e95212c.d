@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parrot-478cd3851e95212c.d: crates/parrot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparrot-478cd3851e95212c.rmeta: crates/parrot/src/lib.rs Cargo.toml
+
+crates/parrot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parrot-621025a493f6a892.d: crates/parrot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparrot-621025a493f6a892.rmeta: crates/parrot/src/lib.rs Cargo.toml
+
+crates/parrot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parrot-8ff53fc8de623ad8.d: crates/parrot/src/lib.rs
+
+/root/repo/target/debug/deps/parrot-8ff53fc8de623ad8: crates/parrot/src/lib.rs
+
+crates/parrot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parrot-e32be14d556140fe.d: crates/parrot/src/lib.rs
+
+/root/repo/target/debug/deps/libparrot-e32be14d556140fe.rlib: crates/parrot/src/lib.rs
+
+/root/repo/target/debug/deps/libparrot-e32be14d556140fe.rmeta: crates/parrot/src/lib.rs
+
+crates/parrot/src/lib.rs:

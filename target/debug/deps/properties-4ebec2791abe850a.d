@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4ebec2791abe850a.d: crates/can-core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4ebec2791abe850a: crates/can-core/tests/properties.rs
+
+crates/can-core/tests/properties.rs:

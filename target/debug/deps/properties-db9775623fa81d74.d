@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-db9775623fa81d74.d: crates/can-core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-db9775623fa81d74.rmeta: crates/can-core/tests/properties.rs Cargo.toml
+
+crates/can-core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

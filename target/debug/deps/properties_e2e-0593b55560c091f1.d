@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_e2e-0593b55560c091f1.d: tests/properties_e2e.rs
+
+/root/repo/target/debug/deps/properties_e2e-0593b55560c091f1: tests/properties_e2e.rs
+
+tests/properties_e2e.rs:

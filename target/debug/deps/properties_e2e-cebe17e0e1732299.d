@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties_e2e-cebe17e0e1732299.d: tests/properties_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_e2e-cebe17e0e1732299.rmeta: tests/properties_e2e.rs Cargo.toml
+
+tests/properties_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

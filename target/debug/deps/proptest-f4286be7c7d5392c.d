@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-f4286be7c7d5392c.d: crates/proptest-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f4286be7c7d5392c.rmeta: crates/proptest-shim/src/lib.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_conformance-bd6ef0e2248f8b24.d: tests/protocol_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_conformance-bd6ef0e2248f8b24.rmeta: tests/protocol_conformance.rs Cargo.toml
+
+tests/protocol_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_conformance-c9c476f36db89e60.d: tests/protocol_conformance.rs
+
+/root/repo/target/debug/deps/protocol_conformance-c9c476f36db89e60: tests/protocol_conformance.rs
+
+tests/protocol_conformance.rs:

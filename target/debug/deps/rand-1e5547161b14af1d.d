@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-1e5547161b14af1d.d: crates/rand-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-1e5547161b14af1d.rmeta: crates/rand-shim/src/lib.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-b8c83a627348be4e.d: crates/rand-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-b8c83a627348be4e.rmeta: crates/rand-shim/src/lib.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/restbus-15ab28110f605c04.d: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestbus-15ab28110f605c04.rmeta: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs Cargo.toml
+
+crates/restbus/src/lib.rs:
+crates/restbus/src/dbc.rs:
+crates/restbus/src/matrix.rs:
+crates/restbus/src/pacifica.rs:
+crates/restbus/src/replay.rs:
+crates/restbus/src/schedulability.rs:
+crates/restbus/src/vehicles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

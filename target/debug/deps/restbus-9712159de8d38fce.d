@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/restbus-9712159de8d38fce.d: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+/root/repo/target/debug/deps/librestbus-9712159de8d38fce.rlib: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+/root/repo/target/debug/deps/librestbus-9712159de8d38fce.rmeta: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+crates/restbus/src/lib.rs:
+crates/restbus/src/dbc.rs:
+crates/restbus/src/matrix.rs:
+crates/restbus/src/pacifica.rs:
+crates/restbus/src/replay.rs:
+crates/restbus/src/schedulability.rs:
+crates/restbus/src/vehicles.rs:

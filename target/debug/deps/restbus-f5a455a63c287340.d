@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/restbus-f5a455a63c287340.d: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+/root/repo/target/debug/deps/restbus-f5a455a63c287340: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+crates/restbus/src/lib.rs:
+crates/restbus/src/dbc.rs:
+crates/restbus/src/matrix.rs:
+crates/restbus/src/pacifica.rs:
+crates/restbus/src/replay.rs:
+crates/restbus/src/schedulability.rs:
+crates/restbus/src/vehicles.rs:

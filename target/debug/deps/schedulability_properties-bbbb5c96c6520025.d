@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulability_properties-bbbb5c96c6520025.d: crates/restbus/tests/schedulability_properties.rs
+
+/root/repo/target/debug/deps/schedulability_properties-bbbb5c96c6520025: crates/restbus/tests/schedulability_properties.rs
+
+crates/restbus/tests/schedulability_properties.rs:

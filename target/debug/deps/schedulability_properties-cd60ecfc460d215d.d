@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulability_properties-cd60ecfc460d215d.d: crates/restbus/tests/schedulability_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulability_properties-cd60ecfc460d215d.rmeta: crates/restbus/tests/schedulability_properties.rs Cargo.toml
+
+crates/restbus/tests/schedulability_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

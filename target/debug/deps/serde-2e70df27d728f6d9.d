@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2e70df27d728f6d9.d: crates/serde-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2e70df27d728f6d9.so: crates/serde-shim/src/lib.rs
+
+crates/serde-shim/src/lib.rs:

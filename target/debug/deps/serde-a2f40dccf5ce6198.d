@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-a2f40dccf5ce6198.d: crates/serde-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-a2f40dccf5ce6198.rmeta: crates/serde-shim/src/lib.rs Cargo.toml
+
+crates/serde-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c631d05080b6c5c5.d: crates/serde-shim/src/lib.rs
+
+/root/repo/target/debug/deps/serde-c631d05080b6c5c5: crates/serde-shim/src/lib.rs
+
+crates/serde-shim/src/lib.rs:

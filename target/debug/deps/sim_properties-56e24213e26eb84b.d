@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_properties-56e24213e26eb84b.d: crates/can-sim/tests/sim_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_properties-56e24213e26eb84b.rmeta: crates/can-sim/tests/sim_properties.rs Cargo.toml
+
+crates/can-sim/tests/sim_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-c4b80110d7af0e3b.d: crates/can-sim/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-c4b80110d7af0e3b: crates/can-sim/tests/sim_properties.rs
+
+crates/can-sim/tests/sim_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firmware_codegen-3621009cd2caafa8.d: examples/firmware_codegen.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirmware_codegen-3621009cd2caafa8.rmeta: examples/firmware_codegen.rs Cargo.toml
+
+examples/firmware_codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_codegen-7d18cf32da9dd42c.d: examples/firmware_codegen.rs
+
+/root/repo/target/debug/examples/firmware_codegen-7d18cf32da9dd42c: examples/firmware_codegen.rs
+
+examples/firmware_codegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ids_vs_michican-5358f379d3361890.d: examples/ids_vs_michican.rs
+
+/root/repo/target/debug/examples/ids_vs_michican-5358f379d3361890: examples/ids_vs_michican.rs
+
+examples/ids_vs_michican.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ids_vs_michican-d380f90d8d1820b5.d: examples/ids_vs_michican.rs Cargo.toml
+
+/root/repo/target/debug/examples/libids_vs_michican-d380f90d8d1820b5.rmeta: examples/ids_vs_michican.rs Cargo.toml
+
+examples/ids_vs_michican.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_channel-0641e535bbbb52c6.d: examples/noisy_channel.rs
+
+/root/repo/target/debug/examples/noisy_channel-0641e535bbbb52c6: examples/noisy_channel.rs
+
+examples/noisy_channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noisy_channel-89cea7a6bd18d918.d: examples/noisy_channel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoisy_channel-89cea7a6bd18d918.rmeta: examples/noisy_channel.rs Cargo.toml
+
+examples/noisy_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/park_assist-3255f25b04897ffa.d: examples/park_assist.rs
+
+/root/repo/target/debug/examples/park_assist-3255f25b04897ffa: examples/park_assist.rs
+
+examples/park_assist.rs:

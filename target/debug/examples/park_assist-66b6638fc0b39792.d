@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/park_assist-66b6638fc0b39792.d: examples/park_assist.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpark_assist-66b6638fc0b39792.rmeta: examples/park_assist.rs Cargo.toml
+
+examples/park_assist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-00ffc85ecdc54b68.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-00ffc85ecdc54b68: examples/quickstart.rs
+
+examples/quickstart.rs:

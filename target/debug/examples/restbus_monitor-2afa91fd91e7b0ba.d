@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restbus_monitor-2afa91fd91e7b0ba.d: examples/restbus_monitor.rs
+
+/root/repo/target/debug/examples/restbus_monitor-2afa91fd91e7b0ba: examples/restbus_monitor.rs
+
+examples/restbus_monitor.rs:

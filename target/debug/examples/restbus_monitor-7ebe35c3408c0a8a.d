@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/restbus_monitor-7ebe35c3408c0a8a.d: examples/restbus_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/librestbus_monitor-7ebe35c3408c0a8a.rmeta: examples/restbus_monitor.rs Cargo.toml
+
+examples/restbus_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

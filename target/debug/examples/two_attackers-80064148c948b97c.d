@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_attackers-80064148c948b97c.d: examples/two_attackers.rs
+
+/root/repo/target/debug/examples/two_attackers-80064148c948b97c: examples/two_attackers.rs
+
+examples/two_attackers.rs:

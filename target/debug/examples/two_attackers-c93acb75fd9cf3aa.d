@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/two_attackers-c93acb75fd9cf3aa.d: examples/two_attackers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwo_attackers-c93acb75fd9cf3aa.rmeta: examples/two_attackers.rs Cargo.toml
+
+examples/two_attackers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

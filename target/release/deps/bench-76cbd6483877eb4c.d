@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bench-76cbd6483877eb4c.d: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libbench-76cbd6483877eb4c.rlib: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libbench-76cbd6483877eb4c.rmeta: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/availability.rs:
+crates/bench/src/busload.rs:
+crates/bench/src/campaign.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/ids_compare.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table1.rs:

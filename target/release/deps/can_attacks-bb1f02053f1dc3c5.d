@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/can_attacks-bb1f02053f1dc3c5.d: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+/root/repo/target/release/deps/libcan_attacks-bb1f02053f1dc3c5.rlib: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+/root/repo/target/release/deps/libcan_attacks-bb1f02053f1dc3c5.rmeta: crates/can-attacks/src/lib.rs crates/can-attacks/src/fabrication.rs crates/can-attacks/src/ghost.rs crates/can-attacks/src/masquerade.rs crates/can-attacks/src/suspension.rs crates/can-attacks/src/toggling.rs
+
+crates/can-attacks/src/lib.rs:
+crates/can-attacks/src/fabrication.rs:
+crates/can-attacks/src/ghost.rs:
+crates/can-attacks/src/masquerade.rs:
+crates/can-attacks/src/suspension.rs:
+crates/can-attacks/src/toggling.rs:

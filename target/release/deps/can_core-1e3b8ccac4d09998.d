@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/can_core-1e3b8ccac4d09998.d: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs
+
+/root/repo/target/release/deps/libcan_core-1e3b8ccac4d09998.rlib: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs
+
+/root/repo/target/release/deps/libcan_core-1e3b8ccac4d09998.rmeta: crates/can-core/src/lib.rs crates/can-core/src/agent.rs crates/can-core/src/app.rs crates/can-core/src/bit_timing.rs crates/can-core/src/bitstream.rs crates/can-core/src/counters.rs crates/can-core/src/crc.rs crates/can-core/src/errors.rs crates/can-core/src/frame.rs crates/can-core/src/id.rs crates/can-core/src/level.rs crates/can-core/src/pin.rs crates/can-core/src/time.rs
+
+crates/can-core/src/lib.rs:
+crates/can-core/src/agent.rs:
+crates/can-core/src/app.rs:
+crates/can-core/src/bit_timing.rs:
+crates/can-core/src/bitstream.rs:
+crates/can-core/src/counters.rs:
+crates/can-core/src/crc.rs:
+crates/can-core/src/errors.rs:
+crates/can-core/src/frame.rs:
+crates/can-core/src/id.rs:
+crates/can-core/src/level.rs:
+crates/can-core/src/pin.rs:
+crates/can-core/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/can_ids-fdc0106e40704921.d: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+/root/repo/target/release/deps/libcan_ids-fdc0106e40704921.rlib: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+/root/repo/target/release/deps/libcan_ids-fdc0106e40704921.rmeta: crates/can-ids/src/lib.rs crates/can-ids/src/frequency.rs crates/can-ids/src/interval.rs crates/can-ids/src/monitor.rs
+
+crates/can-ids/src/lib.rs:
+crates/can-ids/src/frequency.rs:
+crates/can-ids/src/interval.rs:
+crates/can-ids/src/monitor.rs:

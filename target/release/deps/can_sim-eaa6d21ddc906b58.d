@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/can_sim-eaa6d21ddc906b58.d: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+/root/repo/target/release/deps/libcan_sim-eaa6d21ddc906b58.rlib: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+/root/repo/target/release/deps/libcan_sim-eaa6d21ddc906b58.rmeta: crates/can-sim/src/lib.rs crates/can-sim/src/controller.rs crates/can-sim/src/event.rs crates/can-sim/src/fault.rs crates/can-sim/src/measure.rs crates/can-sim/src/node.rs crates/can-sim/src/parser.rs crates/can-sim/src/sim.rs
+
+crates/can-sim/src/lib.rs:
+crates/can-sim/src/controller.rs:
+crates/can-sim/src/event.rs:
+crates/can-sim/src/fault.rs:
+crates/can-sim/src/measure.rs:
+crates/can-sim/src/node.rs:
+crates/can-sim/src/parser.rs:
+crates/can-sim/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/can_trace-4de66a6695486107.d: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+/root/repo/target/release/deps/libcan_trace-4de66a6695486107.rlib: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+/root/repo/target/release/deps/libcan_trace-4de66a6695486107.rmeta: crates/can-trace/src/lib.rs crates/can-trace/src/candump.rs crates/can-trace/src/replay.rs crates/can-trace/src/stats.rs crates/can-trace/src/timeline.rs crates/can-trace/src/vcd.rs
+
+crates/can-trace/src/lib.rs:
+crates/can-trace/src/candump.rs:
+crates/can-trace/src/replay.rs:
+crates/can-trace/src/stats.rs:
+crates/can-trace/src/timeline.rs:
+crates/can-trace/src/vcd.rs:

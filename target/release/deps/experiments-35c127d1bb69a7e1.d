@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-35c127d1bb69a7e1.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-35c127d1bb69a7e1: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

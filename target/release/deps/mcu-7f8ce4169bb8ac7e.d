@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcu-7f8ce4169bb8ac7e.d: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+/root/repo/target/release/deps/libmcu-7f8ce4169bb8ac7e.rlib: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+/root/repo/target/release/deps/libmcu-7f8ce4169bb8ac7e.rmeta: crates/mcu/src/lib.rs crates/mcu/src/cost.rs crates/mcu/src/profile.rs crates/mcu/src/reliability.rs crates/mcu/src/timer.rs
+
+crates/mcu/src/lib.rs:
+crates/mcu/src/cost.rs:
+crates/mcu/src/profile.rs:
+crates/mcu/src/reliability.rs:
+crates/mcu/src/timer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/michican-0430b973b715ebe7.d: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs
+
+/root/repo/target/release/deps/libmichican-0430b973b715ebe7.rlib: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs
+
+/root/repo/target/release/deps/libmichican-0430b973b715ebe7.rmeta: crates/michican/src/lib.rs crates/michican/src/analysis.rs crates/michican/src/codegen.rs crates/michican/src/config.rs crates/michican/src/detect.rs crates/michican/src/fsm.rs crates/michican/src/handler.rs crates/michican/src/health.rs crates/michican/src/prevention.rs crates/michican/src/sync.rs
+
+crates/michican/src/lib.rs:
+crates/michican/src/analysis.rs:
+crates/michican/src/codegen.rs:
+crates/michican/src/config.rs:
+crates/michican/src/detect.rs:
+crates/michican/src/fsm.rs:
+crates/michican/src/handler.rs:
+crates/michican/src/health.rs:
+crates/michican/src/prevention.rs:
+crates/michican/src/sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/michican_gen-14d6e586e74c0b65.d: crates/bench/src/bin/michican_gen.rs
+
+/root/repo/target/release/deps/michican_gen-14d6e586e74c0b65: crates/bench/src/bin/michican_gen.rs
+
+crates/bench/src/bin/michican_gen.rs:

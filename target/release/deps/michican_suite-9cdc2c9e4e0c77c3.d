@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/michican_suite-9cdc2c9e4e0c77c3.d: src/lib.rs
+
+/root/repo/target/release/deps/libmichican_suite-9cdc2c9e4e0c77c3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmichican_suite-9cdc2c9e4e0c77c3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parrot-4e224be5fa45ce49.d: crates/parrot/src/lib.rs
+
+/root/repo/target/release/deps/libparrot-4e224be5fa45ce49.rlib: crates/parrot/src/lib.rs
+
+/root/repo/target/release/deps/libparrot-4e224be5fa45ce49.rmeta: crates/parrot/src/lib.rs
+
+crates/parrot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c5d4b61b83f7ba95.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c5d4b61b83f7ba95.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c5d4b61b83f7ba95.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b5a40708385c0b89.d: crates/rand-shim/src/lib.rs
+
+/root/repo/target/release/deps/librand-b5a40708385c0b89.rlib: crates/rand-shim/src/lib.rs
+
+/root/repo/target/release/deps/librand-b5a40708385c0b89.rmeta: crates/rand-shim/src/lib.rs
+
+crates/rand-shim/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/restbus-07f369154d3fff3c.d: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+/root/repo/target/release/deps/librestbus-07f369154d3fff3c.rlib: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+/root/repo/target/release/deps/librestbus-07f369154d3fff3c.rmeta: crates/restbus/src/lib.rs crates/restbus/src/dbc.rs crates/restbus/src/matrix.rs crates/restbus/src/pacifica.rs crates/restbus/src/replay.rs crates/restbus/src/schedulability.rs crates/restbus/src/vehicles.rs
+
+crates/restbus/src/lib.rs:
+crates/restbus/src/dbc.rs:
+crates/restbus/src/matrix.rs:
+crates/restbus/src/pacifica.rs:
+crates/restbus/src/replay.rs:
+crates/restbus/src/schedulability.rs:
+crates/restbus/src/vehicles.rs:

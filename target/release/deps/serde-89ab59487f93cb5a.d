@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-89ab59487f93cb5a.d: crates/serde-shim/src/lib.rs
+
+/root/repo/target/release/deps/libserde-89ab59487f93cb5a.so: crates/serde-shim/src/lib.rs
+
+crates/serde-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_budget-76015e3da662c5a1.d: examples/dbg_budget.rs
+
+/root/repo/target/release/examples/dbg_budget-76015e3da662c5a1: examples/dbg_budget.rs
+
+examples/dbg_budget.rs:

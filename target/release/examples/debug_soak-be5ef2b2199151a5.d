@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_soak-be5ef2b2199151a5.d: examples/debug_soak.rs
+
+/root/repo/target/release/examples/debug_soak-be5ef2b2199151a5: examples/debug_soak.rs
+
+examples/debug_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_soak2-ea076617b6545831.d: examples/debug_soak2.rs
+
+/root/repo/target/release/examples/debug_soak2-ea076617b6545831: examples/debug_soak2.rs
+
+examples/debug_soak2.rs:

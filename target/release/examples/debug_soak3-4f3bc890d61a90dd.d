@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_soak3-4f3bc890d61a90dd.d: examples/debug_soak3.rs
+
+/root/repo/target/release/examples/debug_soak3-4f3bc890d61a90dd: examples/debug_soak3.rs
+
+examples/debug_soak3.rs:

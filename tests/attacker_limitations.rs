@@ -5,10 +5,10 @@
 //! the attack whose TEC could be inflated. Isolation (hypervisor/MPU/
 //! TrustZone, Fig. 3) is therefore a prerequisite, not an optimization.
 
+use can_attacks::GhostInjector;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
 use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
-use can_attacks::GhostInjector;
 use michican::prelude::*;
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {

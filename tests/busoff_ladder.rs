@@ -32,9 +32,7 @@ fn attack_setup(attacker_frame: CanFrame) -> (Simulator, usize, usize) {
 #[test]
 fn dos_attacker_is_bused_off_in_32_attempts() {
     let (mut sim, attacker, _) = attack_setup(frame(0x064, &[0; 8]));
-    let hit = sim.run_until(10_000, |e| {
-        matches!(e.kind, EventKind::BusOff)
-    });
+    let hit = sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff));
     assert!(hit.is_some(), "attacker must reach bus-off");
 
     let episodes = bus_off_episodes(sim.events(), attacker);
@@ -114,11 +112,10 @@ fn no_complete_attack_frame_ever_reaches_an_application() {
             .any(|e| matches!(e.kind, EventKind::FrameReceived { .. })),
         "every attack frame must be destroyed before completion"
     );
-    assert!(
-        !sim.events()
-            .iter()
-            .any(|e| matches!(e.kind, EventKind::TransmissionSucceeded { .. })),
-    );
+    assert!(!sim
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::TransmissionSucceeded { .. })),);
 }
 
 #[test]

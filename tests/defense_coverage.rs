@@ -2,10 +2,10 @@
 //! scenarios (§IV-A): fabrication, masquerade, miscellaneous identifiers,
 //! the light scenario's division of labor, and detection-only (IDS) mode.
 
+use can_attacks::{FabricationAttacker, MasqueradeAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
 use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
-use can_attacks::{FabricationAttacker, MasqueradeAttacker};
 use michican::handler::{MichiCan, MichiCanConfig};
 use michican::prelude::*;
 
@@ -201,9 +201,10 @@ fn detection_only_mode_observes_but_does_not_prevent() {
         Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
     ));
     sim.add_node(
-        Node::new("ids", Box::new(SilentApplication)).with_agent(Box::new(
-            MichiCan::with_config(DetectionFsm::for_ecu(&list, 0), ids_config),
-        )),
+        Node::new("ids", Box::new(SilentApplication)).with_agent(Box::new(MichiCan::with_config(
+            DetectionFsm::for_ecu(&list, 0),
+            ids_config,
+        ))),
     );
     sim.add_node(Node::new("rx", Box::new(SilentApplication)));
     sim.run(10_000);

@@ -84,7 +84,10 @@ fn multi_attacker_crossover_at_five() {
     let four = run_multi_attacker(4, 60_000).expect("A=4 eradicated");
     let five = run_multi_attacker(5, 60_000).expect("A=5 eradicated");
     assert!(four <= 5_000, "A=4 total {four} bits must fit the deadline");
-    assert!(five > 5_000, "A=5 total {five} bits must exceed the deadline");
+    assert!(
+        five > 5_000,
+        "A=5 total {five} bits must exceed the deadline"
+    );
     // Sub-linear growth: 4 attackers take far less than 4× one attacker.
     let one = run_multi_attacker(1, 60_000).unwrap();
     assert!(four < one * 4, "intertwining keeps growth sub-linear");
@@ -123,7 +126,10 @@ fn michican_beats_parrot_on_load_and_self_damage() {
 fn parksense_outcome_flips_with_the_dongle() {
     let undefended = run_parksense(false, 400.0);
     let defended = run_parksense(true, 400.0);
-    assert!(undefended.became_unavailable, "attack works when undefended");
+    assert!(
+        undefended.became_unavailable,
+        "attack works when undefended"
+    );
     assert!(!defended.became_unavailable, "MichiCAN restores ParkSense");
     assert!(defended.attacker_bus_offs >= 1);
     assert!(defended.status_frames_received > undefended.status_frames_received);

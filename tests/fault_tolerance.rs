@@ -133,9 +133,7 @@ fn glitch_during_identifier_does_not_trigger_a_counterattack_cascade() {
     let successes = sim
         .events()
         .iter()
-        .filter(|e| {
-            e.node == sender && matches!(e.kind, EventKind::TransmissionSucceeded { .. })
-        })
+        .filter(|e| e.node == sender && matches!(e.kind, EventKind::TransmissionSucceeded { .. }))
         .count();
     assert!(successes >= 50, "the benign stream continues: {successes}");
 }
@@ -159,4 +157,159 @@ fn attack_is_still_eradicated_through_a_noisy_channel() {
     assert!(hit.is_some(), "eradication must succeed despite noise");
     let episodes = can_sim::bus_off_episodes(sim.events(), attacker);
     assert!(!episodes.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property: sporadic fault schedules below the §IV-E threshold are harmless.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// Runs the benign bus under `fault` and asserts no node reached bus-off.
+fn assert_no_benign_bus_off(fault: FaultModel, context: &str) {
+    let sim = noisy_benign_bus(fault, 60_000);
+    for node in 0..sim.node_count() {
+        assert_ne!(
+            sim.node(node).controller().error_state(),
+            ErrorState::BusOff,
+            "{context}: node {node} reached bus-off"
+        );
+    }
+    let delivered = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FrameReceived { .. }))
+        .count();
+    assert!(delivered > 50, "{context}: traffic starved ({delivered})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// §IV-E: any iid bit-error rate at automotive magnitudes (here up to
+    /// 1e-4, orders above real links) never walks a benign TEC to 256 —
+    /// errors are interspersed with successes that decrement it.
+    #[test]
+    fn sporadic_iid_noise_never_reaches_bus_off(
+        seed in any::<u64>(),
+        ber_millionths in 0u32..=100,
+    ) {
+        let ber = ber_millionths as f64 * 1e-6;
+        assert_no_benign_bus_off(
+            FaultModel::random(ber, seed),
+            &format!("iid ber={ber:.1e} seed={seed}"),
+        );
+    }
+
+    /// Any *scripted* sporadic schedule — flips at least 128 bits apart, so
+    /// each error frame resolves before the next hit — is equally harmless.
+    #[test]
+    fn sporadic_scripted_schedules_never_reach_bus_off(
+        gaps in proptest::collection::vec(128u64..1_500, 0..40),
+        start in 0u64..500,
+    ) {
+        let mut at = start;
+        let mut flips = Vec::with_capacity(gaps.len());
+        for gap in gaps {
+            at += gap;
+            flips.push(at);
+        }
+        assert_no_benign_bus_off(
+            FaultModel::scripted(flips.clone()),
+            &format!("scripted {} flips from {start}", flips.len()),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: scripted flips landing exactly on frame-boundary bits.
+// ---------------------------------------------------------------------------
+
+use can_core::bitstream::{stuff_frame, FrameField, FrameLayout};
+
+/// Locates the first frame's SOF instant on a clean single-sender bus.
+fn first_sof_instant() -> u64 {
+    let mut sim = Simulator::new(BusSpeed::K500);
+    sim.add_node(Node::new(
+        "sender",
+        Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.enable_trace();
+    sim.run(200);
+    sim.trace()
+        .expect("trace enabled")
+        .levels()
+        .iter()
+        .position(|l| l.is_dominant())
+        .expect("a frame starts within 200 bits") as u64
+}
+
+/// Runs the single-sender bus with one scripted flip and asserts graceful
+/// recovery: the error is absorbed, traffic continues, nobody buses off.
+fn assert_boundary_flip_absorbed(flip_at: u64, boundary: &str) {
+    let mut sim = Simulator::new(BusSpeed::K500);
+    let sender = sim.add_node(Node::new(
+        "sender",
+        Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim.set_fault_model(FaultModel::scripted(vec![flip_at]));
+    sim.run(12_000);
+
+    assert_ne!(
+        sim.node(sender).controller().error_state(),
+        ErrorState::BusOff,
+        "{boundary}: one glitch must never eradicate the sender"
+    );
+    let delivered = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FrameReceived { .. }))
+        .count();
+    assert!(delivered >= 20, "{boundary}: stream starved ({delivered})");
+    assert_eq!(
+        sim.node(sender).controller().counters().tec(),
+        0,
+        "{boundary}: TEC must drain back to zero"
+    );
+}
+
+#[test]
+fn flip_on_the_sof_bit_is_absorbed() {
+    // SOF forced recessive: the transmitter sees a bit error on its very
+    // first driven bit; receivers never see a frame start.
+    assert_boundary_flip_absorbed(first_sof_instant(), "SOF");
+}
+
+#[test]
+fn flip_on_the_ack_slot_is_absorbed() {
+    // ACK forced recessive: the transmitter sees no acknowledgement and
+    // must signal an ACK error, then retransmit.
+    let f = frame(0x123, &[0x42; 8]);
+    let wire = stuff_frame(&f);
+    let ack_offset =
+        (FrameLayout::of(&f).span(FrameField::AckSlot).start + wire.stuff_count()) as u64;
+    assert_boundary_flip_absorbed(first_sof_instant() + ack_offset, "ACK slot");
+}
+
+#[test]
+fn flip_on_the_last_eof_bit_is_absorbed() {
+    // Dominant at EOF[6]: receivers tolerate it (the frame is already
+    // valid); the transmitter treats it as an error and may retransmit.
+    // Either way the stream must continue undisturbed.
+    let f = frame(0x123, &[0x42; 8]);
+    let wire = stuff_frame(&f);
+    let eof_last = (FrameLayout::of(&f).span(FrameField::Eof).end - 1 + wire.stuff_count()) as u64;
+    assert_boundary_flip_absorbed(first_sof_instant() + eof_last, "EOF last bit");
+}
+
+#[test]
+fn flip_mid_eof_is_absorbed() {
+    // Dominant at EOF[2] is a form error for everyone; the frame is
+    // destroyed and retransmitted.
+    let f = frame(0x123, &[0x42; 8]);
+    let wire = stuff_frame(&f);
+    let eof_mid = (FrameLayout::of(&f).span(FrameField::Eof).start + 2 + wire.stuff_count()) as u64;
+    assert_boundary_flip_absorbed(first_sof_instant() + eof_mid, "EOF mid");
 }

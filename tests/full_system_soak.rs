@@ -3,11 +3,11 @@
 //! noise AND a persistent DoS attacker on one bus — global invariants
 //! must hold simultaneously.
 
+use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::{PeriodicSender, RemoteResponder, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{bus_off_episodes, EventKind, FaultModel, Node, Simulator};
-use can_attacks::{DosKind, SuspensionAttacker};
 use can_ids::IdsMonitor;
+use can_sim::{bus_off_episodes, EventKind, FaultModel, Node, Simulator};
 use michican::prelude::*;
 use restbus::{pacifica_matrix, ReplayApp};
 
@@ -40,22 +40,26 @@ fn the_whole_stack_coexists() {
     let request = CanFrame::remote_frame(service_id, 4).unwrap();
     sim.add_node(Node::new(
         "diag-tester",
-        Box::new(PeriodicSender::new(request, speed.bits_in_millis(40.0), 500)),
+        Box::new(PeriodicSender::new(
+            request,
+            speed.bits_in_millis(40.0),
+            500,
+        )),
     ));
 
     // An IDS monitor (observes, never transmits).
     sim.add_node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
 
     // The MichiCAN dongle, aware of the whole matrix + the service id.
+    // It owns no identifier of its own, so it watches the DoS range only:
+    // claiming a list member's id would counterattack the owner's
+    // legitimate frames and bus it off.
     let mut all_ids = matrix.ids();
     all_ids.push(service_id);
     let list = EcuList::new(all_ids).unwrap();
     let defender = sim.add_node(
         Node::new("michican", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(
-                &list,
-                list.len() - 1,
-            )))),
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_monitor(&list)))),
     );
 
     // The attacker: saturating targeted DoS one step above the brake
@@ -118,9 +122,7 @@ fn the_whole_stack_coexists() {
     let benign_delivered = sim
         .events()
         .iter()
-        .filter(|e| {
-            e.node == defender && matches!(e.kind, EventKind::FrameReceived { .. })
-        })
+        .filter(|e| e.node == defender && matches!(e.kind, EventKind::FrameReceived { .. }))
         .count();
     assert!(
         benign_delivered > 150,

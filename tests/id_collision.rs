@@ -74,8 +74,7 @@ fn identical_frames_collide_invisibly() {
         assert!(sim
             .events()
             .iter()
-            .any(|e| e.node == node
-                && matches!(e.kind, EventKind::TransmissionSucceeded { .. })));
+            .any(|e| e.node == node && matches!(e.kind, EventKind::TransmissionSucceeded { .. })));
         assert_eq!(sim.node(node).controller().counters().tec(), 0);
     }
 }
@@ -114,9 +113,7 @@ fn lockstep_collisions_degrade_both_parties_into_a_stalemate() {
     let successes_of = |node: usize| {
         sim.events()
             .iter()
-            .filter(|e| {
-                e.node == node && matches!(e.kind, EventKind::TransmissionSucceeded { .. })
-            })
+            .filter(|e| e.node == node && matches!(e.kind, EventKind::TransmissionSucceeded { .. }))
             .count()
     };
 
@@ -130,7 +127,10 @@ fn lockstep_collisions_degrade_both_parties_into_a_stalemate() {
     assert!(sim.node(owner).controller().counters().tec() > 64);
     assert!(sim.node(spoofer).controller().counters().tec() > 64);
     // ...but neither is eradicated (no clean bus-off like MichiCAN's)...
-    assert_ne!(sim.node(owner).controller().error_state(), ErrorState::BusOff);
+    assert_ne!(
+        sim.node(owner).controller().error_state(),
+        ErrorState::BusOff
+    );
     assert_ne!(
         sim.node(spoofer).controller().error_state(),
         ErrorState::BusOff

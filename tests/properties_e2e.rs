@@ -2,11 +2,11 @@
 //! shape in the detection range, eradication follows the same 32-attempt
 //! ladder; for any benign configuration, nothing is ever flagged.
 
+use can_core::agent::BitAgent;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::bitstream::stuff_frame;
 use can_core::{BusSpeed, CanFrame, CanId, Level};
 use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
-use can_core::agent::BitAgent;
 use michican::analysis::depth_profile;
 use michican::detect::detection_range;
 use michican::prelude::*;

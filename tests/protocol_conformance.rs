@@ -151,7 +151,9 @@ fn no_errors_and_no_bus_off_without_an_attacker() {
         "benign traffic must be error-free under a watching defender"
     );
     assert!(
-        !sim.events().iter().any(|e| matches!(e.kind, EventKind::BusOff)),
+        !sim.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BusOff)),
         "no false-positive eradications"
     );
     let delivered = sim
@@ -190,7 +192,10 @@ fn higher_priority_benign_frame_interrupts_active_retransmissions() {
         matches!(&e.kind, EventKind::TransmissionSucceeded { frame }
             if frame.id() == CanId::from_raw(0x020))
     });
-    assert!(benign_success, "the higher-priority message must get through");
+    assert!(
+        benign_success,
+        "the higher-priority message must get through"
+    );
     // And the episode stretched beyond the clean 1248 + margin bits.
     let episodes = can_sim::bus_off_episodes(sim.events(), attacker);
     assert!(
@@ -207,10 +212,8 @@ fn bus_level_is_dominated_during_error_flags() {
     // occurs.
     let (mut sim, _) = attack_sim(0x064);
     sim.enable_trace();
-    sim.run_until(3_000, |e| {
-        matches!(e.kind, EventKind::ErrorDetected { .. })
-    })
-    .expect("an error must occur");
+    sim.run_until(3_000, |e| matches!(e.kind, EventKind::ErrorDetected { .. }))
+        .expect("an error must occur");
     sim.run(40); // let the flag play out
     let trace = sim.trace().unwrap();
     let max_dominant_run = trace
