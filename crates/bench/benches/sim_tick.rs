@@ -35,6 +35,20 @@ fn bench_sim(c: &mut Criterion) {
         })
     });
 
+    c.bench_function("sim/restbus_replay_1k_bits_no_logging", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(BusSpeed::K50);
+            sim.set_event_logging(false);
+            sim.add_node(Node::new(
+                "restbus",
+                Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+            ));
+            sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+            sim.run(black_box(1_000));
+            sim.busy_bits()
+        })
+    });
+
     c.bench_function("sim/table2_experiment4_full_episode", |b| {
         use bench::scenarios::{build_experiment, table2_experiments};
         let exp = table2_experiments()

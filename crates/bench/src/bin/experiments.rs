@@ -5,16 +5,23 @@
 //!              detection|cpu|bus_load|multi_attacker|on_vehicle|
 //!              ids_latency|feasibility|availability|faults] [--full]
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
+//!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
 //! ```
 //!
 //! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
 //! FSMs); the default is a faster configuration with identical shape.
+//!
+//! `--shards` fans the grid artifacts (faults, detection, table2,
+//! multi_attacker) out across worker threads; the output is byte-identical
+//! for every shard count (see `bench::runner` for the determinism
+//! contract).
 
 use std::env;
 use std::path::PathBuf;
 
+use bench::runner::parse_shards;
 use bench::scenarios::{
-    self, run_experiment, run_multi_attacker, run_parksense, table2_experiments, TABLE2_SPEED,
+    self, run_multi_attacker_scan, run_parksense, run_table2, table2_experiments, TABLE2_SPEED,
 };
 use bench::{busload, cpu, detection, table1};
 use can_core::bitstream::{FrameField, FrameLayout};
@@ -28,6 +35,13 @@ use michican::Scenario;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    let (shards, args) = match parse_shards(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
     let full = args.iter().any(|a| a == "--full");
     let artifacts: Option<PathBuf> = args
         .iter()
@@ -76,11 +90,11 @@ fn main() {
     }
     if run("detection") {
         section("§V-B — detection latency (random FSMs)");
-        detection_latency(full);
+        detection_latency(full, shards);
     }
     if run("table2") {
         section("Table II — empirical bus-off time (six experiments, 50 kbit/s)");
-        table2(full);
+        table2(full, shards);
     }
     if run("table3") {
         section("Table III — theoretical bus-off time");
@@ -92,7 +106,7 @@ fn main() {
     }
     if run("multi_attacker") {
         section("§V-C — more than two attackers");
-        multi_attacker();
+        multi_attacker(shards);
     }
     if run("cpu") {
         section("§V-D — CPU utilization");
@@ -120,14 +134,15 @@ fn main() {
     }
     if run("faults") {
         section("Extension — fault-injection campaign (robustness grid)");
-        faults(full);
+        faults(full, shards);
     }
 }
 
-fn faults(full: bool) {
+fn faults(full: bool, shards: usize) {
     use bench::campaign::{run_campaign, CampaignConfig};
     let config = CampaignConfig {
         run_ms: if full { 600.0 } else { 150.0 },
+        shards,
         ..CampaignConfig::default()
     };
     print!("{}", run_campaign(&config).render());
@@ -342,13 +357,13 @@ fn fig4b() {
     }
 }
 
-fn detection_latency(full: bool) {
+fn detection_latency(full: bool, shards: usize) {
     let fsms = if full { 160_000 } else { 4_000 };
     println!(
         "sweep: {} random FSMs (IVN sizes 150-450; use --full for 160k)",
         fsms
     );
-    let sweep = detection::run_sweep(fsms, 0xD5_2025);
+    let sweep = detection::run_sweep_sharded(fsms, 0xD5_2025, shards);
     println!(
         "  detection rate:          {:.1} %   (paper: 100 %)",
         sweep.detection_rate * 100.0
@@ -364,7 +379,13 @@ fn detection_latency(full: bool) {
     println!("  mean FSM states:         {:.0}", sweep.mean_nodes);
     println!("position vs IVN size (figure-style series):");
     for n in [10usize, 20, 50, 100, 200, 300, 400] {
-        let s = detection::run_sweep_with_sizes(if full { 2_000 } else { 200 }, 0xD5, n, n);
+        let s = detection::run_sweep_with_sizes_sharded(
+            if full { 2_000 } else { 200 },
+            0xD5,
+            n,
+            n,
+            shards,
+        );
         println!(
             "  N = {n:>3}: mean position {:.2}",
             s.mean_detection_position
@@ -372,7 +393,7 @@ fn detection_latency(full: bool) {
     }
 }
 
-fn table2(full: bool) {
+fn table2(full: bool, shards: usize) {
     let capture_ms = if full { 10_000.0 } else { 2_000.0 };
     println!("capture: {capture_ms} ms per experiment (paper: 2 s)");
     println!(
@@ -390,8 +411,8 @@ fn table2(full: bool) {
         (24.9, 0.01, 25.4),
     ];
     let mut row = 0usize;
-    for exp in table2_experiments() {
-        let outcome = run_experiment(&exp, capture_ms);
+    for outcome in run_table2(capture_ms, shards) {
+        let exp = &outcome.experiment;
         for (id, stats) in &outcome.per_attacker {
             match stats {
                 Some(s) => println!(
@@ -553,7 +574,7 @@ fn fig6(artifacts: Option<&std::path::Path>) {
     );
 }
 
-fn multi_attacker() {
+fn multi_attacker(shards: usize) {
     println!(
         "{:>3} {:>14} {:>12}   {:<30}",
         "A", "total (bits)", "total (ms)", "verdict vs 5000-bit deadline"
@@ -565,8 +586,10 @@ fn multi_attacker() {
         (4, Some(4660)),
         (5, None),
     ];
-    for (count, paper_bits) in paper {
-        match run_multi_attacker(count, 60_000) {
+    let counts: Vec<usize> = paper.iter().map(|&(count, _)| count).collect();
+    let scan = run_multi_attacker_scan(&counts, 60_000, shards);
+    for ((count, result), (_, paper_bits)) in scan.into_iter().zip(paper) {
+        match result {
             Some(bits) => {
                 let verdict = if bits <= 5_000 {
                     "operable"

@@ -1,0 +1,183 @@
+//! Performance baseline: measures simulator throughput and the parallel
+//! experiment engine's speedup, and writes the results as JSON.
+//!
+//! ```text
+//! perfbase [--quick] [--shards <n> | -j <n>] [--out <path>]
+//! ```
+//!
+//! * `--quick` shrinks every workload (CI smoke configuration);
+//! * `--shards` sets the parallel worker count (default: all cores);
+//! * `--out` sets the JSON path (default `BENCH_sim.json`).
+//!
+//! The JSON records single-thread vs parallel bits/sec on the
+//! fault-campaign grid (with the speedup), raw simulator bits/sec with
+//! event logging on and off, cells/sec for the campaign grid, and wall
+//! time per grid artifact. Numbers depend on the host; the *outputs* of
+//! every measured workload stay byte-identical across shard counts (see
+//! `bench::runner` — this binary asserts it for the campaign).
+
+use std::time::Instant;
+
+use bench::campaign::{run_campaign, CampaignConfig};
+use bench::detection::run_sweep_sharded;
+use bench::runner::parse_shards;
+use bench::scenarios::{restbus_matrix, run_multi_attacker_scan, run_table2};
+use can_core::app::SilentApplication;
+use can_core::BusSpeed;
+use can_sim::{Node, Simulator};
+use restbus::ReplayApp;
+
+/// One timed run: returns (elapsed seconds, result).
+fn timed<R>(work: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let result = work();
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// Raw simulator throughput: Veh. D restbus replay plus a receiver,
+/// stepped for `bits` bit times. Returns bits/sec.
+fn sim_bits_per_sec(bits: u64, event_logging: bool) -> f64 {
+    let mut sim = Simulator::new(BusSpeed::K50);
+    sim.set_event_logging(event_logging);
+    sim.add_node(Node::new(
+        "restbus",
+        Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let (secs, _) = timed(|| sim.run(bits));
+    bits as f64 / secs
+}
+
+fn json_f(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut shards, args) = match parse_shards(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if shards == 1 {
+        // Default to all cores: the point of the baseline is the speedup.
+        shards = threads;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    eprintln!("perfbase: {threads} core(s) available, measuring with {shards} shard(s)");
+
+    // 1. Raw per-bit hot path, logging on vs off.
+    let sim_bits: u64 = if quick { 200_000 } else { 1_000_000 };
+    let bps_on = sim_bits_per_sec(sim_bits, true);
+    let bps_off = sim_bits_per_sec(sim_bits, false);
+    eprintln!("  sim: {bps_on:.0} bits/s (events on), {bps_off:.0} bits/s (events off)");
+
+    // 2. Campaign grid, serial vs parallel. 16 cells at 500 kbit/s.
+    let run_ms = if quick { 60.0 } else { 150.0 };
+    let serial_config = CampaignConfig {
+        run_ms,
+        shards: 1,
+        ..CampaignConfig::default()
+    };
+    let parallel_config = CampaignConfig {
+        shards,
+        ..serial_config
+    };
+    let (serial_secs, serial_report) = timed(|| run_campaign(&serial_config));
+    let (parallel_secs, parallel_report) = timed(|| run_campaign(&parallel_config));
+    assert_eq!(
+        serial_report.render(),
+        parallel_report.render(),
+        "determinism contract: parallel campaign must be byte-identical to serial"
+    );
+    let cells = serial_report.cells.len();
+    let grid_bits = cells as f64 * BusSpeed::K500.bits_in_millis(run_ms) as f64;
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "  campaign: {cells} cells, serial {serial_secs:.2}s, parallel {parallel_secs:.2}s \
+         ({speedup:.2}x with {shards} shards)"
+    );
+
+    // 3. Wall time per grid artifact (at the parallel shard count).
+    let (faults_secs, _) = timed(|| run_campaign(&parallel_config));
+    let fsms = if quick { 400 } else { 4_000 };
+    let (detection_secs, _) = timed(|| run_sweep_sharded(fsms, 0xD5_2025, shards));
+    let capture_ms = if quick { 500.0 } else { 2_000.0 };
+    let (table2_secs, _) = timed(|| run_table2(capture_ms, shards));
+    let counts = [1usize, 2, 3, 4, 5];
+    let horizon = if quick { 20_000 } else { 60_000 };
+    let (multi_secs, _) = timed(|| run_multi_attacker_scan(&counts, horizon, shards));
+    eprintln!(
+        "  artifacts: faults {faults_secs:.2}s, detection {detection_secs:.2}s, \
+         table2 {table2_secs:.2}s, multi_attacker {multi_secs:.2}s"
+    );
+
+    let json = format!(
+        r#"{{
+  "schema": "michican-perfbase/v1",
+  "quick": {quick},
+  "threads_available": {threads},
+  "shards": {shards},
+  "sim": {{
+    "bits_simulated": {sim_bits},
+    "bits_per_sec_events_on": {bps_on},
+    "bits_per_sec_events_off": {bps_off}
+  }},
+  "campaign_grid": {{
+    "cells": {cells},
+    "run_ms_per_cell": {run_ms},
+    "bits_total": {grid_bits},
+    "serial_wall_secs": {serial_secs},
+    "parallel_wall_secs": {parallel_secs},
+    "serial_bits_per_sec": {serial_bps},
+    "parallel_bits_per_sec": {parallel_bps},
+    "serial_cells_per_sec": {serial_cps},
+    "parallel_cells_per_sec": {parallel_cps},
+    "speedup": {speedup}
+  }},
+  "artifact_wall_secs": {{
+    "faults": {faults_secs},
+    "detection": {detection_secs},
+    "table2": {table2_secs},
+    "multi_attacker": {multi_secs}
+  }}
+}}
+"#,
+        bps_on = json_f(bps_on),
+        bps_off = json_f(bps_off),
+        grid_bits = json_f(grid_bits),
+        serial_secs = json_f(serial_secs),
+        parallel_secs = json_f(parallel_secs),
+        serial_bps = json_f(grid_bits / serial_secs),
+        parallel_bps = json_f(grid_bits / parallel_secs),
+        serial_cps = json_f(cells as f64 / serial_secs),
+        parallel_cps = json_f(cells as f64 / parallel_secs),
+        speedup = json_f(speedup),
+        faults_secs = json_f(faults_secs),
+        detection_secs = json_f(detection_secs),
+        table2_secs = json_f(table2_secs),
+        multi_secs = json_f(multi_secs),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("perfbase: wrote {out_path}");
+}

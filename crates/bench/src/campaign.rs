@@ -40,6 +40,8 @@ use can_sim::{
 use michican::prelude::*;
 use restbus::{vehicle_matrix, CommMatrix, Message, Vehicle};
 
+use crate::runner::{derive_seed, ExperimentPlan};
+
 /// Documented sporadic-fault threshold: iid channel BERs at or below this
 /// rate must not disturb benign delivery or eradication (invariants 1–3).
 pub const SPORADIC_BER_THRESHOLD: f64 = 1e-5;
@@ -155,6 +157,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Simulated wall time per cell, in milliseconds at 500 kbit/s.
     pub run_ms: f64,
+    /// Worker count for the grid (1 = serial reference path). The report
+    /// is byte-identical for every value — cells are seeded by grid index
+    /// and reduced in grid order (see [`crate::runner`]).
+    pub shards: usize,
 }
 
 impl Default for CampaignConfig {
@@ -162,6 +168,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             seed: 0x00D5_2025,
             run_ms: 200.0,
+            shards: 1,
         }
     }
 }
@@ -308,10 +315,6 @@ impl BitAgent for SharedDefender {
     }
 }
 
-fn cell_seed(master: u64, index: usize) -> u64 {
-    (master ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(index as u64)
-}
-
 /// Runs one cell of the campaign.
 pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> CellOutcome {
     let speed = BusSpeed::K500;
@@ -363,7 +366,7 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
                 run_bits * 3 / 10,
                 run_bits * 2 / 5,
                 0.3,
-                cell_seed(seed, 101),
+                derive_seed(seed, 101),
             ));
         }
         FaultSpec::CrashRestartTx => {
@@ -377,10 +380,10 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
     // Channel faults on the wired-AND medium.
     match fault {
         FaultSpec::BitErrors { ber } => {
-            sim.add_fault_layer(FaultModel::random(ber, cell_seed(seed, 102)));
+            sim.add_fault_layer(FaultModel::random(ber, derive_seed(seed, 102)));
         }
         FaultSpec::Burst(params) => {
-            sim.add_fault_layer(FaultModel::bursty(params, cell_seed(seed, 103)));
+            sim.add_fault_layer(FaultModel::bursty(params, derive_seed(seed, 103)));
         }
         _ => {}
     }
@@ -398,7 +401,7 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
         FaultSpec::DefenderPin(config) => Box::new(FaultyAgent::new(
             defender.clone(),
             config,
-            cell_seed(seed, 104),
+            derive_seed(seed, 104),
         )),
         _ => Box::new(defender.clone()),
     };
@@ -464,22 +467,24 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
     }
 }
 
-/// Runs the full campaign (grid = [`default_grid`] × benign/attack) and
-/// checks the three invariants on the below-threshold cells.
+/// Runs the full campaign (grid = [`default_grid`] × benign/attack) on
+/// `config.shards` workers and checks the three invariants on the
+/// below-threshold cells. The report is byte-identical for every shard
+/// count: each cell's seed is fixed by its grid index, and outcomes are
+/// reduced in grid order.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let mut cells = Vec::new();
-    let mut index = 0usize;
-    for traffic in [Traffic::Benign, Traffic::Attack] {
-        for fault in default_grid() {
-            cells.push(run_cell(
-                traffic,
-                fault,
-                cell_seed(config.seed, index),
-                config.run_ms,
-            ));
-            index += 1;
-        }
-    }
+    let grid: Vec<(Traffic, FaultSpec)> = [Traffic::Benign, Traffic::Attack]
+        .into_iter()
+        .flat_map(|traffic| {
+            default_grid()
+                .into_iter()
+                .map(move |fault| (traffic, fault))
+        })
+        .collect();
+    let run_ms = config.run_ms;
+    let cells = ExperimentPlan::new(grid, config.seed)
+        .with_shards(config.shards.max(1))
+        .run(|_index, seed, (traffic, fault)| run_cell(traffic, fault, seed, run_ms));
 
     let mut violations = Vec::new();
     for c in cells.iter().filter(|c| c.fault.below_threshold()) {

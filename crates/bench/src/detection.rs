@@ -13,6 +13,8 @@ use michican::EcuList;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::runner::ExperimentPlan;
+
 /// Aggregate result of the random-FSM sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionSweep {
@@ -37,83 +39,129 @@ fn random_list(rng: &mut StdRng, n: usize) -> EcuList {
     EcuList::new(ids.into_iter().map(CanId::from_raw).collect()).expect("unique ids")
 }
 
+/// Integer tallies of one FSM cell — everything the sweep summary needs,
+/// in exactly-summable form (no floats until the final reduction, so the
+/// summary is bit-identical for any execution order).
+#[derive(Debug, Clone, Copy, Default)]
+struct FsmCellTally {
+    position_sum: u64,
+    malicious_total: u64,
+    detected: u64,
+    benign_total: u64,
+    false_positives: u64,
+    nodes: u64,
+}
+
+/// Evaluates one random FSM: builds a random list seeded by the cell seed,
+/// the FSM of a random member, and verifies detection exhaustively over
+/// the 2048-identifier space.
+fn sweep_cell(seed: u64, n_min: usize, n_max: usize) -> FsmCellTally {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(n_min..=n_max);
+    let list = random_list(&mut rng, n);
+    let index = rng.random_range(0..list.len());
+    let set = detection_range(&list, index);
+    let fsm = DetectionFsm::from_set(&set);
+
+    let mut tally = FsmCellTally {
+        nodes: fsm.node_count() as u64,
+        ..FsmCellTally::default()
+    };
+    for id in CanId::all() {
+        let truth = set.contains(id);
+        let verdict = fsm.classify(id);
+        if truth {
+            tally.malicious_total += 1;
+            if verdict {
+                tally.detected += 1;
+                tally.position_sum += fsm.decision_position(id) as u64;
+            }
+        } else {
+            tally.benign_total += 1;
+            if verdict {
+                tally.false_positives += 1;
+            }
+        }
+    }
+    tally
+}
+
 /// Runs the sweep over `fsm_count` random FSMs with IVN sizes drawn
-/// uniformly from `[n_min, n_max]`.
+/// uniformly from `[n_min, n_max]`, fanned out on `shards` workers.
 ///
 /// For each random list the FSM of a random member is built; detection
 /// correctness is verified exhaustively over the 2048-identifier space and
 /// the decision position is accumulated over the malicious identifiers.
+/// Every FSM is an independent cell whose RNG is seeded from the master
+/// seed by cell index, so the summary is identical for every shard count.
 ///
 /// The mean detection position grows with the IVN size (the paper's "as
 /// the size of IVN 𝔼 grows, the detection bit position rises"): ≈ 4.7
 /// bits at N = 10, ≈ 7.7 at N = 100, ≈ 9 at N ≈ 300 — the regime matching
 /// the paper's reported mean of 9.
+pub fn run_sweep_with_sizes_sharded(
+    fsm_count: usize,
+    seed: u64,
+    n_min: usize,
+    n_max: usize,
+    shards: usize,
+) -> DetectionSweep {
+    assert!(n_min >= 1 && n_min <= n_max && n_max <= 1024);
+    let tallies = ExperimentPlan::new(vec![(); fsm_count], seed)
+        .with_shards(shards.max(1))
+        .run(|_index, cell_seed, ()| sweep_cell(cell_seed, n_min, n_max));
+
+    let mut total = FsmCellTally::default();
+    for t in &tallies {
+        total.position_sum += t.position_sum;
+        total.malicious_total += t.malicious_total;
+        total.detected += t.detected;
+        total.benign_total += t.benign_total;
+        total.false_positives += t.false_positives;
+        total.nodes += t.nodes;
+    }
+
+    DetectionSweep {
+        fsm_count,
+        mean_detection_position: if total.detected == 0 {
+            0.0
+        } else {
+            total.position_sum as f64 / total.detected as f64
+        },
+        detection_rate: if total.malicious_total == 0 {
+            1.0
+        } else {
+            total.detected as f64 / total.malicious_total as f64
+        },
+        false_positive_rate: if total.benign_total == 0 {
+            0.0
+        } else {
+            total.false_positives as f64 / total.benign_total as f64
+        },
+        mean_nodes: total.nodes as f64 / fsm_count.max(1) as f64,
+    }
+}
+
+/// Serial-path wrapper of [`run_sweep_with_sizes_sharded`] (`shards == 1`).
 pub fn run_sweep_with_sizes(
     fsm_count: usize,
     seed: u64,
     n_min: usize,
     n_max: usize,
 ) -> DetectionSweep {
-    assert!(n_min >= 1 && n_min <= n_max && n_max <= 1024);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut position_sum = 0u64;
-    let mut malicious_total = 0u64;
-    let mut detected = 0u64;
-    let mut benign_total = 0u64;
-    let mut false_positives = 0u64;
-    let mut node_sum = 0u64;
-
-    for _ in 0..fsm_count {
-        let n = rng.random_range(n_min..=n_max);
-        let list = random_list(&mut rng, n);
-        let index = rng.random_range(0..list.len());
-        let set = detection_range(&list, index);
-        let fsm = DetectionFsm::from_set(&set);
-        node_sum += fsm.node_count() as u64;
-
-        for id in CanId::all() {
-            let truth = set.contains(id);
-            let verdict = fsm.classify(id);
-            if truth {
-                malicious_total += 1;
-                if verdict {
-                    detected += 1;
-                    position_sum += fsm.decision_position(id) as u64;
-                }
-            } else {
-                benign_total += 1;
-                if verdict {
-                    false_positives += 1;
-                }
-            }
-        }
-    }
-
-    DetectionSweep {
-        fsm_count,
-        mean_detection_position: if detected == 0 {
-            0.0
-        } else {
-            position_sum as f64 / detected as f64
-        },
-        detection_rate: if malicious_total == 0 {
-            1.0
-        } else {
-            detected as f64 / malicious_total as f64
-        },
-        false_positive_rate: if benign_total == 0 {
-            0.0
-        } else {
-            false_positives as f64 / benign_total as f64
-        },
-        mean_nodes: node_sum as f64 / fsm_count.max(1) as f64,
-    }
+    run_sweep_with_sizes_sharded(fsm_count, seed, n_min, n_max, 1)
 }
 
 /// The default sweep: IVN sizes in the large-vehicle regime (N 150–450)
 /// where the paper's mean detection position of ≈ 9 bits is reproduced.
 pub fn run_sweep(fsm_count: usize, seed: u64) -> DetectionSweep {
-    run_sweep_with_sizes(fsm_count, seed, 150, 450)
+    run_sweep_sharded(fsm_count, seed, 1)
+}
+
+/// [`run_sweep`] on `shards` workers; the summary is identical for every
+/// shard count.
+pub fn run_sweep_sharded(fsm_count: usize, seed: u64, shards: usize) -> DetectionSweep {
+    run_sweep_with_sizes_sharded(fsm_count, seed, 150, 450, shards)
 }
 
 #[cfg(test)]

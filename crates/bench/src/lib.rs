@@ -15,7 +15,10 @@
 //! * [`availability`] — benign-traffic delivery under persistent attack,
 //!   healthy vs undefended vs defended (extension);
 //! * [`campaign`] — the seeded fault-injection campaign grid (robustness
-//!   extension).
+//!   extension);
+//! * [`runner`] — the parallel deterministic experiment engine the grid
+//!   artifacts (campaign, FSM sweep, Table II, multi-attacker scan) fan
+//!   out on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +29,6 @@ pub mod campaign;
 pub mod cpu;
 pub mod detection;
 pub mod ids_compare;
+pub mod runner;
 pub mod scenarios;
 pub mod table1;

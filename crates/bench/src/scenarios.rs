@@ -11,6 +11,8 @@ use restbus::{
     pacifica_matrix, vehicle_matrix, ParkSense, ReplayApp, Vehicle, ATTACK_ID, PARKSENSE_ID,
 };
 
+use crate::runner::ExperimentPlan;
+
 /// The bus speed of the paper's online evaluation (Table II).
 pub const TABLE2_SPEED: BusSpeed = BusSpeed::K50;
 
@@ -213,10 +215,38 @@ pub fn run_experiment(exp: &Experiment, capture_ms: f64) -> ExperimentOutcome {
     }
 }
 
+/// Runs all six Table II experiments for `capture_ms` each, fanned out on
+/// `shards` workers.
+///
+/// The experiments are seed-free (their builders are fully deterministic),
+/// so the plan's master seed is irrelevant; cells are still reduced in
+/// experiment order, making the report identical for every shard count.
+pub fn run_table2(capture_ms: f64, shards: usize) -> Vec<ExperimentOutcome> {
+    ExperimentPlan::new(table2_experiments(), 0)
+        .with_shards(shards.max(1))
+        .run(|_index, _seed, exp| run_experiment(&exp, capture_ms))
+}
+
+/// Runs [`run_multi_attacker`] for every count in `counts` on `shards`
+/// workers, returning `(count, eradication_bits)` pairs in input order.
+pub fn run_multi_attacker_scan(
+    counts: &[usize],
+    horizon_bits: u64,
+    shards: usize,
+) -> Vec<(usize, Option<u64>)> {
+    ExperimentPlan::new(counts.to_vec(), 0)
+        .with_shards(shards.max(1))
+        .run(|_index, _seed, count| (count, run_multi_attacker(count, horizon_bits)))
+}
+
 /// Multi-attacker sweep (§V-C, "Experiments with more than two
 /// attackers"): `count` saturating attackers; returns the total bits from
 /// the first attack bit until the last attacker enters bus-off, or `None`
 /// if not all attackers were eradicated within the horizon.
+///
+/// The event log is drained every bit instead of accumulated, so memory
+/// stays flat no matter how long the horizon is (large scans used to
+/// retain the full log just to find two timestamps).
 pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
     let mut sim = Simulator::new(TABLE2_SPEED);
     let mut attackers = Vec::new();
@@ -239,17 +269,29 @@ pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
             .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
     );
 
-    // Stop as soon as every attacker has gone bus-off once.
+    // Stop as soon as every attacker has gone bus-off once. Track the two
+    // timestamps of interest while draining, then drop the drained batch.
     let mut remaining: std::collections::HashSet<NodeId> = attackers.iter().copied().collect();
-    let mut checked = 0usize;
+    let mut first_start: Option<u64> = None;
+    let mut last_off: Option<u64> = None;
+    let mut batch = Vec::new();
     for _ in 0..horizon_bits {
         sim.step();
-        while checked < sim.events().len() {
-            let e = &sim.events()[checked];
-            if matches!(e.kind, EventKind::BusOff) {
-                remaining.remove(&e.node);
+        sim.take_events_into(&mut batch);
+        for e in batch.drain(..) {
+            match e.kind {
+                EventKind::TransmissionStarted { .. }
+                    if first_start.is_none() && attackers.contains(&e.node) =>
+                {
+                    first_start = Some(e.at.bits());
+                }
+                EventKind::BusOff => {
+                    remaining.remove(&e.node);
+                    let at = e.at.bits();
+                    last_off = Some(last_off.map_or(at, |v| v.max(at)));
+                }
+                _ => {}
             }
-            checked += 1;
         }
         if remaining.is_empty() {
             break;
@@ -258,22 +300,7 @@ pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
     if !remaining.is_empty() {
         return None;
     }
-
-    let first_start = sim
-        .events()
-        .iter()
-        .find(|e| {
-            attackers.contains(&e.node) && matches!(e.kind, EventKind::TransmissionStarted { .. })
-        })?
-        .at
-        .bits();
-    let last_off = sim
-        .events()
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::BusOff))
-        .map(|e| e.at.bits())
-        .max()?;
-    Some(last_off - first_start)
+    Some(last_off? - first_start?)
 }
 
 /// Outcome of the on-vehicle ParkSense scenario (§V-F).

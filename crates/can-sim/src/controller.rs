@@ -154,6 +154,17 @@ pub struct StepOutput {
     pub transmitted: Option<CanFrame>,
 }
 
+impl StepOutput {
+    /// Resets the output for reuse, keeping the events buffer's capacity
+    /// (the simulator recycles one `StepOutput` across every node and bit
+    /// to keep the per-bit hot path allocation-free).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.received = None;
+        self.transmitted = None;
+    }
+}
+
 /// A full CAN 2.0A controller stepped at bit granularity.
 #[derive(Debug)]
 pub struct Controller {
@@ -279,6 +290,16 @@ impl Controller {
     /// Processes the bus level sampled during the current bit time.
     pub fn on_sample(&mut self, bus: Level, now: BitInstant) -> StepOutput {
         let mut out = StepOutput::default();
+        self.on_sample_into(bus, now, &mut out);
+        out
+    }
+
+    /// [`Controller::on_sample`] writing into a caller-provided output.
+    ///
+    /// `out` must be [`StepOutput::clear`]ed (or fresh); reusing one
+    /// buffer across bits avoids a per-bit allocation on the simulator's
+    /// hot path.
+    pub fn on_sample_into(&mut self, bus: Level, now: BitInstant, out: &mut StepOutput) {
         // The ACK drive is one-shot: the bit being processed was the slot.
         self.drive_ack = false;
 
@@ -297,25 +318,24 @@ impl Controller {
                     State::Integrating { recessive_run: run }
                 }
             }
-            State::Idle => self.sample_idle(bus, now, &mut out),
-            State::Receiving { parser } => self.sample_receiving(parser, bus, now, &mut out),
+            State::Idle => self.sample_idle(bus, now, out),
+            State::Receiving { parser } => self.sample_receiving(parser, bus, now, out),
             State::Transmitting { tx, parser } => {
-                self.sample_transmitting(tx, parser, bus, now, &mut out)
+                self.sample_transmitting(tx, parser, bus, now, out)
             }
-            State::ErrorSignaling(sig) => self.sample_error(sig, bus, now, &mut out),
+            State::ErrorSignaling(sig) => self.sample_error(sig, bus, now, out),
             State::Intermission {
                 remaining,
                 then_suspend,
-            } => self.sample_intermission(remaining, then_suspend, bus, now, &mut out),
-            State::Suspend { remaining } => self.sample_suspend(remaining, bus, now, &mut out),
+            } => self.sample_intermission(remaining, then_suspend, bus, now, out),
+            State::Suspend { remaining } => self.sample_suspend(remaining, bus, now, out),
             State::BusOff {
                 recessive_run,
                 sequences,
-            } => self.sample_bus_off(recessive_run, sequences, bus, &mut out),
+            } => self.sample_bus_off(recessive_run, sequences, bus, out),
         };
 
-        self.report_state_change(&mut out);
-        out
+        self.report_state_change(out);
     }
 
     fn report_state_change(&mut self, out: &mut StepOutput) {

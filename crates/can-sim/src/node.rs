@@ -138,6 +138,17 @@ impl Node {
 
     /// Processes the sampled bus level for the current bit.
     pub fn on_sample(&mut self, bus: Level, now: BitInstant) -> StepOutput {
+        let mut out = StepOutput::default();
+        self.sample_into(bus, now, &mut out);
+        out
+    }
+
+    /// [`Node::on_sample`] writing into a caller-provided output.
+    ///
+    /// `out` must be [`StepOutput::clear`]ed (or fresh); the simulator
+    /// recycles one buffer across every node and bit so the hot path does
+    /// not allocate.
+    pub fn sample_into(&mut self, bus: Level, now: BitInstant, out: &mut StepOutput) {
         // A crashed MCU samples nothing: controller, application and
         // agent are all frozen until the restart.
         if self
@@ -145,7 +156,7 @@ impl Node {
             .as_ref()
             .is_some_and(|fault| fault.is_down(now.bits()))
         {
-            return StepOutput::default();
+            return;
         }
 
         // Application poll first: a frame due at bit `t` can be on the bus
@@ -157,7 +168,7 @@ impl Node {
             }
         }
 
-        let out = self.controller.on_sample(bus, now);
+        self.controller.on_sample_into(bus, now, out);
 
         // Deliver controller callbacks to the application.
         if let Some(frame) = &out.received {
@@ -181,8 +192,6 @@ impl Node {
             agent.set_own_transmission(self.controller.is_transmitting());
             agent.on_bit(bus, now);
         }
-
-        out
     }
 }
 

@@ -12,25 +12,75 @@
 
 use can_core::{BitDuration, BitInstant, BusSpeed, Level};
 
+use crate::controller::StepOutput;
 use crate::event::{Event, NodeId};
 use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
 
 /// A per-bit recording of the bus level.
+///
+/// Two modes: *full* (the default — every bit since the start, index =
+/// bit time) and *ring* (a fixed-capacity window of the most recent bits,
+/// for soak runs where an unbounded trace would grow without limit).
 #[derive(Debug, Clone, Default)]
 pub struct SignalTrace {
     levels: Vec<Level>,
+    /// `Some(cap)` makes the trace a ring over the last `cap` bits.
+    capacity: Option<usize>,
+    /// Ring mode: index of the oldest recorded level (= next write slot
+    /// once the buffer is full).
+    head: usize,
+    /// Total bits ever recorded (≥ `len()` once a ring has wrapped).
+    recorded: u64,
 }
 
 impl SignalTrace {
-    /// The recorded levels, index = bit time.
+    /// A bounded trace retaining only the most recent `capacity` bits.
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "a ring trace needs a non-zero capacity");
+        SignalTrace {
+            levels: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    fn push(&mut self, level: Level) {
+        self.recorded += 1;
+        match self.capacity {
+            Some(cap) if self.levels.len() == cap => {
+                self.levels[self.head] = level;
+                self.head = (self.head + 1) % cap;
+            }
+            _ => self.levels.push(level),
+        }
+    }
+
+    /// The raw stored levels. In full mode (and in ring mode before the
+    /// first wrap-around) index = bit time; in a wrapped ring the storage
+    /// is rotated — use [`SignalTrace::snapshot`] for chronological order.
     pub fn levels(&self) -> &[Level] {
         &self.levels
     }
 
-    /// Number of recorded bits.
+    /// The retained levels in chronological order (oldest first). In full
+    /// mode this is simply a copy of [`SignalTrace::levels`].
+    pub fn snapshot(&self) -> Vec<Level> {
+        let mut out = Vec::with_capacity(self.levels.len());
+        out.extend_from_slice(&self.levels[self.head..]);
+        out.extend_from_slice(&self.levels[..self.head]);
+        out
+    }
+
+    /// Number of retained bits (bounded by the ring capacity, if any).
     pub fn len(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Total bits ever recorded, including ones a ring has overwritten.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Whether anything was recorded.
@@ -45,9 +95,13 @@ pub struct Simulator {
     nodes: Vec<Node>,
     now: BitInstant,
     events: Vec<Event>,
+    log_events: bool,
     trace: Option<SignalTrace>,
     busy_bits: u64,
     faults: FaultStack,
+    /// Recycled per-bit output buffer — one allocation for the whole run
+    /// instead of one per node per bit.
+    scratch: StepOutput,
 }
 
 impl Simulator {
@@ -58,9 +112,11 @@ impl Simulator {
             nodes: Vec::new(),
             now: BitInstant::ZERO,
             events: Vec::new(),
+            log_events: true,
             trace: None,
             busy_bits: 0,
             faults: FaultStack::new(),
+            scratch: StepOutput::default(),
         }
     }
 
@@ -87,6 +143,24 @@ impl Simulator {
         }
     }
 
+    /// Enables bounded signal tracing: only the most recent `capacity`
+    /// bits are retained (for soak runs, where a full trace would grow
+    /// without limit). Replaces any existing trace.
+    pub fn enable_trace_ring(&mut self, capacity: usize) {
+        self.trace = Some(SignalTrace::ring(capacity));
+    }
+
+    /// Turns event logging on or off (on by default).
+    ///
+    /// With logging off, [`Simulator::step`] discards protocol events
+    /// instead of appending them to the log — applications and agents
+    /// still receive their callbacks, but [`Simulator::events`] stops
+    /// growing. Pure-throughput measurements and long soak runs use this
+    /// to keep the hot path free of log growth.
+    pub fn set_event_logging(&mut self, enabled: bool) {
+        self.log_events = enabled;
+    }
+
     /// Adds a node; returns its [`NodeId`].
     pub fn add_node(&mut self, node: Node) -> NodeId {
         self.nodes.push(node);
@@ -111,6 +185,14 @@ impl Simulator {
     /// Drains the event log, returning the accumulated events.
     pub fn take_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drains the event log into `out` (appending), keeping the log's
+    /// allocation for reuse. Callers that poll every bit (e.g. the
+    /// multi-attacker scan) use this to stay allocation-free while keeping
+    /// memory flat over arbitrarily long runs.
+    pub fn take_events_into(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.events);
     }
 
     /// The signal trace, if tracing was enabled.
@@ -165,15 +247,18 @@ impl Simulator {
         let resolved = Level::wired_and(self.nodes.iter().map(Node::tx_level));
         let bus = self.faults.apply(resolved, self.now.bits());
         if let Some(trace) = &mut self.trace {
-            trace.levels.push(bus);
+            trace.push(bus);
         }
 
         let mut busy = bus.is_dominant();
         for (id, node) in self.nodes.iter_mut().enumerate() {
-            let out = node.on_sample(bus, self.now);
+            self.scratch.clear();
+            node.sample_into(bus, self.now, &mut self.scratch);
             busy |= node.controller().is_busy();
-            for kind in out.events {
-                self.events.push(Event::new(self.now, id, kind));
+            if self.log_events {
+                for kind in self.scratch.events.drain(..) {
+                    self.events.push(Event::new(self.now, id, kind));
+                }
             }
         }
         if busy {

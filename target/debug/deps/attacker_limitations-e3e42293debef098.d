@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacker_limitations-e3e42293debef098.d: tests/attacker_limitations.rs
+
+/root/repo/target/debug/deps/attacker_limitations-e3e42293debef098: tests/attacker_limitations.rs
+
+tests/attacker_limitations.rs:

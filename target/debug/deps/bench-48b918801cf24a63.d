@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bench-48b918801cf24a63.d: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-48b918801cf24a63.rmeta: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/availability.rs:
+crates/bench/src/busload.rs:
+crates/bench/src/campaign.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/ids_compare.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

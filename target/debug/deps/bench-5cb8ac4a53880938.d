@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bench-5cb8ac4a53880938.d: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/bench-5cb8ac4a53880938: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/availability.rs:
+crates/bench/src/busload.rs:
+crates/bench/src/campaign.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/ids_compare.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table1.rs:

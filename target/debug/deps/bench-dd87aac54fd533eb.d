@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bench-dd87aac54fd533eb.d: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libbench-dd87aac54fd533eb.rlib: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libbench-dd87aac54fd533eb.rmeta: crates/bench/src/lib.rs crates/bench/src/availability.rs crates/bench/src/busload.rs crates/bench/src/campaign.rs crates/bench/src/cpu.rs crates/bench/src/detection.rs crates/bench/src/ids_compare.rs crates/bench/src/runner.rs crates/bench/src/scenarios.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/availability.rs:
+crates/bench/src/busload.rs:
+crates/bench/src/campaign.rs:
+crates/bench/src/cpu.rs:
+crates/bench/src/detection.rs:
+crates/bench/src/ids_compare.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/scenarios.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/busoff_ladder-f20c9ce3d32282ff.d: tests/busoff_ladder.rs
+
+/root/repo/target/debug/deps/busoff_ladder-f20c9ce3d32282ff: tests/busoff_ladder.rs
+
+tests/busoff_ladder.rs:

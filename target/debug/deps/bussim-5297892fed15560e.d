@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bussim-5297892fed15560e.d: crates/bench/src/bin/bussim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbussim-5297892fed15560e.rmeta: crates/bench/src/bin/bussim.rs Cargo.toml
+
+crates/bench/src/bin/bussim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bussim-a07633036a16723d.d: crates/bench/src/bin/bussim.rs
+
+/root/repo/target/debug/deps/bussim-a07633036a16723d: crates/bench/src/bin/bussim.rs
+
+crates/bench/src/bin/bussim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bussim-b4e9fbb91c10ef2f.d: crates/bench/src/bin/bussim.rs
+
+/root/repo/target/debug/deps/bussim-b4e9fbb91c10ef2f: crates/bench/src/bin/bussim.rs
+
+crates/bench/src/bin/bussim.rs:

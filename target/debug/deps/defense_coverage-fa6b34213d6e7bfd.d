@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_coverage-fa6b34213d6e7bfd.d: tests/defense_coverage.rs
+
+/root/repo/target/debug/deps/defense_coverage-fa6b34213d6e7bfd: tests/defense_coverage.rs
+
+tests/defense_coverage.rs:

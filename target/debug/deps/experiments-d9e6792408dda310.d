@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-d9e6792408dda310.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-d9e6792408dda310: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-fa84ec6c0bb4b861.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fa84ec6c0bb4b861: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_shape-2ab5eaf2d1b1454d.d: tests/experiments_shape.rs
+
+/root/repo/target/debug/deps/experiments_shape-2ab5eaf2d1b1454d: tests/experiments_shape.rs
+
+tests/experiments_shape.rs:

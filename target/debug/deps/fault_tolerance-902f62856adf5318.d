@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-902f62856adf5318.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-902f62856adf5318: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system_soak-2d106f480289be33.d: tests/full_system_soak.rs
+
+/root/repo/target/debug/deps/full_system_soak-2d106f480289be33: tests/full_system_soak.rs
+
+tests/full_system_soak.rs:

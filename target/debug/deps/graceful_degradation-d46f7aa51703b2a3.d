@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graceful_degradation-d46f7aa51703b2a3.d: tests/graceful_degradation.rs
+
+/root/repo/target/debug/deps/graceful_degradation-d46f7aa51703b2a3: tests/graceful_degradation.rs
+
+tests/graceful_degradation.rs:

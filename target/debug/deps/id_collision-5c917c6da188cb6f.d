@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/id_collision-5c917c6da188cb6f.d: tests/id_collision.rs
+
+/root/repo/target/debug/deps/id_collision-5c917c6da188cb6f: tests/id_collision.rs
+
+tests/id_collision.rs:

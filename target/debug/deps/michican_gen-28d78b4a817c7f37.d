@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/michican_gen-28d78b4a817c7f37.d: crates/bench/src/bin/michican_gen.rs
+
+/root/repo/target/debug/deps/michican_gen-28d78b4a817c7f37: crates/bench/src/bin/michican_gen.rs
+
+crates/bench/src/bin/michican_gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/michican_gen-a89d8c478720fac1.d: crates/bench/src/bin/michican_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmichican_gen-a89d8c478720fac1.rmeta: crates/bench/src/bin/michican_gen.rs Cargo.toml
+
+crates/bench/src/bin/michican_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

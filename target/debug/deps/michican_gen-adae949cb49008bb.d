@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/michican_gen-adae949cb49008bb.d: crates/bench/src/bin/michican_gen.rs
+
+/root/repo/target/debug/deps/michican_gen-adae949cb49008bb: crates/bench/src/bin/michican_gen.rs
+
+crates/bench/src/bin/michican_gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/michican_suite-094dd1b10cd5e734.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmichican_suite-094dd1b10cd5e734.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/michican_suite-7413ce8e9efc831f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmichican_suite-7413ce8e9efc831f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmichican_suite-7413ce8e9efc831f.rmeta: src/lib.rs
+
+src/lib.rs:

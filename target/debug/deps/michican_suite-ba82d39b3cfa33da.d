@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/michican_suite-ba82d39b3cfa33da.d: src/lib.rs
+
+/root/repo/target/debug/deps/michican_suite-ba82d39b3cfa33da: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-13524afdad2c6575.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-13524afdad2c6575: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

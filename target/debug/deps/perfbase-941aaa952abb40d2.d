@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfbase-941aaa952abb40d2.d: crates/bench/src/bin/perfbase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfbase-941aaa952abb40d2.rmeta: crates/bench/src/bin/perfbase.rs Cargo.toml
+
+crates/bench/src/bin/perfbase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfbase-9d8cef831ee604ee.d: crates/bench/src/bin/perfbase.rs
+
+/root/repo/target/debug/deps/perfbase-9d8cef831ee604ee: crates/bench/src/bin/perfbase.rs
+
+crates/bench/src/bin/perfbase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfbase-eb69fc1a9eb957f4.d: crates/bench/src/bin/perfbase.rs
+
+/root/repo/target/debug/deps/perfbase-eb69fc1a9eb957f4: crates/bench/src/bin/perfbase.rs
+
+crates/bench/src/bin/perfbase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_e2e-21e1555e4160df80.d: tests/properties_e2e.rs
+
+/root/repo/target/debug/deps/properties_e2e-21e1555e4160df80: tests/properties_e2e.rs
+
+tests/properties_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_conformance-ee87c524208f11b8.d: tests/protocol_conformance.rs
+
+/root/repo/target/debug/deps/protocol_conformance-ee87c524208f11b8: tests/protocol_conformance.rs
+
+tests/protocol_conformance.rs:

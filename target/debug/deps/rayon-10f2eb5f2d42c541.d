@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-10f2eb5f2d42c541.d: crates/rayon-shim/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-10f2eb5f2d42c541: crates/rayon-shim/src/lib.rs
+
+crates/rayon-shim/src/lib.rs:

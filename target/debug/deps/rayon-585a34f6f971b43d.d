@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-585a34f6f971b43d.d: crates/rayon-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-585a34f6f971b43d.rmeta: crates/rayon-shim/src/lib.rs Cargo.toml
+
+crates/rayon-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

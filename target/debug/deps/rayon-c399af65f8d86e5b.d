@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-c399af65f8d86e5b.d: crates/rayon-shim/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c399af65f8d86e5b.rlib: crates/rayon-shim/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c399af65f8d86e5b.rmeta: crates/rayon-shim/src/lib.rs
+
+crates/rayon-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_codegen-8dc112ed34ec65e0.d: examples/firmware_codegen.rs
+
+/root/repo/target/debug/examples/firmware_codegen-8dc112ed34ec65e0: examples/firmware_codegen.rs
+
+examples/firmware_codegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/goldgen-b2efb8f94b1d377f.d: examples/goldgen.rs
+
+/root/repo/target/debug/examples/goldgen-b2efb8f94b1d377f: examples/goldgen.rs
+
+examples/goldgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ids_vs_michican-efb94b4f75c6894c.d: examples/ids_vs_michican.rs
+
+/root/repo/target/debug/examples/ids_vs_michican-efb94b4f75c6894c: examples/ids_vs_michican.rs
+
+examples/ids_vs_michican.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_channel-7f1b5640867ee207.d: examples/noisy_channel.rs
+
+/root/repo/target/debug/examples/noisy_channel-7f1b5640867ee207: examples/noisy_channel.rs
+
+examples/noisy_channel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/park_assist-eb8f14204460fcda.d: examples/park_assist.rs
+
+/root/repo/target/debug/examples/park_assist-eb8f14204460fcda: examples/park_assist.rs
+
+examples/park_assist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-78ed190fb7983d2d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-78ed190fb7983d2d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restbus_monitor-fdb04cadb5762d9d.d: examples/restbus_monitor.rs
+
+/root/repo/target/debug/examples/restbus_monitor-fdb04cadb5762d9d: examples/restbus_monitor.rs
+
+examples/restbus_monitor.rs:

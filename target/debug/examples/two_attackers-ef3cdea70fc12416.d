@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_attackers-ef3cdea70fc12416.d: examples/two_attackers.rs
+
+/root/repo/target/debug/examples/two_attackers-ef3cdea70fc12416: examples/two_attackers.rs
+
+examples/two_attackers.rs:

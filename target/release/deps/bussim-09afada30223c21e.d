@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bussim-09afada30223c21e.d: crates/bench/src/bin/bussim.rs
+
+/root/repo/target/release/deps/bussim-09afada30223c21e: crates/bench/src/bin/bussim.rs
+
+crates/bench/src/bin/bussim.rs:

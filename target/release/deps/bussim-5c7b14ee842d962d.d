@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bussim-5c7b14ee842d962d.d: crates/bench/src/bin/bussim.rs
+
+/root/repo/target/release/deps/bussim-5c7b14ee842d962d: crates/bench/src/bin/bussim.rs
+
+crates/bench/src/bin/bussim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-cd08a77c8652fe95.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-cd08a77c8652fe95: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/michican_gen-3f544bd755e51f13.d: crates/bench/src/bin/michican_gen.rs
+
+/root/repo/target/release/deps/michican_gen-3f544bd755e51f13: crates/bench/src/bin/michican_gen.rs
+
+crates/bench/src/bin/michican_gen.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/michican_suite-592c0b492ab28d51.d: src/lib.rs
+
+/root/repo/target/release/deps/libmichican_suite-592c0b492ab28d51.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmichican_suite-592c0b492ab28d51.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfbase-33d517c6993ab5c0.d: crates/bench/src/bin/perfbase.rs
+
+/root/repo/target/release/deps/perfbase-33d517c6993ab5c0: crates/bench/src/bin/perfbase.rs
+
+crates/bench/src/bin/perfbase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfbase-92a444feab712316.d: crates/bench/src/bin/perfbase.rs
+
+/root/repo/target/release/deps/perfbase-92a444feab712316: crates/bench/src/bin/perfbase.rs
+
+crates/bench/src/bin/perfbase.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-5148b8e6c823af88.d: crates/rayon-shim/src/lib.rs
+
+/root/repo/target/release/deps/librayon-5148b8e6c823af88.rlib: crates/rayon-shim/src/lib.rs
+
+/root/repo/target/release/deps/librayon-5148b8e6c823af88.rmeta: crates/rayon-shim/src/lib.rs
+
+crates/rayon-shim/src/lib.rs:

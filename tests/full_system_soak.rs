@@ -77,7 +77,37 @@ fn the_whole_stack_coexists() {
     // Mild channel noise on top.
     sim.set_fault_model(FaultModel::random(2e-5, 0x50AC));
 
+    // A soak run must not grow memory with run length: trace the bus
+    // through a fixed-size ring instead of an unbounded vector.
+    const TRACE_CAPACITY: usize = 10_000;
+    sim.enable_trace_ring(TRACE_CAPACITY);
+
     sim.run_millis(300.0);
+
+    // 0. The ring trace stayed bounded while still recording every bit.
+    let trace = sim.trace().unwrap();
+    assert_eq!(
+        trace.len(),
+        TRACE_CAPACITY,
+        "ring retains exactly its capacity"
+    );
+    assert_eq!(
+        trace.recorded(),
+        sim.now().bits(),
+        "every simulated bit was recorded"
+    );
+    assert!(
+        trace.recorded() > TRACE_CAPACITY as u64 * 10,
+        "the soak really wrapped the ring many times"
+    );
+    let snapshot = trace.snapshot();
+    assert_eq!(snapshot.len(), TRACE_CAPACITY);
+    // The attacker is still at war at the end of the run, so the recent
+    // window must contain bus activity (dominant bits).
+    assert!(
+        snapshot.iter().any(|l| l.is_dominant()),
+        "the retained window shows live bus traffic"
+    );
 
     // 1. The attacker is repeatedly eradicated and never completes a frame.
     let episodes = bus_off_episodes(sim.events(), attacker);

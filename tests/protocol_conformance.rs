@@ -232,3 +232,159 @@ fn bus_level_is_dominated_during_error_flags() {
         "superposed error flags must dominate ≥ 6 bits, saw {max_dominant_run}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Golden-vector conformance: known-answer tests for CRC-15 and bit
+// stuffing, frozen from hand-checked encodings. Any change to the codec
+// that alters these bitstreams is a wire-format break, not a refactor.
+// ---------------------------------------------------------------------------
+
+mod golden {
+    use can_core::bitstream::{decode_frame, stuff_frame, unstuffed_bits, FrameField, FrameLayout};
+    use can_core::crc::checksum;
+    use can_core::{CanFrame, CanId, Level};
+
+    /// `'0'` = dominant, `'1'` = recessive.
+    fn bits_to_string(bits: &[Level]) -> String {
+        bits.iter()
+            .map(|l| if l.is_dominant() { '0' } else { '1' })
+            .collect()
+    }
+
+    fn string_to_bits(s: &str) -> Vec<Level> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Level::Dominant,
+                '1' => Level::Recessive,
+                other => panic!("bad vector char {other:?}"),
+            })
+            .collect()
+    }
+
+    /// The CRC field value of a frame: CRC-15 over the unstuffed bits
+    /// from SOF up to (excluding) the CRC field.
+    fn crc_field_of(frame: &CanFrame) -> u16 {
+        let layout = FrameLayout::for_payload(frame.data().len());
+        let bits = unstuffed_bits(frame);
+        checksum(&bits[..layout.span(FrameField::Crc).start])
+    }
+
+    /// One golden frame: identifier, payload, expected stuffed bitstream,
+    /// expected stuff-bit positions, expected CRC field value.
+    struct Golden {
+        id: u16,
+        payload: &'static [u8],
+        stuffed: &'static str,
+        stuff_positions: &'static [usize],
+        crc: u16,
+    }
+
+    /// Four canonical frames covering the corner cases: the defender's
+    /// 0x173/DLC 8 frame, the all-dominant identifier (max stuffing), the
+    /// all-recessive identifier, and a mixed mid-range frame.
+    const GOLDEN: &[Golden] = &[
+        Golden {
+            id: 0x173,
+            payload: &[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04],
+            stuffed: "00010111001100010001101111010101101101111100111011110000010010000010100000100110000011000100010101111011111111111",
+            stuff_positions: &[42, 57, 66, 74, 84],
+            crc: 0x22BD,
+        },
+        Golden {
+            id: 0x000,
+            payload: &[],
+            stuffed: "00000100000100000100000100000100000100001111111111",
+            stuff_positions: &[5, 11, 17, 23, 29, 35],
+            crc: 0x0000,
+        },
+        Golden {
+            id: 0x7FF,
+            payload: &[0xFF],
+            stuffed: "011111011111010000010111110111110111010000101011111111111",
+            stuff_positions: &[6, 12, 19, 26, 32],
+            crc: 0x7A15,
+        },
+        Golden {
+            id: 0x555,
+            payload: &[0x00, 0xFF, 0x55, 0xAA],
+            stuffed: "0101010101010000100000100000111110111101010101101010100100011100101011111111111",
+            stuff_positions: &[22, 28, 33],
+            crc: 0x2395,
+        },
+    ];
+
+    #[test]
+    fn stuffed_bitstreams_match_the_golden_vectors() {
+        for g in GOLDEN {
+            let frame = CanFrame::data_frame(CanId::from_raw(g.id), g.payload).unwrap();
+            let wire = stuff_frame(&frame);
+            assert_eq!(
+                bits_to_string(&wire.bits),
+                g.stuffed,
+                "stuffed bitstream of id {:#05X}",
+                g.id
+            );
+            assert_eq!(
+                wire.stuff_positions, g.stuff_positions,
+                "stuff positions of id {:#05X}",
+                g.id
+            );
+        }
+    }
+
+    #[test]
+    fn crc_fields_match_the_golden_vectors() {
+        for g in GOLDEN {
+            let frame = CanFrame::data_frame(CanId::from_raw(g.id), g.payload).unwrap();
+            assert_eq!(
+                crc_field_of(&frame),
+                g.crc,
+                "CRC-15 field of id {:#05X}",
+                g.id
+            );
+        }
+    }
+
+    #[test]
+    fn golden_bitstreams_decode_back_to_their_frames() {
+        for g in GOLDEN {
+            let frame = CanFrame::data_frame(CanId::from_raw(g.id), g.payload).unwrap();
+            let decoded = decode_frame(&string_to_bits(g.stuffed))
+                .unwrap_or_else(|e| panic!("golden vector of id {:#05X} must decode: {e:?}", g.id));
+            assert_eq!(decoded, frame, "round-trip of id {:#05X}", g.id);
+        }
+    }
+
+    #[test]
+    fn crc15_known_answers() {
+        // Register starts at 0; a single recessive bit injects the
+        // polynomial itself.
+        assert_eq!(checksum(&[]), 0x0000);
+        assert_eq!(checksum(&[Level::Recessive]), 0x4599);
+        // All-dominant input never sets the feedback bit.
+        assert_eq!(checksum(&[Level::Dominant; 19]), 0x0000);
+        // CRC is over 15 bits only.
+        assert!(checksum(&string_to_bits("110100110101001101011")) <= 0x7FFF);
+    }
+
+    #[test]
+    fn no_six_bit_run_survives_stuffing() {
+        for g in GOLDEN {
+            let frame = CanFrame::data_frame(CanId::from_raw(g.id), g.payload).unwrap();
+            let wire = stuff_frame(&frame);
+            let layout = FrameLayout::for_payload(g.payload.len());
+            // Stuffing covers SOF..CRC; find the stuffed span end (CRC end
+            // plus inserted stuff bits).
+            let stuffed_span_end = layout.span(FrameField::Crc).end + wire.stuff_positions.len();
+            let mut run = 1usize;
+            for w in wire.bits[..stuffed_span_end].windows(2) {
+                run = if w[1] == w[0] { run + 1 } else { 1 };
+                assert!(
+                    run <= 5,
+                    "six identical bits within the stuffed span of id {:#05X}",
+                    g.id
+                );
+            }
+        }
+    }
+}
