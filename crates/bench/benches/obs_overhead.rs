@@ -1,0 +1,61 @@
+//! Observability overhead guard: the disabled-path recorder must cost
+//! nothing on the simulator's per-bit hot path.
+//!
+//! Three variants of the same restbus replay: no recorder attached (the
+//! PR 3 baseline configuration), an explicitly attached *disabled*
+//! recorder, and an enabled recorder. The first two must be within noise
+//! of each other — a disabled recorder is one untaken `None` branch per
+//! instrumentation site and never formats a metric key.
+
+use std::hint::black_box;
+
+use bench::scenarios::restbus_matrix;
+use can_core::app::SilentApplication;
+use can_core::BusSpeed;
+use can_obs::Recorder;
+use can_sim::{Node, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use restbus::ReplayApp;
+
+fn replay_sim(recorder: Option<Recorder>) -> Simulator {
+    let mut sim = Simulator::new(BusSpeed::K50);
+    sim.set_event_logging(false);
+    if let Some(recorder) = recorder {
+        sim.set_recorder(recorder);
+    }
+    sim.add_node(Node::new(
+        "restbus",
+        Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+    ));
+    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    sim
+}
+
+fn bench_obs(c: &mut Criterion) {
+    c.bench_function("obs/restbus_10k_bits_no_recorder", |b| {
+        b.iter(|| {
+            let mut sim = replay_sim(None);
+            sim.run(black_box(10_000));
+            sim.busy_bits()
+        })
+    });
+
+    c.bench_function("obs/restbus_10k_bits_recorder_disabled", |b| {
+        b.iter(|| {
+            let mut sim = replay_sim(Some(Recorder::disabled()));
+            sim.run(black_box(10_000));
+            sim.busy_bits()
+        })
+    });
+
+    c.bench_function("obs/restbus_10k_bits_recorder_enabled", |b| {
+        b.iter(|| {
+            let mut sim = replay_sim(Some(Recorder::enabled()));
+            sim.run(black_box(10_000));
+            sim.busy_bits()
+        })
+    });
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

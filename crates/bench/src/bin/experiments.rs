@@ -6,6 +6,7 @@
 //!              ids_latency|feasibility|availability|faults] [--full]
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
 //!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
+//!             [--metrics-out <path>]   # per-run observability export
 //! ```
 //!
 //! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
@@ -15,18 +16,26 @@
 //! multi_attacker) out across worker threads; the output is byte-identical
 //! for every shard count (see `bench::runner` for the determinism
 //! contract).
+//!
+//! `--metrics-out <path>` enables the metrics recorder: the grid artifacts
+//! run metered (per-cell registries merged in cell order), a serial
+//! observability probe (`bench::obs`) runs once so the snapshot always
+//! carries the per-node TEC/REC, error-type and reaction-latency series,
+//! and the run's deterministic JSON snapshot is written to `<path>` with a
+//! Prometheus text rendering next to it (`<path>` with the extension
+//! replaced by `.prom`). The JSON snapshot is byte-identical for every
+//! shard count; status messages go to stderr so stdout stays diffable.
 
 use std::env;
 use std::path::PathBuf;
 
 use bench::runner::parse_shards;
-use bench::scenarios::{
-    self, run_multi_attacker_scan, run_parksense, run_table2, table2_experiments, TABLE2_SPEED,
-};
+use bench::scenarios::{self, run_parksense, table2_experiments, TABLE2_SPEED};
 use bench::{busload, cpu, detection, table1};
 use can_core::bitstream::{FrameField, FrameLayout};
 use can_core::counters::ERRORS_TO_BUS_OFF;
 use can_core::{BusSpeed, CanFrame, CanId, ErrorCounters, ErrorState};
+use can_obs::Recorder;
 use can_sim::{ErrorRole, EventKind};
 use can_trace::{Timeline, TimelineEvent};
 use mcu::{ARDUINO_DUE, NXP_S32K144};
@@ -48,6 +57,11 @@ fn main() {
         .position(|a| a == "--artifacts")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let metrics_out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let mut skip_next = false;
     let which = args
         .iter()
@@ -56,7 +70,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--artifacts" {
+            if *a == "--artifacts" || *a == "--metrics-out" {
                 skip_next = true;
                 return false;
             }
@@ -65,6 +79,14 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
+
+    // One root recorder for the whole invocation: disabled (all no-ops)
+    // unless --metrics-out asked for the export.
+    let recorder = if metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
 
     let run = |name: &str| which == "all" || which == name;
 
@@ -90,11 +112,11 @@ fn main() {
     }
     if run("detection") {
         section("§V-B — detection latency (random FSMs)");
-        detection_latency(full, shards);
+        detection_latency(full, shards, &recorder);
     }
     if run("table2") {
         section("Table II — empirical bus-off time (six experiments, 50 kbit/s)");
-        table2(full, shards);
+        table2(full, shards, &recorder);
     }
     if run("table3") {
         section("Table III — theoretical bus-off time");
@@ -106,7 +128,7 @@ fn main() {
     }
     if run("multi_attacker") {
         section("§V-C — more than two attackers");
-        multi_attacker(shards);
+        multi_attacker(shards, &recorder);
     }
     if run("cpu") {
         section("§V-D — CPU utilization");
@@ -134,18 +156,46 @@ fn main() {
     }
     if run("faults") {
         section("Extension — fault-injection campaign (robustness grid)");
-        faults(full, shards);
+        faults(full, shards, &recorder);
+    }
+
+    if let Some(path) = metrics_out {
+        write_metrics(&recorder, &path);
     }
 }
 
-fn faults(full: bool, shards: usize) {
-    use bench::campaign::{run_campaign, CampaignConfig};
+/// Runs the serial observability probe and writes the run's metrics: the
+/// deterministic JSON snapshot to `path` and the Prometheus text rendering
+/// (which additionally carries the host-dependent wall-time spans) next to
+/// it with a `.prom` extension.
+fn write_metrics(recorder: &Recorder, path: &std::path::Path) {
+    bench::obs::run_reaction_probe(recorder, 50.0);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(path, recorder.snapshot_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let prom = path.with_extension("prom");
+    if let Err(e) = std::fs::write(&prom, recorder.prometheus_text()) {
+        eprintln!("cannot write {}: {e}", prom.display());
+        std::process::exit(1);
+    }
+    eprintln!("metrics: wrote {} and {}", path.display(), prom.display());
+}
+
+fn faults(full: bool, shards: usize, recorder: &Recorder) {
+    use bench::campaign::{run_campaign_metered, CampaignConfig};
     let config = CampaignConfig {
         run_ms: if full { 600.0 } else { 150.0 },
         shards,
         ..CampaignConfig::default()
     };
-    print!("{}", run_campaign(&config).render());
+    print!("{}", run_campaign_metered(&config, recorder).render());
     println!("(seeded and deterministic: rerunning reproduces this table byte for byte)");
 }
 
@@ -357,13 +407,13 @@ fn fig4b() {
     }
 }
 
-fn detection_latency(full: bool, shards: usize) {
+fn detection_latency(full: bool, shards: usize, recorder: &Recorder) {
     let fsms = if full { 160_000 } else { 4_000 };
     println!(
         "sweep: {} random FSMs (IVN sizes 150-450; use --full for 160k)",
         fsms
     );
-    let sweep = detection::run_sweep_sharded(fsms, 0xD5_2025, shards);
+    let sweep = detection::run_sweep_metered(fsms, 0xD5_2025, shards, recorder);
     println!(
         "  detection rate:          {:.1} %   (paper: 100 %)",
         sweep.detection_rate * 100.0
@@ -393,7 +443,7 @@ fn detection_latency(full: bool, shards: usize) {
     }
 }
 
-fn table2(full: bool, shards: usize) {
+fn table2(full: bool, shards: usize, recorder: &Recorder) {
     let capture_ms = if full { 10_000.0 } else { 2_000.0 };
     println!("capture: {capture_ms} ms per experiment (paper: 2 s)");
     println!(
@@ -411,7 +461,7 @@ fn table2(full: bool, shards: usize) {
         (24.9, 0.01, 25.4),
     ];
     let mut row = 0usize;
-    for outcome in run_table2(capture_ms, shards) {
+    for outcome in scenarios::run_table2_metered(capture_ms, shards, recorder) {
         let exp = &outcome.experiment;
         for (id, stats) in &outcome.per_attacker {
             match stats {
@@ -574,7 +624,7 @@ fn fig6(artifacts: Option<&std::path::Path>) {
     );
 }
 
-fn multi_attacker(shards: usize) {
+fn multi_attacker(shards: usize, recorder: &Recorder) {
     println!(
         "{:>3} {:>14} {:>12}   {:<30}",
         "A", "total (bits)", "total (ms)", "verdict vs 5000-bit deadline"
@@ -587,7 +637,7 @@ fn multi_attacker(shards: usize) {
         (5, None),
     ];
     let counts: Vec<usize> = paper.iter().map(|&(count, _)| count).collect();
-    let scan = run_multi_attacker_scan(&counts, 60_000, shards);
+    let scan = scenarios::run_multi_attacker_scan_metered(&counts, 60_000, shards, recorder);
     for ((count, result), (_, paper_bits)) in scan.into_iter().zip(paper) {
         match result {
             Some(bits) => {

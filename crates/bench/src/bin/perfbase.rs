@@ -11,19 +11,23 @@
 //!
 //! The JSON records single-thread vs parallel bits/sec on the
 //! fault-campaign grid (with the speedup), raw simulator bits/sec with
-//! event logging on and off, cells/sec for the campaign grid, and wall
+//! event logging on and off, the metrics layer's hot-path cost with the
+//! recorder disabled vs enabled (the disabled path must be within noise
+//! of no recorder at all), cells/sec for the campaign grid, and wall
 //! time per grid artifact. Numbers depend on the host; the *outputs* of
 //! every measured workload stay byte-identical across shard counts (see
-//! `bench::runner` — this binary asserts it for the campaign).
+//! `bench::runner` — this binary asserts it for the campaign report *and*
+//! for the merged metrics snapshot of the metered campaign).
 
 use std::time::Instant;
 
-use bench::campaign::{run_campaign, CampaignConfig};
+use bench::campaign::{run_campaign, run_campaign_metered, CampaignConfig};
 use bench::detection::run_sweep_sharded;
 use bench::runner::parse_shards;
 use bench::scenarios::{restbus_matrix, run_multi_attacker_scan, run_table2};
 use can_core::app::SilentApplication;
 use can_core::BusSpeed;
+use can_obs::Recorder;
 use can_sim::{Node, Simulator};
 use restbus::ReplayApp;
 
@@ -37,8 +41,17 @@ fn timed<R>(work: impl FnOnce() -> R) -> (f64, R) {
 /// Raw simulator throughput: Veh. D restbus replay plus a receiver,
 /// stepped for `bits` bit times. Returns bits/sec.
 fn sim_bits_per_sec(bits: u64, event_logging: bool) -> f64 {
+    sim_bits_per_sec_with(bits, event_logging, None)
+}
+
+/// [`sim_bits_per_sec`] with an explicit recorder attached (when `Some`);
+/// used to quantify the metrics layer's hot-path cost in both states.
+fn sim_bits_per_sec_with(bits: u64, event_logging: bool, recorder: Option<Recorder>) -> f64 {
     let mut sim = Simulator::new(BusSpeed::K50);
     sim.set_event_logging(event_logging);
+    if let Some(recorder) = recorder {
+        sim.set_recorder(recorder);
+    }
     sim.add_node(Node::new(
         "restbus",
         Box::new(ReplayApp::for_matrix(&restbus_matrix())),
@@ -88,6 +101,16 @@ fn main() {
     let bps_off = sim_bits_per_sec(sim_bits, false);
     eprintln!("  sim: {bps_on:.0} bits/s (events on), {bps_off:.0} bits/s (events off)");
 
+    // 1b. Metrics-layer cost on the same hot path: an attached-but-
+    // disabled recorder must be free (one untaken branch per site); the
+    // enabled cost is reported for context.
+    let bps_obs_disabled = sim_bits_per_sec_with(sim_bits, false, Some(Recorder::disabled()));
+    let bps_obs_enabled = sim_bits_per_sec_with(sim_bits, false, Some(Recorder::enabled()));
+    eprintln!(
+        "  obs: {bps_obs_disabled:.0} bits/s (recorder disabled), \
+         {bps_obs_enabled:.0} bits/s (recorder enabled)"
+    );
+
     // 2. Campaign grid, serial vs parallel. 16 cells at 500 kbit/s.
     let run_ms = if quick { 60.0 } else { 150.0 };
     let serial_config = CampaignConfig {
@@ -106,6 +129,19 @@ fn main() {
         parallel_report.render(),
         "determinism contract: parallel campaign must be byte-identical to serial"
     );
+
+    // The metered campaign inherits the contract: merged per-cell metric
+    // registries must yield the same snapshot for every shard count.
+    let serial_recorder = Recorder::enabled();
+    run_campaign_metered(&serial_config, &serial_recorder);
+    let parallel_recorder = Recorder::enabled();
+    run_campaign_metered(&parallel_config, &parallel_recorder);
+    assert_eq!(
+        serial_recorder.snapshot_json(),
+        parallel_recorder.snapshot_json(),
+        "determinism contract: merged metrics snapshot must be byte-identical to serial"
+    );
+    eprintln!("  obs: metered campaign snapshot byte-identical across shard counts");
     let cells = serial_report.cells.len();
     let grid_bits = cells as f64 * BusSpeed::K500.bits_in_millis(run_ms) as f64;
     let speedup = serial_secs / parallel_secs;
@@ -139,6 +175,11 @@ fn main() {
     "bits_per_sec_events_on": {bps_on},
     "bits_per_sec_events_off": {bps_off}
   }},
+  "obs": {{
+    "bits_per_sec_recorder_disabled": {bps_obs_disabled},
+    "bits_per_sec_recorder_enabled": {bps_obs_enabled},
+    "metered_snapshot_deterministic": true
+  }},
   "campaign_grid": {{
     "cells": {cells},
     "run_ms_per_cell": {run_ms},
@@ -161,6 +202,8 @@ fn main() {
 "#,
         bps_on = json_f(bps_on),
         bps_off = json_f(bps_off),
+        bps_obs_disabled = json_f(bps_obs_disabled),
+        bps_obs_enabled = json_f(bps_obs_enabled),
         grid_bits = json_f(grid_bits),
         serial_secs = json_f(serial_secs),
         parallel_secs = json_f(parallel_secs),

@@ -34,6 +34,7 @@ use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::agent::BitAgent;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BitInstant, BusSpeed, CanFrame, CanId, Level};
+use can_obs::Recorder;
 use can_sim::{
     BurstParams, EventKind, FaultModel, FaultyAgent, Node, PinFaultConfig, Simulator, TxFault,
 };
@@ -317,6 +318,19 @@ impl BitAgent for SharedDefender {
 
 /// Runs one cell of the campaign.
 pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> CellOutcome {
+    run_cell_metered(traffic, fault, seed, run_ms, &Recorder::disabled())
+}
+
+/// [`run_cell`] with a metrics recorder attached to the simulator and the
+/// supervised defender. The defender's metrics are labelled with its node
+/// index on the cell's bus, matching the simulator's `can_*` series.
+pub fn run_cell_metered(
+    traffic: Traffic,
+    fault: FaultSpec,
+    seed: u64,
+    run_ms: f64,
+    recorder: &Recorder,
+) -> CellOutcome {
     let speed = BusSpeed::K500;
     let run_bits = speed.bits_in_millis(run_ms);
 
@@ -340,6 +354,7 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
     let matrix = CommMatrix::new("veh-d-campaign", speed, messages);
 
     let mut sim = Simulator::new(speed);
+    sim.set_recorder(recorder.clone());
     sim.add_node(Node::new(
         "restbus",
         Box::new(restbus::ReplayApp::for_matrix(&matrix)),
@@ -405,7 +420,12 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
         )),
         _ => Box::new(defender.clone()),
     };
-    sim.add_node(Node::new("michican", Box::new(SilentApplication)).with_agent(agent));
+    let defender_node =
+        sim.add_node(Node::new("michican", Box::new(SilentApplication)).with_agent(agent));
+    defender
+        .0
+        .borrow_mut()
+        .set_recorder(recorder.clone(), defender_node as u32);
 
     let attacker = match traffic {
         Traffic::Attack => Some(
@@ -473,6 +493,14 @@ pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> C
 /// count: each cell's seed is fixed by its grid index, and outcomes are
 /// reduced in grid order.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    run_campaign_metered(config, &Recorder::disabled())
+}
+
+/// [`run_campaign`] with a metrics recorder: each cell runs with its own
+/// recorder and the collected registries are merged into `recorder` in
+/// grid order, so the merged snapshot — like the report — is byte-identical
+/// for every shard count.
+pub fn run_campaign_metered(config: &CampaignConfig, recorder: &Recorder) -> CampaignReport {
     let grid: Vec<(Traffic, FaultSpec)> = [Traffic::Benign, Traffic::Attack]
         .into_iter()
         .flat_map(|traffic| {
@@ -484,7 +512,9 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let run_ms = config.run_ms;
     let cells = ExperimentPlan::new(grid, config.seed)
         .with_shards(config.shards.max(1))
-        .run(|_index, seed, (traffic, fault)| run_cell(traffic, fault, seed, run_ms));
+        .run_metered(recorder, |_index, seed, (traffic, fault), cell_recorder| {
+            run_cell_metered(traffic, fault, seed, run_ms, cell_recorder)
+        });
 
     let mut violations = Vec::new();
     for c in cells.iter().filter(|c| c.fault.below_threshold()) {

@@ -7,6 +7,7 @@
 //! verification of the detection range.
 
 use can_core::CanId;
+use can_obs::Recorder;
 use michican::detect::detection_range;
 use michican::fsm::DetectionFsm;
 use michican::EcuList;
@@ -55,7 +56,7 @@ struct FsmCellTally {
 /// Evaluates one random FSM: builds a random list seeded by the cell seed,
 /// the FSM of a random member, and verifies detection exhaustively over
 /// the 2048-identifier space.
-fn sweep_cell(seed: u64, n_min: usize, n_max: usize) -> FsmCellTally {
+fn sweep_cell(seed: u64, n_min: usize, n_max: usize, recorder: &Recorder) -> FsmCellTally {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rng.random_range(n_min..=n_max);
     let list = random_list(&mut rng, n);
@@ -67,6 +68,11 @@ fn sweep_cell(seed: u64, n_min: usize, n_max: usize) -> FsmCellTally {
         nodes: fsm.node_count() as u64,
         ..FsmCellTally::default()
     };
+    let obs = recorder.is_enabled();
+    if obs {
+        recorder.inc("sweep_fsms_total");
+        recorder.observe("sweep_fsm_nodes", tally.nodes);
+    }
     for id in CanId::all() {
         let truth = set.contains(id);
         let verdict = fsm.classify(id);
@@ -74,7 +80,11 @@ fn sweep_cell(seed: u64, n_min: usize, n_max: usize) -> FsmCellTally {
             tally.malicious_total += 1;
             if verdict {
                 tally.detected += 1;
-                tally.position_sum += fsm.decision_position(id) as u64;
+                let position = fsm.decision_position(id) as u64;
+                tally.position_sum += position;
+                if obs {
+                    recorder.observe("sweep_detection_position_bits", position);
+                }
             }
         } else {
             tally.benign_total += 1;
@@ -82,6 +92,12 @@ fn sweep_cell(seed: u64, n_min: usize, n_max: usize) -> FsmCellTally {
                 tally.false_positives += 1;
             }
         }
+    }
+    if obs {
+        recorder.add("sweep_malicious_ids_total", tally.malicious_total);
+        recorder.add("sweep_detected_ids_total", tally.detected);
+        recorder.add("sweep_benign_ids_total", tally.benign_total);
+        recorder.add("sweep_false_positives_total", tally.false_positives);
     }
     tally
 }
@@ -106,10 +122,27 @@ pub fn run_sweep_with_sizes_sharded(
     n_max: usize,
     shards: usize,
 ) -> DetectionSweep {
+    run_sweep_with_sizes_metered(fsm_count, seed, n_min, n_max, shards, &Recorder::disabled())
+}
+
+/// [`run_sweep_with_sizes_sharded`] with a metrics recorder: per-cell
+/// registries (FSM/id tallies and the decision-position histogram) are
+/// merged into `recorder` in cell index order, so the merged snapshot is
+/// byte-identical for every shard count.
+pub fn run_sweep_with_sizes_metered(
+    fsm_count: usize,
+    seed: u64,
+    n_min: usize,
+    n_max: usize,
+    shards: usize,
+    recorder: &Recorder,
+) -> DetectionSweep {
     assert!(n_min >= 1 && n_min <= n_max && n_max <= 1024);
     let tallies = ExperimentPlan::new(vec![(); fsm_count], seed)
         .with_shards(shards.max(1))
-        .run(|_index, cell_seed, ()| sweep_cell(cell_seed, n_min, n_max));
+        .run_metered(recorder, |_index, cell_seed, (), cell_recorder| {
+            sweep_cell(cell_seed, n_min, n_max, cell_recorder)
+        });
 
     let mut total = FsmCellTally::default();
     for t in &tallies {
@@ -162,6 +195,16 @@ pub fn run_sweep(fsm_count: usize, seed: u64) -> DetectionSweep {
 /// shard count.
 pub fn run_sweep_sharded(fsm_count: usize, seed: u64, shards: usize) -> DetectionSweep {
     run_sweep_with_sizes_sharded(fsm_count, seed, 150, 450, shards)
+}
+
+/// [`run_sweep_sharded`] with a metrics recorder (default IVN sizes).
+pub fn run_sweep_metered(
+    fsm_count: usize,
+    seed: u64,
+    shards: usize,
+    recorder: &Recorder,
+) -> DetectionSweep {
+    run_sweep_with_sizes_metered(fsm_count, seed, 150, 450, shards, recorder)
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@
 //!   extension);
 //! * [`runner`] — the parallel deterministic experiment engine the grid
 //!   artifacts (campaign, FSM sweep, Table II, multi-attacker scan) fan
-//!   out on.
+//!   out on;
+//! * [`obs`] — the serial observability probe backing
+//!   `experiments … --metrics-out`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@ pub mod campaign;
 pub mod cpu;
 pub mod detection;
 pub mod ids_compare;
+pub mod obs;
 pub mod runner;
 pub mod scenarios;
 pub mod table1;

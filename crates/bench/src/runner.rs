@@ -17,6 +17,7 @@
 //!    in-order loop, so the parallel report can be diffed byte-for-byte
 //!    against it (`tests/parallel_determinism.rs` does exactly that).
 
+use can_obs::{Recorder, Registry};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
@@ -99,6 +100,45 @@ impl<C: Send> ExperimentPlan<C> {
                 .collect()
         })
     }
+
+    /// Like [`ExperimentPlan::run`], but threads a metrics recorder through
+    /// the plan: every cell receives a **fresh** per-cell [`Recorder`]
+    /// (recorders are `!Send` and must not be shared across workers), and
+    /// the collected per-cell registries are merged into `recorder` *in
+    /// cell index order* after all cells complete.
+    ///
+    /// All snapshot-visible metric values are integers and merging is
+    /// order-stable, so the merged snapshot is byte-identical for every
+    /// shard count — `tests/metrics_determinism.rs` locks this down.
+    ///
+    /// Each cell additionally records its wall time under the
+    /// `bench_cell_wall` span (host-dependent; excluded from the JSON
+    /// snapshot) and bumps the `bench_cells_total` counter. When `recorder`
+    /// is disabled the plan runs exactly like [`ExperimentPlan::run`] with
+    /// no-op cell recorders.
+    pub fn run_metered<R, F>(self, recorder: &Recorder, run_cell: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, u64, C, &Recorder) -> R + Sync,
+    {
+        if !recorder.is_enabled() {
+            return self.run(|i, seed, cell| run_cell(i, seed, cell, &Recorder::disabled()));
+        }
+        let pairs: Vec<(R, Registry)> = self.run(|i, seed, cell| {
+            let cell_recorder = Recorder::enabled();
+            let wall = cell_recorder.span("bench_cell_wall");
+            let result = run_cell(i, seed, cell, &cell_recorder);
+            drop(wall);
+            cell_recorder.inc("bench_cells_total");
+            (result, cell_recorder.into_registry())
+        });
+        let mut results = Vec::with_capacity(pairs.len());
+        for (result, registry) in pairs {
+            recorder.merge_registry(&registry);
+            results.push(result);
+        }
+        results
+    }
 }
 
 /// Parses a `--shards <n>` / `-j <n>` pair out of a CLI argument list and
@@ -169,6 +209,46 @@ mod tests {
                 i
             });
         assert_eq!(out, (0..8).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn metered_run_merges_cell_registries_identically_for_any_shard_count() {
+        let cells: Vec<u64> = (0..23).collect();
+        let work = |_i: usize, seed: u64, cell: u64, rec: &Recorder| {
+            rec.add("work_total", cell + 1);
+            rec.observe("work_seed_low_bits", seed % 97);
+            cell
+        };
+        let serial = Recorder::enabled();
+        let serial_out = ExperimentPlan::new(cells.clone(), 11).run_metered(&serial, work);
+        for shards in [2usize, 4, 8] {
+            let parallel = Recorder::enabled();
+            let parallel_out = ExperimentPlan::new(cells.clone(), 11)
+                .with_shards(shards)
+                .run_metered(&parallel, work);
+            assert_eq!(parallel_out, serial_out, "shards={shards}");
+            assert_eq!(
+                parallel.snapshot_json(),
+                serial.snapshot_json(),
+                "merged snapshot must be byte-identical, shards={shards}"
+            );
+        }
+        assert_eq!(
+            serial.with_registry(|r| r.counter("bench_cells_total")),
+            Some(23)
+        );
+    }
+
+    #[test]
+    fn metered_run_with_disabled_recorder_is_a_plain_run() {
+        let cells: Vec<u64> = (0..5).collect();
+        let rec = Recorder::disabled();
+        let out = ExperimentPlan::new(cells, 3).run_metered(&rec, |_i, _seed, cell, cell_rec| {
+            assert!(!cell_rec.is_enabled(), "cells inherit the disabled state");
+            cell
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(rec.into_registry().is_empty());
     }
 
     #[test]

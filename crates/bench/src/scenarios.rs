@@ -5,6 +5,7 @@
 use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
+use can_obs::Recorder;
 use can_sim::{bus_off_episodes, DurationStats, EventKind, Node, NodeId, Simulator};
 use michican::prelude::*;
 use restbus::{
@@ -185,7 +186,18 @@ pub fn build_experiment(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
 /// Runs one Table II experiment for `capture_ms` (the paper records 2 s)
 /// and extracts bus-off statistics.
 pub fn run_experiment(exp: &Experiment, capture_ms: f64) -> ExperimentOutcome {
+    run_experiment_metered(exp, capture_ms, &Recorder::disabled())
+}
+
+/// [`run_experiment`] with a metrics recorder attached to the simulator
+/// (per-node TEC/REC, error frames by type, bus utilization).
+pub fn run_experiment_metered(
+    exp: &Experiment,
+    capture_ms: f64,
+    recorder: &Recorder,
+) -> ExperimentOutcome {
     let (mut sim, attackers) = build_experiment(exp);
+    sim.set_recorder(recorder.clone());
     sim.run_millis(capture_ms);
 
     let per_attacker = if exp.number == 6 {
@@ -222,9 +234,21 @@ pub fn run_experiment(exp: &Experiment, capture_ms: f64) -> ExperimentOutcome {
 /// so the plan's master seed is irrelevant; cells are still reduced in
 /// experiment order, making the report identical for every shard count.
 pub fn run_table2(capture_ms: f64, shards: usize) -> Vec<ExperimentOutcome> {
+    run_table2_metered(capture_ms, shards, &Recorder::disabled())
+}
+
+/// [`run_table2`] with a metrics recorder; per-experiment registries are
+/// merged in experiment order (byte-identical for every shard count).
+pub fn run_table2_metered(
+    capture_ms: f64,
+    shards: usize,
+    recorder: &Recorder,
+) -> Vec<ExperimentOutcome> {
     ExperimentPlan::new(table2_experiments(), 0)
         .with_shards(shards.max(1))
-        .run(|_index, _seed, exp| run_experiment(&exp, capture_ms))
+        .run_metered(recorder, |_index, _seed, exp, cell_recorder| {
+            run_experiment_metered(&exp, capture_ms, cell_recorder)
+        })
 }
 
 /// Runs [`run_multi_attacker`] for every count in `counts` on `shards`
@@ -234,9 +258,25 @@ pub fn run_multi_attacker_scan(
     horizon_bits: u64,
     shards: usize,
 ) -> Vec<(usize, Option<u64>)> {
+    run_multi_attacker_scan_metered(counts, horizon_bits, shards, &Recorder::disabled())
+}
+
+/// [`run_multi_attacker_scan`] with a metrics recorder; per-count
+/// registries are merged in input order.
+pub fn run_multi_attacker_scan_metered(
+    counts: &[usize],
+    horizon_bits: u64,
+    shards: usize,
+    recorder: &Recorder,
+) -> Vec<(usize, Option<u64>)> {
     ExperimentPlan::new(counts.to_vec(), 0)
         .with_shards(shards.max(1))
-        .run(|_index, _seed, count| (count, run_multi_attacker(count, horizon_bits)))
+        .run_metered(recorder, |_index, _seed, count, cell_recorder| {
+            (
+                count,
+                run_multi_attacker_metered(count, horizon_bits, cell_recorder),
+            )
+        })
 }
 
 /// Multi-attacker sweep (§V-C, "Experiments with more than two
@@ -248,7 +288,17 @@ pub fn run_multi_attacker_scan(
 /// stays flat no matter how long the horizon is (large scans used to
 /// retain the full log just to find two timestamps).
 pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
+    run_multi_attacker_metered(count, horizon_bits, &Recorder::disabled())
+}
+
+/// [`run_multi_attacker`] with a metrics recorder on the simulator.
+pub fn run_multi_attacker_metered(
+    count: usize,
+    horizon_bits: u64,
+    recorder: &Recorder,
+) -> Option<u64> {
     let mut sim = Simulator::new(TABLE2_SPEED);
+    sim.set_recorder(recorder.clone());
     let mut attackers = Vec::new();
     for i in 0..count {
         let id = 0x066 + i as u16;

@@ -1,0 +1,41 @@
+//! # can-obs — first-party observability core
+//!
+//! Offline, dependency-free metrics for the MichiCAN suite, in the same
+//! shim spirit as `rayon-shim`/`rand-shim`: a [`Registry`] of monotonic
+//! counters, gauges and fixed-bucket [`Histogram`]s, wall-clock span
+//! timing, and a bounded structured [`TraceRecord`] sink for defense-FSM
+//! transitions — all reached through a clonable [`Recorder`] handle that
+//! is a no-op when disabled.
+//!
+//! ## Design rules
+//!
+//! 1. **Zero cost when off.** A disabled recorder is `None`; every
+//!    operation is one branch. Instrumentation sites that would need to
+//!    `format!` a metric key guard on [`Recorder::is_enabled`] first, so
+//!    the hot path never allocates. `bench::perfbase` asserts the
+//!    disabled-path per-bit cost stays within noise of the metrics-free
+//!    baseline.
+//! 2. **Determinism.** All snapshot-visible values are integers (`u64`
+//!    observations, `i64` gauges); integer addition is associative, so
+//!    merging per-cell registries in cell-index order gives byte-identical
+//!    [`Registry::snapshot_json`] output whether an experiment ran serial
+//!    or sharded. Wall-clock spans are host-dependent and therefore
+//!    excluded from the JSON snapshot; they appear only in
+//!    [`Registry::prometheus_text`].
+//! 3. **Stable schema.** The JSON snapshot self-identifies as
+//!    `can-obs/v1`; metric keys use Prometheus notation
+//!    (`name{label="value"}`) so one key string serves both renderings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use recorder::{Recorder, SpanGuard};
+pub use registry::{Histogram, Registry, SpanStats, DEFAULT_BUCKETS, PERCENT_BUCKETS};
+pub use trace::{
+    TraceRecord, EVT_DEGRADED, EVT_DETECTION, EVT_FSM_TRANSITION, EVT_INJECT_END, EVT_INJECT_START,
+    EVT_REARMED,
+};

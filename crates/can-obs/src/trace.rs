@@ -1,0 +1,66 @@
+//! Structured trace records for defense-FSM transitions and other
+//! discrete, bit-timestamped events.
+//!
+//! A [`TraceRecord`] is deliberately small and flat: the bit-time of the
+//! event, the node index it happened on, a stable event name (see the
+//! `EVT_*` constants) and a free-form detail string. The registry keeps a
+//! bounded sink of these (see [`crate::registry::TRACE_CAPACITY`]); the
+//! `can-trace` crate knows how to lift them into its timeline and VCD
+//! views.
+
+/// A MichiCAN detection FSM reached an accepting state (spoof confirmed).
+pub const EVT_DETECTION: &str = "detection";
+/// A defender started driving its counterattack (injection window opened).
+pub const EVT_INJECT_START: &str = "injection_start";
+/// A defender stopped driving its counterattack.
+pub const EVT_INJECT_END: &str = "injection_end";
+/// A supervised defender degraded to pass-through mode.
+pub const EVT_DEGRADED: &str = "degraded";
+/// A supervised defender re-armed after degradation.
+pub const EVT_REARMED: &str = "rearmed";
+/// A detection FSM transitioned between states (detail carries `from->to`).
+pub const EVT_FSM_TRANSITION: &str = "fsm_transition";
+
+/// One discrete observability event, timestamped in bus bit times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Bus time of the event, in bit times since simulation start.
+    pub at_bits: u64,
+    /// Index of the node the event concerns.
+    pub node: u32,
+    /// Stable event name, ideally one of the `EVT_*` constants.
+    pub event: String,
+    /// Free-form detail (e.g. the frame id, a decision position).
+    pub detail: String,
+}
+
+impl TraceRecord {
+    /// Builds a record.
+    pub fn new(
+        at_bits: u64,
+        node: u32,
+        event: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        TraceRecord {
+            at_bits,
+            node,
+            event: event.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_builder_carries_fields() {
+        let r = TraceRecord::new(42, 3, EVT_DETECTION, "id=0x173");
+        assert_eq!(r.at_bits, 42);
+        assert_eq!(r.node, 3);
+        assert_eq!(r.event, "detection");
+        assert_eq!(r.detail, "id=0x173");
+    }
+}

@@ -11,11 +11,18 @@
 //! trace.
 
 use can_core::{BitDuration, BitInstant, BusSpeed, Level};
+use can_obs::Recorder;
 
 use crate::controller::StepOutput;
-use crate::event::{Event, NodeId};
+use crate::event::{Event, EventKind, NodeId};
 use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
+
+/// Width of the bus-utilization measurement window, in bit times. At the
+/// end of every window the simulator records the window's busy percentage
+/// into the `can_bus_utilization_percent` histogram (integer percent, so
+/// snapshots stay deterministic).
+pub const OBS_WINDOW_BITS: u64 = 1_000;
 
 /// A per-bit recording of the bus level.
 ///
@@ -102,6 +109,14 @@ pub struct Simulator {
     /// Recycled per-bit output buffer — one allocation for the whole run
     /// instead of one per node per bit.
     scratch: StepOutput,
+    /// Metrics sink; disabled (a no-op) by default so the hot path pays a
+    /// single branch.
+    recorder: Recorder,
+    /// Last TEC/REC values published to the recorder, per node — deltas
+    /// and gauges are emitted only on change.
+    obs_prev: Vec<(u16, u16)>,
+    /// Busy bits inside the current [`OBS_WINDOW_BITS`] window.
+    obs_window_busy: u32,
 }
 
 impl Simulator {
@@ -117,7 +132,24 @@ impl Simulator {
             busy_bits: 0,
             faults: FaultStack::new(),
             scratch: StepOutput::default(),
+            recorder: Recorder::disabled(),
+            obs_prev: Vec::new(),
+            obs_window_busy: 0,
         }
+    }
+
+    /// Attaches a metrics recorder. The default [`Recorder::disabled`]
+    /// makes every instrumentation site a no-op; an enabled recorder
+    /// accumulates per-node TEC/REC, error counts by kind, arbitration
+    /// losses, traffic counters and windowed bus utilization.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled unless [`Simulator::set_recorder`]
+    /// installed a live one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Installs a single channel fault model (EMI-style bus
@@ -241,6 +273,25 @@ impl Simulator {
 
     /// Advances the simulation by one nominal bit time.
     pub fn step(&mut self) -> Level {
+        // Hoisted once per bit: the disabled-recorder hot path must cost a
+        // single branch, not one per instrumentation site.
+        let obs = self.recorder.is_enabled();
+        if obs && self.obs_prev.len() != self.nodes.len() {
+            self.obs_prev.resize(self.nodes.len(), (0, 0));
+            for (id, node) in self.nodes.iter().enumerate() {
+                let counters = node.controller().counters();
+                self.obs_prev[id] = (counters.tec(), counters.rec());
+                self.recorder.set_gauge(
+                    &format!("can_node_tec{{node=\"{id}\"}}"),
+                    counters.tec().into(),
+                );
+                self.recorder.set_gauge(
+                    &format!("can_node_rec{{node=\"{id}\"}}"),
+                    counters.rec().into(),
+                );
+            }
+        }
+
         for node in &mut self.nodes {
             node.prepare_bit(self.now);
         }
@@ -255,6 +306,35 @@ impl Simulator {
             self.scratch.clear();
             node.sample_into(bus, self.now, &mut self.scratch);
             busy |= node.controller().is_busy();
+            if obs {
+                for kind in &self.scratch.events {
+                    record_event(&self.recorder, id, kind);
+                }
+                let counters = node.controller().counters();
+                let (tec, rec) = (counters.tec(), counters.rec());
+                let (prev_tec, prev_rec) = self.obs_prev[id];
+                if tec != prev_tec {
+                    if tec > prev_tec {
+                        self.recorder.add(
+                            &format!("can_node_tec_raised_total{{node=\"{id}\"}}"),
+                            u64::from(tec - prev_tec),
+                        );
+                    }
+                    self.recorder
+                        .set_gauge(&format!("can_node_tec{{node=\"{id}\"}}"), tec.into());
+                }
+                if rec != prev_rec {
+                    if rec > prev_rec {
+                        self.recorder.add(
+                            &format!("can_node_rec_raised_total{{node=\"{id}\"}}"),
+                            u64::from(rec - prev_rec),
+                        );
+                    }
+                    self.recorder
+                        .set_gauge(&format!("can_node_rec{{node=\"{id}\"}}"), rec.into());
+                }
+                self.obs_prev[id] = (tec, rec);
+            }
             if self.log_events {
                 for kind in self.scratch.events.drain(..) {
                     self.events.push(Event::new(self.now, id, kind));
@@ -263,6 +343,22 @@ impl Simulator {
         }
         if busy {
             self.busy_bits += 1;
+        }
+        if obs {
+            self.recorder.add("can_bus_bits_total", 1);
+            if busy {
+                self.recorder.add("can_bus_busy_bits_total", 1);
+                self.obs_window_busy += 1;
+            }
+            if (self.now.bits() + 1).is_multiple_of(OBS_WINDOW_BITS) {
+                let percent = u64::from(self.obs_window_busy) * 100 / OBS_WINDOW_BITS;
+                self.recorder.observe_with(
+                    "can_bus_utilization_percent",
+                    can_obs::PERCENT_BUCKETS,
+                    percent,
+                );
+                self.obs_window_busy = 0;
+            }
         }
 
         self.now += BitDuration::bits(1);
@@ -299,6 +395,52 @@ impl Simulator {
             }
         }
         None
+    }
+}
+
+/// Maps one protocol event onto its metric counter. Only called with an
+/// enabled recorder, so the `format!` cost never touches the metrics-off
+/// hot path.
+fn record_event(recorder: &Recorder, id: NodeId, kind: &EventKind) {
+    use can_core::errors::CanErrorKind;
+
+    use crate::event::ErrorRole;
+    match kind {
+        EventKind::TransmissionStarted { .. } => {
+            recorder.inc(&format!("can_tx_started_total{{node=\"{id}\"}}"));
+        }
+        EventKind::TransmissionSucceeded { .. } => {
+            recorder.inc(&format!("can_tx_success_total{{node=\"{id}\"}}"));
+        }
+        EventKind::FrameReceived { .. } => {
+            recorder.inc(&format!("can_frames_received_total{{node=\"{id}\"}}"));
+        }
+        EventKind::ArbitrationLost { .. } => {
+            recorder.inc(&format!("can_arbitration_lost_total{{node=\"{id}\"}}"));
+        }
+        EventKind::ErrorDetected { kind, role } => {
+            let kind = match kind {
+                CanErrorKind::Bit => "bit",
+                CanErrorKind::Stuff => "stuff",
+                CanErrorKind::Form => "form",
+                CanErrorKind::Ack => "ack",
+                CanErrorKind::Crc => "crc",
+            };
+            let role = match role {
+                ErrorRole::Transmitter => "tx",
+                ErrorRole::Receiver => "rx",
+            };
+            recorder.inc(&format!(
+                "can_errors_total{{node=\"{id}\",kind=\"{kind}\",role=\"{role}\"}}"
+            ));
+        }
+        EventKind::ErrorStateChanged { state } => {
+            recorder.inc(&format!(
+                "can_error_state_changes_total{{node=\"{id}\",state=\"{state}\"}}"
+            ));
+        }
+        EventKind::BusOff => recorder.inc(&format!("can_bus_off_total{{node=\"{id}\"}}")),
+        EventKind::Recovered => recorder.inc(&format!("can_recovered_total{{node=\"{id}\"}}")),
     }
 }
 
@@ -482,6 +624,51 @@ mod tests {
             "resumes after the restart"
         );
         assert_eq!(sim.node(sender).controller().counters().tec(), 0);
+    }
+
+    #[test]
+    fn recorder_captures_traffic_and_utilization() {
+        use can_obs::Recorder;
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.add_node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(frame(0x0C4, &[1, 2, 3, 4]), 500, 0)),
+        ));
+        sim.add_node(Node::new("receiver", Box::new(SilentApplication)));
+        sim.set_recorder(Recorder::enabled());
+        sim.run(5_000);
+        let reg = sim.recorder().clone().into_registry();
+        assert_eq!(reg.counter("can_bus_bits_total"), 5_000);
+        assert!(reg.counter("can_tx_success_total{node=\"0\"}") >= 8);
+        assert!(reg.counter("can_frames_received_total{node=\"1\"}") >= 8);
+        assert_eq!(reg.gauge("can_node_tec{node=\"0\"}"), Some(0));
+        assert_eq!(reg.gauge("can_node_rec{node=\"1\"}"), Some(0));
+        let util = reg.histogram("can_bus_utilization_percent").unwrap();
+        assert_eq!(util.count(), 5, "one observation per 1000-bit window");
+        assert!(reg.counter("can_bus_busy_bits_total") > 0);
+    }
+
+    #[test]
+    fn disabled_recorder_does_not_perturb_the_run() {
+        use can_obs::Recorder;
+        let run = |recorder: Option<Recorder>| {
+            let mut sim = Simulator::new(BusSpeed::K500);
+            sim.add_node(Node::new(
+                "s",
+                Box::new(PeriodicSender::new(frame(0x123, &[9; 8]), 400, 0)),
+            ));
+            sim.add_node(Node::new("r", Box::new(SilentApplication)));
+            if let Some(rec) = recorder {
+                sim.set_recorder(rec);
+            }
+            sim.run(10_000);
+            sim.take_events()
+        };
+        let baseline = run(None);
+        let with_disabled = run(Some(Recorder::disabled()));
+        let with_enabled = run(Some(Recorder::enabled()));
+        assert_eq!(baseline, with_disabled);
+        assert_eq!(baseline, with_enabled, "metrics are observe-only");
     }
 
     #[test]

@@ -9,18 +9,22 @@
 //! * [`stats`] — per-identifier rate and inter-arrival statistics;
 //! * [`vcd`] — Value Change Dump export for GTKWave/PulseView inspection;
 //! * [`replay`] — candump log replay onto a simulated bus (the software
-//!   form of the paper's PCAN restbus replay).
+//!   form of the paper's PCAN restbus replay);
+//! * [`obsview`] — lifting `can-obs` defense trace records into the
+//!   timeline and VCD views.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod candump;
+pub mod obsview;
 pub mod replay;
 pub mod stats;
 pub mod timeline;
 pub mod vcd;
 
 pub use candump::{parse_log, write_log, LogEntry};
+pub use obsview::{defense_timeline, defense_timeline_events, injection_vcd_signal, trace_nodes};
 pub use replay::LogReplayApp;
 pub use stats::{IdStats, TrafficStats};
 pub use timeline::{Activity, Span, Timeline, TimelineEvent};

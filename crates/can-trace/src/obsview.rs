@@ -1,0 +1,158 @@
+//! Lifting `can-obs` trace records into the timeline and VCD views.
+//!
+//! The observability trace sink records the defense's discrete events —
+//! detections, injection windows, watchdog degradations — with bus
+//! bit-time timestamps. This module converts those records into the same
+//! [`Timeline`] and [`VcdSignal`] machinery used for the Fig. 6
+//! logic-analyzer views, so a metered run can be inspected next to the
+//! raw bus capture.
+//!
+//! The activity glyphs are reinterpreted for the defense plane:
+//!
+//! * `#` ([`Activity::Transmitting`]) — the defender driving its
+//!   counterattack (between `injection_start` and `injection_end`);
+//! * `x` ([`Activity::ErrorSignaling`]) — a detection marker;
+//! * `=` ([`Activity::BusOff`]) — prevention withdrawn by the health
+//!   watchdog (between `degraded` and `rearmed`).
+//!
+//! [`Activity::Transmitting`]: crate::timeline::Activity::Transmitting
+//! [`Activity::ErrorSignaling`]: crate::timeline::Activity::ErrorSignaling
+//! [`Activity::BusOff`]: crate::timeline::Activity::BusOff
+
+use can_core::{BitInstant, Level};
+use can_obs::{
+    TraceRecord, EVT_DEGRADED, EVT_DETECTION, EVT_INJECT_END, EVT_INJECT_START, EVT_REARMED,
+};
+
+use crate::timeline::{Timeline, TimelineEvent};
+use crate::vcd::VcdSignal;
+
+/// Maps defense trace records onto [`TimelineEvent`]s:
+/// `injection_start`/`injection_end` open and close a transmit span,
+/// `detection` renders as a short marker, `degraded`/`rearmed` bracket a
+/// withdrawn-prevention span. Other events (e.g. `fsm_transition`) carry
+/// no span semantics and are skipped.
+pub fn defense_timeline_events(traces: &[TraceRecord]) -> Vec<TimelineEvent> {
+    traces
+        .iter()
+        .filter_map(|r| {
+            let node = r.node as usize;
+            let at = BitInstant::from_bits(r.at_bits);
+            match r.event.as_str() {
+                EVT_INJECT_START => Some(TimelineEvent::TransmissionStarted { node, at }),
+                EVT_INJECT_END => Some(TimelineEvent::TransmissionSucceeded { node, at }),
+                EVT_DETECTION => Some(TimelineEvent::TransmitError { node, at }),
+                EVT_DEGRADED => Some(TimelineEvent::BusOff { node, at }),
+                EVT_REARMED => Some(TimelineEvent::Recovered { node, at }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// The node indices that appear in `traces`, ascending and deduplicated.
+pub fn trace_nodes(traces: &[TraceRecord]) -> Vec<usize> {
+    let mut nodes: Vec<usize> = traces.iter().map(|r| r.node as usize).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// Builds the defense-plane [`Timeline`] for every node present in
+/// `traces`, up to `horizon` bits.
+pub fn defense_timeline(traces: &[TraceRecord], horizon: u64) -> Timeline {
+    let events = defense_timeline_events(traces);
+    Timeline::build(&events, &trace_nodes(traces), horizon)
+}
+
+/// Renders `node`'s injection windows as a one-bit VCD signal
+/// (`michican_inject_node<N>`): dominant while the defender drives its
+/// counterattack, recessive otherwise. An injection window left open at
+/// the end of the trace extends to `horizon`.
+pub fn injection_vcd_signal(traces: &[TraceRecord], node: u32, horizon: u64) -> VcdSignal {
+    let mut levels = vec![Level::Recessive; horizon as usize];
+    let mut open: Option<u64> = None;
+    let mark = |from: u64, to: u64, levels: &mut Vec<Level>| {
+        for t in from..to.min(horizon) {
+            levels[t as usize] = Level::Dominant;
+        }
+    };
+    for r in traces.iter().filter(|r| r.node == node) {
+        match r.event.as_str() {
+            EVT_INJECT_START => open = Some(r.at_bits),
+            EVT_INJECT_END => {
+                if let Some(from) = open.take() {
+                    mark(from, r.at_bits, &mut levels);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(from) = open {
+        mark(from, horizon, &mut levels);
+    }
+    VcdSignal::new(format!("michican_inject_node{node}"), levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Activity;
+
+    fn spoof_episode() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::new(100, 0, EVT_DETECTION, "pos=3"),
+            TraceRecord::new(103, 0, EVT_INJECT_START, ""),
+            TraceRecord::new(120, 0, EVT_INJECT_END, ""),
+            TraceRecord::new(300, 0, EVT_DEGRADED, "counterattack-failures"),
+            TraceRecord::new(500, 0, EVT_REARMED, ""),
+            TraceRecord::new(40, 2, EVT_DETECTION, "pos=5"),
+        ]
+    }
+
+    #[test]
+    fn timeline_reconstructs_injection_and_degradation_spans() {
+        let tl = defense_timeline(&spoof_episode(), 600);
+        let spans: Vec<_> = tl.spans_of(0).collect();
+        assert!(spans
+            .iter()
+            .any(|s| s.activity == Activity::Transmitting && s.start == 103 && s.end == 121));
+        assert!(spans
+            .iter()
+            .any(|s| s.activity == Activity::BusOff && s.start == 300 && s.end == 500));
+        assert!(spans
+            .iter()
+            .any(|s| s.activity == Activity::ErrorSignaling && s.start == 100));
+        // The second node's detection marker is kept on its own row.
+        assert_eq!(tl.spans_of(2).count(), 1);
+    }
+
+    #[test]
+    fn nodes_are_discovered_from_the_records() {
+        assert_eq!(trace_nodes(&spoof_episode()), vec![0, 2]);
+    }
+
+    #[test]
+    fn fsm_transition_records_are_skipped() {
+        let traces = vec![TraceRecord::new(10, 0, can_obs::EVT_FSM_TRANSITION, "3->7")];
+        assert!(defense_timeline_events(&traces).is_empty());
+    }
+
+    #[test]
+    fn vcd_signal_is_dominant_during_injection_windows() {
+        let signal = injection_vcd_signal(&spoof_episode(), 0, 130);
+        assert_eq!(signal.name, "michican_inject_node0");
+        assert!(signal.levels[102].is_recessive());
+        assert!(!signal.levels[103].is_recessive());
+        assert!(!signal.levels[119].is_recessive());
+        assert!(signal.levels[120].is_recessive());
+    }
+
+    #[test]
+    fn open_injection_window_extends_to_the_horizon() {
+        let traces = vec![TraceRecord::new(5, 1, EVT_INJECT_START, "")];
+        let signal = injection_vcd_signal(&traces, 1, 10);
+        assert!(signal.levels[4].is_recessive());
+        assert!((5..10).all(|t| !signal.levels[t].is_recessive()));
+    }
+}

@@ -25,6 +25,7 @@
 use can_core::agent::BitAgent;
 use can_core::bitstream::{Destuffed, Destuffer, MIN_INTERFRAME_RECESSIVE};
 use can_core::{BitInstant, Level};
+use can_obs::{Recorder, EVT_DETECTION, EVT_INJECT_END, EVT_INJECT_START};
 use serde::{Deserialize, Serialize};
 
 use crate::fsm::{DetectionFsm, FsmCursor, FsmStep};
@@ -139,6 +140,13 @@ pub struct MichiCan {
     injecting: bool,
     own_transmission: bool,
     stats: MichiCanStats,
+    /// Metrics sink; disabled (no-op) by default.
+    recorder: Recorder,
+    /// Node index used in metric labels and trace records.
+    node_label: u32,
+    /// Bit time of the pending detection, for the detection→injection
+    /// reaction-latency histogram. Only maintained when recording.
+    detected_at: Option<u64>,
 }
 
 impl MichiCan {
@@ -162,7 +170,30 @@ impl MichiCan {
             injecting: false,
             own_transmission: false,
             stats: MichiCanStats::default(),
+            recorder: Recorder::disabled(),
+            node_label: 0,
+            detected_at: None,
         }
+    }
+
+    /// Attaches a metrics recorder; `node` is the index used in metric
+    /// labels (`michican_*{node="<node>"}`) and trace records. The
+    /// reaction-latency histogram is declared up front so it appears in
+    /// snapshots even before the first detection.
+    pub fn set_recorder(&mut self, recorder: Recorder, node: u32) {
+        if recorder.is_enabled() {
+            recorder.declare_histogram(
+                &format!("michican_reaction_latency_bits{{node=\"{node}\"}}"),
+                can_obs::DEFAULT_BUCKETS,
+            );
+        }
+        self.recorder = recorder;
+        self.node_label = node;
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The accumulated statistics.
@@ -206,6 +237,12 @@ impl MichiCan {
         self.cursor = self.fsm.start();
         self.start_counterattack = false;
         self.stats.frames_monitored += 1;
+        if self.recorder.is_enabled() {
+            let node = self.node_label;
+            self.recorder.inc(&format!(
+                "michican_frames_monitored_total{{node=\"{node}\"}}"
+            ));
+        }
     }
 
     fn leave_frame(&mut self) {
@@ -215,7 +252,7 @@ impl MichiCan {
         self.injecting = false;
     }
 
-    fn handle_frame_bit(&mut self, level: Level) {
+    fn handle_frame_bit(&mut self, level: Level, now: BitInstant) {
         match self.destuffer.push(level) {
             Destuffed::StuffBit => return,
             Destuffed::Violation => {
@@ -230,17 +267,43 @@ impl MichiCan {
         // Identifier bits occupy destuffed positions 2..=12. The FSM stops
         // running as soon as it decides (Algorithm 1 line 11).
         if (2..=12).contains(&self.cnt) && self.cursor.decision().is_none() {
-            if let FsmStep::Malicious = self.fsm.step(&mut self.cursor, level) {
+            let step = self.fsm.step(&mut self.cursor, level);
+            if self.recorder.is_enabled() {
+                let node = self.node_label;
+                self.recorder
+                    .inc(&format!("michican_fsm_steps_total{{node=\"{node}\"}}"));
+            }
+            if let FsmStep::Malicious = step {
                 if self.own_transmission {
                     // The frame on the bus is this ECU's own transmission
                     // (e.g. its periodic 0x173): never self-attack.
                     self.stats.suppressed_own += 1;
+                    if self.recorder.is_enabled() {
+                        let node = self.node_label;
+                        self.recorder
+                            .inc(&format!("michican_suppressed_own_total{{node=\"{node}\"}}"));
+                    }
                 } else {
                     self.start_counterattack = true;
                     self.stats.attacks_detected += 1;
-                    self.stats
-                        .detection_positions
-                        .push(self.cursor.bits_consumed());
+                    let position = self.cursor.bits_consumed();
+                    self.stats.detection_positions.push(position);
+                    if self.recorder.is_enabled() {
+                        let node = self.node_label;
+                        self.recorder
+                            .inc(&format!("michican_detections_total{{node=\"{node}\"}}"));
+                        self.recorder.observe(
+                            &format!("michican_detection_position_bits{{node=\"{node}\"}}"),
+                            u64::from(position),
+                        );
+                        self.recorder.trace(
+                            now.bits(),
+                            node,
+                            EVT_DETECTION,
+                            &format!("pos={position}"),
+                        );
+                        self.detected_at = Some(now.bits());
+                    }
                 }
             }
         }
@@ -252,6 +315,18 @@ impl MichiCan {
                     // (Algorithm 1 lines 20–23).
                     self.injecting = true;
                     self.stats.counterattacks += 1;
+                    if self.recorder.is_enabled() {
+                        let node = self.node_label;
+                        self.recorder
+                            .inc(&format!("michican_counterattacks_total{{node=\"{node}\"}}"));
+                        if let Some(detected) = self.detected_at.take() {
+                            self.recorder.observe(
+                                &format!("michican_reaction_latency_bits{{node=\"{node}\"}}"),
+                                now.bits().saturating_sub(detected),
+                            );
+                        }
+                        self.recorder.trace(now.bits(), node, EVT_INJECT_START, "");
+                    }
                 }
                 self.start_counterattack = false;
             }
@@ -259,13 +334,17 @@ impl MichiCan {
             // Disable multiplexing and finish frame processing (lines
             // 16–19). Bit stuffing guarantees no false SOF within the rest
             // of the frame.
+            if self.injecting && self.recorder.is_enabled() {
+                self.recorder
+                    .trace(now.bits(), self.node_label, EVT_INJECT_END, "");
+            }
             self.leave_frame();
         }
     }
 }
 
 impl BitAgent for MichiCan {
-    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
         match self.state {
             HandlerState::BusIdle => {
                 if level.is_recessive() {
@@ -279,7 +358,7 @@ impl BitAgent for MichiCan {
                     self.cnt_sof = 0;
                 }
             }
-            HandlerState::InFrame => self.handle_frame_bit(level),
+            HandlerState::InFrame => self.handle_frame_bit(level, now),
         }
     }
 
@@ -476,6 +555,48 @@ mod tests {
         }
         assert_eq!(defender.stats().attacks_detected, 2);
         assert_eq!(defender.stats().counterattacks, 2);
+    }
+
+    #[test]
+    fn recorder_captures_detection_and_reaction_latency() {
+        let mut defender = defender_for(&[0x005, 0x173], 1);
+        let recorder = Recorder::enabled();
+        defender.set_recorder(recorder.clone(), 1);
+        let spoof = CanFrame::data_frame(CanId::from_raw(0x173), &[0xFF; 8]).unwrap();
+        feed_frame(&mut defender, &spoof).expect("must counterattack");
+        let reg = recorder.into_registry();
+        assert_eq!(reg.counter("michican_detections_total{node=\"1\"}"), 1);
+        assert_eq!(reg.counter("michican_counterattacks_total{node=\"1\"}"), 1);
+        assert_eq!(
+            reg.counter("michican_frames_monitored_total{node=\"1\"}"),
+            1
+        );
+        let latency = reg
+            .histogram("michican_reaction_latency_bits{node=\"1\"}")
+            .unwrap();
+        assert_eq!(latency.count(), 1);
+        // Detection happens inside the identifier (positions 2..=12),
+        // injection at the RTR bit (destuffed position 13): the gap is at
+        // most 11 bit times plus stuffing.
+        assert!(latency.max().unwrap() <= 16);
+        let events: Vec<&str> = reg.traces().iter().map(|t| t.event.as_str()).collect();
+        assert!(events.contains(&can_obs::EVT_DETECTION));
+        assert!(events.contains(&can_obs::EVT_INJECT_START));
+        assert!(events.contains(&can_obs::EVT_INJECT_END));
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_stats_identical() {
+        let run = |with_recorder: bool| {
+            let mut defender = defender_for(&[0x173], 0);
+            if with_recorder {
+                defender.set_recorder(Recorder::disabled(), 0);
+            }
+            let dos = CanFrame::data_frame(CanId::from_raw(0x064), &[0; 8]).unwrap();
+            feed_frame(&mut defender, &dos);
+            defender.stats().clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

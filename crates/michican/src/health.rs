@@ -43,6 +43,7 @@
 use can_core::agent::BitAgent;
 use can_core::bitstream::MIN_INTERFRAME_RECESSIVE;
 use can_core::{BitInstant, Level};
+use can_obs::{Recorder, EVT_DEGRADED, EVT_REARMED};
 use serde::{Deserialize, Serialize};
 
 use crate::handler::MichiCan;
@@ -197,6 +198,10 @@ pub struct SupervisedMichiCan {
     frame_epoch: u64,
     /// Whether a frame is currently being observed (between SOFs).
     in_frame: bool,
+    /// Metrics sink for watchdog events; disabled (no-op) by default.
+    recorder: Recorder,
+    /// Node index used in metric labels and trace records.
+    node_label: u32,
 }
 
 impl SupervisedMichiCan {
@@ -223,7 +228,17 @@ impl SupervisedMichiCan {
             fault_epoch: 0,
             frame_epoch: 0,
             in_frame: false,
+            recorder: Recorder::disabled(),
+            node_label: 0,
         }
+    }
+
+    /// Attaches a metrics recorder to the watchdog *and* the wrapped
+    /// handler; `node` is the index used in metric labels.
+    pub fn set_recorder(&mut self, recorder: Recorder, node: u32) {
+        self.handler.set_recorder(recorder.clone(), node);
+        self.recorder = recorder;
+        self.node_label = node;
     }
 
     /// The wrapped handler.
@@ -272,6 +287,15 @@ impl SupervisedMichiCan {
         }
         self.stats.degradations += 1;
         self.stats.degrade_reasons.push(reason);
+        if self.recorder.is_enabled() {
+            let node = self.node_label;
+            let why = degrade_reason_label(reason);
+            self.recorder.inc(&format!(
+                "michican_degradations_total{{node=\"{node}\",reason=\"{why}\"}}"
+            ));
+            self.recorder
+                .trace(self.last_tick.unwrap_or(0), node, EVT_DEGRADED, why);
+        }
         self.state = HealthState::DetectOnly {
             needed: self.rearm_requirement(),
             seen: 0,
@@ -284,6 +308,13 @@ impl SupervisedMichiCan {
 
     fn rearm(&mut self) {
         self.stats.rearms += 1;
+        if self.recorder.is_enabled() {
+            let node = self.node_label;
+            self.recorder
+                .inc(&format!("michican_rearms_total{{node=\"{node}\"}}"));
+            self.recorder
+                .trace(self.last_tick.unwrap_or(0), node, EVT_REARMED, "");
+        }
         self.state = HealthState::Armed;
         self.armed_clean_streak = 0;
         self.consecutive_failures = 0;
@@ -388,6 +419,12 @@ impl SupervisedMichiCan {
             self.episodes_in_window += 1;
             if self.episodes_in_window >= self.config.max_episodes_per_window {
                 self.stats.budget_suppressions += 1;
+                if self.recorder.is_enabled() {
+                    let node = self.node_label;
+                    self.recorder.inc(&format!(
+                        "michican_budget_suppressions_total{{node=\"{node}\"}}"
+                    ));
+                }
             }
         }
         // The budget is applied when the pin is released, never mid-episode:
@@ -413,6 +450,12 @@ impl SupervisedMichiCan {
                 self.stats.counterattack_successes += 1;
                 self.consecutive_failures = 0;
                 self.watch_deadline = None;
+                if self.recorder.is_enabled() {
+                    let node = self.node_label;
+                    self.recorder.inc(&format!(
+                        "michican_counterattack_success_total{{node=\"{node}\"}}"
+                    ));
+                }
                 return;
             }
         } else {
@@ -422,6 +465,12 @@ impl SupervisedMichiCan {
             // No error-recovery gap in time: the frame survived the
             // injection.
             self.stats.counterattack_failures += 1;
+            if self.recorder.is_enabled() {
+                let node = self.node_label;
+                self.recorder.inc(&format!(
+                    "michican_counterattack_failure_total{{node=\"{node}\"}}"
+                ));
+            }
             self.consecutive_failures += 1;
             self.watch_deadline = None;
             self.record_fault();
@@ -429,6 +478,15 @@ impl SupervisedMichiCan {
                 self.degrade(DegradeReason::CounterattackFailures);
             }
         }
+    }
+}
+
+/// Stable label-value for a [`DegradeReason`].
+fn degrade_reason_label(reason: DegradeReason) -> &'static str {
+    match reason {
+        DegradeReason::CounterattackFailures => "counterattack-failures",
+        DegradeReason::MissedTicks => "missed-ticks",
+        DegradeReason::SyncLoss => "sync-loss",
     }
 }
 
@@ -787,6 +845,41 @@ mod tests {
             feed_benign_frame(&mut agent, &mut t);
         }
         assert_eq!(agent.rearm_requirement(), 2);
+    }
+
+    #[test]
+    fn recorder_captures_watchdog_events() {
+        let config = HealthConfig {
+            max_counterattack_failures: 1,
+            rearm_clean_frames: 2,
+            ..HealthConfig::default()
+        };
+        let mut agent = supervised(config);
+        let recorder = Recorder::enabled();
+        agent.set_recorder(recorder.clone(), 0);
+        let mut t = 0;
+        assert!(feed_attack(&mut agent, &mut t, false));
+        for _ in 0..3 {
+            feed_benign_frame(&mut agent, &mut t);
+        }
+        assert_eq!(agent.state(), HealthState::Armed);
+        let reg = recorder.into_registry();
+        assert_eq!(
+            reg.counter(
+                "michican_degradations_total{node=\"0\",reason=\"counterattack-failures\"}"
+            ),
+            1
+        );
+        assert_eq!(reg.counter("michican_rearms_total{node=\"0\"}"), 1);
+        assert_eq!(
+            reg.counter("michican_counterattack_failure_total{node=\"0\"}"),
+            1
+        );
+        // The wrapped handler shares the recorder.
+        assert_eq!(reg.counter("michican_detections_total{node=\"0\"}"), 1);
+        let events: Vec<&str> = reg.traces().iter().map(|r| r.event.as_str()).collect();
+        assert!(events.contains(&can_obs::EVT_DEGRADED));
+        assert!(events.contains(&can_obs::EVT_REARMED));
     }
 
     #[test]

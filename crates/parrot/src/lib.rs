@@ -25,6 +25,7 @@
 
 use can_core::app::Application;
 use can_core::{BitInstant, CanFrame, CanId};
+use can_obs::Recorder;
 
 /// Running counters of a [`ParrotDefender`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,6 +54,13 @@ pub struct ParrotDefender {
     flood_until: Option<u64>,
     flood_window_bits: u64,
     stats: ParrotStats,
+    /// Metrics sink; disabled (no-op) by default.
+    recorder: Recorder,
+    /// Node index used in metric labels.
+    node_label: u32,
+    /// Bit time of the spoof detection that opened the current flood, for
+    /// the detection→first-counter-frame reaction-latency histogram.
+    detected_at: Option<u64>,
 }
 
 impl ParrotDefender {
@@ -66,7 +74,23 @@ impl ParrotDefender {
             flood_until: None,
             flood_window_bits,
             stats: ParrotStats::default(),
+            recorder: Recorder::disabled(),
+            node_label: 0,
+            detected_at: None,
         }
+    }
+
+    /// Attaches a metrics recorder; `node` is the index used in metric
+    /// labels (`parrot_*{node="<node>"}`).
+    pub fn set_recorder(&mut self, recorder: Recorder, node: u32) {
+        if recorder.is_enabled() {
+            recorder.declare_histogram(
+                &format!("parrot_reaction_latency_bits{{node=\"{node}\"}}"),
+                can_obs::DEFAULT_BUCKETS,
+            );
+        }
+        self.recorder = recorder;
+        self.node_label = node;
     }
 
     /// Adds this ECU's legitimate periodic transmission of `own_id`.
@@ -102,6 +126,17 @@ impl Application for ParrotDefender {
             // Keep the mailbox saturated: the controller transmits
             // back-to-back, colliding with every attacker retransmission.
             self.stats.flood_frames += 1;
+            if self.recorder.is_enabled() {
+                let node = self.node_label;
+                self.recorder
+                    .inc(&format!("parrot_flood_frames_total{{node=\"{node}\"}}"));
+                if let Some(detected) = self.detected_at.take() {
+                    self.recorder.observe(
+                        &format!("parrot_reaction_latency_bits{{node=\"{node}\"}}"),
+                        now.bits().saturating_sub(detected),
+                    );
+                }
+            }
             return Some(self.counterattack_frame());
         }
         self.flood_until = None;
@@ -119,6 +154,16 @@ impl Application for ParrotDefender {
         if frame.id() == self.own_id {
             // A complete foreign frame with our identifier: spoofing.
             self.stats.spoofs_observed += 1;
+            if self.recorder.is_enabled() {
+                let node = self.node_label;
+                self.recorder
+                    .inc(&format!("parrot_spoofs_observed_total{{node=\"{node}\"}}"));
+                if self.flood_until.is_none() {
+                    self.recorder
+                        .inc(&format!("parrot_floods_total{{node=\"{node}\"}}"));
+                    self.detected_at = Some(now.bits());
+                }
+            }
             if self.flood_until.is_none() {
                 self.stats.floods += 1;
             }
@@ -182,6 +227,25 @@ mod tests {
         assert_eq!(f.data(), &[0xA5; 8]);
         assert!(parrot.poll(BitInstant::from_bits(1)).is_none());
         assert!(parrot.poll(BitInstant::from_bits(500)).is_some());
+    }
+
+    #[test]
+    fn recorder_captures_spoofs_and_reaction_latency() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 1_000);
+        let recorder = Recorder::enabled();
+        parrot.set_recorder(recorder.clone(), 2);
+        parrot.on_frame(&spoof(), BitInstant::from_bits(100));
+        assert!(parrot.poll(BitInstant::from_bits(140)).is_some());
+        assert!(parrot.poll(BitInstant::from_bits(141)).is_some());
+        let reg = recorder.into_registry();
+        assert_eq!(reg.counter("parrot_spoofs_observed_total{node=\"2\"}"), 1);
+        assert_eq!(reg.counter("parrot_floods_total{node=\"2\"}"), 1);
+        assert_eq!(reg.counter("parrot_flood_frames_total{node=\"2\"}"), 2);
+        let latency = reg
+            .histogram("parrot_reaction_latency_bits{node=\"2\"}")
+            .unwrap();
+        assert_eq!(latency.count(), 1, "latency measured once per flood");
+        assert_eq!(latency.max(), Some(40));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Differential tests for the observability plane's determinism contract
+//! (`can-obs` + `bench::runner::ExperimentPlan::run_metered`): the merged
+//! metrics registry of a sharded run must be *byte-identical* to the
+//! serial (shards=1) reference — per-cell registries are fresh, cells are
+//! seeded by index, and registries merge in cell index order. Also locks
+//! the zero-cost contract: a disabled recorder records nothing and leaves
+//! every measured artifact untouched.
+
+use bench::campaign::{run_campaign, run_campaign_metered, CampaignConfig};
+use bench::detection::{run_sweep_with_sizes_metered, run_sweep_with_sizes_sharded};
+use bench::obs::run_reaction_probe;
+use can_obs::Recorder;
+
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+fn quick_config(shards: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed: 0x00D5_2025,
+        run_ms: 30.0,
+        shards,
+    }
+}
+
+#[test]
+fn metered_campaign_snapshot_is_byte_identical_across_shard_counts() {
+    let serial = Recorder::enabled();
+    let serial_report = run_campaign_metered(&quick_config(1), &serial).render();
+    let serial_json = serial.snapshot_json();
+    assert!(
+        serial_json.contains("michican_reaction_latency_bits"),
+        "campaign snapshot carries the defender's latency histogram"
+    );
+    for shards in SHARD_COUNTS {
+        let parallel = Recorder::enabled();
+        let parallel_report = run_campaign_metered(&quick_config(shards), &parallel).render();
+        assert_eq!(parallel_report, serial_report, "report, shards={shards}");
+        assert_eq!(
+            parallel.snapshot_json(),
+            serial_json,
+            "merged metrics snapshot diverged: shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn metered_sweep_snapshot_is_byte_identical_across_shard_counts() {
+    let serial = Recorder::enabled();
+    let serial_sweep = run_sweep_with_sizes_metered(120, 42, 50, 150, 1, &serial);
+    let serial_json = serial.snapshot_json();
+    for shards in SHARD_COUNTS {
+        let parallel = Recorder::enabled();
+        let parallel_sweep = run_sweep_with_sizes_metered(120, 42, 50, 150, shards, &parallel);
+        assert_eq!(parallel_sweep, serial_sweep, "shards={shards}");
+        assert_eq!(
+            parallel.snapshot_json(),
+            serial_json,
+            "merged sweep snapshot diverged: shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn full_metrics_export_path_is_deterministic() {
+    // The exact --metrics-out composition for `experiments detection`: the
+    // metered sweep (sharded) followed by the serial reaction probe, all
+    // merged into one root recorder.
+    let snapshot = |shards: usize| {
+        let recorder = Recorder::enabled();
+        run_sweep_with_sizes_metered(60, 7, 50, 150, shards, &recorder);
+        run_reaction_probe(&recorder, 30.0);
+        recorder.snapshot_json()
+    };
+    let serial = snapshot(1);
+    for shards in SHARD_COUNTS {
+        assert_eq!(snapshot(shards), serial, "shards={shards}");
+    }
+}
+
+#[test]
+fn disabled_recorder_records_nothing_and_perturbs_nothing() {
+    // Nothing recorded…
+    let disabled = Recorder::disabled();
+    let report = run_campaign_metered(&quick_config(1), &disabled);
+    assert!(disabled.into_registry().is_empty());
+
+    // …and the measured artifact is identical to the unmetered run, and to
+    // a run metered with an enabled recorder.
+    let baseline = run_campaign(&quick_config(1));
+    assert_eq!(report, baseline, "disabled metering must not perturb cells");
+    let enabled = Recorder::enabled();
+    let metered = run_campaign_metered(&quick_config(1), &enabled);
+    assert_eq!(metered, baseline, "enabled metering must not perturb cells");
+
+    let sweep_metered = run_sweep_with_sizes_metered(60, 7, 50, 150, 1, &Recorder::disabled());
+    let sweep_plain = run_sweep_with_sizes_sharded(60, 7, 50, 150, 1);
+    assert_eq!(sweep_metered, sweep_plain);
+}
+
+#[test]
+fn snapshot_carries_the_acceptance_series() {
+    let recorder = Recorder::enabled();
+    run_reaction_probe(&recorder, 40.0);
+    let json = recorder.snapshot_json();
+    for series in [
+        "can_node_tec{",
+        "can_node_rec{",
+        "can_errors_total{",
+        "michican_fsm_steps_total{",
+        "michican_detections_total{",
+        "michican_reaction_latency_bits{",
+        "parrot_reaction_latency_bits{",
+        "\"p50\"",
+        "\"p95\"",
+        "\"p99\"",
+    ] {
+        assert!(json.contains(series), "snapshot is missing {series}");
+    }
+}
