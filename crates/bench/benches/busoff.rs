@@ -5,22 +5,23 @@ use std::hint::black_box;
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder};
 use criterion::{criterion_group, criterion_main, Criterion};
 use michican::prelude::*;
 
 fn episode(attacker_id: u16) -> u64 {
-    let mut sim = Simulator::new(BusSpeed::K50);
     let frame = CanFrame::data_frame(CanId::from_raw(attacker_id), &[0; 8]).unwrap();
-    sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame, 400, 0)),
-    ));
     let list = EcuList::from_raw(&[0x173]);
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
+    let mut sim = SimBuilder::new(BusSpeed::K50)
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame, 400, 0)),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .build();
     sim.run_until(5_000, |e| matches!(e.kind, EventKind::BusOff))
         .expect("attacker must be bused off");
     sim.now().bits()

@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_sim::{bus_off_episodes, EventKind, Node, SimBuilder};
 use criterion::{criterion_group, criterion_main, Criterion};
 use michican::handler::{MichiCan, MichiCanConfig};
 use michican::prelude::*;
@@ -17,23 +17,26 @@ use michican::prelude::*;
 /// Runs one episode with the given counterattack release position;
 /// returns bus-off duration in bits, or `None` if never bused off.
 fn episode_with_width(end_position: u32) -> Option<u64> {
-    let mut sim = Simulator::new(BusSpeed::K50);
     // Worst-case attacker shape: recessive identifier LSB, DLC 1.
     let frame = CanFrame::data_frame(CanId::from_raw(0x065), &[0x00]).unwrap();
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame, 400, 0)),
-    ));
     let list = EcuList::from_raw(&[0x173]);
     let config = MichiCanConfig {
         counterattack_end: end_position,
         ..MichiCanConfig::default()
     };
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication)).with_agent(Box::new(
-            MichiCan::with_config(DetectionFsm::for_ecu(&list, 0), config),
-        )),
-    );
+    let builder = SimBuilder::new(BusSpeed::K50);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame, 400, 0)),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication)).with_agent(Box::new(
+                MichiCan::with_config(DetectionFsm::for_ecu(&list, 0), config),
+            )),
+        )
+        .build();
     sim.run_until(8_000, |e| matches!(e.kind, EventKind::BusOff))?;
     bus_off_episodes(sim.events(), attacker)
         .first()

@@ -13,22 +13,22 @@ use bench::scenarios::restbus_matrix;
 use can_core::app::SilentApplication;
 use can_core::BusSpeed;
 use can_obs::Recorder;
-use can_sim::{Node, Simulator};
+use can_sim::{Node, SimBuilder, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
 use restbus::ReplayApp;
 
 fn replay_sim(recorder: Option<Recorder>) -> Simulator {
-    let mut sim = Simulator::new(BusSpeed::K50);
-    sim.set_event_logging(false);
+    let mut builder = SimBuilder::new(BusSpeed::K50).event_logging(false);
     if let Some(recorder) = recorder {
-        sim.set_recorder(recorder);
+        builder = builder.recorder(recorder);
     }
-    sim.add_node(Node::new(
-        "restbus",
-        Box::new(ReplayApp::for_matrix(&restbus_matrix())),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    sim
+    builder
+        .node(Node::new(
+            "restbus",
+            Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build()
 }
 
 fn bench_obs(c: &mut Criterion) {

@@ -6,17 +6,18 @@ use std::hint::black_box;
 use bench::scenarios::restbus_matrix;
 use can_core::app::SilentApplication;
 use can_core::BusSpeed;
-use can_sim::{Node, Simulator};
+use can_sim::{Node, SimBuilder};
 use criterion::{criterion_group, criterion_main, Criterion};
 use restbus::ReplayApp;
 
 fn bench_sim(c: &mut Criterion) {
     c.bench_function("sim/idle_bus_3_nodes_1k_bits", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(BusSpeed::K500);
+            let mut builder = SimBuilder::new(BusSpeed::K500);
             for i in 0..3 {
-                sim.add_node(Node::new(format!("n{i}"), Box::new(SilentApplication)));
+                builder = builder.node(Node::new(format!("n{i}"), Box::new(SilentApplication)));
             }
+            let mut sim = builder.build();
             sim.run(black_box(1_000));
             sim.now()
         })
@@ -24,12 +25,13 @@ fn bench_sim(c: &mut Criterion) {
 
     c.bench_function("sim/restbus_replay_1k_bits", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(BusSpeed::K50);
-            sim.add_node(Node::new(
-                "restbus",
-                Box::new(ReplayApp::for_matrix(&restbus_matrix())),
-            ));
-            sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+            let mut sim = SimBuilder::new(BusSpeed::K50)
+                .node(Node::new(
+                    "restbus",
+                    Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+                ))
+                .node(Node::new("rx", Box::new(SilentApplication)))
+                .build();
             sim.run(black_box(1_000));
             sim.events().len()
         })
@@ -37,13 +39,14 @@ fn bench_sim(c: &mut Criterion) {
 
     c.bench_function("sim/restbus_replay_1k_bits_no_logging", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(BusSpeed::K50);
-            sim.set_event_logging(false);
-            sim.add_node(Node::new(
-                "restbus",
-                Box::new(ReplayApp::for_matrix(&restbus_matrix())),
-            ));
-            sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+            let mut sim = SimBuilder::new(BusSpeed::K50)
+                .event_logging(false)
+                .node(Node::new(
+                    "restbus",
+                    Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+                ))
+                .node(Node::new("rx", Box::new(SilentApplication)))
+                .build();
             sim.run(black_box(1_000));
             sim.busy_bits()
         })

@@ -10,7 +10,7 @@
 use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder};
 use michican::prelude::*;
 use parrot::ParrotDefender;
 use restbus::{vehicle_matrix, ReplayApp, Vehicle};
@@ -57,27 +57,27 @@ pub fn run(defense: Defense, run_ms: f64) -> Availability {
         .collect();
     let matrix = restbus::CommMatrix::new("veh-d-availability", speed, messages);
 
-    let mut sim = Simulator::new(speed);
-    sim.add_node(Node::new(
+    let mut builder = SimBuilder::new(speed).node(Node::new(
         "restbus",
         Box::new(ReplayApp::for_matrix(&matrix)),
     ));
-    let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+    let monitor = builder.node_id();
+    builder = builder.node(Node::new("monitor", Box::new(SilentApplication)));
 
     let attacker = if defense != Defense::Healthy {
-        Some(
-            sim.add_node(Node::new(
-                "attacker",
-                Box::new(
-                    SuspensionAttacker::saturating(DosKind::Targeted {
-                        id: CanId::from_raw(ATTACK_ID_RAW),
-                    })
-                    // Distinct payload: a spoof that is byte-identical to the
-                    // defender's counterattack frames would collide invisibly.
-                    .with_payload(&[0xFF; 8]),
-                ),
-            )),
-        )
+        let id = builder.node_id();
+        builder = builder.node(Node::new(
+            "attacker",
+            Box::new(
+                SuspensionAttacker::saturating(DosKind::Targeted {
+                    id: CanId::from_raw(ATTACK_ID_RAW),
+                })
+                // Distinct payload: a spoof that is byte-identical to the
+                // defender's counterattack frames would collide invisibly.
+                .with_payload(&[0xFF; 8]),
+            ),
+        ));
+        Some(id)
     } else {
         None
     };
@@ -88,7 +88,7 @@ pub fn run(defense: Defense, run_ms: f64) -> Availability {
             // Dongle: DoS range only — it owns no id, and adopting a list
             // member's id would attack that member's legitimate frames.
             let fsm = DetectionFsm::for_monitor(&list);
-            sim.add_node(
+            builder = builder.node(
                 Node::new("michican", Box::new(SilentApplication))
                     .with_agent(Box::new(MichiCan::new(fsm))),
             );
@@ -97,7 +97,7 @@ pub fn run(defense: Defense, run_ms: f64) -> Availability {
             // Parrot can only defend its OWN identifier; pretend the
             // attacked id belongs to the Parrot ECU (best case for the
             // baseline).
-            sim.add_node(Node::new(
+            builder = builder.node(Node::new(
                 "parrot",
                 Box::new(ParrotDefender::new(
                     CanId::from_raw(ATTACK_ID_RAW),
@@ -108,6 +108,7 @@ pub fn run(defense: Defense, run_ms: f64) -> Availability {
         Defense::Healthy | Defense::Undefended => {}
     }
 
+    let mut sim = builder.build();
     sim.run_millis(run_ms);
 
     let mut benign = 0u64;

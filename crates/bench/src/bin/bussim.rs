@@ -26,7 +26,7 @@ use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
 use can_ids::IdsMonitor;
-use can_sim::{bus_off_episodes, ErrorRole, EventKind, FaultModel, Node, Simulator};
+use can_sim::{bus_off_episodes, ErrorRole, EventKind, FaultModel, Node, SimBuilder};
 use can_trace::{write_log, LogEntry, Timeline, TimelineEvent};
 use michican::prelude::*;
 use parrot::ParrotDefender;
@@ -131,13 +131,14 @@ fn parse_args() -> Result<Scenario, String> {
 fn run() -> Result<(), String> {
     let scenario = parse_args()?;
     let speed = scenario.speed.unwrap_or(BusSpeed::K500);
-    let mut sim = Simulator::new(speed);
+    let mut builder = SimBuilder::new(speed);
     let mut watched: Vec<(usize, String)> = Vec::new();
 
     for &(id, period_ms, dlc) in &scenario.senders {
         let payload = vec![0x5Au8; dlc as usize];
         let frame = CanFrame::data_frame(id, &payload).map_err(|e| e.to_string())?;
-        let node = sim.add_node(Node::new(
+        watched.push((builder.node_id(), format!("{id}")));
+        builder = builder.node(Node::new(
             format!("sender-{id}"),
             Box::new(PeriodicSender::new(
                 frame,
@@ -145,21 +146,21 @@ fn run() -> Result<(), String> {
                 0,
             )),
         ));
-        watched.push((node, format!("{id}")));
     }
 
     for &id in &scenario.attacks {
-        let node = sim.add_node(Node::new(
+        watched.push((builder.node_id(), format!("atk {id}")));
+        builder = builder.node(Node::new(
             format!("attacker-{id}"),
             Box::new(SuspensionAttacker::new(
                 DosKind::Targeted { id },
                 speed.bits_in_millis(30.0).max(1),
             )),
         ));
-        watched.push((node, format!("atk {id}")));
     }
     if let Some((a, b)) = scenario.toggle {
-        let node = sim.add_node(Node::new(
+        watched.push((builder.node_id(), format!("tgl {a}")));
+        builder = builder.node(Node::new(
             "attacker-toggle",
             Box::new(TogglingAttacker::new(
                 a,
@@ -167,7 +168,6 @@ fn run() -> Result<(), String> {
                 speed.bits_in_millis(10.0).max(1),
             )),
         ));
-        watched.push((node, format!("tgl {a}")));
     }
 
     if let Some(ids) = &scenario.defend {
@@ -176,30 +176,32 @@ fn run() -> Result<(), String> {
         let list = EcuList::new(all).map_err(|e| e.to_string())?;
         let own = ids[0];
         let index = list.index_of(own).expect("own id is in the list");
-        sim.add_node(
+        builder = builder.node(
             Node::new(format!("michican-{own}"), Box::new(SilentApplication))
                 .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
         );
     }
     if let Some(own) = scenario.parrot {
-        sim.add_node(Node::new(
+        builder = builder.node(Node::new(
             format!("parrot-{own}"),
             Box::new(ParrotDefender::new(own, speed.bits_in_millis(100.0))),
         ));
     }
     if scenario.ids {
-        sim.add_node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
+        builder = builder.node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
     }
     // An always-present listener keeps lone senders acknowledged.
-    let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+    let monitor = builder.node_id();
+    builder = builder.node(Node::new("monitor", Box::new(SilentApplication)));
 
     if let Some(ber) = scenario.ber {
-        sim.set_fault_model(FaultModel::random(ber, 0xB5));
+        builder = builder.fault(FaultModel::random(ber, 0xB5));
     }
     if scenario.vcd {
-        sim.enable_trace();
+        builder = builder.trace();
     }
 
+    let mut sim = builder.build();
     sim.run_millis(scenario.capture_ms);
 
     // Report.

@@ -7,10 +7,17 @@
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
 //!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
 //!             [--metrics-out <path>]   # per-run observability export
+//!             [--fast]                 # idle fast-forward simulation core
 //! ```
 //!
 //! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
 //! FSMs); the default is a faster configuration with identical shape.
+//!
+//! `--fast` runs the simulator-backed grid artifacts (table2,
+//! multi_attacker, faults) with the idle fast-forward core
+//! (`SimMode::FastForward`). The output is byte-identical to the default
+//! lockstep mode — CI diffs the two — it just skips quiescent bus
+//! stretches in closed form (see `DESIGN.md §9`).
 //!
 //! `--shards` fans the grid artifacts (faults, detection, table2,
 //! multi_attacker) out across worker threads; the output is byte-identical
@@ -29,7 +36,7 @@
 use std::env;
 use std::path::PathBuf;
 
-use bench::runner::parse_shards;
+use bench::runner::{parse_shards, ExecOpts};
 use bench::scenarios::{self, run_parksense, table2_experiments, TABLE2_SPEED};
 use bench::{busload, cpu, detection, table1};
 use can_core::bitstream::{FrameField, FrameLayout};
@@ -52,6 +59,7 @@ fn main() {
         }
     };
     let full = args.iter().any(|a| a == "--full");
+    let fast = args.iter().any(|a| a == "--fast");
     let artifacts: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--artifacts")
@@ -116,7 +124,7 @@ fn main() {
     }
     if run("table2") {
         section("Table II — empirical bus-off time (six experiments, 50 kbit/s)");
-        table2(full, shards, &recorder);
+        table2(full, shards, fast, &recorder);
     }
     if run("table3") {
         section("Table III — theoretical bus-off time");
@@ -128,7 +136,7 @@ fn main() {
     }
     if run("multi_attacker") {
         section("§V-C — more than two attackers");
-        multi_attacker(shards, &recorder);
+        multi_attacker(shards, fast, &recorder);
     }
     if run("cpu") {
         section("§V-D — CPU utilization");
@@ -156,11 +164,22 @@ fn main() {
     }
     if run("faults") {
         section("Extension — fault-injection campaign (robustness grid)");
-        faults(full, shards, &recorder);
+        faults(full, shards, fast, &recorder);
     }
 
     if let Some(path) = metrics_out {
         write_metrics(&recorder, &path);
+    }
+}
+
+/// The base execution options for a grid artifact: metered by the root
+/// recorder, fast-forward when `--fast` asked for it.
+fn exec_opts(fast: bool, recorder: &Recorder) -> ExecOpts {
+    let opts = ExecOpts::new().with_recorder(recorder.clone());
+    if fast {
+        opts.fast()
+    } else {
+        opts
     }
 }
 
@@ -188,14 +207,15 @@ fn write_metrics(recorder: &Recorder, path: &std::path::Path) {
     eprintln!("metrics: wrote {} and {}", path.display(), prom.display());
 }
 
-fn faults(full: bool, shards: usize, recorder: &Recorder) {
-    use bench::campaign::{run_campaign_metered, CampaignConfig};
+fn faults(full: bool, shards: usize, fast: bool, recorder: &Recorder) {
+    use bench::campaign::{run_campaign_with, CampaignConfig};
     let config = CampaignConfig {
         run_ms: if full { 600.0 } else { 150.0 },
         shards,
         ..CampaignConfig::default()
     };
-    print!("{}", run_campaign_metered(&config, recorder).render());
+    let opts = exec_opts(fast, recorder);
+    print!("{}", run_campaign_with(&config, &opts).render());
     println!("(seeded and deterministic: rerunning reproduces this table byte for byte)");
 }
 
@@ -413,7 +433,13 @@ fn detection_latency(full: bool, shards: usize, recorder: &Recorder) {
         "sweep: {} random FSMs (IVN sizes 150-450; use --full for 160k)",
         fsms
     );
-    let sweep = detection::run_sweep_metered(fsms, 0xD5_2025, shards, recorder);
+    let sweep = detection::run_sweep_with(
+        fsms,
+        0xD5_2025,
+        &ExecOpts::new()
+            .with_shards(shards)
+            .with_recorder(recorder.clone()),
+    );
     println!(
         "  detection rate:          {:.1} %   (paper: 100 %)",
         sweep.detection_rate * 100.0
@@ -443,7 +469,7 @@ fn detection_latency(full: bool, shards: usize, recorder: &Recorder) {
     }
 }
 
-fn table2(full: bool, shards: usize, recorder: &Recorder) {
+fn table2(full: bool, shards: usize, fast: bool, recorder: &Recorder) {
     let capture_ms = if full { 10_000.0 } else { 2_000.0 };
     println!("capture: {capture_ms} ms per experiment (paper: 2 s)");
     println!(
@@ -461,7 +487,8 @@ fn table2(full: bool, shards: usize, recorder: &Recorder) {
         (24.9, 0.01, 25.4),
     ];
     let mut row = 0usize;
-    for outcome in scenarios::run_table2_metered(capture_ms, shards, recorder) {
+    let opts = exec_opts(fast, recorder).with_shards(shards);
+    for outcome in scenarios::run_table2_with(capture_ms, &opts) {
         let exp = &outcome.experiment;
         for (id, stats) in &outcome.per_attacker {
             match stats {
@@ -528,8 +555,7 @@ fn fig6(artifacts: Option<&std::path::Path>) {
         .into_iter()
         .find(|e| e.number == 5)
         .unwrap();
-    let (mut sim, attackers) = scenarios::build_experiment(&exp);
-    sim.enable_trace();
+    let (mut sim, attackers) = scenarios::build_experiment_traced(&exp);
     // Run until both attackers are bused off once.
     let mut off = std::collections::HashSet::new();
     let mut checked = 0usize;
@@ -624,7 +650,7 @@ fn fig6(artifacts: Option<&std::path::Path>) {
     );
 }
 
-fn multi_attacker(shards: usize, recorder: &Recorder) {
+fn multi_attacker(shards: usize, fast: bool, recorder: &Recorder) {
     println!(
         "{:>3} {:>14} {:>12}   {:<30}",
         "A", "total (bits)", "total (ms)", "verdict vs 5000-bit deadline"
@@ -637,7 +663,11 @@ fn multi_attacker(shards: usize, recorder: &Recorder) {
         (5, None),
     ];
     let counts: Vec<usize> = paper.iter().map(|&(count, _)| count).collect();
-    let scan = scenarios::run_multi_attacker_scan_metered(&counts, 60_000, shards, recorder);
+    let scan = scenarios::run_multi_attacker_scan_with(
+        &counts,
+        60_000,
+        &exec_opts(fast, recorder).with_shards(shards),
+    );
     for ((count, result), (_, paper_bits)) in scan.into_iter().zip(paper) {
         match result {
             Some(bits) => {

@@ -13,22 +13,23 @@
 //! fault-campaign grid (with the speedup), raw simulator bits/sec with
 //! event logging on and off, the metrics layer's hot-path cost with the
 //! recorder disabled vs enabled (the disabled path must be within noise
-//! of no recorder at all), cells/sec for the campaign grid, and wall
-//! time per grid artifact. Numbers depend on the host; the *outputs* of
+//! of no recorder at all), lockstep vs idle fast-forward throughput at
+//! 10/30/60 % busload (the 10 % row must clear a 3× speedup),
+//! cells/sec for the campaign grid, and wall time per grid artifact. Numbers depend on the host; the *outputs* of
 //! every measured workload stay byte-identical across shard counts (see
 //! `bench::runner` — this binary asserts it for the campaign report *and*
 //! for the merged metrics snapshot of the metered campaign).
 
 use std::time::Instant;
 
-use bench::campaign::{run_campaign, run_campaign_metered, CampaignConfig};
+use bench::campaign::{run_campaign, run_campaign_with, CampaignConfig};
 use bench::detection::run_sweep_sharded;
-use bench::runner::parse_shards;
+use bench::runner::{parse_shards, ExecOpts};
 use bench::scenarios::{restbus_matrix, run_multi_attacker_scan, run_table2};
-use can_core::app::SilentApplication;
-use can_core::BusSpeed;
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId};
 use can_obs::Recorder;
-use can_sim::{Node, Simulator};
+use can_sim::{Node, SimBuilder};
 use restbus::ReplayApp;
 
 /// One timed run: returns (elapsed seconds, result).
@@ -47,18 +48,66 @@ fn sim_bits_per_sec(bits: u64, event_logging: bool) -> f64 {
 /// [`sim_bits_per_sec`] with an explicit recorder attached (when `Some`);
 /// used to quantify the metrics layer's hot-path cost in both states.
 fn sim_bits_per_sec_with(bits: u64, event_logging: bool, recorder: Option<Recorder>) -> f64 {
-    let mut sim = Simulator::new(BusSpeed::K50);
-    sim.set_event_logging(event_logging);
+    let mut builder = SimBuilder::new(BusSpeed::K50).event_logging(event_logging);
     if let Some(recorder) = recorder {
-        sim.set_recorder(recorder);
+        builder = builder.recorder(recorder);
     }
-    sim.add_node(Node::new(
-        "restbus",
-        Box::new(ReplayApp::for_matrix(&restbus_matrix())),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let mut sim = builder
+        .node(Node::new(
+            "restbus",
+            Box::new(ReplayApp::for_matrix(&restbus_matrix())),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     let (secs, _) = timed(|| sim.run(bits));
     bits as f64 / secs
+}
+
+/// One fast-forward speedup sample at an approximate target busload.
+struct FastForwardSample {
+    target_load: f64,
+    observed_load: f64,
+    lockstep_bits_per_sec: f64,
+    fast_bits_per_sec: f64,
+    speedup: f64,
+}
+
+/// Measures lockstep vs fast-forward wall clock on a periodic-sender bus
+/// whose duty cycle approximates `target_load`. Both runs are verified to
+/// land on the same clock and the same busy-bit count (the differential
+/// tests prove the full byte-identity contract; this is the cheap guard).
+fn fast_forward_sample(bits: u64, target_load: f64) -> FastForwardSample {
+    let speed = BusSpeed::K50;
+    let frame = CanFrame::data_frame(CanId::from_raw(0x222), &[0xA5; 8]).expect("valid frame");
+    // An 8-byte data frame occupies ≈ 111 bus bits before stuffing; the
+    // period sets the duty cycle.
+    let period = ((111.0 / target_load).round() as u64).max(130);
+    let build = || {
+        SimBuilder::new(speed)
+            .node(Node::new(
+                "tx",
+                Box::new(PeriodicSender::new(frame, period, 40)),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .build()
+    };
+    let mut lockstep = build();
+    let (lock_secs, _) = timed(|| lockstep.run(bits));
+    let mut fast = build();
+    let (fast_secs, _) = timed(|| fast.run_fast(bits));
+    assert_eq!(lockstep.now(), fast.now(), "fast-forward clock mismatch");
+    assert_eq!(
+        lockstep.busy_bits(),
+        fast.busy_bits(),
+        "fast-forward busy-bit mismatch"
+    );
+    FastForwardSample {
+        target_load,
+        observed_load: fast.observed_bus_load(),
+        lockstep_bits_per_sec: bits as f64 / lock_secs,
+        fast_bits_per_sec: bits as f64 / fast_secs,
+        speedup: lock_secs / fast_secs,
+    }
 }
 
 fn json_f(value: f64) -> String {
@@ -133,9 +182,15 @@ fn main() {
     // The metered campaign inherits the contract: merged per-cell metric
     // registries must yield the same snapshot for every shard count.
     let serial_recorder = Recorder::enabled();
-    run_campaign_metered(&serial_config, &serial_recorder);
+    run_campaign_with(
+        &serial_config,
+        &ExecOpts::new().with_recorder(serial_recorder.clone()),
+    );
     let parallel_recorder = Recorder::enabled();
-    run_campaign_metered(&parallel_config, &parallel_recorder);
+    run_campaign_with(
+        &parallel_config,
+        &ExecOpts::new().with_recorder(parallel_recorder.clone()),
+    );
     assert_eq!(
         serial_recorder.snapshot_json(),
         parallel_recorder.snapshot_json(),
@@ -148,6 +203,31 @@ fn main() {
     eprintln!(
         "  campaign: {cells} cells, serial {serial_secs:.2}s, parallel {parallel_secs:.2}s \
          ({speedup:.2}x with {shards} shards)"
+    );
+
+    // 2b. Idle fast-forward: lockstep vs quiescent skip-ahead at three
+    // busloads. The speedup is the inverse of the duty cycle minus the
+    // closed-form skip bookkeeping; at 10 % load it must clear 3×.
+    let ff_bits: u64 = if quick { 400_000 } else { 2_000_000 };
+    let ff_samples: Vec<FastForwardSample> = [0.10, 0.30, 0.60]
+        .iter()
+        .map(|&load| fast_forward_sample(ff_bits, load))
+        .collect();
+    for s in &ff_samples {
+        eprintln!(
+            "  fast_forward: target {:.0}% (observed {:.1}%): lockstep {:.0} bits/s, \
+             fast {:.0} bits/s ({:.1}x)",
+            s.target_load * 100.0,
+            s.observed_load * 100.0,
+            s.lockstep_bits_per_sec,
+            s.fast_bits_per_sec,
+            s.speedup
+        );
+    }
+    assert!(
+        ff_samples[0].speedup >= 3.0,
+        "fast-forward must clear 3x at 10% busload, measured {:.2}x",
+        ff_samples[0].speedup
     );
 
     // 3. Wall time per grid artifact (at the parallel shard count).
@@ -164,6 +244,27 @@ fn main() {
          table2 {table2_secs:.2}s, multi_attacker {multi_secs:.2}s"
     );
 
+    let ff_rows: String = ff_samples
+        .iter()
+        .map(|s| {
+            format!(
+                r#"      {{
+        "target_load": {target},
+        "observed_load": {observed},
+        "lockstep_bits_per_sec": {lock},
+        "fast_bits_per_sec": {fast},
+        "speedup": {speedup}
+      }}"#,
+                target = json_f(s.target_load),
+                observed = json_f(s.observed_load),
+                lock = json_f(s.lockstep_bits_per_sec),
+                fast = json_f(s.fast_bits_per_sec),
+                speedup = json_f(s.speedup),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         r#"{{
   "schema": "michican-perfbase/v1",
@@ -179,6 +280,12 @@ fn main() {
     "bits_per_sec_recorder_disabled": {bps_obs_disabled},
     "bits_per_sec_recorder_enabled": {bps_obs_enabled},
     "metered_snapshot_deterministic": true
+  }},
+  "fast_forward": {{
+    "bits_simulated": {ff_bits},
+    "loads": [
+{ff_rows}
+    ]
   }},
   "campaign_grid": {{
     "cells": {cells},

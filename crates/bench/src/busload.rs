@@ -8,7 +8,7 @@
 use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{bus_off_episodes, Node, Simulator};
+use can_sim::{bus_off_episodes, Node, SimBuilder, Simulator};
 use michican::prelude::*;
 use parrot::ParrotDefender;
 
@@ -33,14 +33,14 @@ pub struct DefenseLoad {
 const SPEED: BusSpeed = BusSpeed::K50;
 const DEFENDER_ID: u16 = 0x173;
 
-fn benign_background(sim: &mut Simulator) {
+fn benign_background(builder: SimBuilder) -> SimBuilder {
     // A light benign stream so the baseline load is realistic but leaves
     // room to observe the defense spike.
     let f = CanFrame::data_frame(CanId::from_raw(0x300), &[0x11; 8]).unwrap();
-    sim.add_node(Node::new(
+    builder.node(Node::new(
         "benign-0x300",
         Box::new(PeriodicSender::new(f, SPEED.bits_in_millis(50.0), 60)),
-    ));
+    ))
 }
 
 /// Steps `sim` while sampling busy bits; returns (overall, windowed) load
@@ -59,32 +59,40 @@ fn run_with_window(sim: &mut Simulator, total_bits: u64, window: (u64, u64)) -> 
 /// Runs the MichiCAN defense against a spoofing attacker and measures the
 /// load inside and outside the counterattack window.
 pub fn michican_load(run_ms: f64) -> DefenseLoad {
-    let mut sim = Simulator::new(SPEED);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(
-            SuspensionAttacker::new(
-                DosKind::Targeted {
-                    id: CanId::from_raw(DEFENDER_ID),
-                },
-                SPEED.bits_in_millis(40.0),
-            )
-            .with_payload(&[0xFF; 8]),
-        ),
-    ));
-    benign_background(&mut sim);
     let list = EcuList::from_raw(&[DEFENDER_ID, 0x300]);
     let index = list.index_of(CanId::from_raw(DEFENDER_ID)).unwrap();
-    // The defender owns 0x173 but is quiescent during the capture (an
-    // actively transmitting owner would collide in lockstep with the
-    // same-identifier spoofer — see tests/id_collision.rs).
-    let defender = sim.add_node(
-        Node::new("michican", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
-    );
+    let build = |list: &EcuList| {
+        let builder = SimBuilder::new(SPEED);
+        let attacker = builder.node_id();
+        let builder = builder.node(Node::new(
+            "attacker",
+            Box::new(
+                SuspensionAttacker::new(
+                    DosKind::Targeted {
+                        id: CanId::from_raw(DEFENDER_ID),
+                    },
+                    SPEED.bits_in_millis(40.0),
+                )
+                .with_payload(&[0xFF; 8]),
+            ),
+        ));
+        let builder = benign_background(builder);
+        // The defender owns 0x173 but is quiescent during the capture (an
+        // actively transmitting owner would collide in lockstep with the
+        // same-identifier spoofer — see tests/id_collision.rs).
+        let defender = builder.node_id();
+        let sim = builder
+            .node(
+                Node::new("michican", Box::new(SilentApplication))
+                    .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(list, index)))),
+            )
+            .build();
+        (sim, attacker, defender)
+    };
 
     // First pass to find the defense window.
     let total_bits = SPEED.bits_in_millis(run_ms);
+    let (mut sim, attacker, defender) = build(&list);
     sim.run(total_bits);
     let episodes = bus_off_episodes(sim.events(), attacker);
     let window = episodes
@@ -96,24 +104,7 @@ pub fn michican_load(run_ms: f64) -> DefenseLoad {
     let overall = sim.observed_bus_load();
 
     // Second pass, identical construction, sampling the window.
-    let mut sim2 = Simulator::new(SPEED);
-    sim2.add_node(Node::new(
-        "attacker",
-        Box::new(
-            SuspensionAttacker::new(
-                DosKind::Targeted {
-                    id: CanId::from_raw(DEFENDER_ID),
-                },
-                SPEED.bits_in_millis(40.0),
-            )
-            .with_payload(&[0xFF; 8]),
-        ),
-    ));
-    benign_background(&mut sim2);
-    sim2.add_node(
-        Node::new("michican", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
-    );
+    let (mut sim2, _, _) = build(&list);
     let (_, during) = run_with_window(&mut sim2, total_bits, window);
 
     DefenseLoad {
@@ -129,8 +120,9 @@ pub fn michican_load(run_ms: f64) -> DefenseLoad {
 /// Runs the Parrot defense against the same spoofing attacker.
 pub fn parrot_load(run_ms: f64) -> DefenseLoad {
     let build = || {
-        let mut sim = Simulator::new(SPEED);
-        let attacker = sim.add_node(Node::new(
+        let builder = SimBuilder::new(SPEED);
+        let attacker = builder.node_id();
+        let builder = builder.node(Node::new(
             "attacker",
             Box::new(
                 SuspensionAttacker::new(
@@ -142,17 +134,20 @@ pub fn parrot_load(run_ms: f64) -> DefenseLoad {
                 .with_payload(&[0xFF; 8]),
             ),
         ));
-        benign_background(&mut sim);
-        let defender = sim.add_node(Node::new(
-            "parrot",
-            Box::new(
-                ParrotDefender::new(CanId::from_raw(DEFENDER_ID), SPEED.bits_in_millis(200.0))
-                    .with_own_traffic(SPEED.bits_in_millis(100.0)),
-            ),
-        ));
+        let builder = benign_background(builder);
+        let defender = builder.node_id();
         // A silent receiver so frames are acknowledged even while both
         // contenders transmit.
-        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        let sim = builder
+            .node(Node::new(
+                "parrot",
+                Box::new(
+                    ParrotDefender::new(CanId::from_raw(DEFENDER_ID), SPEED.bits_in_millis(200.0))
+                        .with_own_traffic(SPEED.bits_in_millis(100.0)),
+                ),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .build();
         (sim, attacker, defender)
     };
 

@@ -34,14 +34,13 @@ use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::agent::BitAgent;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BitInstant, BusSpeed, CanFrame, CanId, Level};
-use can_obs::Recorder;
 use can_sim::{
-    BurstParams, EventKind, FaultModel, FaultyAgent, Node, PinFaultConfig, Simulator, TxFault,
+    BurstParams, EventKind, FaultModel, FaultyAgent, Node, PinFaultConfig, SimBuilder, TxFault,
 };
 use michican::prelude::*;
 use restbus::{vehicle_matrix, CommMatrix, Message, Vehicle};
 
-use crate::runner::{derive_seed, ExperimentPlan};
+use crate::runner::{derive_seed, ExecOpts, ExperimentPlan};
 
 /// Documented sporadic-fault threshold: iid channel BERs at or below this
 /// rate must not disturb benign delivery or eradication (invariants 1–3).
@@ -314,23 +313,33 @@ impl BitAgent for SharedDefender {
     fn set_own_transmission(&mut self, transmitting: bool) {
         self.0.borrow_mut().set_own_transmission(transmitting);
     }
+
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        self.0.borrow().next_activity(now)
+    }
+
+    fn skip_idle(&mut self, bits: u64, from: BitInstant) {
+        self.0.borrow_mut().skip_idle(bits, from);
+    }
 }
 
 /// Runs one cell of the campaign.
 pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> CellOutcome {
-    run_cell_metered(traffic, fault, seed, run_ms, &Recorder::disabled())
+    run_cell_with(traffic, fault, seed, run_ms, &ExecOpts::default())
 }
 
-/// [`run_cell`] with a metrics recorder attached to the simulator and the
-/// supervised defender. The defender's metrics are labelled with its node
-/// index on the cell's bus, matching the simulator's `can_*` series.
-pub fn run_cell_metered(
+/// [`run_cell`] under explicit execution options. The recorder is
+/// attached to the simulator and the supervised defender; the defender's
+/// metrics are labelled with its node index on the cell's bus, matching
+/// the simulator's `can_*` series.
+pub fn run_cell_with(
     traffic: Traffic,
     fault: FaultSpec,
     seed: u64,
     run_ms: f64,
-    recorder: &Recorder,
+    opts: &ExecOpts,
 ) -> CellOutcome {
+    let recorder = &opts.recorder;
     let speed = BusSpeed::K500;
     let run_bits = speed.bits_in_millis(run_ms);
 
@@ -353,13 +362,14 @@ pub fn run_cell_metered(
     let flaky_msg = messages.remove(flaky_index);
     let matrix = CommMatrix::new("veh-d-campaign", speed, messages);
 
-    let mut sim = Simulator::new(speed);
-    sim.set_recorder(recorder.clone());
-    sim.add_node(Node::new(
-        "restbus",
-        Box::new(restbus::ReplayApp::for_matrix(&matrix)),
-    ));
-    let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+    let mut builder = SimBuilder::new(speed)
+        .recorder(recorder.clone())
+        .node(Node::new(
+            "restbus",
+            Box::new(restbus::ReplayApp::for_matrix(&matrix)),
+        ));
+    let monitor = builder.node_id();
+    builder = builder.node(Node::new("monitor", Box::new(SilentApplication)));
 
     // The flaky node periodically sends the message carved out above.
     let flaky_frame = CanFrame::data_frame(flaky_msg.id, &vec![0x5A; flaky_msg.dlc as usize])
@@ -390,15 +400,16 @@ pub fn run_cell_metered(
         }
         _ => {}
     }
-    let flaky = sim.add_node(flaky_node);
+    let flaky = builder.node_id();
+    builder = builder.node(flaky_node);
 
     // Channel faults on the wired-AND medium.
     match fault {
         FaultSpec::BitErrors { ber } => {
-            sim.add_fault_layer(FaultModel::random(ber, derive_seed(seed, 102)));
+            builder = builder.fault(FaultModel::random(ber, derive_seed(seed, 102)));
         }
         FaultSpec::Burst(params) => {
-            sim.add_fault_layer(FaultModel::bursty(params, derive_seed(seed, 103)));
+            builder = builder.fault(FaultModel::bursty(params, derive_seed(seed, 103)));
         }
         _ => {}
     }
@@ -420,16 +431,17 @@ pub fn run_cell_metered(
         )),
         _ => Box::new(defender.clone()),
     };
-    let defender_node =
-        sim.add_node(Node::new("michican", Box::new(SilentApplication)).with_agent(agent));
+    let defender_node = builder.node_id();
+    builder = builder.node(Node::new("michican", Box::new(SilentApplication)).with_agent(agent));
     defender
         .0
         .borrow_mut()
         .set_recorder(recorder.clone(), defender_node as u32);
 
     let attacker = match traffic {
-        Traffic::Attack => Some(
-            sim.add_node(Node::new(
+        Traffic::Attack => {
+            let id = builder.node_id();
+            builder = builder.node(Node::new(
                 "attacker",
                 Box::new(
                     SuspensionAttacker::saturating(DosKind::Targeted {
@@ -437,12 +449,14 @@ pub fn run_cell_metered(
                     })
                     .with_payload(&[0xFF; 8]),
                 ),
-            )),
-        ),
+            ));
+            Some(id)
+        }
         Traffic::Benign => None,
     };
 
-    sim.run(run_bits);
+    let mut sim = builder.build();
+    opts.run(&mut sim, run_bits);
 
     let mut benign_delivered = 0u64;
     let mut attack_delivered = 0u64;
@@ -493,14 +507,16 @@ pub fn run_cell_metered(
 /// count: each cell's seed is fixed by its grid index, and outcomes are
 /// reduced in grid order.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    run_campaign_metered(config, &Recorder::disabled())
+    run_campaign_with(config, &ExecOpts::default())
 }
 
-/// [`run_campaign`] with a metrics recorder: each cell runs with its own
-/// recorder and the collected registries are merged into `recorder` in
-/// grid order, so the merged snapshot — like the report — is byte-identical
-/// for every shard count.
-pub fn run_campaign_metered(config: &CampaignConfig, recorder: &Recorder) -> CampaignReport {
+/// [`run_campaign`] under explicit execution options: each cell runs with
+/// its own recorder and the collected registries are merged into
+/// `opts.recorder` in grid order, so the merged snapshot — like the report
+/// — is byte-identical for every shard count and simulation mode. The
+/// grid's worker count comes from `config.shards` (the campaign's own
+/// parameter), not from `opts`.
+pub fn run_campaign_with(config: &CampaignConfig, opts: &ExecOpts) -> CampaignReport {
     let grid: Vec<(Traffic, FaultSpec)> = [Traffic::Benign, Traffic::Attack]
         .into_iter()
         .flat_map(|traffic| {
@@ -510,11 +526,20 @@ pub fn run_campaign_metered(config: &CampaignConfig, recorder: &Recorder) -> Cam
         })
         .collect();
     let run_ms = config.run_ms;
+    // Only the mode crosses into the workers: recorders are per-cell (a
+    // `Recorder` is single-threaded by design) and merged in grid order.
+    let mode = opts.mode;
     let cells = ExperimentPlan::new(grid, config.seed)
         .with_shards(config.shards.max(1))
-        .run_metered(recorder, |_index, seed, (traffic, fault), cell_recorder| {
-            run_cell_metered(traffic, fault, seed, run_ms, cell_recorder)
-        });
+        .run_metered(
+            &opts.recorder,
+            move |_index, seed, (traffic, fault), cell_recorder| {
+                let cell_opts = ExecOpts::new()
+                    .with_mode(mode)
+                    .with_recorder(cell_recorder.clone());
+                run_cell_with(traffic, fault, seed, run_ms, &cell_opts)
+            },
+        );
 
     let mut violations = Vec::new();
     for c in cells.iter().filter(|c| c.fault.below_threshold()) {

@@ -14,7 +14,7 @@ use michican::EcuList;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::runner::ExperimentPlan;
+use crate::runner::{ExecOpts, ExperimentPlan};
 
 /// Aggregate result of the random-FSM sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,25 +122,32 @@ pub fn run_sweep_with_sizes_sharded(
     n_max: usize,
     shards: usize,
 ) -> DetectionSweep {
-    run_sweep_with_sizes_metered(fsm_count, seed, n_min, n_max, shards, &Recorder::disabled())
+    run_sweep_with_sizes_with(
+        fsm_count,
+        seed,
+        n_min,
+        n_max,
+        &ExecOpts::default().with_shards(shards),
+    )
 }
 
-/// [`run_sweep_with_sizes_sharded`] with a metrics recorder: per-cell
-/// registries (FSM/id tallies and the decision-position histogram) are
-/// merged into `recorder` in cell index order, so the merged snapshot is
-/// byte-identical for every shard count.
-pub fn run_sweep_with_sizes_metered(
+/// [`run_sweep_with_sizes_sharded`] under explicit execution options:
+/// per-cell registries (FSM/id tallies and the decision-position
+/// histogram) are merged into `opts.recorder` in cell index order, so the
+/// merged snapshot is byte-identical for every shard count. (The sweep is
+/// pure FSM verification — no simulator is involved, so `opts.mode` has
+/// no effect here.)
+pub fn run_sweep_with_sizes_with(
     fsm_count: usize,
     seed: u64,
     n_min: usize,
     n_max: usize,
-    shards: usize,
-    recorder: &Recorder,
+    opts: &ExecOpts,
 ) -> DetectionSweep {
     assert!(n_min >= 1 && n_min <= n_max && n_max <= 1024);
     let tallies = ExperimentPlan::new(vec![(); fsm_count], seed)
-        .with_shards(shards.max(1))
-        .run_metered(recorder, |_index, cell_seed, (), cell_recorder| {
+        .with_shards(opts.shards.max(1))
+        .run_metered(&opts.recorder, |_index, cell_seed, (), cell_recorder| {
             sweep_cell(cell_seed, n_min, n_max, cell_recorder)
         });
 
@@ -197,14 +204,9 @@ pub fn run_sweep_sharded(fsm_count: usize, seed: u64, shards: usize) -> Detectio
     run_sweep_with_sizes_sharded(fsm_count, seed, 150, 450, shards)
 }
 
-/// [`run_sweep_sharded`] with a metrics recorder (default IVN sizes).
-pub fn run_sweep_metered(
-    fsm_count: usize,
-    seed: u64,
-    shards: usize,
-    recorder: &Recorder,
-) -> DetectionSweep {
-    run_sweep_with_sizes_metered(fsm_count, seed, 150, 450, shards, recorder)
+/// [`run_sweep`] under explicit execution options (default IVN sizes).
+pub fn run_sweep_with(fsm_count: usize, seed: u64, opts: &ExecOpts) -> DetectionSweep {
+    run_sweep_with_sizes_with(fsm_count, seed, 150, 450, opts)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
 use can_ids::IdsMonitor;
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder, Simulator};
 use michican::prelude::*;
 
 /// Outcome of one defense-vs-flood run.
@@ -52,8 +52,9 @@ fn delivered_attack_frames(sim: &Simulator, observer: usize, until: Option<u64>)
 
 /// Runs the flooding attack against the frame-level IDS.
 pub fn ids_defense(run_bits: u64) -> DefenseLatency {
-    let mut sim = Simulator::new(SPEED);
-    let attacker = sim.add_node(Node::new(
+    let builder = SimBuilder::new(SPEED);
+    let attacker = builder.node_id();
+    let builder = builder.node(Node::new(
         "attacker",
         Box::new(SuspensionAttacker::new(
             DosKind::Targeted {
@@ -62,23 +63,29 @@ pub fn ids_defense(run_bits: u64) -> DefenseLatency {
             400,
         )),
     ));
-    let ids_node = sim.add_node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
+    let ids_node = builder.node_id();
+    let mut sim = builder
+        .node(Node::new("ids", Box::new(IdsMonitor::typical_500k())))
+        .build();
     sim.run(run_bits);
 
     // Extract the monitor's first alert through the application API.
     // (Downcast via a second pass: rebuild is cheap and deterministic.)
-    let mut sim2 = Simulator::new(SPEED);
-    let attacker2 = sim2.add_node(Node::new(
-        "attacker",
-        Box::new(SuspensionAttacker::new(
-            DosKind::Targeted {
-                id: CanId::from_raw(ATTACK_ID),
-            },
-            400,
-        )),
-    ));
+    let builder2 = SimBuilder::new(SPEED);
+    let attacker2 = builder2.node_id();
+    let mut sim2 = builder2
+        .node(Node::new(
+            "attacker",
+            Box::new(SuspensionAttacker::new(
+                DosKind::Targeted {
+                    id: CanId::from_raw(ATTACK_ID),
+                },
+                400,
+            )),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     let mut monitor = IdsMonitor::typical_500k();
-    let _ = sim2.add_node(Node::new("rx", Box::new(SilentApplication)));
     sim2.run(run_bits);
     for e in sim2.events() {
         if let EventKind::FrameReceived { frame } = &e.kind {
@@ -105,8 +112,9 @@ pub fn ids_defense(run_bits: u64) -> DefenseLatency {
 
 /// Runs the same flood against MichiCAN.
 pub fn michican_defense(run_bits: u64) -> DefenseLatency {
-    let mut sim = Simulator::new(SPEED);
-    let attacker = sim.add_node(Node::new(
+    let builder = SimBuilder::new(SPEED);
+    let attacker = builder.node_id();
+    let builder = builder.node(Node::new(
         "attacker",
         Box::new(SuspensionAttacker::new(
             DosKind::Targeted {
@@ -116,10 +124,13 @@ pub fn michican_defense(run_bits: u64) -> DefenseLatency {
         )),
     ));
     let list = EcuList::from_raw(&[0x173]);
-    let observer = sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
+    let observer = builder.node_id();
+    let mut sim = builder
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .build();
     sim.run(run_bits);
 
     let start = attack_start(&sim, attacker);

@@ -16,6 +16,8 @@
 //!   healthy vs undefended vs defended (extension);
 //! * [`campaign`] — the seeded fault-injection campaign grid (robustness
 //!   extension);
+//! * [`differential`] — the lockstep-vs-fast-forward equivalence harness
+//!   backing the byte-identity guarantee of `Simulator::run_fast`;
 //! * [`runner`] — the parallel deterministic experiment engine the grid
 //!   artifacts (campaign, FSM sweep, Table II, multi-attacker scan) fan
 //!   out on;
@@ -30,6 +32,7 @@ pub mod busload;
 pub mod campaign;
 pub mod cpu;
 pub mod detection;
+pub mod differential;
 pub mod ids_compare;
 pub mod obs;
 pub mod runner;

@@ -14,7 +14,7 @@ use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
 use can_obs::Recorder;
-use can_sim::{Node, Simulator};
+use can_sim::{Node, SimBuilder};
 use michican::prelude::*;
 use parrot::ParrotDefender;
 
@@ -38,9 +38,6 @@ pub fn run_reaction_probe(recorder: &Recorder, run_ms: f64) {
 /// Spoofing attack on the defender's own identifier, supervised MichiCAN
 /// defender with recorders on both the simulator and the handler.
 fn probe_michican(recorder: &Recorder, run_ms: f64) {
-    let mut sim = Simulator::new(PROBE_SPEED);
-    sim.set_recorder(recorder.clone());
-
     let list = EcuList::new(vec![
         CanId::from_raw(PROBE_BENIGN_ID),
         CanId::from_raw(PROBE_DEFENDER_ID),
@@ -57,28 +54,30 @@ fn probe_michican(recorder: &Recorder, run_ms: f64) {
     // The defender is added first, so its node id — and the `node` label on
     // every `michican_*` series — is 0.
     supervised.set_recorder(recorder.clone(), 0);
-    let defender = sim.add_node(
-        Node::new("defender-0x173", Box::new(SilentApplication)).with_agent(Box::new(supervised)),
-    );
-    debug_assert_eq!(defender, 0);
 
     let benign = CanFrame::data_frame(CanId::from_raw(PROBE_BENIGN_ID), &[0x11; 8])
         .expect("valid benign frame");
     let benign_period = PROBE_SPEED.bits_in_millis(5.0).max(1);
-    sim.add_node(Node::new(
-        "benign",
-        Box::new(PeriodicSender::new(benign, benign_period, 10)),
-    ));
-
-    sim.add_node(Node::new(
-        "spoofer",
-        Box::new(
-            SuspensionAttacker::saturating(DosKind::Targeted {
-                id: CanId::from_raw(PROBE_DEFENDER_ID),
-            })
-            .with_payload(&[0xFF; 8]),
-        ),
-    ));
+    let mut sim = SimBuilder::new(PROBE_SPEED)
+        .recorder(recorder.clone())
+        .node(
+            Node::new("defender-0x173", Box::new(SilentApplication))
+                .with_agent(Box::new(supervised)),
+        )
+        .node(Node::new(
+            "benign",
+            Box::new(PeriodicSender::new(benign, benign_period, 10)),
+        ))
+        .node(Node::new(
+            "spoofer",
+            Box::new(
+                SuspensionAttacker::saturating(DosKind::Targeted {
+                    id: CanId::from_raw(PROBE_DEFENDER_ID),
+                })
+                .with_payload(&[0xFF; 8]),
+            ),
+        ))
+        .build();
 
     sim.run_millis(run_ms);
 }
@@ -88,27 +87,27 @@ fn probe_michican(recorder: &Recorder, run_ms: f64) {
 /// the MichiCAN probe's); attaching the simulator recorder too would fold
 /// a second bus into the per-node `can_*` series under clashing labels.
 fn probe_parrot(recorder: &Recorder, run_ms: f64) {
-    let mut sim = Simulator::new(PROBE_SPEED);
-
     // Flood for ~10 ms per detected spoof instance.
     let flood_window = PROBE_SPEED.bits_in_millis(10.0).max(1);
     let mut parrot = ParrotDefender::new(CanId::from_raw(PROBE_DEFENDER_ID), flood_window)
         .with_own_traffic(PROBE_SPEED.bits_in_millis(20.0).max(1));
     parrot.set_recorder(recorder.clone(), 0);
-    sim.add_node(Node::new("parrot-0x173", Box::new(parrot)));
 
     // Periodic (not saturating) spoofer: Parrot can only detect a spoof
     // after a complete instance is delivered, so instances must get
     // through between floods.
-    sim.add_node(Node::new(
-        "spoofer",
-        Box::new(SuspensionAttacker::new(
-            DosKind::Targeted {
-                id: CanId::from_raw(PROBE_DEFENDER_ID),
-            },
-            PROBE_SPEED.bits_in_millis(4.0).max(1),
-        )),
-    ));
+    let mut sim = SimBuilder::new(PROBE_SPEED)
+        .node(Node::new("parrot-0x173", Box::new(parrot)))
+        .node(Node::new(
+            "spoofer",
+            Box::new(SuspensionAttacker::new(
+                DosKind::Targeted {
+                    id: CanId::from_raw(PROBE_DEFENDER_ID),
+                },
+                PROBE_SPEED.bits_in_millis(4.0).max(1),
+            )),
+        ))
+        .build();
 
     sim.run_millis(run_ms);
 }

@@ -18,8 +18,111 @@
 //!    against it (`tests/parallel_determinism.rs` does exactly that).
 
 use can_obs::{Recorder, Registry};
+use can_sim::Simulator;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+
+/// How a scenario drives its simulators through bus time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Bit-by-bit [`Simulator::run`] — the lockstep reference path.
+    #[default]
+    Lockstep,
+    /// [`Simulator::run_fast`]: identical events, traces, metrics and
+    /// outcomes, with quiescent bus stretches skipped in closed form.
+    FastForward,
+}
+
+/// Cross-cutting execution options for `bench` scenario entry points.
+///
+/// Replaces the old `run_X` / `run_X_metered` function pairs: every
+/// scenario now has a single `run_X_with(.., &ExecOpts)` entry point, and
+/// the plain `run_X` wrappers simply pass `ExecOpts::default()` (disabled
+/// recorder, serial, lockstep).
+#[derive(Debug, Clone)]
+pub struct ExecOpts {
+    /// Metrics sink threaded through the scenario (per-cell recorders are
+    /// derived from it exactly as [`ExperimentPlan::run_metered`] does).
+    pub recorder: Recorder,
+    /// Worker count for plan fan-out; `1` is the serial reference path,
+    /// `0` means one shard per core.
+    pub shards: usize,
+    /// Lockstep or idle fast-forward simulation.
+    pub mode: SimMode,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            recorder: Recorder::disabled(),
+            shards: 1,
+            mode: SimMode::Lockstep,
+        }
+    }
+}
+
+impl ExecOpts {
+    /// Default options: disabled recorder, serial, lockstep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the metrics recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Sets the shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the simulation mode (builder style).
+    pub fn with_mode(mut self, mode: SimMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects idle fast-forward (builder style).
+    pub fn fast(self) -> Self {
+        self.with_mode(SimMode::FastForward)
+    }
+
+    /// Runs `sim` for `bits` bit times in the configured mode.
+    pub fn run(&self, sim: &mut Simulator, bits: u64) {
+        match self.mode {
+            SimMode::Lockstep => sim.run(bits),
+            SimMode::FastForward => sim.run_fast(bits),
+        }
+    }
+
+    /// Runs `sim` for `millis` simulated milliseconds in the configured
+    /// mode.
+    pub fn run_millis(&self, sim: &mut Simulator, millis: f64) {
+        match self.mode {
+            SimMode::Lockstep => sim.run_millis(millis),
+            SimMode::FastForward => sim.run_millis_fast(millis),
+        }
+    }
+
+    /// Advances `sim` by one quantum — a single bit in lockstep, up to
+    /// `max_bits` under fast-forward — and returns the bits advanced.
+    /// Event-polling scan loops use this to stay mode-generic.
+    pub fn advance(&self, sim: &mut Simulator, max_bits: u64) -> u64 {
+        match self.mode {
+            SimMode::Lockstep => {
+                if max_bits == 0 {
+                    return 0;
+                }
+                sim.step();
+                1
+            }
+            SimMode::FastForward => sim.advance(max_bits),
+        }
+    }
+}
 
 /// Derives the seed of cell `index` from the plan's master seed.
 ///

@@ -5,14 +5,13 @@
 use can_attacks::{DosKind, SuspensionAttacker, TogglingAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
-use can_obs::Recorder;
-use can_sim::{bus_off_episodes, DurationStats, EventKind, Node, NodeId, Simulator};
+use can_sim::{bus_off_episodes, DurationStats, EventKind, Node, NodeId, SimBuilder, Simulator};
 use michican::prelude::*;
 use restbus::{
     pacifica_matrix, vehicle_matrix, ParkSense, ReplayApp, Vehicle, ATTACK_ID, PARKSENSE_ID,
 };
 
-use crate::runner::ExperimentPlan;
+use crate::runner::{ExecOpts, ExperimentPlan};
 
 /// The bus speed of the paper's online evaluation (Table II).
 pub const TABLE2_SPEED: BusSpeed = BusSpeed::K50;
@@ -127,12 +126,32 @@ pub fn defender_ecu_list(with_restbus: bool) -> EcuList {
 /// Constructs the simulator for one Table II experiment. Returns the
 /// simulator and the attacker node ids (in `attacker_ids` order).
 pub fn build_experiment(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
-    let mut sim = Simulator::new(TABLE2_SPEED);
+    build_experiment_with(exp, &ExecOpts::default())
+}
+
+/// [`build_experiment`] honouring the recorder of `opts`.
+pub fn build_experiment_with(exp: &Experiment, opts: &ExecOpts) -> (Simulator, Vec<NodeId>) {
+    let (builder, attackers) = experiment_builder(exp, opts);
+    (builder.build(), attackers)
+}
+
+/// [`build_experiment`] with a full signal trace attached (figure runs
+/// that render the bus waveform, e.g. Fig. 6's VCD export).
+pub fn build_experiment_traced(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
+    let (builder, attackers) = experiment_builder(exp, &ExecOpts::default());
+    (builder.trace().build(), attackers)
+}
+
+/// The shared construction: a configured [`SimBuilder`] plus the attacker
+/// node ids, ready for callers to add tracing before `build()`.
+fn experiment_builder(exp: &Experiment, opts: &ExecOpts) -> (SimBuilder, Vec<NodeId>) {
+    let mut builder = SimBuilder::new(TABLE2_SPEED).recorder(opts.recorder.clone());
 
     let mut attacker_nodes = Vec::new();
     if exp.number == 6 {
         // One attacker node toggling between the two identifiers.
-        let node = sim.add_node(Node::new(
+        attacker_nodes.push(builder.node_id());
+        builder = builder.node(Node::new(
             "attacker-toggle",
             Box::new(TogglingAttacker::new(
                 CanId::from_raw(exp.attacker_ids[0]),
@@ -140,10 +159,10 @@ pub fn build_experiment(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
                 200,
             )),
         ));
-        attacker_nodes.push(node);
     } else {
         for (i, &raw) in exp.attacker_ids.iter().enumerate() {
-            let node = sim.add_node(Node::new(
+            attacker_nodes.push(builder.node_id());
+            builder = builder.node(Node::new(
                 format!("attacker-{raw:03x}"),
                 Box::new(SuspensionAttacker::new(
                     DosKind::Targeted {
@@ -155,12 +174,11 @@ pub fn build_experiment(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
                     1_500 + 37 * i as u64,
                 )),
             ));
-            attacker_nodes.push(node);
         }
     }
 
     if exp.restbus {
-        sim.add_node(Node::new(
+        builder = builder.node(Node::new(
             "restbus-veh-d",
             Box::new(ReplayApp::for_matrix(&restbus_matrix())),
         ));
@@ -175,30 +193,30 @@ pub fn build_experiment(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
     let index = list
         .index_of(CanId::from_raw(DEFENDER_ID))
         .expect("defender id is in the list");
-    sim.add_node(
+    let builder = builder.node(
         Node::new("defender-0x173", Box::new(SilentApplication))
             .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
     );
 
-    (sim, attacker_nodes)
+    (builder, attacker_nodes)
 }
 
 /// Runs one Table II experiment for `capture_ms` (the paper records 2 s)
 /// and extracts bus-off statistics.
 pub fn run_experiment(exp: &Experiment, capture_ms: f64) -> ExperimentOutcome {
-    run_experiment_metered(exp, capture_ms, &Recorder::disabled())
+    run_experiment_with(exp, capture_ms, &ExecOpts::default())
 }
 
-/// [`run_experiment`] with a metrics recorder attached to the simulator
-/// (per-node TEC/REC, error frames by type, bus utilization).
-pub fn run_experiment_metered(
+/// [`run_experiment`] under explicit execution options: metrics recorder
+/// (per-node TEC/REC, error frames by type, bus utilization) and
+/// lockstep/fast-forward mode.
+pub fn run_experiment_with(
     exp: &Experiment,
     capture_ms: f64,
-    recorder: &Recorder,
+    opts: &ExecOpts,
 ) -> ExperimentOutcome {
-    let (mut sim, attackers) = build_experiment(exp);
-    sim.set_recorder(recorder.clone());
-    sim.run_millis(capture_ms);
+    let (mut sim, attackers) = build_experiment_with(exp, opts);
+    opts.run_millis(&mut sim, capture_ms);
 
     let per_attacker = if exp.number == 6 {
         // One node, two identifiers: all episodes belong to the node; the
@@ -234,20 +252,23 @@ pub fn run_experiment_metered(
 /// so the plan's master seed is irrelevant; cells are still reduced in
 /// experiment order, making the report identical for every shard count.
 pub fn run_table2(capture_ms: f64, shards: usize) -> Vec<ExperimentOutcome> {
-    run_table2_metered(capture_ms, shards, &Recorder::disabled())
+    run_table2_with(capture_ms, &ExecOpts::default().with_shards(shards))
 }
 
-/// [`run_table2`] with a metrics recorder; per-experiment registries are
-/// merged in experiment order (byte-identical for every shard count).
-pub fn run_table2_metered(
-    capture_ms: f64,
-    shards: usize,
-    recorder: &Recorder,
-) -> Vec<ExperimentOutcome> {
+/// [`run_table2`] under explicit execution options. Per-experiment
+/// registries are merged into `opts.recorder` in experiment order
+/// (byte-identical for every shard count and simulation mode).
+pub fn run_table2_with(capture_ms: f64, opts: &ExecOpts) -> Vec<ExperimentOutcome> {
+    // Only the mode crosses into the workers: recorders are per-cell (a
+    // `Recorder` is single-threaded by design) and merged in index order.
+    let mode = opts.mode;
     ExperimentPlan::new(table2_experiments(), 0)
-        .with_shards(shards.max(1))
-        .run_metered(recorder, |_index, _seed, exp, cell_recorder| {
-            run_experiment_metered(&exp, capture_ms, cell_recorder)
+        .with_shards(opts.shards.max(1))
+        .run_metered(&opts.recorder, move |_index, _seed, exp, cell_recorder| {
+            let cell_opts = ExecOpts::new()
+                .with_mode(mode)
+                .with_recorder(cell_recorder.clone());
+            run_experiment_with(&exp, capture_ms, &cell_opts)
         })
 }
 
@@ -258,25 +279,35 @@ pub fn run_multi_attacker_scan(
     horizon_bits: u64,
     shards: usize,
 ) -> Vec<(usize, Option<u64>)> {
-    run_multi_attacker_scan_metered(counts, horizon_bits, shards, &Recorder::disabled())
+    run_multi_attacker_scan_with(
+        counts,
+        horizon_bits,
+        &ExecOpts::default().with_shards(shards),
+    )
 }
 
-/// [`run_multi_attacker_scan`] with a metrics recorder; per-count
-/// registries are merged in input order.
-pub fn run_multi_attacker_scan_metered(
+/// [`run_multi_attacker_scan`] under explicit execution options;
+/// per-count registries are merged in input order.
+pub fn run_multi_attacker_scan_with(
     counts: &[usize],
     horizon_bits: u64,
-    shards: usize,
-    recorder: &Recorder,
+    opts: &ExecOpts,
 ) -> Vec<(usize, Option<u64>)> {
+    let mode = opts.mode;
     ExperimentPlan::new(counts.to_vec(), 0)
-        .with_shards(shards.max(1))
-        .run_metered(recorder, |_index, _seed, count, cell_recorder| {
-            (
-                count,
-                run_multi_attacker_metered(count, horizon_bits, cell_recorder),
-            )
-        })
+        .with_shards(opts.shards.max(1))
+        .run_metered(
+            &opts.recorder,
+            move |_index, _seed, count, cell_recorder| {
+                let cell_opts = ExecOpts::new()
+                    .with_mode(mode)
+                    .with_recorder(cell_recorder.clone());
+                (
+                    count,
+                    run_multi_attacker_with(count, horizon_bits, &cell_opts),
+                )
+            },
+        )
 }
 
 /// Multi-attacker sweep (§V-C, "Experiments with more than two
@@ -288,21 +319,17 @@ pub fn run_multi_attacker_scan_metered(
 /// stays flat no matter how long the horizon is (large scans used to
 /// retain the full log just to find two timestamps).
 pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
-    run_multi_attacker_metered(count, horizon_bits, &Recorder::disabled())
+    run_multi_attacker_with(count, horizon_bits, &ExecOpts::default())
 }
 
-/// [`run_multi_attacker`] with a metrics recorder on the simulator.
-pub fn run_multi_attacker_metered(
-    count: usize,
-    horizon_bits: u64,
-    recorder: &Recorder,
-) -> Option<u64> {
-    let mut sim = Simulator::new(TABLE2_SPEED);
-    sim.set_recorder(recorder.clone());
+/// [`run_multi_attacker`] under explicit execution options.
+pub fn run_multi_attacker_with(count: usize, horizon_bits: u64, opts: &ExecOpts) -> Option<u64> {
+    let mut builder = SimBuilder::new(TABLE2_SPEED).recorder(opts.recorder.clone());
     let mut attackers = Vec::new();
     for i in 0..count {
         let id = 0x066 + i as u16;
-        attackers.push(sim.add_node(Node::new(
+        attackers.push(builder.node_id());
+        builder = builder.node(Node::new(
             format!("attacker-{id:03x}"),
             Box::new(SuspensionAttacker::new(
                 DosKind::Targeted {
@@ -310,23 +337,29 @@ pub fn run_multi_attacker_metered(
                 },
                 2_000 + 41 * i as u64,
             )),
-        )));
+        ));
     }
     let list = defender_ecu_list(false);
     let index = list.index_of(CanId::from_raw(DEFENDER_ID)).unwrap();
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
-    );
+    let mut sim = builder
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
+        )
+        .build();
 
     // Stop as soon as every attacker has gone bus-off once. Track the two
     // timestamps of interest while draining, then drop the drained batch.
+    // The loop advances one mode-dependent quantum at a time (one bit in
+    // lockstep, a whole idle gap under fast-forward); events carry their
+    // own timestamps, so the drained view is identical either way.
     let mut remaining: std::collections::HashSet<NodeId> = attackers.iter().copied().collect();
     let mut first_start: Option<u64> = None;
     let mut last_off: Option<u64> = None;
     let mut batch = Vec::new();
-    for _ in 0..horizon_bits {
-        sim.step();
+    while sim.now().bits() < horizon_bits {
+        let left = horizon_bits - sim.now().bits();
+        opts.advance(&mut sim, left);
         sim.take_events_into(&mut batch);
         for e in batch.drain(..) {
             match e.kind {
@@ -372,21 +405,27 @@ pub struct ParkSenseOutcome {
 /// Runs the Pacifica ParkSense scenario at 500 kbit/s for `run_ms`,
 /// with or without the MichiCAN dongle on the OBD-II port.
 pub fn run_parksense(defended: bool, run_ms: f64) -> ParkSenseOutcome {
+    run_parksense_with(defended, run_ms, &ExecOpts::default())
+}
+
+/// [`run_parksense`] under explicit execution options.
+pub fn run_parksense_with(defended: bool, run_ms: f64, opts: &ExecOpts) -> ParkSenseOutcome {
     let speed = BusSpeed::K500;
     let matrix = pacifica_matrix(speed);
-    let mut sim = Simulator::new(speed);
+    let mut builder = SimBuilder::new(speed).recorder(opts.recorder.clone());
 
     // One node per sending ECU for full arbitration fidelity.
     let senders: Vec<String> = matrix.by_sender().keys().map(|s| s.to_string()).collect();
     for sender in &senders {
-        sim.add_node(Node::new(
+        builder = builder.node(Node::new(
             sender.clone(),
             Box::new(ReplayApp::for_sender(&matrix, sender)),
         ));
     }
 
     // The attacker floods 0x25F from the OBD-II port.
-    let attacker = sim.add_node(Node::new(
+    let attacker = builder.node_id();
+    builder = builder.node(Node::new(
         "obd-attacker",
         Box::new(SuspensionAttacker::saturating(DosKind::Targeted {
             id: ATTACK_ID,
@@ -399,13 +438,14 @@ pub fn run_parksense(defended: bool, run_ms: f64) -> ParkSenseOutcome {
     if defended {
         let list = EcuList::new(matrix.ids()).expect("matrix ids are unique");
         let fsm = DetectionFsm::for_monitor(&list);
-        sim.add_node(
+        builder = builder.node(
             Node::new("michican-dongle", Box::new(SilentApplication))
                 .with_agent(Box::new(MichiCan::new(fsm))),
         );
     }
 
-    sim.run_millis(run_ms);
+    let mut sim = builder.build();
+    opts.run_millis(&mut sim, run_ms);
 
     // Feed the ParkSense availability model from the frames delivered to
     // one fixed observer (the IPC node — a dashboard would sit there).

@@ -115,6 +115,10 @@ impl Application for SuspensionAttacker {
             None
         }
     }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        Some(BitInstant::from_bits(self.next_due))
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,10 @@ impl Application for TogglingAttacker {
             None
         }
     }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        Some(BitInstant::from_bits(self.next_due))
+    }
 }
 
 #[cfg(test)]

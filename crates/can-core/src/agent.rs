@@ -42,6 +42,35 @@ pub trait BitAgent {
     /// on hardware this is known from the controller's TX-mailbox status.
     /// The default implementation ignores the hint.
     fn set_own_transmission(&mut self, _transmitting: bool) {}
+
+    /// The earliest bit time at or after `now` at which this agent may
+    /// drive the bus or needs per-bit processing, assuming the bus stays
+    /// recessive until then.
+    ///
+    /// Part of the simulator's *quiescence contract*: returning `Some(t)`
+    /// with `t > now` (or `None`, "never") promises that for every bit in
+    /// `[now, t)` the agent drives nothing (`tx_level() == None` or
+    /// recessive) and that feeding it that many recessive samples is
+    /// exactly reproduced by [`BitAgent::skip_idle`]. The conservative
+    /// default `Some(now)` disables skip-ahead around this agent.
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        Some(now)
+    }
+
+    /// Advances the agent over `bits` consecutive recessive bus bits
+    /// starting at `from`, in closed form.
+    ///
+    /// Must be exactly equivalent to `bits` successive calls of
+    /// `set_own_transmission(false)` + `on_bit(Level::Recessive, t)` for
+    /// `t` in `[from, from + bits)`. Only called inside a window that
+    /// [`BitAgent::next_activity`] declared quiescent. The default
+    /// replays the bits one by one — always correct, never faster.
+    fn skip_idle(&mut self, bits: u64, from: BitInstant) {
+        for i in 0..bits {
+            self.set_own_transmission(false);
+            self.on_bit(Level::Recessive, from + crate::time::BitDuration::bits(i));
+        }
+    }
 }
 
 impl<T: BitAgent + ?Sized> BitAgent for Box<T> {
@@ -55,6 +84,14 @@ impl<T: BitAgent + ?Sized> BitAgent for Box<T> {
 
     fn set_own_transmission(&mut self, transmitting: bool) {
         (**self).set_own_transmission(transmitting);
+    }
+
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        (**self).next_activity(now)
+    }
+
+    fn skip_idle(&mut self, bits: u64, from: BitInstant) {
+        (**self).skip_idle(bits, from);
     }
 }
 
@@ -70,6 +107,12 @@ impl BitAgent for PassiveAgent {
     fn tx_level(&self) -> Option<Level> {
         None
     }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        None
+    }
+
+    fn skip_idle(&mut self, _bits: u64, _from: BitInstant) {}
 }
 
 #[cfg(test)]

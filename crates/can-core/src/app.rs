@@ -22,6 +22,21 @@ pub trait Application {
     /// buffers them and transmits in CAN priority order.
     fn poll(&mut self, now: BitInstant) -> Option<CanFrame>;
 
+    /// The earliest bit time at or after `now` at which this application
+    /// may return `Some` from [`Application::poll`], assuming no frames
+    /// arrive in between.
+    ///
+    /// This is the application's half of the simulator's *quiescence
+    /// contract*: if `next_activity(now)` returns `Some(t)` with `t > now`
+    /// (or `None`, meaning "never"), then every `poll` in `[now, t)` must
+    /// return `None` **without observable state change**, so the driver may
+    /// skip those polls entirely. Implementations that cannot promise this
+    /// keep the conservative default `Some(now)`, which disables
+    /// skip-ahead around them.
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        Some(now)
+    }
+
     /// A complete, valid frame (sent by another node) was received.
     fn on_frame(&mut self, _frame: &CanFrame, _now: BitInstant) {}
 
@@ -41,6 +56,10 @@ pub struct SilentApplication;
 
 impl Application for SilentApplication {
     fn poll(&mut self, _now: BitInstant) -> Option<CanFrame> {
+        None
+    }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
         None
     }
 }
@@ -95,6 +114,10 @@ impl Application for PeriodicSender {
         } else {
             None
         }
+    }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        Some(BitInstant::from_bits(self.next_due))
     }
 }
 
@@ -151,6 +174,16 @@ impl Application for RemoteResponder {
     fn on_frame(&mut self, frame: &CanFrame, _now: BitInstant) {
         if frame.is_remote() && frame.id() == self.id {
             self.pending += 1;
+        }
+    }
+
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        if self.pending > 0 {
+            Some(now)
+        } else {
+            // Idle until the next remote request — which arrives via
+            // `on_frame`, i.e. only on a non-quiescent bus.
+            None
         }
     }
 }

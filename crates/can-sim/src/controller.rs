@@ -669,6 +669,145 @@ impl Controller {
         }
     }
 
+    /// The earliest bit time at or after `now` at which this controller
+    /// may emit an event, drive a non-recessive level or otherwise needs
+    /// per-bit processing — **assuming the bus stays recessive and the
+    /// mailboxes unchanged until then**. `None` means "never" under those
+    /// assumptions (e.g. idle with nothing pending).
+    ///
+    /// This is the controller's half of the simulator's quiescence
+    /// contract: for any horizon `h` returned, feeding the controller
+    /// `h - now` recessive samples via [`Controller::advance_idle`] is
+    /// exactly equivalent to the per-bit path and produces no events.
+    pub fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        let pending = !self.pending.is_empty();
+        let at = |offset: u64| Some(now + can_core::BitDuration::bits(offset));
+        match &self.state {
+            // `recessive_run` hits 11 one bit before the offset below, so
+            // the controller is Idle at the horizon bit and starts its
+            // transmission (event!) right there.
+            State::Integrating { recessive_run } => {
+                if pending {
+                    at(u64::from(11 - (*recessive_run).min(10)))
+                } else {
+                    None
+                }
+            }
+            State::Idle => {
+                if pending {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+            // Active frame or error handling: every bit matters.
+            State::Receiving { .. } | State::Transmitting { .. } | State::ErrorSignaling(_) => {
+                Some(now)
+            }
+            // Intermission consumes exactly `remaining` recessive samples;
+            // the last one either starts a pending transmission (event at
+            // `now + remaining - 1`) or chains into suspend-transmission.
+            State::Intermission {
+                remaining,
+                then_suspend,
+            } => match (pending, then_suspend) {
+                (false, _) => None,
+                (true, false) => at(u64::from(remaining - 1)),
+                (true, true) => at(u64::from(*remaining) + u64::from(SUSPEND_BITS) - 1),
+            },
+            State::Suspend { remaining } => {
+                if pending {
+                    at(u64::from(remaining - 1))
+                } else {
+                    None
+                }
+            }
+            // Bus-off recovery is a pure countdown on a recessive bus; the
+            // `Recovered` event fires at the last of the required samples.
+            State::BusOff {
+                recessive_run,
+                sequences,
+            } => {
+                let to_sequence =
+                    u64::from(counters::RECOVERY_SEQUENCE_BITS) - u64::from(*recessive_run).min(10);
+                let full_sequences = u64::from(counters::RECOVERY_SEQUENCES - *sequences - 1);
+                at(to_sequence + full_sequences * u64::from(counters::RECOVERY_SEQUENCE_BITS) - 1)
+            }
+        }
+    }
+
+    /// Advances the controller over `bits` consecutive recessive bus
+    /// samples in closed form — exactly equivalent to `bits` calls of
+    /// `on_sample(Level::Recessive, _)`, given that the window lies inside
+    /// a horizon declared by [`Controller::next_activity`] (so no events,
+    /// no transmission starts, no recovery completes inside it).
+    pub fn advance_idle(&mut self, bits: u64) {
+        let mut left = bits;
+        while left > 0 {
+            match &mut self.state {
+                State::Integrating { recessive_run } => {
+                    let need = u64::from(11 - (*recessive_run).min(10));
+                    if left >= need {
+                        left -= need;
+                        self.state = State::Idle;
+                    } else {
+                        *recessive_run += left as u8;
+                        return;
+                    }
+                }
+                State::Idle => return,
+                State::Intermission {
+                    remaining,
+                    then_suspend,
+                } => {
+                    let need = u64::from(*remaining);
+                    if left >= need {
+                        left -= need;
+                        // With a pending frame the declared horizon ends
+                        // one bit before the exit sample, so this branch
+                        // (and the Idle exit below) only runs when the
+                        // exit cannot start a transmission.
+                        self.state = if *then_suspend {
+                            State::Suspend {
+                                remaining: SUSPEND_BITS,
+                            }
+                        } else {
+                            State::Idle
+                        };
+                    } else {
+                        *remaining -= left as u8;
+                        return;
+                    }
+                }
+                State::Suspend { remaining } => {
+                    let need = u64::from(*remaining);
+                    if left >= need {
+                        left -= need;
+                        self.state = State::Idle;
+                    } else {
+                        *remaining -= left as u8;
+                        return;
+                    }
+                }
+                State::BusOff {
+                    recessive_run,
+                    sequences,
+                } => {
+                    // Closed-form countdown; the quiescence horizon
+                    // guarantees recovery does not complete in the window.
+                    let total = u64::from(*recessive_run) + left;
+                    *sequences += (total / u64::from(counters::RECOVERY_SEQUENCE_BITS)) as u32;
+                    *recessive_run = (total % u64::from(counters::RECOVERY_SEQUENCE_BITS)) as u8;
+                    debug_assert!(*sequences < counters::RECOVERY_SEQUENCES);
+                    return;
+                }
+                State::Receiving { .. } | State::Transmitting { .. } | State::ErrorSignaling(_) => {
+                    unreachable!("advance_idle called on a busy controller")
+                }
+            }
+        }
+    }
+
     fn sample_bus_off(
         &mut self,
         recessive_run: u8,

@@ -150,6 +150,44 @@ impl FaultModel {
         FaultModel::Scripted { flips, cursor: 0 }
     }
 
+    /// The earliest bit time at or after `now` at which this model may
+    /// disturb the bus or needs its per-bit [`FaultModel::apply`] call
+    /// (RNG advancement). `None` means the model is permanently inert
+    /// from `now` on; `Some(t)` with `t > now` promises that skipping the
+    /// `apply` calls in `[now, t)` is unobservable.
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        match self {
+            FaultModel::None => None,
+            // A live RNG advances on every bit — never skippable.
+            FaultModel::RandomBitErrors { ber, .. } => (*ber > 0.0).then_some(now),
+            FaultModel::Bursty {
+                params,
+                in_bad_state,
+                ..
+            } => {
+                let p_leave = if *in_bad_state {
+                    params.p_bad_to_good
+                } else {
+                    params.p_good_to_bad
+                };
+                let ber = if *in_bad_state {
+                    params.ber_bad
+                } else {
+                    params.ber_good
+                };
+                (p_leave > 0.0 || ber > 0.0).then_some(now)
+            }
+            // The cursor only advances on an exact hit, so a gap before
+            // the next scripted flip leaves the model untouched. A cursor
+            // stuck on a past instant never fires again (same as the
+            // per-bit path).
+            FaultModel::Scripted { flips, cursor } => match flips.get(*cursor) {
+                Some(&t) if t >= now => Some(t),
+                _ => None,
+            },
+        }
+    }
+
     /// Applies the model to the resolved bus level at bit time `now`.
     pub fn apply(&mut self, level: Level, now: u64) -> Level {
         match self {
@@ -241,6 +279,14 @@ impl FaultStack {
         self.layers
             .iter_mut()
             .fold(level, |lvl, layer| layer.apply(lvl, now))
+    }
+
+    /// The earliest [`FaultModel::next_activity`] horizon over all layers.
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        self.layers
+            .iter()
+            .filter_map(|layer| layer.next_activity(now))
+            .min()
     }
 }
 
@@ -353,6 +399,40 @@ impl TxFault {
         match self {
             TxFault::CrashRestart { down_at, up_at, .. } => (*down_at..*up_at).contains(&now),
             _ => false,
+        }
+    }
+
+    /// The earliest bit time at or after `now` at which this fault may
+    /// force a level, deliver a restart or otherwise needs per-bit
+    /// processing. `None` means the fault is spent.
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        match self {
+            TxFault::StuckDominant { from, until } | TxFault::Babbling { from, until, .. } => {
+                if now < *from {
+                    Some(*from)
+                } else if now < *until {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+            TxFault::CrashRestart {
+                down_at,
+                up_at,
+                restarted,
+            } => {
+                if now < *down_at {
+                    Some(*down_at)
+                } else if now < *up_at {
+                    // Down: nothing happens until the restart instant.
+                    Some(*up_at)
+                } else if !*restarted {
+                    // The reset is pending delivery via `take_restart`.
+                    Some(now)
+                } else {
+                    None
+                }
+            }
         }
     }
 

@@ -21,23 +21,29 @@
 //!
 //! ```
 //! use can_core::app::{PeriodicSender, SilentApplication};
-//! use can_core::{BusSpeed, CanFrame, CanId};
-//! use can_sim::{EventKind, Node, Simulator};
+//! use can_core::{CanFrame, CanId};
+//! use can_sim::prelude::*;
 //!
-//! let mut sim = Simulator::new(BusSpeed::K500);
 //! let frame = CanFrame::data_frame(CanId::new(0x123).unwrap(), &[1, 2, 3]).unwrap();
-//! sim.add_node(Node::new("tx", Box::new(PeriodicSender::new(frame, 1_000, 0))));
-//! sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+//! let mut sim = SimBuilder::new(BusSpeed::K500)
+//!     .node(Node::new("tx", Box::new(PeriodicSender::new(frame, 1_000, 0))))
+//!     .node(Node::new("rx", Box::new(SilentApplication)))
+//!     .build();
 //! sim.run(500);
 //! assert!(sim
 //!     .events()
 //!     .iter()
 //!     .any(|e| matches!(e.kind, EventKind::FrameReceived { .. })));
 //! ```
+//!
+//! Long mostly-idle runs go through [`Simulator::run_fast`], which is
+//! event-, trace- and metrics-identical to [`Simulator::run`] but skips
+//! quiescent stretches of bus time in closed form.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod controller;
 pub mod event;
 pub mod fault;
@@ -46,6 +52,7 @@ pub mod node;
 pub mod parser;
 pub mod sim;
 
+pub use builder::SimBuilder;
 pub use controller::{Controller, ControllerConfig, StepOutput};
 pub use event::{ErrorRole, Event, EventKind, NodeId};
 pub use fault::{BurstParams, FaultModel, FaultStack, FaultyAgent, PinFaultConfig, TxFault};
@@ -53,3 +60,14 @@ pub use measure::{bus_off_episodes, BusOffEpisode, DurationStats};
 pub use node::Node;
 pub use parser::{RxEvent, RxParser};
 pub use sim::{SignalTrace, Simulator};
+
+/// Everything needed to build and run a simulation:
+/// `use can_sim::prelude::*;`.
+pub mod prelude {
+    pub use crate::builder::SimBuilder;
+    pub use crate::event::{ErrorRole, Event, EventKind, NodeId};
+    pub use crate::fault::{FaultModel, FaultStack, TxFault};
+    pub use crate::node::Node;
+    pub use crate::sim::{SignalTrace, Simulator};
+    pub use can_core::{BitDuration, BitInstant, BusSpeed, Level};
+}

@@ -136,6 +136,63 @@ impl Node {
         controller & agent
     }
 
+    /// The earliest bit time at or after `now` at which this node may
+    /// drive the bus, emit an event or otherwise needs per-bit processing,
+    /// assuming the bus stays recessive until then. `None` means "never"
+    /// under that assumption.
+    ///
+    /// The horizon is the minimum over the node's four per-bit seams:
+    /// transmitter fault, controller, application poll and bit agent. A
+    /// crashed MCU is special: its controller, application and agent are
+    /// frozen, so only the fault's restart instant matters.
+    pub fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        if let Some(fault) = &self.tx_fault {
+            if fault.is_down(now.bits()) {
+                return fault.next_activity(now.bits()).map(BitInstant::from_bits);
+            }
+        }
+        let mut horizon: Option<BitInstant> = None;
+        let mut fold = |h: Option<BitInstant>| {
+            horizon = match (horizon, h) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        };
+        if let Some(fault) = &self.tx_fault {
+            fold(fault.next_activity(now.bits()).map(BitInstant::from_bits));
+        }
+        fold(self.controller.next_activity(now));
+        fold(self.app.next_activity(now));
+        if let Some(agent) = &self.agent {
+            fold(agent.next_activity(now));
+        }
+        horizon
+    }
+
+    /// Advances the node over `bits` consecutive recessive bus bits
+    /// starting at `from`, in closed form — exactly equivalent to `bits`
+    /// calls of [`Node::prepare_bit`] + [`Node::sample_into`] with a
+    /// recessive bus, given the window lies inside a horizon declared by
+    /// [`Node::next_activity`].
+    pub fn advance_idle(&mut self, bits: u64, from: BitInstant) {
+        if self
+            .tx_fault
+            .as_ref()
+            .is_some_and(|fault| fault.is_down(from.bits()))
+        {
+            // Crashed MCU: everything is frozen until the restart, and the
+            // fault itself has no per-bit state while down.
+            return;
+        }
+        // Application polls inside the window return `None` without state
+        // change (the quiescence contract), so they are skipped entirely.
+        self.controller.advance_idle(bits);
+        if let Some(agent) = &mut self.agent {
+            agent.skip_idle(bits, from);
+        }
+    }
+
     /// Processes the sampled bus level for the current bit.
     pub fn on_sample(&mut self, bus: Level, now: BitInstant) -> StepOutput {
         let mut out = StepOutput::default();

@@ -64,6 +64,35 @@ impl SignalTrace {
         }
     }
 
+    /// Appends `count` copies of `level` in closed form — byte-identical
+    /// to `count` single pushes, but O(min(count, capacity)) for a ring.
+    /// The fast-forward path uses this to backfill skipped idle gaps.
+    pub fn push_run(&mut self, level: Level, count: u64) {
+        self.recorded += count;
+        let Some(cap) = self.capacity else {
+            self.levels
+                .extend(std::iter::repeat_n(level, count as usize));
+            return;
+        };
+        // Fill up to capacity first (pre-wrap appends)...
+        let fill = (count as usize).min(cap - self.levels.len());
+        self.levels.extend(std::iter::repeat_n(level, fill));
+        let mut rest = count - fill as u64;
+        if rest == 0 {
+            return;
+        }
+        // ...then rotate. A run of at least `cap` overwrites everything;
+        // only the head position still depends on the exact length.
+        if rest >= cap as u64 {
+            self.levels.iter_mut().for_each(|slot| *slot = level);
+            rest %= cap as u64;
+        }
+        for _ in 0..rest {
+            self.levels[self.head] = level;
+            self.head = (self.head + 1) % cap;
+        }
+    }
+
     /// The raw stored levels. In full mode (and in ring mode before the
     /// first wrap-around) index = bit time; in a wrapped ring the storage
     /// is rotated — use [`SignalTrace::snapshot`] for chronological order.
@@ -96,6 +125,43 @@ impl SignalTrace {
     }
 }
 
+/// Per-node metric keys, interned once at [`Simulator::add_node`] time so
+/// the per-bit instrumentation path never calls `format!`.
+///
+/// Only the keys that can fire every bit (TEC/REC gauges and deltas) or
+/// every frame are pre-built; rare, label-rich events (`ErrorDetected`,
+/// `ErrorStateChanged`) keep their lazy `format!` in [`record_event`].
+#[derive(Debug, Clone)]
+struct NodeMetricKeys {
+    tec_gauge: String,
+    rec_gauge: String,
+    tec_raised: String,
+    rec_raised: String,
+    tx_started: String,
+    tx_success: String,
+    frames_received: String,
+    arbitration_lost: String,
+    bus_off: String,
+    recovered: String,
+}
+
+impl NodeMetricKeys {
+    fn new(id: NodeId) -> Self {
+        NodeMetricKeys {
+            tec_gauge: format!("can_node_tec{{node=\"{id}\"}}"),
+            rec_gauge: format!("can_node_rec{{node=\"{id}\"}}"),
+            tec_raised: format!("can_node_tec_raised_total{{node=\"{id}\"}}"),
+            rec_raised: format!("can_node_rec_raised_total{{node=\"{id}\"}}"),
+            tx_started: format!("can_tx_started_total{{node=\"{id}\"}}"),
+            tx_success: format!("can_tx_success_total{{node=\"{id}\"}}"),
+            frames_received: format!("can_frames_received_total{{node=\"{id}\"}}"),
+            arbitration_lost: format!("can_arbitration_lost_total{{node=\"{id}\"}}"),
+            bus_off: format!("can_bus_off_total{{node=\"{id}\"}}"),
+            recovered: format!("can_recovered_total{{node=\"{id}\"}}"),
+        }
+    }
+}
+
 /// The bit-level CAN bus simulator.
 pub struct Simulator {
     speed: BusSpeed,
@@ -117,6 +183,8 @@ pub struct Simulator {
     obs_prev: Vec<(u16, u16)>,
     /// Busy bits inside the current [`OBS_WINDOW_BITS`] window.
     obs_window_busy: u32,
+    /// Pre-interned metric keys, one entry per node.
+    metric_keys: Vec<NodeMetricKeys>,
 }
 
 impl Simulator {
@@ -135,51 +203,83 @@ impl Simulator {
             recorder: Recorder::disabled(),
             obs_prev: Vec::new(),
             obs_window_busy: 0,
+            metric_keys: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal installers — the non-deprecated configuration surface used
+    // by [`crate::builder::SimBuilder`] and the shims below.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn install_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    pub(crate) fn install_fault_stack(&mut self, faults: FaultStack) {
+        self.faults = faults;
+    }
+
+    pub(crate) fn push_fault_layer(&mut self, fault: FaultModel) {
+        self.faults.push(fault);
+    }
+
+    pub(crate) fn install_trace(&mut self, trace: SignalTrace) {
+        self.trace = Some(trace);
+    }
+
+    pub(crate) fn install_event_logging(&mut self, enabled: bool) {
+        self.log_events = enabled;
     }
 
     /// Attaches a metrics recorder. The default [`Recorder::disabled`]
     /// makes every instrumentation site a no-op; an enabled recorder
     /// accumulates per-node TEC/REC, error counts by kind, arbitration
     /// losses, traffic counters and windowed bus utilization.
+    #[deprecated(note = "configure via `can_sim::SimBuilder::recorder` instead")]
     pub fn set_recorder(&mut self, recorder: Recorder) {
-        self.recorder = recorder;
+        self.install_recorder(recorder);
     }
 
-    /// The attached recorder (disabled unless [`Simulator::set_recorder`]
-    /// installed a live one).
+    /// The attached recorder (disabled unless one was installed via
+    /// [`crate::builder::SimBuilder::recorder`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
     }
 
     /// Installs a single channel fault model (EMI-style bus
     /// disturbances), replacing any existing stack.
+    #[deprecated(note = "configure via `can_sim::SimBuilder::fault` instead")]
     pub fn set_fault_model(&mut self, fault: FaultModel) {
-        self.faults = FaultStack::from(fault);
+        self.install_fault_stack(FaultStack::from(fault));
     }
 
     /// Installs a full channel fault stack, replacing any existing one.
+    #[deprecated(note = "configure via `can_sim::SimBuilder::faults` instead")]
     pub fn set_fault_stack(&mut self, faults: FaultStack) {
-        self.faults = faults;
+        self.install_fault_stack(faults);
     }
 
     /// Appends a channel fault layer on top of the existing stack.
+    #[deprecated(note = "configure via `can_sim::SimBuilder::fault` instead")]
     pub fn add_fault_layer(&mut self, fault: FaultModel) {
-        self.faults.push(fault);
+        self.push_fault_layer(fault);
     }
 
     /// Enables per-bit signal tracing (needed for Fig. 6-style timelines).
+    #[deprecated(note = "configure via `can_sim::SimBuilder::trace` instead")]
     pub fn enable_trace(&mut self) {
         if self.trace.is_none() {
-            self.trace = Some(SignalTrace::default());
+            self.install_trace(SignalTrace::default());
         }
     }
 
     /// Enables bounded signal tracing: only the most recent `capacity`
     /// bits are retained (for soak runs, where a full trace would grow
     /// without limit). Replaces any existing trace.
+    #[deprecated(note = "configure via `can_sim::SimBuilder::trace_ring` instead")]
     pub fn enable_trace_ring(&mut self, capacity: usize) {
-        self.trace = Some(SignalTrace::ring(capacity));
+        self.install_trace(SignalTrace::ring(capacity));
     }
 
     /// Turns event logging on or off (on by default).
@@ -189,14 +289,17 @@ impl Simulator {
     /// still receive their callbacks, but [`Simulator::events`] stops
     /// growing. Pure-throughput measurements and long soak runs use this
     /// to keep the hot path free of log growth.
+    #[deprecated(note = "configure via `can_sim::SimBuilder::event_logging` instead")]
     pub fn set_event_logging(&mut self, enabled: bool) {
-        self.log_events = enabled;
+        self.install_event_logging(enabled);
     }
 
     /// Adds a node; returns its [`NodeId`].
     pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len();
         self.nodes.push(node);
-        self.nodes.len() - 1
+        self.metric_keys.push(NodeMetricKeys::new(id));
+        id
     }
 
     /// The configured bus speed.
@@ -271,25 +374,33 @@ impl Simulator {
         }
     }
 
+    /// Publishes the initial TEC/REC gauges once a live recorder sees the
+    /// current node set. Shared by the lockstep and fast-forward paths so
+    /// the metrics registry's insertion order — and therefore its snapshot
+    /// bytes — never depends on which path ran first.
+    fn ensure_obs_init(&mut self) {
+        if self.obs_prev.len() == self.nodes.len() {
+            return;
+        }
+        self.obs_prev.resize(self.nodes.len(), (0, 0));
+        for (id, node) in self.nodes.iter().enumerate() {
+            let counters = node.controller().counters();
+            self.obs_prev[id] = (counters.tec(), counters.rec());
+            let keys = &self.metric_keys[id];
+            self.recorder
+                .set_gauge(&keys.tec_gauge, counters.tec().into());
+            self.recorder
+                .set_gauge(&keys.rec_gauge, counters.rec().into());
+        }
+    }
+
     /// Advances the simulation by one nominal bit time.
     pub fn step(&mut self) -> Level {
         // Hoisted once per bit: the disabled-recorder hot path must cost a
         // single branch, not one per instrumentation site.
         let obs = self.recorder.is_enabled();
-        if obs && self.obs_prev.len() != self.nodes.len() {
-            self.obs_prev.resize(self.nodes.len(), (0, 0));
-            for (id, node) in self.nodes.iter().enumerate() {
-                let counters = node.controller().counters();
-                self.obs_prev[id] = (counters.tec(), counters.rec());
-                self.recorder.set_gauge(
-                    &format!("can_node_tec{{node=\"{id}\"}}"),
-                    counters.tec().into(),
-                );
-                self.recorder.set_gauge(
-                    &format!("can_node_rec{{node=\"{id}\"}}"),
-                    counters.rec().into(),
-                );
-            }
+        if obs {
+            self.ensure_obs_init();
         }
 
         for node in &mut self.nodes {
@@ -307,31 +418,26 @@ impl Simulator {
             node.sample_into(bus, self.now, &mut self.scratch);
             busy |= node.controller().is_busy();
             if obs {
+                let keys = &self.metric_keys[id];
                 for kind in &self.scratch.events {
-                    record_event(&self.recorder, id, kind);
+                    record_event(&self.recorder, keys, id, kind);
                 }
                 let counters = node.controller().counters();
                 let (tec, rec) = (counters.tec(), counters.rec());
                 let (prev_tec, prev_rec) = self.obs_prev[id];
                 if tec != prev_tec {
                     if tec > prev_tec {
-                        self.recorder.add(
-                            &format!("can_node_tec_raised_total{{node=\"{id}\"}}"),
-                            u64::from(tec - prev_tec),
-                        );
+                        self.recorder
+                            .add(&keys.tec_raised, u64::from(tec - prev_tec));
                     }
-                    self.recorder
-                        .set_gauge(&format!("can_node_tec{{node=\"{id}\"}}"), tec.into());
+                    self.recorder.set_gauge(&keys.tec_gauge, tec.into());
                 }
                 if rec != prev_rec {
                     if rec > prev_rec {
-                        self.recorder.add(
-                            &format!("can_node_rec_raised_total{{node=\"{id}\"}}"),
-                            u64::from(rec - prev_rec),
-                        );
+                        self.recorder
+                            .add(&keys.rec_raised, u64::from(rec - prev_rec));
                     }
-                    self.recorder
-                        .set_gauge(&format!("can_node_rec{{node=\"{id}\"}}"), rec.into());
+                    self.recorder.set_gauge(&keys.rec_gauge, rec.into());
                 }
                 self.obs_prev[id] = (tec, rec);
             }
@@ -378,6 +484,124 @@ impl Simulator {
         self.run(self.speed.bits_in_millis(millis));
     }
 
+    /// The number of bits (at most `max_bits`) that can be skipped in
+    /// closed form from the current instant, or `None` when some component
+    /// needs the current bit processed normally.
+    ///
+    /// The bus can be fast-forwarded over `[now, now + gap)` when every
+    /// horizon source — the channel fault stack and every node (its TX
+    /// fault, controller, application and bit agent, see
+    /// [`Node::next_activity`]) — declares its next activity strictly after
+    /// `now`. Quiescence implies the bus stays recessive for the whole gap:
+    /// every skippable controller state drives recessive, and anything that
+    /// could drive dominant reports `Some(now)`.
+    fn idle_gap(&self, max_bits: u64) -> Option<u64> {
+        let now = self.now.bits();
+        let mut horizon = u64::MAX;
+        let mut quiet = |t: Option<u64>| match t {
+            Some(t) if t <= now => false,
+            Some(t) => {
+                horizon = horizon.min(t);
+                true
+            }
+            None => true,
+        };
+        if !quiet(self.faults.next_activity(now)) {
+            return None;
+        }
+        for node in &self.nodes {
+            if !quiet(node.next_activity(self.now).map(BitInstant::bits)) {
+                return None;
+            }
+        }
+        let gap = (horizon - now).min(max_bits);
+        (gap > 0).then_some(gap)
+    }
+
+    /// Fast-forwards over `gap` known-idle bits, keeping every piece of
+    /// idle-dependent state — controller integration/suspend/recovery
+    /// counters, agent interframe counters, signal trace, busy accounting
+    /// and windowed utilization metrics — byte-identical to `gap` calls of
+    /// [`Simulator::step`] over a recessive bus.
+    fn skip_gap(&mut self, gap: u64) {
+        let obs = self.recorder.is_enabled();
+        if obs {
+            self.ensure_obs_init();
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push_run(Level::Recessive, gap);
+        }
+        for node in &mut self.nodes {
+            node.advance_idle(gap, self.now);
+        }
+        // An idle bus contributes no busy bits, so `busy_bits` and
+        // `obs_window_busy` are untouched; only the window *boundaries*
+        // inside the gap must still fire their utilization observations.
+        if obs {
+            self.recorder.add("can_bus_bits_total", gap);
+            let start = self.now.bits();
+            // A window observation fires at bit `b` when
+            // `(b + 1) % OBS_WINDOW_BITS == 0`. The first boundary in the
+            // gap flushes whatever the lockstep path had accumulated; any
+            // further boundaries cover all-idle windows and record zero.
+            let first_flush = (start + 1).next_multiple_of(OBS_WINDOW_BITS) - 1;
+            if first_flush < start + gap {
+                let windows = (start + gap - 1 - first_flush) / OBS_WINDOW_BITS + 1;
+                let percent = u64::from(self.obs_window_busy) * 100 / OBS_WINDOW_BITS;
+                self.recorder.observe_with(
+                    "can_bus_utilization_percent",
+                    can_obs::PERCENT_BUCKETS,
+                    percent,
+                );
+                for _ in 1..windows {
+                    self.recorder.observe_with(
+                        "can_bus_utilization_percent",
+                        can_obs::PERCENT_BUCKETS,
+                        0,
+                    );
+                }
+                self.obs_window_busy = 0;
+            }
+        }
+        self.now += BitDuration::bits(gap);
+    }
+
+    /// Advances the simulation by one *quantum*: a closed-form skip over an
+    /// idle gap when the whole bus is quiescent, or a single
+    /// [`Simulator::step`] otherwise. Returns the number of bits advanced
+    /// (never more than `max_bits`; `0` only when `max_bits` is `0`).
+    pub fn advance(&mut self, max_bits: u64) -> u64 {
+        if max_bits == 0 {
+            return 0;
+        }
+        match self.idle_gap(max_bits) {
+            Some(gap) => {
+                self.skip_gap(gap);
+                gap
+            }
+            None => {
+                self.step();
+                1
+            }
+        }
+    }
+
+    /// Runs for `bits` nominal bit times with idle fast-forward: behaves
+    /// exactly like [`Simulator::run`] — same events, trace, metrics and
+    /// final state — but skips quiescent stretches in closed form instead
+    /// of simulating them bit by bit.
+    pub fn run_fast(&mut self, bits: u64) {
+        let end = self.now.bits() + bits;
+        while self.now.bits() < end {
+            self.advance(end - self.now.bits());
+        }
+    }
+
+    /// [`Simulator::run_millis`] with idle fast-forward.
+    pub fn run_millis_fast(&mut self, millis: f64) {
+        self.run_fast(self.speed.bits_in_millis(millis));
+    }
+
     /// Runs until `predicate` returns `true` for a newly appended event, or
     /// until `max_bits` elapse. Returns the matching event index, if any.
     pub fn run_until<F>(&mut self, max_bits: u64, mut predicate: F) -> Option<usize>
@@ -399,24 +623,25 @@ impl Simulator {
 }
 
 /// Maps one protocol event onto its metric counter. Only called with an
-/// enabled recorder, so the `format!` cost never touches the metrics-off
-/// hot path.
-fn record_event(recorder: &Recorder, id: NodeId, kind: &EventKind) {
+/// enabled recorder; the per-frame keys come pre-interned from
+/// [`NodeMetricKeys`], while the rare label-rich error events keep a lazy
+/// `format!`.
+fn record_event(recorder: &Recorder, keys: &NodeMetricKeys, id: NodeId, kind: &EventKind) {
     use can_core::errors::CanErrorKind;
 
     use crate::event::ErrorRole;
     match kind {
         EventKind::TransmissionStarted { .. } => {
-            recorder.inc(&format!("can_tx_started_total{{node=\"{id}\"}}"));
+            recorder.inc(&keys.tx_started);
         }
         EventKind::TransmissionSucceeded { .. } => {
-            recorder.inc(&format!("can_tx_success_total{{node=\"{id}\"}}"));
+            recorder.inc(&keys.tx_success);
         }
         EventKind::FrameReceived { .. } => {
-            recorder.inc(&format!("can_frames_received_total{{node=\"{id}\"}}"));
+            recorder.inc(&keys.frames_received);
         }
         EventKind::ArbitrationLost { .. } => {
-            recorder.inc(&format!("can_arbitration_lost_total{{node=\"{id}\"}}"));
+            recorder.inc(&keys.arbitration_lost);
         }
         EventKind::ErrorDetected { kind, role } => {
             let kind = match kind {
@@ -439,8 +664,8 @@ fn record_event(recorder: &Recorder, id: NodeId, kind: &EventKind) {
                 "can_error_state_changes_total{{node=\"{id}\",state=\"{state}\"}}"
             ));
         }
-        EventKind::BusOff => recorder.inc(&format!("can_bus_off_total{{node=\"{id}\"}}")),
-        EventKind::Recovered => recorder.inc(&format!("can_recovered_total{{node=\"{id}\"}}")),
+        EventKind::BusOff => recorder.inc(&keys.bus_off),
+        EventKind::Recovered => recorder.inc(&keys.recovered),
     }
 }
 
@@ -471,7 +696,7 @@ mod tests {
         let mut sim = Simulator::new(BusSpeed::K500);
         sim.add_node(Node::new("a", Box::new(SilentApplication)));
         sim.add_node(Node::new("b", Box::new(SilentApplication)));
-        sim.enable_trace();
+        sim.install_trace(SignalTrace::default());
         sim.run(100);
         assert!(sim
             .trace()
@@ -553,7 +778,7 @@ mod tests {
     fn trace_records_every_bit() {
         let mut sim = Simulator::new(BusSpeed::K125);
         sim.add_node(Node::new("n", Box::new(SilentApplication)));
-        sim.enable_trace();
+        sim.install_trace(SignalTrace::default());
         sim.run(77);
         assert_eq!(sim.trace().unwrap().len(), 77);
         assert_eq!(sim.now().bits(), 77);
@@ -571,7 +796,7 @@ mod tests {
             Node::new("broken", Box::new(SilentApplication))
                 .with_tx_fault(TxFault::stuck_dominant(1_000, 3_000)),
         );
-        sim.enable_trace();
+        sim.install_trace(SignalTrace::default());
         sim.run(5_000);
         let levels = sim.trace().unwrap().levels();
         assert!(
@@ -635,7 +860,7 @@ mod tests {
             Box::new(PeriodicSender::new(frame(0x0C4, &[1, 2, 3, 4]), 500, 0)),
         ));
         sim.add_node(Node::new("receiver", Box::new(SilentApplication)));
-        sim.set_recorder(Recorder::enabled());
+        sim.install_recorder(Recorder::enabled());
         sim.run(5_000);
         let reg = sim.recorder().clone().into_registry();
         assert_eq!(reg.counter("can_bus_bits_total"), 5_000);
@@ -659,7 +884,7 @@ mod tests {
             ));
             sim.add_node(Node::new("r", Box::new(SilentApplication)));
             if let Some(rec) = recorder {
-                sim.set_recorder(rec);
+                sim.install_recorder(rec);
             }
             sim.run(10_000);
             sim.take_events()
@@ -676,5 +901,109 @@ mod tests {
         let mut sim = Simulator::new(BusSpeed::K50);
         sim.run_millis(2.0);
         assert_eq!(sim.now().bits(), 100);
+    }
+
+    #[test]
+    fn push_run_matches_repeated_push() {
+        for cap in [3usize, 7, 100] {
+            for count in [0u64, 1, 2, 6, 7, 8, 23] {
+                let mut by_one = SignalTrace::ring(cap);
+                let mut by_run = SignalTrace::ring(cap);
+                // A non-uniform prefix so head/rotation state is exercised.
+                for i in 0..5u64 {
+                    let level = if i % 2 == 0 {
+                        Level::Dominant
+                    } else {
+                        Level::Recessive
+                    };
+                    by_one.push(level);
+                    by_run.push(level);
+                }
+                for _ in 0..count {
+                    by_one.push(Level::Recessive);
+                }
+                by_run.push_run(Level::Recessive, count);
+                assert_eq!(
+                    by_one.snapshot(),
+                    by_run.snapshot(),
+                    "cap={cap} count={count}"
+                );
+                assert_eq!(by_one.recorded(), by_run.recorded());
+            }
+        }
+        let mut full_one = SignalTrace::default();
+        let mut full_run = SignalTrace::default();
+        for _ in 0..13 {
+            full_one.push(Level::Recessive);
+        }
+        full_run.push_run(Level::Recessive, 13);
+        assert_eq!(full_one.snapshot(), full_run.snapshot());
+    }
+
+    #[test]
+    fn run_fast_matches_run_on_idle_bus() {
+        let build = || {
+            let mut sim = Simulator::new(BusSpeed::K500);
+            sim.add_node(Node::new("a", Box::new(SilentApplication)));
+            sim.add_node(Node::new("b", Box::new(SilentApplication)));
+            sim.install_trace(SignalTrace::ring(64));
+            sim.install_recorder(Recorder::enabled());
+            sim
+        };
+        let mut slow = build();
+        let mut fast = build();
+        slow.run(12_345);
+        fast.run_fast(12_345);
+        assert_eq!(slow.now(), fast.now());
+        assert_eq!(slow.events(), fast.events());
+        assert_eq!(slow.busy_bits(), fast.busy_bits());
+        assert_eq!(
+            slow.trace().unwrap().snapshot(),
+            fast.trace().unwrap().snapshot()
+        );
+        assert_eq!(slow.trace().unwrap().recorded(), 12_345);
+        assert_eq!(
+            slow.recorder().snapshot_json(),
+            fast.recorder().snapshot_json()
+        );
+    }
+
+    #[test]
+    fn run_fast_matches_run_with_traffic() {
+        let build = || {
+            let mut sim = Simulator::new(BusSpeed::K500);
+            sim.add_node(Node::new(
+                "s",
+                Box::new(PeriodicSender::new(frame(0x0C4, &[1, 2, 3, 4]), 1_700, 40)),
+            ));
+            sim.add_node(Node::new("r", Box::new(SilentApplication)));
+            sim.install_trace(SignalTrace::default());
+            sim.install_recorder(Recorder::enabled());
+            sim
+        };
+        let mut slow = build();
+        let mut fast = build();
+        slow.run(25_000);
+        fast.run_fast(25_000);
+        assert_eq!(slow.events(), fast.events());
+        assert!(!fast.events().is_empty());
+        assert_eq!(
+            slow.trace().unwrap().snapshot(),
+            fast.trace().unwrap().snapshot()
+        );
+        assert_eq!(slow.busy_bits(), fast.busy_bits());
+        assert_eq!(
+            slow.recorder().snapshot_json(),
+            fast.recorder().snapshot_json()
+        );
+    }
+
+    #[test]
+    fn fast_forward_actually_skips() {
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.add_node(Node::new("a", Box::new(SilentApplication)));
+        let advanced = sim.advance(1_000_000);
+        assert_eq!(advanced, 1_000_000, "an all-idle bus skips in one quantum");
+        assert_eq!(sim.now().bits(), 1_000_000);
     }
 }

@@ -3,7 +3,7 @@
 
 use can_core::app::{Application, PeriodicSender, SilentApplication};
 use can_core::{BitInstant, BusSpeed, CanFrame, CanId};
-use can_sim::{ControllerConfig, EventKind, Node, Simulator};
+use can_sim::{ControllerConfig, EventKind, Node, SimBuilder};
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
     CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
@@ -11,13 +11,14 @@ fn frame(id: u16, data: &[u8]) -> CanFrame {
 
 #[test]
 fn remote_frame_round_trip_on_the_bus() {
-    let mut sim = Simulator::new(BusSpeed::K500);
     let rtr = CanFrame::remote_frame(CanId::from_raw(0x321), 4).unwrap();
-    sim.add_node(Node::new(
-        "requester",
-        Box::new(PeriodicSender::new(rtr, 10_000, 0)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "requester",
+            Box::new(PeriodicSender::new(rtr, 10_000, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(400);
     let delivered = sim
         .events()
@@ -34,12 +35,13 @@ fn remote_frame_round_trip_on_the_bus() {
 
 #[test]
 fn zero_dlc_frame_round_trip() {
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "tx",
-        Box::new(PeriodicSender::new(frame(0x0AA, &[]), 10_000, 0)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "tx",
+            Box::new(PeriodicSender::new(frame(0x0AA, &[]), 10_000, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(300);
     assert!(sim.events().iter().any(|e| matches!(&e.kind,
         EventKind::FrameReceived { frame } if frame.dlc() == 0)));
@@ -49,19 +51,20 @@ fn zero_dlc_frame_round_trip() {
 fn listen_only_node_does_not_acknowledge() {
     // A transmitter with ONLY a listen-only witness never gets an ACK:
     // the ISO passive-ACK-error rule caps it at error-passive forever.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "tx",
-        Box::new(PeriodicSender::new(frame(0x111, &[1]), 300, 0)),
-    ));
-    sim.add_node(Node::with_config(
-        "tap",
-        Box::new(SilentApplication),
-        ControllerConfig {
-            ack_enabled: false,
-            retransmit: true,
-        },
-    ));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "tx",
+            Box::new(PeriodicSender::new(frame(0x111, &[1]), 300, 0)),
+        ))
+        .node(Node::with_config(
+            "tap",
+            Box::new(SilentApplication),
+            ControllerConfig {
+                ack_enabled: false,
+                retransmit: true,
+            },
+        ))
+        .build();
     sim.run(20_000);
     assert!(
         !sim.events()
@@ -92,15 +95,16 @@ fn single_shot_mode_does_not_retransmit() {
             self.0.take()
         }
     }
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::with_config(
-        "oneshot",
-        Box::new(OneShot(Some(frame(0x100, &[9])))),
-        ControllerConfig {
-            ack_enabled: true,
-            retransmit: false,
-        },
-    ));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::with_config(
+            "oneshot",
+            Box::new(OneShot(Some(frame(0x100, &[9])))),
+            ControllerConfig {
+                ack_enabled: true,
+                retransmit: false,
+            },
+        ))
+        .build();
     // No other node: the ACK fails; with retransmission off the frame is
     // abandoned after one attempt.
     sim.run(3_000);
@@ -122,16 +126,17 @@ fn mailbox_pressure_prioritizes_strictly_by_identifier() {
             self.0.pop()
         }
     }
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "burst",
-        Box::new(Burst(vec![
-            frame(0x050, &[1]),
-            frame(0x300, &[2]),
-            frame(0x100, &[3]),
-        ])),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "burst",
+            Box::new(Burst(vec![
+                frame(0x050, &[1]),
+                frame(0x300, &[2]),
+                frame(0x100, &[3]),
+            ])),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(2_000);
     let order: Vec<u16> = sim
         .events()
@@ -154,12 +159,13 @@ fn back_to_back_frames_honor_the_interframe_space() {
             Some(self.0)
         }
     }
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "sat",
-        Box::new(Saturate(frame(0x2AA, &[0x55; 8]))),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "sat",
+            Box::new(Saturate(frame(0x2AA, &[0x55; 8]))),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(3_000);
     let starts: Vec<u64> = sim
         .events()
@@ -183,9 +189,9 @@ fn back_to_back_frames_honor_the_interframe_space() {
 
 #[test]
 fn fifteen_senders_share_one_bus_cleanly() {
-    let mut sim = Simulator::new(BusSpeed::K500);
+    let mut builder = SimBuilder::new(BusSpeed::K500);
     for i in 0..15u16 {
-        sim.add_node(Node::new(
+        builder = builder.node(Node::new(
             format!("ecu{i}"),
             Box::new(PeriodicSender::new(
                 frame(0x080 + i * 0x20, &[i as u8; 8]),
@@ -194,6 +200,7 @@ fn fifteen_senders_share_one_bus_cleanly() {
             )),
         ));
     }
+    let mut sim = builder.build();
     sim.run(50_000);
     assert!(
         !sim.events()

@@ -4,24 +4,27 @@
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{EventKind, FaultModel, Node, Simulator};
+use can_sim::{EventKind, FaultModel, Node, SimBuilder, Simulator};
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
     CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
 }
 
+fn builder() -> SimBuilder {
+    SimBuilder::new(BusSpeed::K125)
+        .node(Node::new(
+            "a",
+            Box::new(PeriodicSender::new(frame(0x0C0, &[1; 8]), 777, 13)),
+        ))
+        .node(Node::new(
+            "b",
+            Box::new(PeriodicSender::new(frame(0x2C0, &[2; 4]), 1_111, 29)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+}
+
 fn build() -> Simulator {
-    let mut sim = Simulator::new(BusSpeed::K125);
-    sim.add_node(Node::new(
-        "a",
-        Box::new(PeriodicSender::new(frame(0x0C0, &[1; 8]), 777, 13)),
-    ));
-    sim.add_node(Node::new(
-        "b",
-        Box::new(PeriodicSender::new(frame(0x2C0, &[2; 4]), 1_111, 29)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    sim
+    builder().build()
 }
 
 fn fingerprint(sim: &Simulator) -> Vec<(u64, usize, String)> {
@@ -56,8 +59,7 @@ fn stepping_granularity_does_not_matter() {
 #[test]
 fn seeded_fault_models_are_reproducible() {
     let run_with_seed = |seed: u64| {
-        let mut sim = build();
-        sim.set_fault_model(FaultModel::random(1e-3, seed));
+        let mut sim = builder().fault(FaultModel::random(1e-3, seed)).build();
         sim.run(30_000);
         fingerprint(&sim)
     };
@@ -70,8 +72,7 @@ fn traced_and_untraced_runs_agree() {
     // Enabling the signal trace must not perturb the simulation.
     let mut plain = build();
     plain.run(10_000);
-    let mut traced = build();
-    traced.enable_trace();
+    let mut traced = builder().trace().build();
     traced.run(10_000);
     assert_eq!(fingerprint(&plain), fingerprint(&traced));
     assert_eq!(traced.trace().unwrap().len(), 10_000);
@@ -108,11 +109,12 @@ fn pinned_regression_episode_length() {
     // unacknowledged transmitter's first ACK error lands at a fixed
     // instant. If an intentional protocol change shifts this, update
     // EXPERIMENTS.md alongside.
-    let mut sim = Simulator::new(BusSpeed::K50);
-    sim.add_node(Node::new(
-        "lone",
-        Box::new(PeriodicSender::new(frame(0x123, &[0xA5; 8]), 400, 0)),
-    ));
+    let mut sim = SimBuilder::new(BusSpeed::K50)
+        .node(Node::new(
+            "lone",
+            Box::new(PeriodicSender::new(frame(0x123, &[0xA5; 8]), 400, 0)),
+        ))
+        .build();
     sim.run(5_000);
     let first_error = sim
         .events()

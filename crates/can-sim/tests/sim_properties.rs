@@ -3,7 +3,7 @@
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder};
 use proptest::prelude::*;
 
 /// Distinct (id, period, payload) sender configurations.
@@ -27,16 +27,18 @@ proptest! {
     /// that completes is delivered to every other node byte-identical.
     #[test]
     fn benign_traffic_invariants(senders in arb_senders()) {
-        let mut sim = Simulator::new(BusSpeed::K500);
+        let mut builder = SimBuilder::new(BusSpeed::K500);
         let n = senders.len();
         for (i, (id, period, payload)) in senders.iter().enumerate() {
             let frame = CanFrame::data_frame(CanId::from_raw(*id), payload).unwrap();
-            sim.add_node(Node::new(
+            builder = builder.node(Node::new(
                 format!("ecu{i}"),
                 Box::new(PeriodicSender::new(frame, *period, (i as u64) * 41)),
             ));
         }
-        sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+        let mut sim = builder
+            .node(Node::new("monitor", Box::new(SilentApplication)))
+            .build();
         sim.run(20_000);
 
         // Invariant 1: no protocol errors.
@@ -88,16 +90,18 @@ proptest! {
     #[test]
     fn arbitration_is_lossless(ids in proptest::collection::btree_set(0u16..=CanId::MAX_RAW, 2..6)) {
         let ids: Vec<u16> = ids.into_iter().collect();
-        let mut sim = Simulator::new(BusSpeed::K500);
+        let mut builder = SimBuilder::new(BusSpeed::K500);
         for (i, &id) in ids.iter().enumerate() {
             let frame = CanFrame::data_frame(CanId::from_raw(id), &[i as u8; 8]).unwrap();
             // Aggressive 700-bit periods force constant contention.
-            sim.add_node(Node::new(
+            builder = builder.node(Node::new(
                 format!("ecu{i}"),
                 Box::new(PeriodicSender::new(frame, 700, 0)),
             ));
         }
-        sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+        let mut sim = builder
+            .node(Node::new("monitor", Box::new(SilentApplication)))
+            .build();
         sim.run(15_000);
 
         let errors = sim
@@ -123,11 +127,12 @@ proptest! {
     /// sender, busy bits per period ≈ wire length + IFS.
     #[test]
     fn bus_load_accounting(period in 500u64..3_000, dlc in 0usize..=8) {
-        let mut sim = Simulator::new(BusSpeed::K500);
         let frame = CanFrame::data_frame(CanId::from_raw(0x155), &vec![0xA5u8; dlc]).unwrap();
         let wire_len = can_core::bitstream::stuff_frame(&frame).bits.len() as f64;
-        sim.add_node(Node::new("tx", Box::new(PeriodicSender::new(frame, period, 0))));
-        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        let mut sim = SimBuilder::new(BusSpeed::K500)
+            .node(Node::new("tx", Box::new(PeriodicSender::new(frame, period, 0))))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .build();
         sim.run(period * 20);
         let expected = (wire_len + 3.0) / period as f64;
         let observed = sim.observed_bus_load();

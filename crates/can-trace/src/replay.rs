@@ -89,6 +89,21 @@ impl Application for LogReplayApp {
             None
         }
     }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        if self.schedule.is_empty() || (self.cursor >= self.schedule.len() && !self.looping) {
+            return None;
+        }
+        // A wrapped cursor is only folded back by `poll` itself, so the
+        // next due instant must account for the pending wrap here.
+        let (cursor, loops) = if self.cursor >= self.schedule.len() {
+            (0, self.loops_done + 1)
+        } else {
+            (self.cursor, self.loops_done)
+        };
+        let (due, _) = self.schedule[cursor];
+        Some(BitInstant::from_bits(loops * self.loop_len_bits + due))
+    }
 }
 
 #[cfg(test)]

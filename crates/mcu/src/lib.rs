@@ -28,4 +28,4 @@ pub use cost::{
 };
 pub use profile::{McuProfile, ALL_PROFILES, ARDUINO_DUE, NXP_S32K144, SAM_V71, SPC58};
 pub use reliability::{max_reliable_speed, reliability, Reliability};
-pub use timer::{ExternalTimer, ESP8266};
+pub use timer::{CompareTimer, ExternalTimer, ESP8266};

@@ -45,6 +45,58 @@ impl ExternalTimer {
     }
 }
 
+/// A compare-match (deadline) timer: the hardware analogue of the
+/// simulator's `next_activity` quiescence contract.
+///
+/// On the real Arduino Due port, every future obligation of the handler —
+/// a scheduled counterattack injection window, the suspend-transmission
+/// expiry, the 128×11-recessive-bit bus-off recovery countdown — is armed
+/// as a compare-match on a hardware timer, and the MCU sleeps (WFI) until
+/// the earliest match fires. `can_sim`'s idle fast-forward mirrors exactly
+/// that discipline in software: `next_activity(now)` is the compare
+/// register, and the skip-ahead is the sleep (see DESIGN.md §9). Modelling
+/// the timer here keeps the two sides honest about the same contract:
+/// deadlines in the *future* only, earliest-match-wins, and a fired match
+/// must be re-armed before it is observable again.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompareTimer {
+    /// Armed compare values in bit times, unordered.
+    deadlines: Vec<u64>,
+}
+
+impl CompareTimer {
+    /// A timer with no armed compare channels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a compare match at absolute bit time `at`.
+    pub fn arm(&mut self, at: u64) {
+        self.deadlines.push(at);
+    }
+
+    /// The earliest armed deadline at or after `now`, if any — the exact
+    /// shape of the simulator's `next_activity(now)` contract. Deadlines
+    /// in the past are dead channels: a real compare register that already
+    /// matched stays silent until re-armed.
+    pub fn next_deadline(&self, now: u64) -> Option<u64> {
+        self.deadlines.iter().copied().filter(|&at| at >= now).min()
+    }
+
+    /// Fires every deadline at or before `now`, returning how many
+    /// matched. Fired channels are disarmed.
+    pub fn fire_elapsed(&mut self, now: u64) -> usize {
+        let before = self.deadlines.len();
+        self.deadlines.retain(|&at| at > now);
+        before - self.deadlines.len()
+    }
+
+    /// Number of armed compare channels.
+    pub fn armed(&self) -> usize {
+        self.deadlines.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +124,31 @@ mod tests {
             assert!(measured <= true_ns);
             assert!(true_ns - measured < ESP8266.quantization_error_ns());
         }
+    }
+
+    #[test]
+    fn compare_timer_reports_the_earliest_future_deadline() {
+        let mut timer = CompareTimer::new();
+        assert_eq!(timer.next_deadline(0), None, "nothing armed: quiescent");
+        timer.arm(500); // suspend expiry
+        timer.arm(1_408); // bus-off recovery (128 × 11)
+        timer.arm(120); // injection window
+        assert_eq!(timer.next_deadline(0), Some(120));
+        assert_eq!(timer.next_deadline(121), Some(500));
+        // A deadline exactly at `now` still matches (Some(now) = act now).
+        assert_eq!(timer.next_deadline(500), Some(500));
+    }
+
+    #[test]
+    fn fired_channels_stay_silent_until_rearmed() {
+        let mut timer = CompareTimer::new();
+        timer.arm(100);
+        timer.arm(200);
+        assert_eq!(timer.fire_elapsed(150), 1);
+        assert_eq!(timer.armed(), 1);
+        assert_eq!(timer.next_deadline(0), Some(200));
+        timer.arm(100); // re-armed in the past: dead until rolled over
+        assert_eq!(timer.next_deadline(150), Some(200));
     }
 
     #[test]

@@ -373,6 +373,24 @@ impl BitAgent for MichiCan {
     fn set_own_transmission(&mut self, transmitting: bool) {
         self.own_transmission = transmitting;
     }
+
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        // Hunting for a SOF on an idle bus, the handler only counts
+        // recessive bits — a closed-form update handled by `skip_idle`.
+        // Mid-frame (or while injecting a counterattack) every bit matters.
+        match self.state {
+            HandlerState::BusIdle if !self.injecting => None,
+            _ => Some(now),
+        }
+    }
+
+    fn skip_idle(&mut self, bits: u64, _from: BitInstant) {
+        debug_assert!(matches!(self.state, HandlerState::BusIdle) && !self.injecting);
+        self.cnt_sof = self
+            .cnt_sof
+            .saturating_add(u32::try_from(bits).unwrap_or(u32::MAX));
+        self.own_transmission = false;
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,14 @@ impl Application for ReplayApp {
         }
         None
     }
+
+    fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        self.slots
+            .iter()
+            .map(|slot| slot.next_due)
+            .min()
+            .map(BitInstant::from_bits)
+    }
 }
 
 #[cfg(test)]

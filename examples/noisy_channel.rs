@@ -8,7 +8,7 @@
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{EventKind, FaultModel, Node, Simulator};
+use can_sim::{EventKind, FaultModel, Node, SimBuilder};
 use michican::prelude::*;
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
@@ -16,24 +16,25 @@ fn frame(id: u16, data: &[u8]) -> CanFrame {
 }
 
 fn benign_under_noise(ber: f64) {
-    let mut sim = Simulator::new(BusSpeed::K500);
     let list = EcuList::from_raw(&[0x0B0, 0x240]);
-    sim.add_node(
-        Node::new(
-            "ecu-0B0",
-            Box::new(PeriodicSender::new(frame(0x0B0, &[0x55; 8]), 600, 0)),
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(
+            Node::new(
+                "ecu-0B0",
+                Box::new(PeriodicSender::new(frame(0x0B0, &[0x55; 8]), 600, 0)),
+            )
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
         )
-        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    sim.add_node(
-        Node::new(
-            "ecu-240",
-            Box::new(PeriodicSender::new(frame(0x240, &[0xAA; 8]), 900, 333)),
+        .node(
+            Node::new(
+                "ecu-240",
+                Box::new(PeriodicSender::new(frame(0x240, &[0xAA; 8]), 900, 333)),
+            )
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
         )
-        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    sim.set_fault_model(FaultModel::random(ber, 0xBEEF));
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .fault(FaultModel::random(ber, 0xBEEF))
+        .build();
     sim.run(200_000);
 
     let errors = sim
@@ -66,17 +67,18 @@ fn main() {
     }
 
     println!("\n--- and the defense still works through a noisy channel ---");
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
-    ));
     let list = EcuList::from_raw(&[0x173]);
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    sim.set_fault_model(FaultModel::random(1e-4, 7));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .fault(FaultModel::random(1e-4, 7))
+        .build();
     match sim.run_until(20_000, |e| matches!(e.kind, EventKind::BusOff)) {
         Some(_) => println!(
             "attacker eradicated at t = {} bits despite BER 1e-4",

@@ -7,8 +7,9 @@
 
 use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
-use can_core::{BusSpeed, CanId};
-use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_core::CanId;
+use can_sim::bus_off_episodes;
+use can_sim::prelude::*;
 use michican::prelude::*;
 
 fn main() {
@@ -30,16 +31,20 @@ fn main() {
 
     // 3. Build a bus: one attacker flooding identifier 0x064 (a DoS — it
     //    outranks everything legitimate below 0x173) and the defender.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(SuspensionAttacker::saturating(DosKind::Targeted {
-            id: CanId::new(0x064).unwrap(),
-        })),
-    ));
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication)).with_agent(Box::new(MichiCan::new(fsm))),
-    );
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(SuspensionAttacker::saturating(DosKind::Targeted {
+                id: CanId::new(0x064).unwrap(),
+            })),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(fsm))),
+        )
+        .build();
 
     // 4. Run until the attacker's controller is forced into bus-off.
     sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))

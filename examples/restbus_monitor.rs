@@ -9,25 +9,26 @@
 use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::BusSpeed;
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder};
 use can_trace::{write_log, LogEntry, TrafficStats};
 use restbus::{vehicle_matrix, ReplayApp, Vehicle};
 
 fn capture(with_attacker: bool, ms: f64) -> Vec<LogEntry> {
     let speed = BusSpeed::K500;
     let matrix = vehicle_matrix(Vehicle::D, 0, speed);
-    let mut sim = Simulator::new(speed);
-    sim.add_node(Node::new(
+    let mut builder = SimBuilder::new(speed).node(Node::new(
         "restbus",
         Box::new(ReplayApp::for_matrix(&matrix)),
     ));
-    let monitor = sim.add_node(Node::new("monitor", Box::new(SilentApplication)));
+    let monitor = builder.node_id();
+    builder = builder.node(Node::new("monitor", Box::new(SilentApplication)));
     if with_attacker {
-        sim.add_node(Node::new(
+        builder = builder.node(Node::new(
             "attacker",
             Box::new(SuspensionAttacker::saturating(DosKind::Traditional)),
         ));
     }
+    let mut sim = builder.build();
     sim.run_millis(ms);
 
     sim.events()

@@ -9,14 +9,16 @@
 use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::SilentApplication;
 use can_core::{BusSpeed, CanId};
-use can_sim::{bus_off_episodes, ErrorRole, EventKind, Node, Simulator};
+use can_sim::{bus_off_episodes, ErrorRole, EventKind, Node, SimBuilder};
 use can_trace::{Timeline, TimelineEvent};
 use michican::prelude::*;
 
 fn main() {
     let speed = BusSpeed::K50;
-    let mut sim = Simulator::new(speed);
-    let a = sim.add_node(Node::new(
+    let list = EcuList::from_raw(&[0x173]);
+    let builder = SimBuilder::new(speed);
+    let a = builder.node_id();
+    let builder = builder.node(Node::new(
         "attacker-0x066",
         Box::new(SuspensionAttacker::new(
             DosKind::Targeted {
@@ -25,20 +27,22 @@ fn main() {
             1_500,
         )),
     ));
-    let b = sim.add_node(Node::new(
-        "attacker-0x067",
-        Box::new(SuspensionAttacker::new(
-            DosKind::Targeted {
-                id: CanId::new(0x067).unwrap(),
-            },
-            1_537,
-        )),
-    ));
-    let list = EcuList::from_raw(&[0x173]);
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
+    let b = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker-0x067",
+            Box::new(SuspensionAttacker::new(
+                DosKind::Targeted {
+                    id: CanId::new(0x067).unwrap(),
+                },
+                1_537,
+            )),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .build();
 
     // Run until both attackers have been bused off once.
     let mut off = std::collections::HashSet::new();

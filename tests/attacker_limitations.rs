@@ -8,7 +8,7 @@
 use can_attacks::GhostInjector;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_sim::{bus_off_episodes, EventKind, Node, SimBuilder};
 use michican::prelude::*;
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
@@ -19,16 +19,19 @@ fn frame(id: u16, data: &[u8]) -> CanFrame {
 fn ghost_injector_buses_off_a_legitimate_victim() {
     // The offensive use of bit-level access: every victim transmission is
     // destroyed; the victim's own TEC walks to 256.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let victim = sim.add_node(Node::new(
-        "victim",
-        Box::new(PeriodicSender::new(frame(0x0F0, &[0x42; 8]), 400, 0)),
-    ));
-    sim.add_node(
-        Node::new("compromised-ecu", Box::new(SilentApplication))
-            .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x0F0)))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let victim = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "victim",
+            Box::new(PeriodicSender::new(frame(0x0F0, &[0x42; 8]), 400, 0)),
+        ))
+        .node(
+            Node::new("compromised-ecu", Box::new(SilentApplication))
+                .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x0F0)))),
+        )
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
 
     sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
         .expect("the victim must be forced off the bus");
@@ -43,21 +46,24 @@ fn michican_cannot_eradicate_a_bit_level_attacker() {
     // MichiCAN cannot flag (Definition IV.1 applies to the true owner
     // only) — and even a hypothetical counterattack would find no TEC to
     // inflate. The victim is lost despite the defense.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let victim = sim.add_node(Node::new(
-        "victim-0x0F0",
-        Box::new(PeriodicSender::new(frame(0x0F0, &[0x42; 8]), 400, 0)),
-    ));
-    sim.add_node(
-        Node::new("compromised-ecu", Box::new(SilentApplication))
-            .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x0F0)))),
-    );
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let victim = builder.node_id();
     // A MichiCAN defender protecting a *different* identifier watches on.
     let list = EcuList::from_raw(&[0x0F0, 0x173]);
-    sim.add_node(
-        Node::new("defender-0x173", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
-    );
+    let mut sim = builder
+        .node(Node::new(
+            "victim-0x0F0",
+            Box::new(PeriodicSender::new(frame(0x0F0, &[0x42; 8]), 400, 0)),
+        ))
+        .node(
+            Node::new("compromised-ecu", Box::new(SilentApplication))
+                .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x0F0)))),
+        )
+        .node(
+            Node::new("defender-0x173", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
+        )
+        .build();
 
     sim.run(20_000);
 
@@ -90,20 +96,23 @@ fn ghost_against_michicans_own_id_is_a_stalemate_of_injections() {
     // bus-off. This quantifies why the paper insists the CAN-controller
     // path must be isolated from compromise: against a peer with bit
     // access, the protocol offers no defense at all.
-    let mut sim = Simulator::new(BusSpeed::K500);
+    let builder = SimBuilder::new(BusSpeed::K500);
     let list = EcuList::from_raw(&[0x173]);
-    let defender = sim.add_node(
-        Node::new(
-            "michican-0x173",
-            Box::new(PeriodicSender::new(frame(0x173, &[0xA5; 8]), 400, 0)),
+    let defender = builder.node_id();
+    let mut sim = builder
+        .node(
+            Node::new(
+                "michican-0x173",
+                Box::new(PeriodicSender::new(frame(0x173, &[0xA5; 8]), 400, 0)),
+            )
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
         )
-        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    sim.add_node(
-        Node::new("ghost", Box::new(SilentApplication))
-            .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x173)))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        .node(
+            Node::new("ghost", Box::new(SilentApplication))
+                .with_agent(Box::new(GhostInjector::new(CanId::from_raw(0x173)))),
+        )
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
 
     sim.run(20_000);
 

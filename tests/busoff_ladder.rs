@@ -4,7 +4,7 @@
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_sim::{bus_off_episodes, EventKind, Node, SimBuilder, Simulator};
 use michican::prelude::*;
 use michican::prevention;
 
@@ -16,16 +16,20 @@ fn frame(id: u16, data: &[u8]) -> CanFrame {
 /// The defender's own identifier list is `[0x173]`; everything below it
 /// that is not legitimate is a DoS attack.
 fn attack_setup(attacker_frame: CanFrame) -> (Simulator, usize, usize) {
-    let mut sim = Simulator::new(BusSpeed::K50);
-    let attacker = sim.add_node(Node::new(
+    let list = EcuList::from_raw(&[0x173]);
+    let builder = SimBuilder::new(BusSpeed::K50);
+    let attacker = builder.node_id();
+    let builder = builder.node(Node::new(
         "attacker",
         Box::new(PeriodicSender::new(attacker_frame, 400, 0)),
     ));
-    let list = EcuList::from_raw(&[0x173]);
-    let defender = sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
+    let defender = builder.node_id();
+    let sim = builder
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .build();
     (sim, attacker, defender)
 }
 

@@ -5,7 +5,7 @@
 use can_attacks::{FabricationAttacker, MasqueradeAttacker};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_sim::{bus_off_episodes, EventKind, Node, SimBuilder};
 use michican::handler::{MichiCan, MichiCanConfig};
 use michican::prelude::*;
 
@@ -24,18 +24,23 @@ fn fabrication_attacker_is_eradicated_before_overriding_the_victim() {
     // defender) at 4× the victim's rate. With MichiCAN, not a single
     // fabricated frame completes.
     let list = EcuList::from_raw(&[0x1A0, 0x300]);
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "fabricator",
-        Box::new(FabricationAttacker::new(
-            CanId::from_raw(0x1A0),
-            &[0xBA, 0xD0, 0xBA, 0xD0],
-            2_000,
-            4,
-        )),
-    ));
-    sim.add_node(defender(&list, 0));
-    let observer = sim.add_node(Node::new("observer", Box::new(SilentApplication)));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
+    let builder = builder
+        .node(Node::new(
+            "fabricator",
+            Box::new(FabricationAttacker::new(
+                CanId::from_raw(0x1A0),
+                &[0xBA, 0xD0, 0xBA, 0xD0],
+                2_000,
+                4,
+            )),
+        ))
+        .node(defender(&list, 0));
+    let observer = builder.node_id();
+    let mut sim = builder
+        .node(Node::new("observer", Box::new(SilentApplication)))
+        .build();
 
     sim.run(12_000);
 
@@ -60,19 +65,24 @@ fn masquerade_takeover_is_blocked() {
     // the defender still detects the spoofed 0x260 and kills it — the
     // masquerade's fabrication phase cannot complete a single frame.
     let list = EcuList::from_raw(&[0x260, 0x3E6]);
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "masquerader",
-        Box::new(MasqueradeAttacker::new(
-            CanId::from_raw(0x260),
-            &[0xEE; 8],
-            1_000,
-            500,
-        )),
-    ));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
     // The 0x260 owner runs MichiCAN (spoofing detection on its own id).
-    sim.add_node(defender(&list, 0));
-    let observer = sim.add_node(Node::new("observer", Box::new(SilentApplication)));
+    let builder = builder
+        .node(Node::new(
+            "masquerader",
+            Box::new(MasqueradeAttacker::new(
+                CanId::from_raw(0x260),
+                &[0xEE; 8],
+                1_000,
+                500,
+            )),
+        ))
+        .node(defender(&list, 0));
+    let observer = builder.node_id();
+    let mut sim = builder
+        .node(Node::new("observer", Box::new(SilentApplication)))
+        .build();
     sim.run(15_000);
 
     assert!(
@@ -97,13 +107,16 @@ fn miscellaneous_identifiers_are_left_alone_end_to_end() {
     // arbitration to real traffic and are harmless; MichiCAN must not
     // attack them.
     let list = EcuList::from_raw(&[0x100, 0x173]);
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let misc = sim.add_node(Node::new(
-        "misc-sender",
-        Box::new(PeriodicSender::new(frame(0x500, &[1, 2, 3]), 1_000, 0)),
-    ));
-    sim.add_node(defender(&list, 1));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let misc = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "misc-sender",
+            Box::new(PeriodicSender::new(frame(0x500, &[1, 2, 3]), 1_000, 0)),
+        ))
+        .node(defender(&list, 1))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(10_000);
 
     assert!(
@@ -142,19 +155,22 @@ fn light_scenario_lower_half_only_defends_itself() {
 
     // End to end: a bus where only the light-scenario upper half defends
     // still eradicates the attacker.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
-    ));
-    sim.add_node(
-        Node::new("light-lower", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(lower_fsm))),
-    );
-    sim.add_node(
-        Node::new("light-upper", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(upper_fsm))),
-    );
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
+        ))
+        .node(
+            Node::new("light-lower", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(lower_fsm))),
+        )
+        .node(
+            Node::new("light-upper", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(upper_fsm))),
+        )
+        .build();
     sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
         .expect("the light scenario still protects against DoS");
     assert_eq!(bus_off_episodes(sim.events(), attacker)[0].attempts, 32);
@@ -167,13 +183,16 @@ fn multiple_defenders_detect_simultaneously_without_interfering() {
     // full-scenario defenders inject in the same window; the superposed
     // dominant levels are indistinguishable from one injection.
     let list = EcuList::from_raw(&[0x173, 0x200]);
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
-    ));
-    sim.add_node(defender(&list, 0));
-    sim.add_node(defender(&list, 1));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
+        ))
+        .node(defender(&list, 0))
+        .node(defender(&list, 1))
+        .build();
     sim.run_until(10_000, |e| matches!(e.kind, EventKind::BusOff))
         .expect("attacker bused off");
     let ep = &bus_off_episodes(sim.events(), attacker)[0];
@@ -195,18 +214,20 @@ fn detection_only_mode_observes_but_does_not_prevent() {
         prevention_enabled: false,
         ..MichiCanConfig::default()
     };
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
-    ));
-    sim.add_node(
-        Node::new("ids", Box::new(SilentApplication)).with_agent(Box::new(MichiCan::with_config(
-            DetectionFsm::for_ecu(&list, 0),
-            ids_config,
-        ))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 300, 0)),
+        ))
+        .node(
+            Node::new("ids", Box::new(SilentApplication)).with_agent(Box::new(
+                MichiCan::with_config(DetectionFsm::for_ecu(&list, 0), ids_config),
+            )),
+        )
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(10_000);
 
     assert!(

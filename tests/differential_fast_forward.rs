@@ -1,0 +1,144 @@
+//! Differential proof of the fast-forward byte-identity guarantee: every
+//! scenario family is driven once in lockstep and once under idle
+//! fast-forward, and every observable surface — events, signal trace,
+//! metrics snapshot, outcome — must match byte for byte.
+
+use bench::campaign::{run_campaign_with, CampaignConfig};
+use bench::differential::{check_equivalence, check_outcome, fingerprint};
+use bench::runner::ExecOpts;
+use bench::scenarios::{
+    build_experiment_with, run_multi_attacker_scan_with, run_parksense_with, run_table2_with,
+    table2_experiments,
+};
+use can_obs::Recorder;
+
+fn lockstep(recorder: &Recorder) -> ExecOpts {
+    ExecOpts::new().with_recorder(recorder.clone())
+}
+
+fn fast(recorder: &Recorder) -> ExecOpts {
+    ExecOpts::new().with_recorder(recorder.clone()).fast()
+}
+
+#[test]
+fn every_table2_cell_is_bit_identical_under_fast_forward() {
+    // Cell-level fingerprints: clock, busy bits, event log, metrics.
+    for exp in table2_experiments() {
+        check_equivalence(
+            |recorder| build_experiment_with(&exp, &ExecOpts::new().with_recorder(recorder)).0,
+            25_000,
+        )
+        .unwrap_or_else(|divergence| {
+            panic!("experiment {}: {divergence}", exp.number);
+        });
+    }
+}
+
+#[test]
+fn table2_report_and_metrics_are_identical_under_fast_forward() {
+    // Outcome-level: the full (reduced-capture) Table II report plus the
+    // merged metrics snapshot.
+    let lock_recorder = Recorder::enabled();
+    let lock = run_table2_with(400.0, &lockstep(&lock_recorder));
+    let fast_recorder = Recorder::enabled();
+    let ff = run_table2_with(400.0, &fast(&fast_recorder));
+    check_outcome("table2", &lock, &ff).unwrap();
+    assert_eq!(
+        lock_recorder.snapshot_json(),
+        fast_recorder.snapshot_json(),
+        "table2 metrics snapshot diverged"
+    );
+}
+
+#[test]
+fn campaign_report_and_metrics_are_identical_under_fast_forward() {
+    let config = CampaignConfig {
+        seed: 0x00D5_2025,
+        run_ms: 30.0,
+        shards: 1,
+    };
+    let lock_recorder = Recorder::enabled();
+    let lock = run_campaign_with(&config, &lockstep(&lock_recorder));
+    let fast_recorder = Recorder::enabled();
+    let ff = run_campaign_with(&config, &fast(&fast_recorder));
+    assert_eq!(lock, ff, "campaign report diverged under fast-forward");
+    assert_eq!(
+        lock_recorder.snapshot_json(),
+        fast_recorder.snapshot_json(),
+        "campaign metrics snapshot diverged"
+    );
+}
+
+#[test]
+fn multi_attacker_scan_is_identical_under_fast_forward() {
+    let counts = [1usize, 2, 3];
+    let lock_recorder = Recorder::enabled();
+    let lock = run_multi_attacker_scan_with(&counts, 60_000, &lockstep(&lock_recorder));
+    let fast_recorder = Recorder::enabled();
+    let ff = run_multi_attacker_scan_with(&counts, 60_000, &fast(&fast_recorder));
+    assert_eq!(lock, ff, "multi-attacker scan diverged under fast-forward");
+    assert_eq!(
+        lock_recorder.snapshot_json(),
+        fast_recorder.snapshot_json(),
+        "multi-attacker metrics snapshot diverged"
+    );
+    // The scan must actually resolve (all attackers eradicated) for the
+    // comparison to mean anything.
+    assert!(lock.iter().all(|(_, bits)| bits.is_some()));
+}
+
+#[test]
+fn parksense_outcomes_are_identical_under_fast_forward() {
+    for defended in [false, true] {
+        let lock_recorder = Recorder::enabled();
+        let lock = run_parksense_with(defended, 40.0, &lockstep(&lock_recorder));
+        let fast_recorder = Recorder::enabled();
+        let ff = run_parksense_with(defended, 40.0, &fast(&fast_recorder));
+        check_outcome(&format!("parksense defended={defended}"), &lock, &ff).unwrap();
+        assert_eq!(
+            lock_recorder.snapshot_json(),
+            fast_recorder.snapshot_json(),
+            "parksense metrics snapshot diverged (defended={defended})"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_capture_trace_surfaces() {
+    // A traced, noisy, attacked bus: the fingerprint must carry the trace
+    // surfaces and the two modes must still agree on all of them.
+    use can_core::app::{PeriodicSender, SilentApplication};
+    use can_core::{BusSpeed, CanFrame, CanId};
+    use can_sim::{FaultModel, Node, SimBuilder};
+    use michican::prelude::*;
+
+    let build = |recorder: Recorder| {
+        let frame = CanFrame::data_frame(CanId::from_raw(0x064), &[0xAB; 8]).unwrap();
+        let list = EcuList::from_raw(&[0x173]);
+        SimBuilder::new(BusSpeed::K500)
+            .recorder(recorder)
+            .node(Node::new(
+                "attacker",
+                Box::new(PeriodicSender::new(frame, 2_500, 0)),
+            ))
+            .node(
+                Node::new("defender", Box::new(SilentApplication))
+                    .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+            )
+            .fault(FaultModel::random(1e-4, 0xFF00))
+            .trace()
+            .build()
+    };
+
+    check_equivalence(build, 40_000).unwrap();
+
+    // And the fingerprint itself records the trace (guards against the
+    // comparison silently degrading to a trace-free check).
+    let recorder = Recorder::enabled();
+    let mut sim = build(recorder.clone());
+    sim.run(5_000);
+    let fp = fingerprint(&sim, &recorder);
+    assert_eq!(fp.trace_recorded, Some(5_000));
+    assert_eq!(fp.trace.as_ref().map(Vec::len), Some(5_000));
+    assert!(!fp.events.is_empty());
+}

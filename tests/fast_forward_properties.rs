@@ -1,0 +1,195 @@
+//! Property-level equivalence: for *arbitrary* node sets, fault stacks
+//! and attack shapes, lockstep and idle fast-forward runs are
+//! byte-identical — plus regression pins proving that skip-ahead never
+//! jumps over a fault-window boundary or a suspend expiry.
+
+use bench::differential::check_equivalence;
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{BusSpeed, CanFrame, CanId};
+use can_obs::Recorder;
+use can_sim::{ControllerConfig, EventKind, FaultModel, FaultStack, Node, SimBuilder, TxFault};
+use michican::prelude::*;
+use proptest::prelude::*;
+
+fn frame(id: u16, data: &[u8]) -> CanFrame {
+    CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
+}
+
+/// Distinct (id, period, payload) sender configurations with enough slack
+/// for real idle gaps (the fast-forward path must have something to skip).
+fn arb_senders() -> impl Strategy<Value = Vec<(u16, u64, Vec<u8>)>> {
+    proptest::collection::btree_map(
+        0x080u16..=CanId::MAX_RAW,
+        (900u64..6_000, proptest::collection::vec(any::<u8>(), 0..=8)),
+        1..5,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(id, (period, payload))| (id, period, payload))
+            .collect()
+    })
+}
+
+/// 0–2 random channel-fault layers.
+fn arb_faults() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..4, any::<u64>()), 0..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized benign/attacked buses under randomized fault stacks:
+    /// lockstep and fast-forward agree on every observable surface.
+    #[test]
+    fn random_buses_are_bit_identical_under_fast_forward(
+        senders in arb_senders(),
+        faults in arb_faults(),
+        attack in any::<bool>(),
+    ) {
+        let build = |recorder: Recorder| {
+            let mut builder = SimBuilder::new(BusSpeed::K500).recorder(recorder);
+            for (i, (id, period, payload)) in senders.iter().enumerate() {
+                builder = builder.node(Node::new(
+                    format!("ecu{i}"),
+                    Box::new(PeriodicSender::new(
+                        frame(*id, payload),
+                        *period,
+                        (i as u64) * 53,
+                    )),
+                ));
+            }
+            if attack {
+                let list = EcuList::from_raw(&[0x173]);
+                builder = builder
+                    .node(Node::new(
+                        "attacker",
+                        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 2_000, 0)),
+                    ))
+                    .node(
+                        Node::new("defender", Box::new(SilentApplication)).with_agent(
+                            Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0))),
+                        ),
+                    );
+            } else {
+                builder = builder.node(Node::new("rx", Box::new(SilentApplication)));
+            }
+            let mut stack = FaultStack::new();
+            for &(kind, seed) in &faults {
+                // Derive the layer shape from the random tuple: mixed
+                // BERs and a scripted flip, all seed-dependent.
+                stack.push(match kind {
+                    0 => FaultModel::random(1e-5, seed),
+                    1 => FaultModel::random(1e-4, seed),
+                    2 => FaultModel::scripted(vec![seed % 18_000]),
+                    _ => FaultModel::random(5e-4, seed),
+                });
+            }
+            builder.faults(stack).build()
+        };
+        check_equivalence(build, 18_000).unwrap();
+    }
+}
+
+#[test]
+fn skip_ahead_never_jumps_a_tx_fault_window_boundary() {
+    // A stuck-dominant pin window opens at bit 2 000, deep inside an idle
+    // stretch (the only sender is quiet from ~150 to 4 000). A skip that
+    // overshoots the boundary would swallow the resulting error burst.
+    let build = |recorder: Recorder| {
+        SimBuilder::new(BusSpeed::K500)
+            .recorder(recorder)
+            .node(Node::new(
+                "tx",
+                Box::new(PeriodicSender::new(frame(0x100, &[0x11; 4]), 4_000, 0)),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .node(
+                Node::new("flaky", Box::new(SilentApplication))
+                    .with_tx_fault(TxFault::stuck_dominant(2_000, 2_100)),
+            )
+            .build()
+    };
+    check_equivalence(build, 8_000).unwrap();
+
+    // The boundary really sits in skipped territory: the window produces
+    // protocol errors shortly after bit 2 000 (a jumped boundary would
+    // leave this region silent and the assertion above vacuous).
+    let mut sim = build(Recorder::disabled());
+    sim.run_fast(8_000);
+    assert!(
+        sim.events().iter().any(|e| {
+            matches!(e.kind, EventKind::ErrorDetected { .. })
+                && (2_000..2_300).contains(&e.at.bits())
+        }),
+        "the stuck-dominant window must be observed at its opening bit"
+    );
+}
+
+#[test]
+fn skip_ahead_never_jumps_a_scripted_channel_flip() {
+    // A single scripted channel flip at bit 2 500 lands in an otherwise
+    // idle stretch: the spurious dominant bit reads as a SOF and ends in a
+    // stuff error a few bits later. Fast-forward must stop exactly at the
+    // scripted bit to reproduce it.
+    let build = |recorder: Recorder| {
+        SimBuilder::new(BusSpeed::K500)
+            .recorder(recorder)
+            .node(Node::new(
+                "tx",
+                Box::new(PeriodicSender::new(frame(0x100, &[0x22; 4]), 6_000, 0)),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .fault(FaultModel::scripted(vec![2_500]))
+            .build()
+    };
+    check_equivalence(build, 6_000).unwrap();
+
+    let mut sim = build(Recorder::disabled());
+    sim.run_fast(6_000);
+    assert!(
+        sim.events().iter().any(|e| {
+            matches!(e.kind, EventKind::ErrorDetected { .. })
+                && (2_500..2_600).contains(&e.at.bits())
+        }),
+        "the scripted flip must surface as an error right after bit 2500"
+    );
+}
+
+#[test]
+fn skip_ahead_never_jumps_a_suspend_expiry() {
+    // A lone single-shot transmitter with nobody to acknowledge walks into
+    // error-passive and from then on serves an 8-bit suspend-transmission
+    // penalty after every attempt, followed by a long idle gap until its
+    // next period. The skip horizon must include the suspend expiry (and
+    // the queued next attempt), or retransmission timing drifts.
+    let build = |recorder: Recorder| {
+        SimBuilder::new(BusSpeed::K500)
+            .recorder(recorder)
+            .node(Node::with_config(
+                "lone",
+                Box::new(PeriodicSender::new(frame(0x0A0, &[0x33; 2]), 1_000, 0)),
+                ControllerConfig {
+                    ack_enabled: true,
+                    retransmit: false,
+                },
+            ))
+            .build()
+    };
+    check_equivalence(build, 40_000).unwrap();
+
+    let mut sim = build(Recorder::disabled());
+    sim.run_fast(40_000);
+    let ack_errors = sim
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ErrorDetected { .. }))
+        .count();
+    assert!(
+        ack_errors >= 30,
+        "every period must produce exactly one attempt + ACK error: {ack_errors}"
+    );
+    assert!(
+        sim.node(0).controller().counters().tec() >= 96,
+        "the transmitter must have reached the error-passive regime"
+    );
+}

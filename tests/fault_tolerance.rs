@@ -7,7 +7,7 @@
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{EventKind, FaultModel, Node, Simulator};
+use can_sim::{EventKind, FaultModel, Node, SimBuilder, Simulator};
 use michican::prelude::*;
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
@@ -16,24 +16,25 @@ fn frame(id: u16, data: &[u8]) -> CanFrame {
 
 /// A benign bus (two senders + their defenders) under channel noise.
 fn noisy_benign_bus(fault: FaultModel, bits: u64) -> Simulator {
-    let mut sim = Simulator::new(BusSpeed::K500);
     let list = EcuList::from_raw(&[0x0B0, 0x240]);
-    sim.add_node(
-        Node::new(
-            "ecu-b0",
-            Box::new(PeriodicSender::new(frame(0x0B0, &[0x55; 8]), 600, 0)),
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(
+            Node::new(
+                "ecu-b0",
+                Box::new(PeriodicSender::new(frame(0x0B0, &[0x55; 8]), 600, 0)),
+            )
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
         )
-        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    sim.add_node(
-        Node::new(
-            "ecu-240",
-            Box::new(PeriodicSender::new(frame(0x240, &[0xAA; 8]), 900, 333)),
+        .node(
+            Node::new(
+                "ecu-240",
+                Box::new(PeriodicSender::new(frame(0x240, &[0xAA; 8]), 900, 333)),
+            )
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
         )
-        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    sim.set_fault_model(fault);
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .fault(fault)
+        .build();
     sim.run(bits);
     sim
 }
@@ -72,14 +73,15 @@ fn sporadic_bit_flips_never_bus_off_a_legitimate_node() {
 fn single_scripted_glitch_is_absorbed() {
     // One flipped bit mid-frame: the frame is destroyed and retransmitted
     // once; TEC returns to zero after a handful of successes.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "sender",
-        Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    // Bit 60 lands inside the first frame's data field.
-    sim.set_fault_model(FaultModel::scripted(vec![60]));
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        // Bit 60 lands inside the first frame's data field.
+        .fault(FaultModel::scripted(vec![60]))
+        .build();
     sim.run(8_000);
 
     let errors = sim
@@ -108,21 +110,24 @@ fn glitch_during_identifier_does_not_trigger_a_counterattack_cascade() {
     // momentarily malicious; the stuff/CRC machinery destroys the frame
     // anyway, the sender retransmits, and one spurious counterattack at
     // most costs one extra retransmission — never an eradication.
-    let mut sim = Simulator::new(BusSpeed::K500);
     let list = EcuList::from_raw(&[0x100, 0x1F0]);
-    let sender = sim.add_node(Node::new(
-        "sender-0x1F0",
-        Box::new(PeriodicSender::new(frame(0x1F0, &[0x11; 8]), 500, 0)),
-    ));
-    sim.add_node(
-        Node::new("defender-0x100", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    // Flip one identifier bit of the first frame (bits 1..12 carry the id;
-    // recessive->dominant makes the observed id numerically smaller, i.e.
-    // potentially inside the defender's DoS range).
-    sim.set_fault_model(FaultModel::scripted(vec![4]));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let sender = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "sender-0x1F0",
+            Box::new(PeriodicSender::new(frame(0x1F0, &[0x11; 8]), 500, 0)),
+        ))
+        .node(
+            Node::new("defender-0x100", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        // Flip one identifier bit of the first frame (bits 1..12 carry the
+        // id; recessive->dominant makes the observed id numerically
+        // smaller, i.e. potentially inside the defender's DoS range).
+        .fault(FaultModel::scripted(vec![4]))
+        .build();
     sim.run(30_000);
 
     assert_ne!(
@@ -142,17 +147,20 @@ fn glitch_during_identifier_does_not_trigger_a_counterattack_cascade() {
 fn attack_is_still_eradicated_through_a_noisy_channel() {
     // The defense keeps working under channel noise: the attacker's TEC
     // ladder is driven by ~32 deliberate injections, dwarfing noise.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
-    ));
     let list = EcuList::from_raw(&[0x173]);
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    sim.set_fault_model(FaultModel::random(5e-5, 7));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(0x050, &[0; 8]), 300, 0)),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        )
+        .fault(FaultModel::random(5e-5, 7))
+        .build();
     let hit = sim.run_until(20_000, |e| matches!(e.kind, EventKind::BusOff));
     assert!(hit.is_some(), "eradication must succeed despite noise");
     let episodes = can_sim::bus_off_episodes(sim.events(), attacker);
@@ -229,13 +237,14 @@ use can_core::bitstream::{stuff_frame, FrameField, FrameLayout};
 
 /// Locates the first frame's SOF instant on a clean single-sender bus.
 fn first_sof_instant() -> u64 {
-    let mut sim = Simulator::new(BusSpeed::K500);
-    sim.add_node(Node::new(
-        "sender",
-        Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    sim.enable_trace();
+    let mut sim = SimBuilder::new(BusSpeed::K500)
+        .node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .trace()
+        .build();
     sim.run(200);
     sim.trace()
         .expect("trace enabled")
@@ -248,13 +257,16 @@ fn first_sof_instant() -> u64 {
 /// Runs the single-sender bus with one scripted flip and asserts graceful
 /// recovery: the error is absorbed, traffic continues, nobody buses off.
 fn assert_boundary_flip_absorbed(flip_at: u64, boundary: &str) {
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let sender = sim.add_node(Node::new(
-        "sender",
-        Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
-    sim.set_fault_model(FaultModel::scripted(vec![flip_at]));
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let sender = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(frame(0x123, &[0x42; 8]), 400, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .fault(FaultModel::scripted(vec![flip_at]))
+        .build();
     sim.run(12_000);
 
     assert_ne!(

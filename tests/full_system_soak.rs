@@ -7,7 +7,7 @@ use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::app::{PeriodicSender, RemoteResponder, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
 use can_ids::IdsMonitor;
-use can_sim::{bus_off_episodes, EventKind, FaultModel, Node, Simulator};
+use can_sim::{bus_off_episodes, EventKind, FaultModel, Node, SimBuilder};
 use michican::prelude::*;
 use restbus::{pacifica_matrix, ReplayApp};
 
@@ -15,16 +15,16 @@ use restbus::{pacifica_matrix, ReplayApp};
 fn the_whole_stack_coexists() {
     let speed = BusSpeed::K500;
     let matrix = pacifica_matrix(speed);
-    let mut sim = Simulator::new(speed);
+    let mut builder = SimBuilder::new(speed);
 
     // Restbus: the Pacifica chassis traffic split per sender.
     let mut node_names = Vec::new();
     for sender in matrix.by_sender().keys() {
-        let id = sim.add_node(Node::new(
+        node_names.push((builder.node_id(), sender.to_string()));
+        builder = builder.node(Node::new(
             sender.to_string(),
             Box::new(ReplayApp::for_sender(&matrix, sender)),
         ));
-        node_names.push((id, sender.to_string()));
     }
 
     // A request/response pair on a dedicated identifier. It outranks the
@@ -33,12 +33,13 @@ fn the_whole_stack_coexists() {
     // (A lowest-priority service id would legitimately starve while the
     // bus is at war ~50 % of the time.)
     let service_id = CanId::from_raw(0x0C8);
-    let responder = sim.add_node(Node::new(
+    let responder = builder.node_id();
+    builder = builder.node(Node::new(
         "diag-service",
         Box::new(RemoteResponder::new(service_id, &[0xCA, 0xFE, 0xBA, 0xBE])),
     ));
     let request = CanFrame::remote_frame(service_id, 4).unwrap();
-    sim.add_node(Node::new(
+    builder = builder.node(Node::new(
         "diag-tester",
         Box::new(PeriodicSender::new(
             request,
@@ -48,7 +49,7 @@ fn the_whole_stack_coexists() {
     ));
 
     // An IDS monitor (observes, never transmits).
-    sim.add_node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
+    builder = builder.node(Node::new("ids", Box::new(IdsMonitor::typical_500k())));
 
     // The MichiCAN dongle, aware of the whole matrix + the service id.
     // It owns no identifier of its own, so it watches the DoS range only:
@@ -57,14 +58,16 @@ fn the_whole_stack_coexists() {
     let mut all_ids = matrix.ids();
     all_ids.push(service_id);
     let list = EcuList::new(all_ids).unwrap();
-    let defender = sim.add_node(
+    let defender = builder.node_id();
+    builder = builder.node(
         Node::new("michican", Box::new(SilentApplication))
             .with_agent(Box::new(MichiCan::new(DetectionFsm::for_monitor(&list)))),
     );
 
     // The attacker: saturating targeted DoS one step above the brake
     // pressure message.
-    let attacker = sim.add_node(Node::new(
+    let attacker = builder.node_id();
+    builder = builder.node(Node::new(
         "attacker",
         Box::new(
             SuspensionAttacker::saturating(DosKind::Targeted {
@@ -74,13 +77,14 @@ fn the_whole_stack_coexists() {
         ),
     ));
 
-    // Mild channel noise on top.
-    sim.set_fault_model(FaultModel::random(2e-5, 0x50AC));
-
     // A soak run must not grow memory with run length: trace the bus
-    // through a fixed-size ring instead of an unbounded vector.
+    // through a fixed-size ring instead of an unbounded vector. Mild
+    // channel noise on top.
     const TRACE_CAPACITY: usize = 10_000;
-    sim.enable_trace_ring(TRACE_CAPACITY);
+    let mut sim = builder
+        .fault(FaultModel::random(2e-5, 0x50AC))
+        .trace_ring(TRACE_CAPACITY)
+        .build();
 
     sim.run_millis(300.0);
 

@@ -20,7 +20,7 @@ use can_attacks::{DosKind, SuspensionAttacker};
 use can_core::agent::BitAgent;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BitInstant, BusSpeed, CanFrame, CanId, Level};
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder, Simulator};
 use michican::health::DegradeReason;
 use michican::prelude::*;
 
@@ -98,26 +98,26 @@ fn supervised_bus(
     wrap: impl FnOnce(Shared) -> Box<dyn BitAgent>,
 ) -> (Simulator, Shared, Option<usize>) {
     let speed = BusSpeed::K500;
-    let mut sim = Simulator::new(speed);
-    sim.add_node(Node::new(
-        "ecu-b0",
-        Box::new(PeriodicSender::new(frame(0x0B0, &[0x55; 8]), 600, 0)),
-    ));
-    sim.add_node(Node::new(
-        "ecu-240",
-        Box::new(PeriodicSender::new(frame(0x240, &[0xAA; 8]), 900, 333)),
-    ));
     let list = EcuList::from_raw(&[0x0B0, 0x240]);
     let shared = Shared(Rc::new(RefCell::new(SupervisedMichiCan::new(
         MichiCan::new(DetectionFsm::for_monitor(&list)),
         config,
         SyncConfig::typical(speed),
     ))));
-    sim.add_node(
-        Node::new("michican", Box::new(SilentApplication)).with_agent(wrap(shared.clone())),
-    );
-    let attacker = attack.then(|| {
-        sim.add_node(Node::new(
+    let mut builder = SimBuilder::new(speed)
+        .node(Node::new(
+            "ecu-b0",
+            Box::new(PeriodicSender::new(frame(0x0B0, &[0x55; 8]), 600, 0)),
+        ))
+        .node(Node::new(
+            "ecu-240",
+            Box::new(PeriodicSender::new(frame(0x240, &[0xAA; 8]), 900, 333)),
+        ))
+        .node(Node::new("michican", Box::new(SilentApplication)).with_agent(wrap(shared.clone())));
+    let mut attacker = None;
+    if attack {
+        attacker = Some(builder.node_id());
+        builder = builder.node(Node::new(
             "attacker",
             Box::new(
                 SuspensionAttacker::saturating(DosKind::Targeted {
@@ -125,9 +125,9 @@ fn supervised_bus(
                 })
                 .with_payload(&[0xFF; 8]),
             ),
-        ))
-    });
-    (sim, shared, attacker)
+        ));
+    }
+    (builder.build(), shared, attacker)
 }
 
 #[test]

@@ -11,7 +11,7 @@
 
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId, ErrorState};
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder};
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
     CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
@@ -19,17 +19,21 @@ fn frame(id: u16, data: &[u8]) -> CanFrame {
 
 #[test]
 fn simultaneous_same_id_different_data_damages_both() {
-    let mut sim = Simulator::new(BusSpeed::K500);
     // Both nodes enqueue the same identifier at t = 0 with different data:
     // they tie in arbitration and collide in the data field.
-    let owner = sim.add_node(Node::new(
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let owner = builder.node_id();
+    let builder = builder.node(Node::new(
         "owner",
         Box::new(PeriodicSender::new(frame(0x173, &[0xFF; 8]), 100_000, 0)),
     ));
-    let spoofer = sim.add_node(Node::new(
-        "spoofer",
-        Box::new(PeriodicSender::new(frame(0x173, &[0x00; 8]), 100_000, 0)),
-    ));
+    let spoofer = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "spoofer",
+            Box::new(PeriodicSender::new(frame(0x173, &[0x00; 8]), 100_000, 0)),
+        ))
+        .build();
     sim.run(400);
 
     let errors_of = |node: usize| {
@@ -52,17 +56,21 @@ fn identical_frames_collide_invisibly() {
     // streams is the stream itself; both transmitters complete "their"
     // frame without any error. (This is why a spoofer replaying byte-
     // identical traffic is undetectable at the physical layer.)
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let a = sim.add_node(Node::new(
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let a = builder.node_id();
+    let builder = builder.node(Node::new(
         "a",
         Box::new(PeriodicSender::new(frame(0x100, &[0x42; 4]), 100_000, 0)),
     ));
-    let b = sim.add_node(Node::new(
-        "b",
-        Box::new(PeriodicSender::new(frame(0x100, &[0x42; 4]), 100_000, 0)),
-    ));
+    let b = builder.node_id();
     // A third node acknowledges the (single, superposed) frame.
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let mut sim = builder
+        .node(Node::new(
+            "b",
+            Box::new(PeriodicSender::new(frame(0x100, &[0x42; 4]), 100_000, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(400);
     assert!(
         !sim.events()
@@ -92,16 +100,20 @@ fn lockstep_collisions_degrade_both_parties_into_a_stalemate() {
     // the GPIO injection pins the blame on the attacker alone (its TEC
     // walks monotonically to 256) while the defender's counters stay at
     // zero — compare tests/busoff_ladder.rs.
-    let mut sim = Simulator::new(BusSpeed::K500);
-    let owner = sim.add_node(Node::new(
+    let builder = SimBuilder::new(BusSpeed::K500);
+    let owner = builder.node_id();
+    let builder = builder.node(Node::new(
         "owner",
         Box::new(PeriodicSender::new(frame(0x173, &[0xFF; 8]), 200, 0)),
     ));
-    let spoofer = sim.add_node(Node::new(
-        "spoofer",
-        Box::new(PeriodicSender::new(frame(0x173, &[0x00; 8]), 200, 0)),
-    ));
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let spoofer = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "spoofer",
+            Box::new(PeriodicSender::new(frame(0x173, &[0x00; 8]), 200, 0)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run(20_000);
 
     let errors_of = |node: usize| {

@@ -6,10 +6,15 @@
 //! the zero-cost contract: a disabled recorder records nothing and leaves
 //! every measured artifact untouched.
 
-use bench::campaign::{run_campaign, run_campaign_metered, CampaignConfig};
-use bench::detection::{run_sweep_with_sizes_metered, run_sweep_with_sizes_sharded};
+use bench::campaign::{run_campaign, run_campaign_with, CampaignConfig};
+use bench::detection::{run_sweep_with_sizes_sharded, run_sweep_with_sizes_with};
 use bench::obs::run_reaction_probe;
+use bench::runner::ExecOpts;
 use can_obs::Recorder;
+
+fn metered(recorder: &Recorder) -> ExecOpts {
+    ExecOpts::new().with_recorder(recorder.clone())
+}
 
 const SHARD_COUNTS: [usize; 2] = [2, 4];
 
@@ -24,7 +29,7 @@ fn quick_config(shards: usize) -> CampaignConfig {
 #[test]
 fn metered_campaign_snapshot_is_byte_identical_across_shard_counts() {
     let serial = Recorder::enabled();
-    let serial_report = run_campaign_metered(&quick_config(1), &serial).render();
+    let serial_report = run_campaign_with(&quick_config(1), &metered(&serial)).render();
     let serial_json = serial.snapshot_json();
     assert!(
         serial_json.contains("michican_reaction_latency_bits"),
@@ -32,7 +37,8 @@ fn metered_campaign_snapshot_is_byte_identical_across_shard_counts() {
     );
     for shards in SHARD_COUNTS {
         let parallel = Recorder::enabled();
-        let parallel_report = run_campaign_metered(&quick_config(shards), &parallel).render();
+        let parallel_report =
+            run_campaign_with(&quick_config(shards), &metered(&parallel)).render();
         assert_eq!(parallel_report, serial_report, "report, shards={shards}");
         assert_eq!(
             parallel.snapshot_json(),
@@ -45,11 +51,12 @@ fn metered_campaign_snapshot_is_byte_identical_across_shard_counts() {
 #[test]
 fn metered_sweep_snapshot_is_byte_identical_across_shard_counts() {
     let serial = Recorder::enabled();
-    let serial_sweep = run_sweep_with_sizes_metered(120, 42, 50, 150, 1, &serial);
+    let serial_sweep = run_sweep_with_sizes_with(120, 42, 50, 150, &metered(&serial));
     let serial_json = serial.snapshot_json();
     for shards in SHARD_COUNTS {
         let parallel = Recorder::enabled();
-        let parallel_sweep = run_sweep_with_sizes_metered(120, 42, 50, 150, shards, &parallel);
+        let parallel_sweep =
+            run_sweep_with_sizes_with(120, 42, 50, 150, &metered(&parallel).with_shards(shards));
         assert_eq!(parallel_sweep, serial_sweep, "shards={shards}");
         assert_eq!(
             parallel.snapshot_json(),
@@ -66,7 +73,7 @@ fn full_metrics_export_path_is_deterministic() {
     // merged into one root recorder.
     let snapshot = |shards: usize| {
         let recorder = Recorder::enabled();
-        run_sweep_with_sizes_metered(60, 7, 50, 150, shards, &recorder);
+        run_sweep_with_sizes_with(60, 7, 50, 150, &metered(&recorder).with_shards(shards));
         run_reaction_probe(&recorder, 30.0);
         recorder.snapshot_json()
     };
@@ -80,7 +87,7 @@ fn full_metrics_export_path_is_deterministic() {
 fn disabled_recorder_records_nothing_and_perturbs_nothing() {
     // Nothing recorded…
     let disabled = Recorder::disabled();
-    let report = run_campaign_metered(&quick_config(1), &disabled);
+    let report = run_campaign_with(&quick_config(1), &metered(&disabled));
     assert!(disabled.into_registry().is_empty());
 
     // …and the measured artifact is identical to the unmetered run, and to
@@ -88,10 +95,13 @@ fn disabled_recorder_records_nothing_and_perturbs_nothing() {
     let baseline = run_campaign(&quick_config(1));
     assert_eq!(report, baseline, "disabled metering must not perturb cells");
     let enabled = Recorder::enabled();
-    let metered = run_campaign_metered(&quick_config(1), &enabled);
-    assert_eq!(metered, baseline, "enabled metering must not perturb cells");
+    let enabled_report = run_campaign_with(&quick_config(1), &metered(&enabled));
+    assert_eq!(
+        enabled_report, baseline,
+        "enabled metering must not perturb cells"
+    );
 
-    let sweep_metered = run_sweep_with_sizes_metered(60, 7, 50, 150, 1, &Recorder::disabled());
+    let sweep_metered = run_sweep_with_sizes_with(60, 7, 50, 150, &metered(&Recorder::disabled()));
     let sweep_plain = run_sweep_with_sizes_sharded(60, 7, 50, 150, 1);
     assert_eq!(sweep_metered, sweep_plain);
 }

@@ -6,7 +6,7 @@ use can_core::agent::BitAgent;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::bitstream::stuff_frame;
 use can_core::{BusSpeed, CanFrame, CanId, Level};
-use can_sim::{bus_off_episodes, EventKind, Node, Simulator};
+use can_sim::{bus_off_episodes, EventKind, Node, SimBuilder};
 use michican::analysis::depth_profile;
 use michican::detect::detection_range;
 use michican::prelude::*;
@@ -27,17 +27,20 @@ proptest! {
         attacker_raw in 0u16..0x173,
         payload in arb_payload(),
     ) {
-        let mut sim = Simulator::new(BusSpeed::K500);
         let frame = CanFrame::data_frame(CanId::from_raw(attacker_raw), &payload).unwrap();
-        let attacker = sim.add_node(Node::new(
-            "attacker",
-            Box::new(PeriodicSender::new(frame, 400, 0)),
-        ));
         let list = EcuList::from_raw(&[0x173]);
-        sim.add_node(
-            Node::new("defender", Box::new(SilentApplication))
-                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-        );
+        let builder = SimBuilder::new(BusSpeed::K500);
+        let attacker = builder.node_id();
+        let mut sim = builder
+            .node(Node::new(
+                "attacker",
+                Box::new(PeriodicSender::new(frame, 400, 0)),
+            ))
+            .node(
+                Node::new("defender", Box::new(SilentApplication))
+                    .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+            )
+            .build();
         let hit = sim.run_until(8_000, |e| matches!(e.kind, EventKind::BusOff));
         prop_assert!(hit.is_some(), "attacker 0x{attacker_raw:03X} must be bused off");
         let ep = &bus_off_episodes(sim.events(), attacker)[0];
@@ -62,17 +65,18 @@ proptest! {
         sender_raw in 0x174u16..=CanId::MAX_RAW,
         payload in arb_payload(),
     ) {
-        let mut sim = Simulator::new(BusSpeed::K500);
         let frame = CanFrame::data_frame(CanId::from_raw(sender_raw), &payload).unwrap();
-        sim.add_node(Node::new(
-            "benign",
-            Box::new(PeriodicSender::new(frame, 400, 0)),
-        ));
         let list = EcuList::from_raw(&[0x173]);
-        sim.add_node(
-            Node::new("defender", Box::new(SilentApplication))
-                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-        );
+        let mut sim = SimBuilder::new(BusSpeed::K500)
+            .node(Node::new(
+                "benign",
+                Box::new(PeriodicSender::new(frame, 400, 0)),
+            ))
+            .node(
+                Node::new("defender", Box::new(SilentApplication))
+                    .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+            )
+            .build();
         sim.run(4_000);
         let any_errors = sim
             .events()

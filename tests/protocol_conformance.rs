@@ -5,25 +5,32 @@
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::counters::{RECOVERY_SEQUENCES, RECOVERY_SEQUENCE_BITS};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_sim::{EventKind, Node, Simulator};
+use can_sim::{EventKind, Node, SimBuilder, Simulator};
 use michican::prelude::*;
 
 fn frame(id: u16, data: &[u8]) -> CanFrame {
     CanFrame::data_frame(CanId::from_raw(id), data).unwrap()
 }
 
-fn attack_sim(attacker_id: u16) -> (Simulator, usize) {
-    let mut sim = Simulator::new(BusSpeed::K50);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(attacker_id, &[0; 8]), 400, 0)),
-    ));
+fn attack_builder(attacker_id: u16) -> (SimBuilder, usize) {
     let list = EcuList::from_raw(&[0x173]);
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-    );
-    (sim, attacker)
+    let builder = SimBuilder::new(BusSpeed::K50);
+    let attacker = builder.node_id();
+    let builder = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(attacker_id, &[0; 8]), 400, 0)),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+        );
+    (builder, attacker)
+}
+
+fn attack_sim(attacker_id: u16) -> (Simulator, usize) {
+    let (builder, attacker) = attack_builder(attacker_id);
+    (builder.build(), attacker)
 }
 
 /// Collects the attacker's transmission-start instants of the first
@@ -118,12 +125,12 @@ fn no_errors_and_no_bus_off_without_an_attacker() {
     // to a node that never transmits 0x400 would make the real owner's
     // frames look like spoofing (by Definition IV.1 they are: two nodes
     // claiming one identifier).
-    let mut sim = Simulator::new(BusSpeed::K500);
+    let mut builder = SimBuilder::new(BusSpeed::K500);
     for (i, (id, period)) in [(0x0A0u16, 500u64), (0x150, 700), (0x2B0, 1_100)]
         .iter()
         .enumerate()
     {
-        sim.add_node(Node::new(
+        builder = builder.node(Node::new(
             format!("ecu{i}"),
             Box::new(PeriodicSender::new(
                 frame(*id, &[i as u8; 8]),
@@ -135,13 +142,15 @@ fn no_errors_and_no_bus_off_without_an_attacker() {
     let list = EcuList::from_raw(&[0x0A0, 0x150, 0x2B0, 0x400]);
     // The 0x400 owner itself runs MichiCAN: its own transmissions are
     // exempted via the own-transmission hint.
-    sim.add_node(
-        Node::new(
-            "ecu3-defender",
-            Box::new(PeriodicSender::new(frame(0x400, &[3; 8]), 1_900, 111)),
+    let mut sim = builder
+        .node(
+            Node::new(
+                "ecu3-defender",
+                Box::new(PeriodicSender::new(frame(0x400, &[3; 8]), 1_900, 111)),
+            )
+            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 3)))),
         )
-        .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 3)))),
-    );
+        .build();
     sim.run(60_000);
 
     assert!(
@@ -168,22 +177,25 @@ fn no_errors_and_no_bus_off_without_an_attacker() {
 fn higher_priority_benign_frame_interrupts_active_retransmissions() {
     // Table III, Experiments 1/3: in the error-active region only
     // higher-priority messages win the retransmission race.
-    let mut sim = Simulator::new(BusSpeed::K50);
-    let attacker = sim.add_node(Node::new(
-        "attacker",
-        Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 5_000, 0)),
-    ));
-    // Higher-priority benign sender (0x020 < 0x064), due mid-episode.
-    sim.add_node(Node::new(
-        "hp-benign",
-        Box::new(PeriodicSender::new(frame(0x020, &[7; 8]), 5_000, 200)),
-    ));
     let list = EcuList::from_raw(&[0x020, 0x173]);
-    sim.add_node(
-        Node::new("defender", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
-    );
-    sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+    let builder = SimBuilder::new(BusSpeed::K50);
+    let attacker = builder.node_id();
+    let mut sim = builder
+        .node(Node::new(
+            "attacker",
+            Box::new(PeriodicSender::new(frame(0x064, &[0; 8]), 5_000, 0)),
+        ))
+        // Higher-priority benign sender (0x020 < 0x064), due mid-episode.
+        .node(Node::new(
+            "hp-benign",
+            Box::new(PeriodicSender::new(frame(0x020, &[7; 8]), 5_000, 200)),
+        ))
+        .node(
+            Node::new("defender", Box::new(SilentApplication))
+                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 1)))),
+        )
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build();
     sim.run_until(20_000, |e| matches!(e.kind, EventKind::BusOff))
         .expect("attacker still bused off despite interruptions");
 
@@ -210,8 +222,8 @@ fn bus_level_is_dominated_during_error_flags() {
     // Error flags are six dominant bits: trace the bus and find at least
     // one dominant run of ≥ 6 outside the frame prefix whenever an error
     // occurs.
-    let (mut sim, _) = attack_sim(0x064);
-    sim.enable_trace();
+    let (builder, _) = attack_builder(0x064);
+    let mut sim = builder.trace().build();
     sim.run_until(3_000, |e| matches!(e.kind, EventKind::ErrorDetected { .. }))
         .expect("an error must occur");
     sim.run(40); // let the flag play out
