@@ -32,6 +32,28 @@
 //! Prometheus text rendering next to it (`<path>` with the extension
 //! replaced by `.prom`). The JSON snapshot is byte-identical for every
 //! shard count; status messages go to stderr so stdout stays diffable.
+//!
+//! ## `experiments sweep` — the crash-tolerant campaign sweep
+//!
+//! ```text
+//! experiments sweep --dir <path> [--workload campaign|synthetic]
+//!                   [--replicas <n>] [--run-ms <f>] [--fast]     # campaign
+//!                   [--cells <n>] [--cell-work <n>]              # synthetic
+//!                   [--seed <n|0xHEX>] [--chunk <cells>] [--max-attempts <n>]
+//!                   [--shards <n> | -j <n>] [--timeout-ms <n>] [--backoff-ms <n>]
+//!                   [--max-rss-mb <n>]          # resumable fail-fast RSS guard
+//!                   [--chaos-panic <n>] [--chaos-hang <n>] [--chaos-hang-ms <n>]
+//!                   [--stop-after-chunks <n>]   # crash-simulation test hook
+//! experiments sweep --resume <dir> [--shards|--timeout-ms|--backoff-ms|--max-rss-mb …]
+//! ```
+//!
+//! Progress is checkpointed to `<dir>/journal.jsonl` after every chunk; a
+//! killed (or RSS-guard-stopped) run continues with `--resume <dir>`,
+//! which rebuilds the workload from the journal header. The final merged
+//! `can-obs/v1` snapshot lands in `<dir>/snapshot.json` and is
+//! byte-identical for every shard count and across any kill/resume point
+//! (see `DESIGN.md §10`). The report on stdout is deterministic; progress
+//! and paths go to stderr.
 
 use std::env;
 use std::path::PathBuf;
@@ -51,6 +73,15 @@ use michican::Scenario;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        match sweep_command(&args[1..]) {
+            Ok(()) => return,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
     let (shards, args) = match parse_shards(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -169,6 +200,150 @@ fn main() {
 
     if let Some(path) = metrics_out {
         write_metrics(&recorder, &path);
+    }
+}
+
+/// The `experiments sweep` subcommand: a crash-tolerant, resumable
+/// campaign sweep (see `bench::sweep` and `DESIGN.md §10`).
+fn sweep_command(raw: &[String]) -> Result<(), String> {
+    use bench::sweep::{
+        self, CampaignSweep, ChaosSpec, Chaotic, SweepConfig, SweepError, SweepWorkload,
+        SyntheticSweep,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let (shards, args) = parse_shards(raw)?;
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    fn num<T: std::str::FromStr>(
+        value: Option<&String>,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match value {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("invalid value for {name}: {s}")),
+        }
+    }
+
+    let timeout_ms: u64 = num(value("--timeout-ms"), "--timeout-ms", 0)?;
+    let base_config = SweepConfig {
+        shards,
+        cell_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        retry_backoff: Duration::from_millis(num(value("--backoff-ms"), "--backoff-ms", 10)?),
+        max_rss_mb: value("--max-rss-mb")
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("invalid value for --max-rss-mb: {s}"))
+            })
+            .transpose()?,
+        stop_after_chunks: value("--stop-after-chunks")
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("invalid value for --stop-after-chunks: {s}"))
+            })
+            .transpose()?,
+        ..SweepConfig::default()
+    };
+
+    let (workload, config, dir) = if let Some(dir) = value("--resume").map(PathBuf::from) {
+        let params = sweep::resume_params(&dir).map_err(|e| e.to_string())?;
+        let workload = sweep::workload_from_descriptor(&params.workload)?;
+        eprintln!(
+            "resuming sweep in {} (workload {})",
+            dir.display(),
+            params.workload
+        );
+        let config = SweepConfig {
+            seed: params.seed,
+            chunk_cells: params.chunk_cells,
+            max_attempts: params.max_attempts,
+            ..base_config
+        };
+        (workload, config, dir)
+    } else {
+        let dir: PathBuf = value("--dir")
+            .map(PathBuf::from)
+            .ok_or("sweep needs --dir <path> (or --resume <dir>)")?;
+        if dir.join(sweep::JOURNAL_FILE).exists() {
+            return Err(format!(
+                "{} already holds a sweep journal — continue it with \
+                 `experiments sweep --resume {}`, or pick a fresh --dir",
+                dir.display(),
+                dir.display()
+            ));
+        }
+        let seed = match value("--seed") {
+            None => SweepConfig::default().seed,
+            Some(s) => {
+                let parsed = match s.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => s.parse(),
+                };
+                parsed.map_err(|_| format!("invalid value for --seed: {s}"))?
+            }
+        };
+        let kind = value("--workload")
+            .map(String::as_str)
+            .unwrap_or("campaign");
+        let inner: Arc<dyn SweepWorkload> = match kind {
+            "campaign" => {
+                let mode = if args.iter().any(|a| a == "--fast") {
+                    bench::runner::SimMode::FastForward
+                } else {
+                    bench::runner::SimMode::Lockstep
+                };
+                Arc::new(CampaignSweep::new(
+                    num(value("--replicas"), "--replicas", 4)?,
+                    num(value("--run-ms"), "--run-ms", 150.0)?,
+                    mode,
+                ))
+            }
+            "synthetic" => Arc::new(SyntheticSweep {
+                cells: num(value("--cells"), "--cells", 10_000)?,
+                work: num(value("--cell-work"), "--cell-work", 1_000)?,
+            }),
+            other => return Err(format!("unknown --workload {other} (campaign|synthetic)")),
+        };
+        let chaos = ChaosSpec {
+            panic_every: num(value("--chaos-panic"), "--chaos-panic", 0)?,
+            panic_transient: false,
+            hang_every: num(value("--chaos-hang"), "--chaos-hang", 0)?,
+            hang_transient: true,
+            hang_ms: num(value("--chaos-hang-ms"), "--chaos-hang-ms", 60_000)?,
+        };
+        let workload: Arc<dyn SweepWorkload> = if chaos.is_inert() {
+            inner
+        } else {
+            Arc::new(Chaotic { inner, chaos })
+        };
+        let config = SweepConfig {
+            seed,
+            chunk_cells: num(value("--chunk"), "--chunk", 16)?,
+            max_attempts: num(value("--max-attempts"), "--max-attempts", 3)?,
+            ..base_config
+        };
+        (workload, config, dir)
+    };
+
+    match sweep::run_sweep(workload, &config, &dir) {
+        Ok(report) => {
+            print!("{}", report.render());
+            eprintln!("snapshot: {}", report.snapshot_path.display());
+            Ok(())
+        }
+        Err(e @ SweepError::MemoryLimit { .. }) => Err(e.to_string()),
+        Err(e @ SweepError::Aborted { .. }) => Err(format!(
+            "{e} (the journal in {} is resumable)",
+            dir.display()
+        )),
+        Err(e) => Err(e.to_string()),
     }
 }
 

@@ -323,15 +323,63 @@ impl BitAgent for SharedDefender {
     }
 }
 
+/// A campaign cell whose scenario could not be constructed.
+///
+/// Construction failures are pure functions of the cell's parameters (a
+/// malformed matrix, an invalid frame, duplicate identifiers) — rerunning
+/// the same cell deterministically fails the same way, so a sweep
+/// supervisor must classify them as **fatal** (quarantine immediately)
+/// rather than retryable, in contrast to panics and timeouts which get a
+/// bounded retry. [`CellBuildError::is_retryable`] encodes that contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellBuildError {
+    /// Which construction stage failed (`matrix`, `frame`, `ecu-list`).
+    pub stage: &'static str,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl CellBuildError {
+    fn new(stage: &'static str, detail: impl std::fmt::Display) -> Self {
+        CellBuildError {
+            stage,
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Whether a supervisor should retry the cell. Always `false`:
+    /// scenario construction is deterministic, so a failed build never
+    /// heals on retry — only panics and timeouts are worth retrying.
+    pub fn is_retryable(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for CellBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell construction failed at {}: {}",
+            self.stage, self.detail
+        )
+    }
+}
+
+impl std::error::Error for CellBuildError {}
+
 /// Runs one cell of the campaign.
+///
+/// # Panics
+///
+/// Panics if the cell scenario cannot be constructed; supervised callers
+/// (the sweep engine) use [`try_run_cell_with`] instead and classify the
+/// error.
 pub fn run_cell(traffic: Traffic, fault: FaultSpec, seed: u64, run_ms: f64) -> CellOutcome {
     run_cell_with(traffic, fault, seed, run_ms, &ExecOpts::default())
 }
 
-/// [`run_cell`] under explicit execution options. The recorder is
-/// attached to the simulator and the supervised defender; the defender's
-/// metrics are labelled with its node index on the cell's bus, matching
-/// the simulator's `can_*` series.
+/// [`run_cell`] under explicit execution options; panics on construction
+/// errors (see [`try_run_cell_with`] for the fallible form).
 pub fn run_cell_with(
     traffic: Traffic,
     fault: FaultSpec,
@@ -339,6 +387,25 @@ pub fn run_cell_with(
     run_ms: f64,
     opts: &ExecOpts,
 ) -> CellOutcome {
+    match try_run_cell_with(traffic, fault, seed, run_ms, opts) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`run_cell_with`]: scenario-construction failures come
+/// back as [`CellBuildError`] instead of panicking, so a sweep supervisor
+/// can classify them (fatal, never retried) separately from panics and
+/// timeouts (retryable). The recorder is attached to the simulator and the
+/// supervised defender; the defender's metrics are labelled with its node
+/// index on the cell's bus, matching the simulator's `can_*` series.
+pub fn try_run_cell_with(
+    traffic: Traffic,
+    fault: FaultSpec,
+    seed: u64,
+    run_ms: f64,
+    opts: &ExecOpts,
+) -> Result<CellOutcome, CellBuildError> {
     let recorder = &opts.recorder;
     let speed = BusSpeed::K500;
     let run_bits = speed.bits_in_millis(run_ms);
@@ -358,7 +425,7 @@ pub fn run_cell_with(
         .enumerate()
         .max_by_key(|(_, m)| m.id.raw())
         .map(|(i, _)| i)
-        .expect("non-empty matrix");
+        .ok_or_else(|| CellBuildError::new("matrix", "restbus matrix is empty"))?;
     let flaky_msg = messages.remove(flaky_index);
     let matrix = CommMatrix::new("veh-d-campaign", speed, messages);
 
@@ -373,7 +440,7 @@ pub fn run_cell_with(
 
     // The flaky node periodically sends the message carved out above.
     let flaky_frame = CanFrame::data_frame(flaky_msg.id, &vec![0x5A; flaky_msg.dlc as usize])
-        .expect("matrix dlc valid");
+        .map_err(|e| CellBuildError::new("frame", e))?;
     let flaky_period = speed.bits_in_millis(flaky_msg.period_ms as f64);
     let mut flaky_node = Node::new(
         "flaky",
@@ -417,7 +484,7 @@ pub fn run_cell_with(
     // The supervised MichiCAN dongle (monitor mode: it owns no id).
     let mut ids = matrix.ids();
     ids.push(flaky_msg.id);
-    let list = EcuList::new(ids).expect("matrix ids unique");
+    let list = EcuList::new(ids).map_err(|e| CellBuildError::new("ecu-list", e))?;
     let defender = SharedDefender(Rc::new(RefCell::new(SupervisedMichiCan::new(
         MichiCan::new(DetectionFsm::for_monitor(&list)),
         HealthConfig::default(),
@@ -485,7 +552,7 @@ pub fn run_cell_with(
     }
 
     let supervised = defender.0.borrow();
-    CellOutcome {
+    Ok(CellOutcome {
         traffic,
         fault,
         benign_delivered,
@@ -498,7 +565,7 @@ pub fn run_cell_with(
         rearms: supervised.stats().rearms,
         armed_at_end: supervised.state() == HealthState::Armed,
         bus_load: sim.observed_bus_load(),
-    }
+    })
 }
 
 /// Runs the full campaign (grid = [`default_grid`] × benign/attack) on

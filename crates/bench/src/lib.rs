@@ -22,7 +22,10 @@
 //!   artifacts (campaign, FSM sweep, Table II, multi-attacker scan) fan
 //!   out on;
 //! * [`obs`] — the serial observability probe backing
-//!   `experiments … --metrics-out`.
+//!   `experiments … --metrics-out`;
+//! * [`sweep`] — the crash-tolerant campaign sweep engine: journaled
+//!   checkpoint/resume, shard supervision with per-cell timeout and
+//!   retry, and panic quarantine (`experiments sweep`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,4 +40,5 @@ pub mod ids_compare;
 pub mod obs;
 pub mod runner;
 pub mod scenarios;
+pub mod sweep;
 pub mod table1;

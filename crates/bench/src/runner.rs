@@ -244,6 +244,14 @@ impl<C: Send> ExperimentPlan<C> {
     }
 }
 
+/// The host's available core count (≥ 1), the worker count `--shards 0`
+/// resolves to.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Parses a `--shards <n>` / `-j <n>` pair out of a CLI argument list and
 /// returns the shard count (defaulting to `1`, the serial path) plus the
 /// arguments with the flag removed.
@@ -260,9 +268,7 @@ pub fn parse_shards(args: &[String]) -> Result<(usize, Vec<String>), String> {
                 .parse()
                 .map_err(|_| format!("bad {arg} value: {value}"))?;
             if shards == 0 {
-                shards = std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1);
+                shards = available_cores();
             }
         } else {
             rest.push(arg.clone());

@@ -25,14 +25,20 @@
 //! 3. **Stable schema.** The JSON snapshot self-identifies as
 //!    `can-obs/v1`; metric keys use Prometheus notation
 //!    (`name{label="value"}`) so one key string serves both renderings.
+//!    The snapshot round-trips: [`Registry::from_snapshot_json`] is its
+//!    exact inverse (and [`Registry::merge_snapshot_json`] merges straight
+//!    from disk), which is what lets `bench::sweep` checkpoint partially
+//!    merged snapshots and resume a killed run byte-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use json::{JsonValue, ParseError};
 pub use recorder::{Recorder, SpanGuard};
 pub use registry::{Histogram, Registry, SpanStats, DEFAULT_BUCKETS, PERCENT_BUCKETS};
 pub use trace::{

@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::json::{self, JsonValue, ParseError};
 use crate::trace::TraceRecord;
 
 /// Default histogram bucket upper bounds (inclusive), in whatever unit the
@@ -424,6 +425,163 @@ impl Registry {
         out
     }
 
+    /// Reconstructs a registry from its [`Registry::snapshot_json`]
+    /// rendering.
+    ///
+    /// This is the exact inverse of the snapshot for everything the
+    /// snapshot contains: counters, gauges, histograms (bucket counts plus
+    /// exact count/sum/min/max — the p-quantiles are derived and are
+    /// recomputed, not stored) and the trace sink. Wall-clock spans are
+    /// not in the snapshot and therefore not reconstructed. The round trip
+    /// is byte-stable: `from_snapshot_json(s)?.snapshot_json() == s` for
+    /// any `s` this crate produced.
+    ///
+    /// Inconsistent documents — unknown schema, bucket counts that do not
+    /// sum to the histogram count, non-ascending bounds — are rejected;
+    /// `bench::sweep` relies on this as corruption detection when merging
+    /// checkpointed snapshots back from disk.
+    pub fn from_snapshot_json(text: &str) -> Result<Registry, ParseError> {
+        let fail = |detail: String| ParseError::new(0, detail);
+        let doc = json::parse(text)?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("can-obs/v1") => {}
+            other => return Err(fail(format!("unsupported snapshot schema {other:?}"))),
+        }
+        let object = |field: &str| {
+            doc.get(field)
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| fail(format!("missing object field '{field}'")))
+        };
+
+        let mut reg = Registry::new();
+        for (key, value) in object("counters")? {
+            let value = value
+                .as_u64()
+                .ok_or_else(|| fail(format!("counter '{key}' is not a u64")))?;
+            reg.counters.insert(key.clone(), value);
+        }
+        for (key, value) in object("gauges")? {
+            let value = value
+                .as_i64()
+                .ok_or_else(|| fail(format!("gauge '{key}' is not an i64")))?;
+            reg.gauges.insert(key.clone(), value);
+        }
+        for (key, hist) in object("histograms")? {
+            let field = |name: &str| {
+                hist.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| fail(format!("histogram '{key}': bad field '{name}'")))
+            };
+            let (count, sum) = (field("count")?, field("sum")?);
+            let (min, max) = (field("min")?, field("max")?);
+            let buckets = hist
+                .get("buckets")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| fail(format!("histogram '{key}': missing buckets")))?;
+            let mut bounds = Vec::with_capacity(buckets.len().saturating_sub(1));
+            let mut counts = Vec::with_capacity(buckets.len());
+            for (slot, bucket) in buckets.iter().enumerate() {
+                let pair = bucket
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| fail(format!("histogram '{key}': bucket {slot} malformed")))?;
+                let last = slot + 1 == buckets.len();
+                match (&pair[0], last) {
+                    (JsonValue::Str(s), true) if s == "inf" => {}
+                    (bound, false) => bounds.push(bound.as_u64().ok_or_else(|| {
+                        fail(format!("histogram '{key}': bucket {slot} bad bound"))
+                    })?),
+                    _ => {
+                        return Err(fail(format!(
+                            "histogram '{key}': last bucket must be the \"inf\" bucket"
+                        )))
+                    }
+                }
+                counts.push(
+                    pair[1].as_u64().ok_or_else(|| {
+                        fail(format!("histogram '{key}': bucket {slot} bad count"))
+                    })?,
+                );
+            }
+            if counts.is_empty() || !bounds.windows(2).all(|w| w[0] < w[1]) {
+                return Err(fail(format!("histogram '{key}': bounds not ascending")));
+            }
+            let bucket_total = counts
+                .iter()
+                .try_fold(0u64, |acc, &n| acc.checked_add(n))
+                .ok_or_else(|| fail(format!("histogram '{key}': bucket counts overflow")))?;
+            if bucket_total != count {
+                return Err(fail(format!(
+                    "histogram '{key}': bucket counts sum to {bucket_total}, count says {count}"
+                )));
+            }
+            if count > 0 && min > max {
+                return Err(fail(format!("histogram '{key}': min {min} > max {max}")));
+            }
+            reg.histograms.insert(
+                key.clone(),
+                Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                    // An empty histogram stores its neutral extremes; the
+                    // snapshot renders them as 0.
+                    min: if count == 0 { u64::MAX } else { min },
+                    max: if count == 0 { 0 } else { max },
+                },
+            );
+        }
+        reg.traces_dropped = doc
+            .get("traces_dropped")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| fail("missing 'traces_dropped'".into()))?;
+        let traces = doc
+            .get("traces")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| fail("missing 'traces'".into()))?;
+        if traces.len() > TRACE_CAPACITY {
+            return Err(fail(format!(
+                "{} traces exceed the sink capacity {TRACE_CAPACITY}",
+                traces.len()
+            )));
+        }
+        for (i, record) in traces.iter().enumerate() {
+            let entry = record
+                .as_array()
+                .filter(|e| e.len() == 4)
+                .ok_or_else(|| fail(format!("trace {i} malformed")))?;
+            let (at_bits, node) = (
+                entry[0]
+                    .as_u64()
+                    .ok_or_else(|| fail(format!("trace {i}: bad at_bits")))?,
+                entry[1]
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| fail(format!("trace {i}: bad node")))?,
+            );
+            let event = entry[2]
+                .as_str()
+                .ok_or_else(|| fail(format!("trace {i}: bad event")))?;
+            let detail = entry[3]
+                .as_str()
+                .ok_or_else(|| fail(format!("trace {i}: bad detail")))?;
+            reg.traces
+                .push(TraceRecord::new(at_bits, node, event, detail));
+        }
+        Ok(reg)
+    }
+
+    /// Parses a `can-obs/v1` snapshot and merges it into this registry —
+    /// the "merge-from-disk" primitive checkpointed sweeps use to fold a
+    /// persisted chunk snapshot into a running aggregate without retaining
+    /// the source registry.
+    pub fn merge_snapshot_json(&mut self, text: &str) -> Result<(), ParseError> {
+        let other = Registry::from_snapshot_json(text)?;
+        self.merge(&other);
+        Ok(())
+    }
+
     /// Renders the registry in Prometheus text exposition format,
     /// including the wall-clock spans (as `<name>_seconds` summaries).
     pub fn prometheus_text(&self) -> String {
@@ -507,23 +665,10 @@ fn join_labels(labels: &str) -> String {
     }
 }
 
-/// Escapes a string for embedding inside a JSON string literal.
+/// Escapes a string for embedding inside a JSON string literal (the
+/// shared escaper, see [`crate::json::escape`]).
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    json::escape(s)
 }
 
 #[cfg(test)]

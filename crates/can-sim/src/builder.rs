@@ -17,8 +17,8 @@
 //! assert_eq!(sim.trace().unwrap().len(), 100);
 //! ```
 //!
-//! The old mutators remain available as `#[deprecated]` shims for one
-//! release cycle; all in-repo callers construct via the builder.
+//! The old mutators went through a `#[deprecated]`-shim release cycle and
+//! have been removed; the builder is the only configuration surface.
 
 use can_core::BusSpeed;
 use can_obs::Recorder;
@@ -155,21 +155,16 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_setters_still_work() {
-        #![allow(deprecated)]
-        let mut sim = Simulator::new(BusSpeed::K500);
-        sim.set_recorder(Recorder::enabled());
-        sim.enable_trace();
-        sim.set_event_logging(false);
-        sim.set_fault_model(FaultModel::None);
-        sim.add_fault_layer(FaultModel::None);
-        sim.set_fault_stack(FaultStack::new());
-        sim.add_node(Node::new("n", Box::new(SilentApplication)));
+    fn trace_ring_and_event_logging_via_builder() {
+        let mut sim = SimBuilder::new(BusSpeed::K500)
+            .event_logging(false)
+            .fault(FaultModel::None)
+            .faults(FaultStack::new())
+            .trace_ring(4)
+            .node(Node::new("n", Box::new(SilentApplication)))
+            .build();
         sim.run(10);
-        assert_eq!(sim.trace().unwrap().len(), 10);
-        assert!(sim.events().is_empty());
-        sim.enable_trace_ring(4);
-        sim.run(10);
-        assert_eq!(sim.trace().unwrap().len(), 4);
+        assert_eq!(sim.trace().unwrap().len(), 4, "ring keeps the last bits");
+        assert!(sim.events().is_empty(), "event logging stays off");
     }
 }

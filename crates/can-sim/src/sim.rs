@@ -208,8 +208,9 @@ impl Simulator {
     }
 
     // ------------------------------------------------------------------
-    // Internal installers — the non-deprecated configuration surface used
-    // by [`crate::builder::SimBuilder`] and the shims below.
+    // Internal installers — the configuration surface used by
+    // [`crate::builder::SimBuilder`], which is the only way to configure
+    // a simulator.
     // ------------------------------------------------------------------
 
     pub(crate) fn install_recorder(&mut self, recorder: Recorder) {
@@ -232,66 +233,10 @@ impl Simulator {
         self.log_events = enabled;
     }
 
-    /// Attaches a metrics recorder. The default [`Recorder::disabled`]
-    /// makes every instrumentation site a no-op; an enabled recorder
-    /// accumulates per-node TEC/REC, error counts by kind, arbitration
-    /// losses, traffic counters and windowed bus utilization.
-    #[deprecated(note = "configure via `can_sim::SimBuilder::recorder` instead")]
-    pub fn set_recorder(&mut self, recorder: Recorder) {
-        self.install_recorder(recorder);
-    }
-
     /// The attached recorder (disabled unless one was installed via
     /// [`crate::builder::SimBuilder::recorder`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
-    }
-
-    /// Installs a single channel fault model (EMI-style bus
-    /// disturbances), replacing any existing stack.
-    #[deprecated(note = "configure via `can_sim::SimBuilder::fault` instead")]
-    pub fn set_fault_model(&mut self, fault: FaultModel) {
-        self.install_fault_stack(FaultStack::from(fault));
-    }
-
-    /// Installs a full channel fault stack, replacing any existing one.
-    #[deprecated(note = "configure via `can_sim::SimBuilder::faults` instead")]
-    pub fn set_fault_stack(&mut self, faults: FaultStack) {
-        self.install_fault_stack(faults);
-    }
-
-    /// Appends a channel fault layer on top of the existing stack.
-    #[deprecated(note = "configure via `can_sim::SimBuilder::fault` instead")]
-    pub fn add_fault_layer(&mut self, fault: FaultModel) {
-        self.push_fault_layer(fault);
-    }
-
-    /// Enables per-bit signal tracing (needed for Fig. 6-style timelines).
-    #[deprecated(note = "configure via `can_sim::SimBuilder::trace` instead")]
-    pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.install_trace(SignalTrace::default());
-        }
-    }
-
-    /// Enables bounded signal tracing: only the most recent `capacity`
-    /// bits are retained (for soak runs, where a full trace would grow
-    /// without limit). Replaces any existing trace.
-    #[deprecated(note = "configure via `can_sim::SimBuilder::trace_ring` instead")]
-    pub fn enable_trace_ring(&mut self, capacity: usize) {
-        self.install_trace(SignalTrace::ring(capacity));
-    }
-
-    /// Turns event logging on or off (on by default).
-    ///
-    /// With logging off, [`Simulator::step`] discards protocol events
-    /// instead of appending them to the log — applications and agents
-    /// still receive their callbacks, but [`Simulator::events`] stops
-    /// growing. Pure-throughput measurements and long soak runs use this
-    /// to keep the hot path free of log growth.
-    #[deprecated(note = "configure via `can_sim::SimBuilder::event_logging` instead")]
-    pub fn set_event_logging(&mut self, enabled: bool) {
-        self.install_event_logging(enabled);
     }
 
     /// Adds a node; returns its [`NodeId`].
