@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the packed bus kernel's word primitives and of a
+//! full simulator tick loop under the packed vs lockstep modes.
+//!
+//! The word primitives (`pack_word`, `extract_window`, `first_mismatch`)
+//! are the per-stretch inner loop of `Simulator::run_packed`; the
+//! end-to-end pair quantifies the active-bus speedup that
+//! `perfbase`'s `packed` section asserts in CI.
+
+use std::hint::black_box;
+
+use can_core::app::{PeriodicSender, SilentApplication};
+use can_core::{packed, BusSpeed, CanFrame, CanId, Level};
+use can_sim::{Node, SimBuilder, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_word_primitives(c: &mut Criterion) {
+    let levels: Vec<Level> = (0..64)
+        .map(|i| {
+            if (i * 7) % 3 == 0 {
+                Level::Dominant
+            } else {
+                Level::Recessive
+            }
+        })
+        .collect();
+    c.bench_function("packed/pack_word_64", |b| {
+        b.iter(|| packed::pack_word(black_box(&levels)))
+    });
+
+    let words: Vec<u64> = (0..8)
+        .map(|i| 0xA5A5_5A5A_0F0F_F0F0u64.rotate_left(i))
+        .collect();
+    c.bench_function("packed/extract_window_unaligned", |b| {
+        b.iter(|| packed::extract_window(black_box(&words), black_box(37)))
+    });
+
+    let sent = 0xDEAD_BEEF_CAFE_F00Du64;
+    let bus = sent & !(1u64 << 41);
+    c.bench_function("packed/first_mismatch", |b| {
+        b.iter(|| packed::first_mismatch(black_box(sent), black_box(bus), black_box(64)))
+    });
+    c.bench_function("packed/first_dominant", |b| {
+        b.iter(|| packed::first_dominant(black_box(bus), black_box(64)))
+    });
+}
+
+/// A 60 %-busload periodic-sender bus — the active-bus workload the
+/// packed kernel is built for.
+fn active_bus() -> Simulator {
+    let frame = CanFrame::data_frame(CanId::from_raw(0x222), &[0xA5; 8]).unwrap();
+    SimBuilder::new(BusSpeed::K50)
+        .node(Node::new(
+            "tx",
+            Box::new(PeriodicSender::new(frame, 185, 40)),
+        ))
+        .node(Node::new("rx", Box::new(SilentApplication)))
+        .build()
+}
+
+fn bench_active_bus(c: &mut Criterion) {
+    const BITS: u64 = 50_000;
+    c.bench_function("packed/active_bus_lockstep_50k", |b| {
+        b.iter(|| {
+            let mut sim = active_bus();
+            sim.run(black_box(BITS));
+            sim.now().bits()
+        })
+    });
+    c.bench_function("packed/active_bus_packed_50k", |b| {
+        b.iter(|| {
+            let mut sim = active_bus();
+            sim.run_packed(black_box(BITS));
+            sim.now().bits()
+        })
+    });
+}
+
+criterion_group!(benches, bench_word_primitives, bench_active_bus);
+criterion_main!(benches);

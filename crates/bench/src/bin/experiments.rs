@@ -8,6 +8,7 @@
 //!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
 //!             [--metrics-out <path>]   # per-run observability export
 //!             [--fast]                 # idle fast-forward simulation core
+//!             [--packed]               # word-packed bus kernel
 //! ```
 //!
 //! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
@@ -18,6 +19,11 @@
 //! (`SimMode::FastForward`). The output is byte-identical to the default
 //! lockstep mode — CI diffs the two — it just skips quiescent bus
 //! stretches in closed form (see `DESIGN.md §9`).
+//!
+//! `--packed` runs the same artifacts with the word-packed bus kernel
+//! (`SimMode::Packed`): event-free stretches resolve the wired-AND up to
+//! 64 bits at a time (see `DESIGN.md §11`). Output is again
+//! byte-identical — CI diffs this mode too.
 //!
 //! `--shards` fans the grid artifacts (faults, detection, table2,
 //! multi_attacker) out across worker threads; the output is byte-identical
@@ -90,7 +96,13 @@ fn main() {
         }
     };
     let full = args.iter().any(|a| a == "--full");
-    let fast = args.iter().any(|a| a == "--fast");
+    let mode = if args.iter().any(|a| a == "--packed") {
+        bench::runner::SimMode::Packed
+    } else if args.iter().any(|a| a == "--fast") {
+        bench::runner::SimMode::FastForward
+    } else {
+        bench::runner::SimMode::Lockstep
+    };
     let artifacts: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--artifacts")
@@ -155,7 +167,7 @@ fn main() {
     }
     if run("table2") {
         section("Table II — empirical bus-off time (six experiments, 50 kbit/s)");
-        table2(full, shards, fast, &recorder);
+        table2(full, shards, mode, &recorder);
     }
     if run("table3") {
         section("Table III — theoretical bus-off time");
@@ -167,7 +179,7 @@ fn main() {
     }
     if run("multi_attacker") {
         section("§V-C — more than two attackers");
-        multi_attacker(shards, fast, &recorder);
+        multi_attacker(shards, mode, &recorder);
     }
     if run("cpu") {
         section("§V-D — CPU utilization");
@@ -195,7 +207,7 @@ fn main() {
     }
     if run("faults") {
         section("Extension — fault-injection campaign (robustness grid)");
-        faults(full, shards, fast, &recorder);
+        faults(full, shards, mode, &recorder);
     }
 
     if let Some(path) = metrics_out {
@@ -348,14 +360,11 @@ fn sweep_command(raw: &[String]) -> Result<(), String> {
 }
 
 /// The base execution options for a grid artifact: metered by the root
-/// recorder, fast-forward when `--fast` asked for it.
-fn exec_opts(fast: bool, recorder: &Recorder) -> ExecOpts {
-    let opts = ExecOpts::new().with_recorder(recorder.clone());
-    if fast {
-        opts.fast()
-    } else {
-        opts
-    }
+/// recorder, in the simulation mode `--fast`/`--packed` asked for.
+fn exec_opts(mode: bench::runner::SimMode, recorder: &Recorder) -> ExecOpts {
+    ExecOpts::new()
+        .with_recorder(recorder.clone())
+        .with_mode(mode)
 }
 
 /// Runs the serial observability probe and writes the run's metrics: the
@@ -382,14 +391,14 @@ fn write_metrics(recorder: &Recorder, path: &std::path::Path) {
     eprintln!("metrics: wrote {} and {}", path.display(), prom.display());
 }
 
-fn faults(full: bool, shards: usize, fast: bool, recorder: &Recorder) {
+fn faults(full: bool, shards: usize, mode: bench::runner::SimMode, recorder: &Recorder) {
     use bench::campaign::{run_campaign_with, CampaignConfig};
     let config = CampaignConfig {
         run_ms: if full { 600.0 } else { 150.0 },
         shards,
         ..CampaignConfig::default()
     };
-    let opts = exec_opts(fast, recorder);
+    let opts = exec_opts(mode, recorder);
     print!("{}", run_campaign_with(&config, &opts).render());
     println!("(seeded and deterministic: rerunning reproduces this table byte for byte)");
 }
@@ -644,7 +653,7 @@ fn detection_latency(full: bool, shards: usize, recorder: &Recorder) {
     }
 }
 
-fn table2(full: bool, shards: usize, fast: bool, recorder: &Recorder) {
+fn table2(full: bool, shards: usize, mode: bench::runner::SimMode, recorder: &Recorder) {
     let capture_ms = if full { 10_000.0 } else { 2_000.0 };
     println!("capture: {capture_ms} ms per experiment (paper: 2 s)");
     println!(
@@ -662,7 +671,7 @@ fn table2(full: bool, shards: usize, fast: bool, recorder: &Recorder) {
         (24.9, 0.01, 25.4),
     ];
     let mut row = 0usize;
-    let opts = exec_opts(fast, recorder).with_shards(shards);
+    let opts = exec_opts(mode, recorder).with_shards(shards);
     for outcome in scenarios::run_table2_with(capture_ms, &opts) {
         let exp = &outcome.experiment;
         for (id, stats) in &outcome.per_attacker {
@@ -825,7 +834,7 @@ fn fig6(artifacts: Option<&std::path::Path>) {
     );
 }
 
-fn multi_attacker(shards: usize, fast: bool, recorder: &Recorder) {
+fn multi_attacker(shards: usize, mode: bench::runner::SimMode, recorder: &Recorder) {
     println!(
         "{:>3} {:>14} {:>12}   {:<30}",
         "A", "total (bits)", "total (ms)", "verdict vs 5000-bit deadline"
@@ -841,7 +850,7 @@ fn multi_attacker(shards: usize, fast: bool, recorder: &Recorder) {
     let scan = scenarios::run_multi_attacker_scan_with(
         &counts,
         60_000,
-        &exec_opts(fast, recorder).with_shards(shards),
+        &exec_opts(mode, recorder).with_shards(shards),
     );
     for ((count, result), (_, paper_bits)) in scan.into_iter().zip(paper) {
         match result {

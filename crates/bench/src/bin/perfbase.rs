@@ -110,6 +110,51 @@ fn fast_forward_sample(bits: u64, target_load: f64) -> FastForwardSample {
     }
 }
 
+/// One packed-kernel speedup sample at an approximate target busload.
+struct PackedSample {
+    target_load: f64,
+    observed_load: f64,
+    lockstep_bits_per_sec: f64,
+    packed_bits_per_sec: f64,
+    speedup: f64,
+}
+
+/// Measures lockstep vs packed-kernel wall clock on the same
+/// periodic-sender bus as [`fast_forward_sample`]. Unlike fast-forward,
+/// the packed kernel keeps winning as busload rises: frame bodies resolve
+/// word-at-a-time instead of bit-by-bit.
+fn packed_sample(bits: u64, target_load: f64) -> PackedSample {
+    let speed = BusSpeed::K50;
+    let frame = CanFrame::data_frame(CanId::from_raw(0x222), &[0xA5; 8]).expect("valid frame");
+    let period = ((111.0 / target_load).round() as u64).max(130);
+    let build = || {
+        SimBuilder::new(speed)
+            .node(Node::new(
+                "tx",
+                Box::new(PeriodicSender::new(frame, period, 40)),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .build()
+    };
+    let mut lockstep = build();
+    let (lock_secs, _) = timed(|| lockstep.run(bits));
+    let mut packed = build();
+    let (packed_secs, _) = timed(|| packed.run_packed(bits));
+    assert_eq!(lockstep.now(), packed.now(), "packed clock mismatch");
+    assert_eq!(
+        lockstep.busy_bits(),
+        packed.busy_bits(),
+        "packed busy-bit mismatch"
+    );
+    PackedSample {
+        target_load,
+        observed_load: packed.observed_bus_load(),
+        lockstep_bits_per_sec: bits as f64 / lock_secs,
+        packed_bits_per_sec: bits as f64 / packed_secs,
+        speedup: lock_secs / packed_secs,
+    }
+}
+
 fn json_f(value: f64) -> String {
     if value.is_finite() {
         format!("{value:.3}")
@@ -230,6 +275,31 @@ fn main() {
         ff_samples[0].speedup
     );
 
+    // 2c. Packed bus kernel: lockstep vs word-at-a-time wired-AND on an
+    // *active* bus. Sampled at higher busloads than the fast-forward rows
+    // because this is where idle skipping stops helping and the packed
+    // frame-body resolution has to carry the speedup by itself.
+    let packed_samples: Vec<PackedSample> = [0.30, 0.60, 0.90]
+        .iter()
+        .map(|&load| packed_sample(ff_bits, load))
+        .collect();
+    for s in &packed_samples {
+        eprintln!(
+            "  packed: target {:.0}% (observed {:.1}%): lockstep {:.0} bits/s, \
+             packed {:.0} bits/s ({:.1}x)",
+            s.target_load * 100.0,
+            s.observed_load * 100.0,
+            s.lockstep_bits_per_sec,
+            s.packed_bits_per_sec,
+            s.speedup
+        );
+    }
+    assert!(
+        packed_samples[0].speedup >= 5.0,
+        "the packed kernel must clear 5x at 30% busload, measured {:.2}x",
+        packed_samples[0].speedup
+    );
+
     // 3. Wall time per grid artifact (at the parallel shard count).
     let (faults_secs, _) = timed(|| run_campaign(&parallel_config));
     let fsms = if quick { 400 } else { 4_000 };
@@ -243,6 +313,27 @@ fn main() {
         "  artifacts: faults {faults_secs:.2}s, detection {detection_secs:.2}s, \
          table2 {table2_secs:.2}s, multi_attacker {multi_secs:.2}s"
     );
+
+    let packed_rows: String = packed_samples
+        .iter()
+        .map(|s| {
+            format!(
+                r#"      {{
+        "target_load": {target},
+        "observed_load": {observed},
+        "lockstep_bits_per_sec": {lock},
+        "packed_bits_per_sec": {packed},
+        "speedup": {speedup}
+      }}"#,
+                target = json_f(s.target_load),
+                observed = json_f(s.observed_load),
+                lock = json_f(s.lockstep_bits_per_sec),
+                packed = json_f(s.packed_bits_per_sec),
+                speedup = json_f(s.speedup),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     let ff_rows: String = ff_samples
         .iter()
@@ -287,8 +378,15 @@ fn main() {
 {ff_rows}
     ]
   }},
+  "packed": {{
+    "bits_simulated": {ff_bits},
+    "loads": [
+{packed_rows}
+    ]
+  }},
   "campaign_grid": {{
     "cells": {cells},
+    "shards": {shards},
     "run_ms_per_cell": {run_ms},
     "bits_total": {grid_bits},
     "serial_wall_secs": {serial_secs},

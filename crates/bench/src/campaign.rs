@@ -321,6 +321,10 @@ impl BitAgent for SharedDefender {
     fn skip_idle(&mut self, bits: u64, from: BitInstant) {
         self.0.borrow_mut().skip_idle(bits, from);
     }
+
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        self.0.borrow().drive_horizon(now)
+    }
 }
 
 /// A campaign cell whose scenario could not be constructed.

@@ -1,10 +1,12 @@
-//! Lockstep-vs-fast-forward differential harness.
+//! Lockstep vs fast-forward vs packed differential harness.
 //!
-//! The idle fast-forward core ([`Simulator::run_fast`]) promises *byte
-//! identity*: the same events, signal trace, metrics snapshot and scenario
-//! outcome as the bit-by-bit lockstep reference — only faster. This module
-//! turns that promise into a reusable check: build the same scenario
-//! twice, drive one copy per mode, and compare every observable surface.
+//! Both accelerated cores — idle fast-forward ([`Simulator::run_fast`])
+//! and the word-packed bus kernel ([`Simulator::run_packed`]) — promise
+//! *byte identity*: the same events, signal trace, metrics snapshot and
+//! scenario outcome as the bit-by-bit lockstep reference, only faster.
+//! This module turns that promise into a reusable check: build the same
+//! scenario three times, drive one copy per mode, and compare every
+//! observable surface against the lockstep reference.
 //!
 //! `tests/differential_fast_forward.rs` runs the check over every scenario
 //! family (Table II, the fault campaign, the multi-attacker scan,
@@ -60,21 +62,27 @@ impl SimFingerprint {
     /// divergence (`self` is the lockstep reference, `other` the
     /// fast-forward run).
     pub fn compare(&self, other: &SimFingerprint) -> Result<(), String> {
+        self.compare_against(other, "fast-forward")
+    }
+
+    /// [`SimFingerprint::compare`] with the candidate mode named in the
+    /// failure message (`self` is always the lockstep reference).
+    pub fn compare_against(&self, other: &SimFingerprint, mode: &str) -> Result<(), String> {
         if self.now_bits != other.now_bits {
             return Err(format!(
-                "clock diverged: lockstep {} vs fast-forward {}",
+                "clock diverged: lockstep {} vs {mode} {}",
                 self.now_bits, other.now_bits
             ));
         }
         if self.busy_bits != other.busy_bits {
             return Err(format!(
-                "busy-bit accounting diverged: lockstep {} vs fast-forward {}",
+                "busy-bit accounting diverged: lockstep {} vs {mode} {}",
                 self.busy_bits, other.busy_bits
             ));
         }
         if self.bus_load_bits != other.bus_load_bits {
             return Err(format!(
-                "observed bus load diverged: lockstep {} vs fast-forward {}",
+                "observed bus load diverged: lockstep {} vs {mode} {}",
                 f64::from_bits(self.bus_load_bits),
                 f64::from_bits(other.bus_load_bits)
             ));
@@ -87,11 +95,11 @@ impl SimFingerprint {
                 .position(|(a, b)| a != b);
             return Err(match at {
                 Some(i) => format!(
-                    "event logs diverged at index {i}: lockstep `{}` vs fast-forward `{}`",
+                    "event logs diverged at index {i}: lockstep `{}` vs {mode} `{}`",
                     self.events[i], other.events[i]
                 ),
                 None => format!(
-                    "event logs diverged in length: lockstep {} vs fast-forward {}",
+                    "event logs diverged in length: lockstep {} vs {mode} {}",
                     self.events.len(),
                     other.events.len()
                 ),
@@ -99,26 +107,30 @@ impl SimFingerprint {
         }
         if self.trace_recorded != other.trace_recorded {
             return Err(format!(
-                "trace recorded-bit counters diverged: lockstep {:?} vs fast-forward {:?}",
+                "trace recorded-bit counters diverged: lockstep {:?} vs {mode} {:?}",
                 self.trace_recorded, other.trace_recorded
             ));
         }
         if self.trace != other.trace {
-            return Err("retained trace windows diverged".to_string());
+            return Err(format!(
+                "retained trace windows diverged (lockstep vs {mode})"
+            ));
         }
         if self.metrics_json != other.metrics_json {
-            return Err("metrics snapshots diverged".to_string());
+            return Err(format!("metrics snapshots diverged (lockstep vs {mode})"));
         }
         Ok(())
     }
 }
 
-/// Builds the same scenario twice via `build` (handed a fresh enabled
-/// [`Recorder`] each time), runs one copy lockstep and one fast-forward
-/// for `bits`, and returns `Err` naming the first diverging surface.
+/// Builds the same scenario three times via `build` (handed a fresh
+/// enabled [`Recorder`] each time), runs one copy lockstep, one
+/// fast-forward and one under the packed bus kernel for `bits`, and
+/// returns `Err` naming the first diverging surface and the mode that
+/// produced it.
 ///
 /// The closure must be a pure constructor: any seed or configuration it
-/// captures is shared by both copies, so a divergence can only come from
+/// captures is shared by all copies, so a divergence can only come from
 /// the execution mode.
 pub fn check_equivalence<F>(build: F, bits: u64) -> Result<(), String>
 where
@@ -127,12 +139,17 @@ where
     let lock_recorder = Recorder::enabled();
     let mut lockstep = build(lock_recorder.clone());
     lockstep.run(bits);
+    let reference = fingerprint(&lockstep, &lock_recorder);
 
     let fast_recorder = Recorder::enabled();
     let mut fast = build(fast_recorder.clone());
     fast.run_fast(bits);
+    reference.compare_against(&fingerprint(&fast, &fast_recorder), "fast-forward")?;
 
-    fingerprint(&lockstep, &lock_recorder).compare(&fingerprint(&fast, &fast_recorder))
+    let packed_recorder = Recorder::enabled();
+    let mut packed = build(packed_recorder.clone());
+    packed.run_packed(bits);
+    reference.compare_against(&fingerprint(&packed, &packed_recorder), "packed")
 }
 
 /// Compares two scenario outcomes (anything `Debug`) produced by a

@@ -31,6 +31,10 @@ pub enum SimMode {
     /// [`Simulator::run_fast`]: identical events, traces, metrics and
     /// outcomes, with quiescent bus stretches skipped in closed form.
     FastForward,
+    /// [`Simulator::run_packed`]: identical events, traces, metrics and
+    /// outcomes, with event-free stretches resolved word-at-a-time by the
+    /// packed wired-AND kernel and idle gaps skipped in closed form.
+    Packed,
 }
 
 /// Cross-cutting execution options for `bench` scenario entry points.
@@ -90,11 +94,17 @@ impl ExecOpts {
         self.with_mode(SimMode::FastForward)
     }
 
+    /// Selects the packed bus kernel (builder style).
+    pub fn packed(self) -> Self {
+        self.with_mode(SimMode::Packed)
+    }
+
     /// Runs `sim` for `bits` bit times in the configured mode.
     pub fn run(&self, sim: &mut Simulator, bits: u64) {
         match self.mode {
             SimMode::Lockstep => sim.run(bits),
             SimMode::FastForward => sim.run_fast(bits),
+            SimMode::Packed => sim.run_packed(bits),
         }
     }
 
@@ -104,6 +114,7 @@ impl ExecOpts {
         match self.mode {
             SimMode::Lockstep => sim.run_millis(millis),
             SimMode::FastForward => sim.run_millis_fast(millis),
+            SimMode::Packed => sim.run_millis_packed(millis),
         }
     }
 
@@ -120,6 +131,7 @@ impl ExecOpts {
                 1
             }
             SimMode::FastForward => sim.advance(max_bits),
+            SimMode::Packed => sim.advance_packed(max_bits),
         }
     }
 }

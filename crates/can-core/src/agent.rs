@@ -57,6 +57,24 @@ pub trait BitAgent {
         Some(now)
     }
 
+    /// The earliest bit time at or after `now` at which this agent may
+    /// drive a non-recessive level onto the bus — i.e. at which
+    /// [`BitAgent::tx_level`] may first return `Some(Level::Dominant)` —
+    /// **regardless of what the agent observes in between**.
+    ///
+    /// This is the agent's side of the packed kernel's stretch-negotiation
+    /// contract (DESIGN.md §11). Unlike [`BitAgent::next_activity`], the
+    /// promise must hold for *arbitrary* bus input: the simulator keeps
+    /// delivering every bit via `on_bit` inside a packed stretch, but it
+    /// resolves the wired-AND for the whole stretch up front, so the
+    /// agent's TX contribution must be recessive for every bit strictly
+    /// before the returned instant. `None` means the agent never drives (a
+    /// pure observer). The conservative default `Some(now)` keeps the
+    /// simulator in per-bit lockstep around this agent.
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        Some(now)
+    }
+
     /// Advances the agent over `bits` consecutive recessive bus bits
     /// starting at `from`, in closed form.
     ///
@@ -90,6 +108,10 @@ impl<T: BitAgent + ?Sized> BitAgent for Box<T> {
         (**self).next_activity(now)
     }
 
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        (**self).drive_horizon(now)
+    }
+
     fn skip_idle(&mut self, bits: u64, from: BitInstant) {
         (**self).skip_idle(bits, from);
     }
@@ -109,6 +131,10 @@ impl BitAgent for PassiveAgent {
     }
 
     fn next_activity(&self, _now: BitInstant) -> Option<BitInstant> {
+        None
+    }
+
+    fn drive_horizon(&self, _now: BitInstant) -> Option<BitInstant> {
         None
     }
 

@@ -30,6 +30,9 @@
 //! * [`errors`] — the five CAN error types and crate error values.
 //! * [`pin`] — GPIO-shaped pin abstractions standing in for pin multiplexing
 //!   on integrated CAN controllers.
+//! * [`packed`] — word-packed bus levels (64 wire bits per `u64`): the
+//!   dominant-mask representation and wired-AND/mismatch primitives behind
+//!   the packed simulation kernel.
 //! * [`agent`] — the [`BitAgent`](agent::BitAgent) trait: bit-level bus
 //!   access as granted by pin-multiplexed integrated controllers.
 //! * [`app`] — the [`Application`](app::Application) trait: the frame-level
@@ -63,6 +66,7 @@ pub mod errors;
 pub mod frame;
 pub mod id;
 pub mod level;
+pub mod packed;
 pub mod pin;
 pub mod time;
 

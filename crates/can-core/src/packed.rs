@@ -1,0 +1,194 @@
+//! Word-packed bus levels: up to 64 bits of wire as one `u64`.
+//!
+//! The packed simulation kernel (see `can-sim` and DESIGN.md §11) resolves
+//! *stretches* of provably event-free bus bits in bulk instead of one
+//! [`Level`] at a time. This module provides the shared representation and
+//! the branch-free primitives the kernel is built from:
+//!
+//! * A packed word is a **dominant mask**: bit `i` (LSB-first, so bit 0 is
+//!   the earliest wire bit) is `1` iff the corresponding wire bit is
+//!   [`Level::Dominant`].
+//! * Under that encoding CAN's wired-AND (dominant wins) over any number of
+//!   transmitters is a plain bitwise **OR** of their masks.
+//! * "First dominant bit" and "first TX/bus disagreement" — the two
+//!   conditions that end a stretch early — are `trailing_zeros` on a mask.
+//!
+//! All functions take an explicit window length `len ≤ 64` and ignore word
+//! bits at or above it, so callers can shrink a stretch without re-masking.
+
+use crate::level::Level;
+
+/// Number of wire bits carried by one packed word.
+pub const WORD_BITS: u32 = 64;
+
+/// A mask selecting the low `len` bits of a word (`len ≤ 64`).
+#[inline]
+#[must_use]
+pub const fn low_mask(len: u32) -> u64 {
+    debug_assert!(len <= WORD_BITS);
+    if len >= WORD_BITS {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// Packs up to 64 levels into one dominant mask, LSB-first.
+///
+/// `bits.len()` must be at most [`WORD_BITS`]; unused high bits are zero
+/// (recessive).
+#[must_use]
+pub fn pack_word(bits: &[Level]) -> u64 {
+    debug_assert!(bits.len() <= WORD_BITS as usize);
+    let mut word = 0u64;
+    for (i, level) in bits.iter().enumerate() {
+        if level.is_dominant() {
+            word |= 1u64 << i;
+        }
+    }
+    word
+}
+
+/// Packs an arbitrary-length level slice into consecutive dominant-mask
+/// words (LSB-first within each word; the last word is zero-padded).
+#[must_use]
+pub fn pack_words(bits: &[Level]) -> Vec<u64> {
+    bits.chunks(WORD_BITS as usize).map(pack_word).collect()
+}
+
+/// Extracts a 64-bit window starting at wire-bit offset `start` from a
+/// packed word vector, zero-padding (recessive) past the end.
+#[inline]
+#[must_use]
+pub fn extract_window(words: &[u64], start: usize) -> u64 {
+    let w = start / WORD_BITS as usize;
+    let off = (start % WORD_BITS as usize) as u32;
+    let lo = words.get(w).copied().unwrap_or(0) >> off;
+    if off == 0 {
+        lo
+    } else {
+        lo | (words.get(w + 1).copied().unwrap_or(0) << (WORD_BITS - off))
+    }
+}
+
+/// The level at offset `i` (< 64) of a packed word.
+#[inline]
+#[must_use]
+pub fn level_at(word: u64, i: u32) -> Level {
+    debug_assert!(i < WORD_BITS);
+    if (word >> i) & 1 == 1 {
+        Level::Dominant
+    } else {
+        Level::Recessive
+    }
+}
+
+/// Offset of the first dominant bit within the low `len` bits, if any.
+#[inline]
+#[must_use]
+pub fn first_dominant(word: u64, len: u32) -> Option<u32> {
+    let masked = word & low_mask(len);
+    if masked == 0 {
+        None
+    } else {
+        Some(masked.trailing_zeros())
+    }
+}
+
+/// Offset of the first bit where two packed words disagree within the low
+/// `len` bits, if any.
+///
+/// For a transmitter this is the first bit where the resolved bus level
+/// differs from the level it sent — an arbitration loss, a dominant
+/// overwrite, or (sent dominant, bus recessive) a bit error.
+#[inline]
+#[must_use]
+pub fn first_mismatch(sent: u64, bus: u64, len: u32) -> Option<u32> {
+    let diff = (sent ^ bus) & low_mask(len);
+    if diff == 0 {
+        None
+    } else {
+        Some(diff.trailing_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level::{Dominant as D, Recessive as R};
+
+    #[test]
+    fn pack_word_is_lsb_first_dominant_mask() {
+        assert_eq!(pack_word(&[]), 0);
+        assert_eq!(pack_word(&[D]), 0b1);
+        assert_eq!(pack_word(&[R, D, D, R, D]), 0b10110);
+        let all = [D; 64];
+        assert_eq!(pack_word(&all), u64::MAX);
+    }
+
+    #[test]
+    fn wired_and_is_or_of_masks() {
+        // Two transmitters: bus dominant wherever either drives dominant.
+        let a = pack_word(&[D, R, D, R]);
+        let b = pack_word(&[R, R, D, D]);
+        let bus = a | b;
+        for (i, expect) in [D, R, D, D].iter().enumerate() {
+            assert_eq!(level_at(bus, i as u32), *expect);
+            let pair = [level_at(a, i as u32), level_at(b, i as u32)];
+            assert_eq!(Level::wired_and(pair), *expect, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn pack_words_round_trips_through_extract_window() {
+        let mut bits = Vec::new();
+        for i in 0..200usize {
+            bits.push(if (i * 7) % 3 == 0 { D } else { R });
+        }
+        let words = pack_words(&bits);
+        assert_eq!(words.len(), 4);
+        for start in 0..bits.len() {
+            let window = extract_window(&words, start);
+            for off in 0..WORD_BITS {
+                let idx = start + off as usize;
+                let expect = bits.get(idx).copied().unwrap_or(R);
+                assert_eq!(level_at(window, off), expect, "start {start} off {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_window_past_the_end_is_recessive() {
+        assert_eq!(extract_window(&[], 0), 0);
+        assert_eq!(extract_window(&[u64::MAX], 64), 0);
+        // Straddling the final word zero-pads the tail.
+        assert_eq!(extract_window(&[u64::MAX], 32), low_mask(32));
+    }
+
+    #[test]
+    fn first_dominant_respects_the_window_length() {
+        let word = pack_word(&[R, R, R, D, R, D]);
+        assert_eq!(first_dominant(word, 64), Some(3));
+        assert_eq!(first_dominant(word, 4), Some(3));
+        assert_eq!(first_dominant(word, 3), None);
+        assert_eq!(first_dominant(0, 64), None);
+        assert_eq!(first_dominant(u64::MAX, 0), None);
+    }
+
+    #[test]
+    fn first_mismatch_finds_arbitration_losses() {
+        let sent = pack_word(&[R, D, R, R]);
+        let bus = pack_word(&[R, D, D, R]); // overwritten at bit 2
+        assert_eq!(first_mismatch(sent, bus, 64), Some(2));
+        assert_eq!(first_mismatch(sent, bus, 2), None);
+        assert_eq!(first_mismatch(sent, sent, 64), None);
+    }
+
+    #[test]
+    fn low_mask_covers_the_full_range() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+}

@@ -16,7 +16,7 @@
 
 use can_core::bitstream::{stuff_frame, IFS_BITS};
 use can_core::errors::CanErrorKind;
-use can_core::{counters, BitInstant, CanFrame, ErrorCounters, ErrorState, Level};
+use can_core::{counters, packed, BitInstant, CanFrame, ErrorCounters, ErrorState, Level};
 
 use crate::event::{ErrorRole, EventKind};
 use crate::parser::{RxEvent, RxParser};
@@ -62,6 +62,8 @@ struct TxJob {
     ack_index: usize,
     /// Number of bits already driven and sampled.
     index: usize,
+    /// `bits` packed as dominant-mask words for the packed kernel.
+    words: Vec<u64>,
 }
 
 impl TxJob {
@@ -70,18 +72,79 @@ impl TxJob {
         // ACK slot is the second-to-10th bit from the end:
         // ... CRC delim | ACK slot | ACK delim | EOF(7)
         let ack_index = wire.bits.len() - 9;
+        let words = packed::pack_words(&wire.bits);
         TxJob {
             frame,
             bits: wire.bits,
             stuff_positions: wire.stuff_positions,
             ack_index,
             index: 0,
+            words,
         }
     }
 
     fn is_stuff_bit(&self, index: usize) -> bool {
         self.stuff_positions.binary_search(&index).is_ok()
     }
+}
+
+/// How a controller participates in one packed stretch (DESIGN.md §11).
+///
+/// Produced by [`Controller::stretch_plan`] (the `Down` variant is added by
+/// the owning node for a crashed MCU) and consumed by the simulator's
+/// packed kernel. A planner returning `None` instead means the controller
+/// may emit an event, change state class or drive a reactive level at the
+/// very next bit, so the simulator must run that bit in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StretchRole {
+    /// The node's MCU is down (crash fault): contributes recessive and has
+    /// no controller state to advance.
+    Down,
+    /// Transmitting mid-frame: drives `word` (dominant mask, LSB = the
+    /// upcoming wire bit).
+    Transmit {
+        /// Packed TX levels for the next up-to-64 wire bits.
+        word: u64,
+    },
+    /// Receiving mid-frame with no ACK drive pending: contributes only
+    /// recessive; the stretch is additionally capped by a parser dry-run
+    /// over the resolved bus word.
+    Receive,
+    /// Idle / intermission / suspend: contributes recessive and must end
+    /// the stretch at the first dominant bus bit (it would join that frame
+    /// as a receiver).
+    Passive,
+    /// Integrating (waiting for 11 recessive bits): contributes recessive;
+    /// consumes mixed bus levels word-at-a-time.
+    Integrating {
+        /// Current count of consecutive recessive bits observed.
+        recessive_run: u8,
+    },
+    /// Bus-off recovery countdown: contributes recessive; consumes mixed
+    /// bus levels word-at-a-time.
+    BusOff,
+}
+
+/// Bits of `bus` (at most `n`) an integrating controller with the given
+/// recessive run can consume in one stretch.
+///
+/// Integration completing is not itself an event, but the first bit *after*
+/// completion needs the full Idle logic (frame join on dominant,
+/// transmission start with a pending mailbox), so the stretch stops right
+/// after the completing bit.
+pub(crate) fn integrating_word_cap(recessive_run: u8, bus: u64, n: u32) -> u32 {
+    let mut run = recessive_run.min(10);
+    for i in 0..n {
+        if packed::level_at(bus, i).is_dominant() {
+            run = 0;
+        } else {
+            run += 1;
+            if run >= 11 {
+                return i + 1;
+            }
+        }
+    }
+    n
 }
 
 /// Error-signalling sub-state.
@@ -805,6 +868,186 @@ impl Controller {
                     unreachable!("advance_idle called on a busy controller")
                 }
             }
+        }
+    }
+
+    /// The controller's half of the packed kernel's stretch negotiation
+    /// (DESIGN.md §11).
+    ///
+    /// Returns how this controller participates in a stretch starting at
+    /// `now`, lowering `*cap` (in bits, already ≤ 64) to the last bit it
+    /// can cover without per-bit processing, or `None` when the very next
+    /// bit needs the lockstep path: a pending ACK drive, error signalling,
+    /// idle with a queued frame, the ACK slot or final bit of its own
+    /// transmission.
+    ///
+    /// The plan has no side effects; the simulator may discard it and run
+    /// lockstep instead at any point.
+    pub(crate) fn stretch_plan(&self, now: BitInstant, cap: &mut u64) -> Option<StretchRole> {
+        if self.drive_ack {
+            return None; // drives a dominant ACK during the next bit
+        }
+        let horizon_cap = |cap: &mut u64| -> bool {
+            // Caps at the controller's own quiescence horizon, which for
+            // the countdown states below is the bit at which an event
+            // (transmission start, recovery) could fire assuming an
+            // all-recessive bus. Mixed traffic only delays those, so the
+            // horizon is a sound stretch bound either way.
+            match self.next_activity(now) {
+                Some(h) if h <= now => false,
+                Some(h) => {
+                    *cap = (*cap).min(h.bits() - now.bits());
+                    true
+                }
+                None => true,
+            }
+        };
+        match &self.state {
+            State::Receiving { .. } => Some(StretchRole::Receive),
+            State::Transmitting { tx, .. } => {
+                // Stop before the ACK slot (a receiver answers there) and
+                // before the final bit (transmit-success event).
+                let mut tx_cap = tx.bits.len() - 1 - tx.index;
+                if tx.index <= tx.ack_index {
+                    tx_cap = tx_cap.min(tx.ack_index - tx.index);
+                }
+                if tx_cap == 0 {
+                    return None;
+                }
+                *cap = (*cap).min(tx_cap as u64);
+                Some(StretchRole::Transmit {
+                    word: packed::extract_window(&tx.words, tx.index),
+                })
+            }
+            State::ErrorSignaling(_) => None,
+            State::Idle => {
+                if self.pending.is_empty() {
+                    Some(StretchRole::Passive)
+                } else {
+                    None // starts its SOF at the next recessive sample
+                }
+            }
+            State::Intermission { .. } | State::Suspend { .. } => {
+                horizon_cap(cap).then_some(StretchRole::Passive)
+            }
+            State::Integrating { recessive_run } => {
+                horizon_cap(cap).then_some(StretchRole::Integrating {
+                    recessive_run: *recessive_run,
+                })
+            }
+            State::BusOff { .. } => horizon_cap(cap).then_some(StretchRole::BusOff),
+        }
+    }
+
+    /// Commits `n` event-free bits of the controller's own transmission.
+    ///
+    /// The resolved bus matched the sent word over the whole window, so
+    /// the lockstep path would discard every parser event (the receive
+    /// parser of a transmitter only matters on a mismatch) and advance the
+    /// wire index — which is exactly what this does.
+    pub(crate) fn commit_transmit(&mut self, n: u32) {
+        let State::Transmitting { tx, parser } = &mut self.state else {
+            unreachable!("commit_transmit on a non-transmitting controller")
+        };
+        for i in 0..n as usize {
+            let _ = parser.push(tx.bits[tx.index + i]);
+        }
+        tx.index += n as usize;
+        debug_assert!(tx.index < tx.bits.len());
+    }
+
+    /// Dry-runs the receive parser over the low `n` bits of `bus` on the
+    /// reusable `scratch` parser: returns how many leading bits produce
+    /// `RxEvent::Continue`. The bit that would produce any other event
+    /// (ACK-slot announcement, frame completion, fault) is left to the
+    /// lockstep path.
+    ///
+    /// When the return value equals `n`, `scratch` holds the post-stretch
+    /// parser state and [`Controller::commit_receive_swap`] can install it
+    /// in O(1); otherwise `scratch` has consumed the event bit and must be
+    /// discarded.
+    pub(crate) fn receive_stretch_cap(&self, bus: u64, n: u32, scratch: &mut RxParser) -> u32 {
+        let State::Receiving { parser } = &self.state else {
+            unreachable!("receive_stretch_cap on a non-receiving controller")
+        };
+        parser.copy_into(scratch);
+        for i in 0..n {
+            if scratch.push(packed::level_at(bus, i)) != RxEvent::Continue {
+                return i;
+            }
+        }
+        n
+    }
+
+    /// Installs a dry-run parser state produced by
+    /// [`Controller::receive_stretch_cap`] (which must have covered exactly
+    /// the committed stretch length, event-free).
+    pub(crate) fn commit_receive_swap(&mut self, scratch: &mut RxParser) {
+        let State::Receiving { parser } = &mut self.state else {
+            unreachable!("commit_receive_swap on a non-receiving controller")
+        };
+        std::mem::swap(parser, scratch);
+    }
+
+    /// Commits `n` event-free received bits by replaying them into the
+    /// live parser (used when the stretch was shortened after this node's
+    /// dry run, so the scratch parser overshot).
+    pub(crate) fn commit_receive_push(&mut self, bus: u64, n: u32) {
+        let State::Receiving { parser } = &mut self.state else {
+            unreachable!("commit_receive_push on a non-receiving controller")
+        };
+        for i in 0..n {
+            let event = parser.push(packed::level_at(bus, i));
+            debug_assert_eq!(event, RxEvent::Continue);
+        }
+    }
+
+    /// Commits `n` bits of mixed bus levels for the word-aware countdown
+    /// states (integrating, bus-off recovery).
+    ///
+    /// The stretch caps guarantee neither integration completion followed
+    /// by further bits (see [`integrating_word_cap`]) nor recovery
+    /// completion can occur inside the window.
+    pub(crate) fn commit_passive_word(&mut self, bus: u64, n: u32) {
+        match &mut self.state {
+            State::Integrating { recessive_run } => {
+                let mut run = *recessive_run;
+                let mut completed = false;
+                for i in 0..n {
+                    if packed::level_at(bus, i).is_dominant() {
+                        run = 0;
+                    } else {
+                        run += 1;
+                        if run >= 11 {
+                            debug_assert_eq!(i, n - 1, "stretch must stop at completion");
+                            completed = true;
+                            break;
+                        }
+                    }
+                }
+                *recessive_run = run;
+                if completed {
+                    self.state = State::Idle;
+                }
+            }
+            State::BusOff {
+                recessive_run,
+                sequences,
+            } => {
+                for i in 0..n {
+                    if packed::level_at(bus, i).is_dominant() {
+                        *recessive_run = 0;
+                    } else {
+                        *recessive_run += 1;
+                        if u32::from(*recessive_run) == counters::RECOVERY_SEQUENCE_BITS {
+                            *recessive_run = 0;
+                            *sequences += 1;
+                            debug_assert!(*sequences < counters::RECOVERY_SEQUENCES);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("commit_passive_word on a non-countdown controller"),
         }
     }
 

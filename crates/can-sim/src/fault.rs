@@ -596,6 +596,13 @@ impl<A: BitAgent> BitAgent for FaultyAgent<A> {
     fn set_own_transmission(&mut self, transmitting: bool) {
         self.inner.set_own_transmission(transmitting);
     }
+
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        // Pin faults only perturb what the inner agent *observes*; its TX
+        // path is untouched, and its drive promise holds for arbitrary
+        // input — perturbed or not — so it passes through unchanged.
+        self.inner.drive_horizon(now)
+    }
 }
 
 #[cfg(test)]

@@ -9,10 +9,11 @@
 
 use can_core::agent::BitAgent;
 use can_core::app::Application;
-use can_core::{BitInstant, Level};
+use can_core::{packed, BitDuration, BitInstant, Level};
 
-use crate::controller::{Controller, ControllerConfig, StepOutput};
+use crate::controller::{Controller, ControllerConfig, StepOutput, StretchRole};
 use crate::fault::TxFault;
+use crate::parser::RxParser;
 
 /// Maximum frames an application may enqueue per bit time; guards against
 /// runaway flooding applications stalling the simulator.
@@ -190,6 +191,99 @@ impl Node {
         self.controller.advance_idle(bits);
         if let Some(agent) = &mut self.agent {
             agent.skip_idle(bits, from);
+        }
+    }
+
+    /// The node's side of the packed kernel's stretch negotiation
+    /// (DESIGN.md §11): how it participates in a stretch starting at `now`,
+    /// or `None` when the next bit needs lockstep processing.
+    ///
+    /// Lowers `*cap` to the earliest of the node's per-bit seams: an armed
+    /// TX fault window, the application's next poll, the agent's drive
+    /// horizon and the controller's own bound. Like the controller plan,
+    /// this has no side effects.
+    pub(crate) fn stretch_plan(&self, now: BitInstant, cap: &mut u64) -> Option<StretchRole> {
+        let t = now.bits();
+        if let Some(fault) = &self.tx_fault {
+            if fault.is_down(t) {
+                // Crashed MCU: frozen until the restart instant, which the
+                // fault reports as its next activity.
+                if let Some(h) = fault.next_activity(t) {
+                    if h <= t {
+                        return None;
+                    }
+                    *cap = (*cap).min(h - t);
+                }
+                return Some(StretchRole::Down);
+            }
+            // The fault windows are evaluated directly rather than through
+            // the `forced_tx` cache: `prepare_bit` is not called inside a
+            // stretch, so the cache may be stale.
+            match fault.next_activity(t) {
+                Some(h) if h <= t => return None, // active override or pending restart
+                Some(h) => *cap = (*cap).min(h - t),
+                None => {}
+            }
+        }
+        match self.app.next_activity(now) {
+            Some(h) if h.bits() <= t => return None, // a poll is due now
+            Some(h) => *cap = (*cap).min(h.bits() - t),
+            None => {}
+        }
+        if let Some(agent) = &self.agent {
+            match agent.drive_horizon(now) {
+                Some(h) if h.bits() <= t => return None, // may drive this bit
+                Some(h) => *cap = (*cap).min(h.bits() - t),
+                None => {}
+            }
+        }
+        self.controller.stretch_plan(now, cap)
+    }
+
+    /// Commits one packed stretch of `n` bits of resolved bus word `bus`
+    /// to this node, in its negotiated `role`.
+    ///
+    /// `rx_scratch` is the node's dry-run parser from planning; `rx_swap`
+    /// says it covered exactly this stretch, so it can be installed in
+    /// O(1) instead of replaying the bits. The attached agent replays the
+    /// bus word bit-by-bit — its promise was only to not *drive* inside
+    /// the stretch, not to skip observations.
+    pub(crate) fn commit_stretch(
+        &mut self,
+        role: StretchRole,
+        bus: u64,
+        n: u32,
+        now: BitInstant,
+        rx_scratch: &mut RxParser,
+        rx_swap: bool,
+    ) {
+        match role {
+            StretchRole::Down => return,
+            StretchRole::Transmit { .. } => self.controller.commit_transmit(n),
+            StretchRole::Receive => {
+                if rx_swap {
+                    self.controller.commit_receive_swap(rx_scratch);
+                } else {
+                    self.controller.commit_receive_push(bus, n);
+                }
+            }
+            // Idle / intermission / suspend: the stretch caps guarantee an
+            // all-recessive window for this node, so the closed-form idle
+            // advance applies.
+            StretchRole::Passive => self.controller.advance_idle(u64::from(n)),
+            StretchRole::Integrating { .. } | StretchRole::BusOff => {
+                self.controller.commit_passive_word(bus, n);
+            }
+        }
+        if let Some(agent) = &mut self.agent {
+            let own = matches!(role, StretchRole::Transmit { .. });
+            for i in 0..n {
+                agent.set_own_transmission(own);
+                agent.on_bit(
+                    packed::level_at(bus, i),
+                    now + BitDuration::bits(u64::from(i)),
+                );
+            }
         }
     }
 

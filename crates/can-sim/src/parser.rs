@@ -97,6 +97,26 @@ impl RxParser {
         self.unstuffed.len() <= 12 && matches!(self.phase, Phase::Stuffed)
     }
 
+    /// Copies `self` into `dst`, reusing `dst`'s buffer allocation.
+    ///
+    /// The packed kernel dry-runs a receiver's parser over each candidate
+    /// stretch on a per-node scratch parser; the derived `Clone` would
+    /// allocate a fresh `unstuffed` vector every stretch.
+    pub(crate) fn copy_into(&self, dst: &mut RxParser) {
+        dst.destuffer = self.destuffer.clone();
+        dst.unstuffed.clear();
+        dst.unstuffed.extend_from_slice(&self.unstuffed);
+        dst.phase = self.phase;
+        dst.layout = self.layout;
+        dst.crc = self.crc;
+        dst.crc_received = self.crc_received;
+        dst.crc_bits_seen = self.crc_bits_seen;
+        dst.crc_ok = self.crc_ok;
+        dst.rtr = self.rtr;
+        dst.dlc_raw = self.dlc_raw;
+        dst.id = self.id;
+    }
+
     /// Feeds one bus level; must not be called after a terminal event.
     pub fn push(&mut self, bit: Level) -> RxEvent {
         match self.phase {

@@ -10,13 +10,14 @@
 //! All paper metrics derive from the resulting [`Event`] log and signal
 //! trace.
 
-use can_core::{BitDuration, BitInstant, BusSpeed, Level};
+use can_core::{packed, BitDuration, BitInstant, BusSpeed, Level};
 use can_obs::Recorder;
 
-use crate::controller::StepOutput;
+use crate::controller::{integrating_word_cap, StepOutput, StretchRole};
 use crate::event::{Event, EventKind, NodeId};
 use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
+use crate::parser::RxParser;
 
 /// Width of the bus-utilization measurement window, in bit times. At the
 /// end of every window the simulator records the window's busy percentage
@@ -61,6 +62,15 @@ impl SignalTrace {
                 self.head = (self.head + 1) % cap;
             }
             _ => self.levels.push(level),
+        }
+    }
+
+    /// Appends the low `count` bits of a packed dominant-mask word,
+    /// byte-identical to `count` single pushes. The packed kernel uses
+    /// this to record a whole stretch of mixed levels at once.
+    fn push_word(&mut self, word: u64, count: u32) {
+        for i in 0..count {
+            self.push(packed::level_at(word, i));
         }
     }
 
@@ -185,6 +195,18 @@ pub struct Simulator {
     obs_window_busy: u32,
     /// Pre-interned metric keys, one entry per node.
     metric_keys: Vec<NodeMetricKeys>,
+    /// Bus-bit counter deltas accumulated since the last flush. The hot
+    /// loop increments these plain fields; [`Simulator::flush_obs_counters`]
+    /// publishes them to the recorder at every public API exit.
+    pend_bits: u64,
+    /// Busy-bit counter deltas accumulated since the last flush.
+    pend_busy_bits: u64,
+    /// Arena for the packed kernel: per-stretch node roles (reused).
+    packed_roles: Vec<StretchRole>,
+    /// Arena: per-node scratch parsers for receiver dry-runs (reused).
+    rx_scratch: Vec<RxParser>,
+    /// Arena: per-node (requested, consumed) bits of the latest dry-run.
+    rx_dry: Vec<(u32, u32)>,
 }
 
 impl Simulator {
@@ -204,6 +226,11 @@ impl Simulator {
             obs_prev: Vec::new(),
             obs_window_busy: 0,
             metric_keys: Vec::new(),
+            pend_bits: 0,
+            pend_busy_bits: 0,
+            packed_roles: Vec::new(),
+            rx_scratch: Vec::new(),
+            rx_dry: Vec::new(),
         }
     }
 
@@ -339,6 +366,23 @@ impl Simulator {
         }
     }
 
+    /// Publishes the bus-bit counter deltas accumulated by the hot loop.
+    ///
+    /// Every public stepping API flushes on exit, so externally the
+    /// counters are always current; internally the loop touches only plain
+    /// fields.
+    fn flush_obs_counters(&mut self) {
+        if self.pend_bits > 0 {
+            self.recorder.add("can_bus_bits_total", self.pend_bits);
+            self.pend_bits = 0;
+        }
+        if self.pend_busy_bits > 0 {
+            self.recorder
+                .add("can_bus_busy_bits_total", self.pend_busy_bits);
+            self.pend_busy_bits = 0;
+        }
+    }
+
     /// Advances the simulation by one nominal bit time.
     pub fn step(&mut self) -> Level {
         // Hoisted once per bit: the disabled-recorder hot path must cost a
@@ -347,7 +391,17 @@ impl Simulator {
         if obs {
             self.ensure_obs_init();
         }
+        let bus = self.step_inner(obs);
+        if obs {
+            self.flush_obs_counters();
+        }
+        bus
+    }
 
+    /// One lockstep bit, without the per-call recorder init/flush — the
+    /// run-entry points hoist those out of the loop (`obs` is
+    /// `recorder.is_enabled()`, evaluated once per run).
+    fn step_inner(&mut self, obs: bool) -> Level {
         for node in &mut self.nodes {
             node.prepare_bit(self.now);
         }
@@ -396,9 +450,9 @@ impl Simulator {
             self.busy_bits += 1;
         }
         if obs {
-            self.recorder.add("can_bus_bits_total", 1);
+            self.pend_bits += 1;
             if busy {
-                self.recorder.add("can_bus_busy_bits_total", 1);
+                self.pend_busy_bits += 1;
                 self.obs_window_busy += 1;
             }
             if (self.now.bits() + 1).is_multiple_of(OBS_WINDOW_BITS) {
@@ -418,8 +472,15 @@ impl Simulator {
 
     /// Runs for `bits` nominal bit times.
     pub fn run(&mut self, bits: u64) {
+        let obs = self.recorder.is_enabled();
+        if obs {
+            self.ensure_obs_init();
+        }
         for _ in 0..bits {
-            self.step();
+            self.step_inner(obs);
+        }
+        if obs {
+            self.flush_obs_counters();
         }
     }
 
@@ -468,11 +529,7 @@ impl Simulator {
     /// counters, agent interframe counters, signal trace, busy accounting
     /// and windowed utilization metrics — byte-identical to `gap` calls of
     /// [`Simulator::step`] over a recessive bus.
-    fn skip_gap(&mut self, gap: u64) {
-        let obs = self.recorder.is_enabled();
-        if obs {
-            self.ensure_obs_init();
-        }
+    fn skip_gap(&mut self, gap: u64, obs: bool) {
         if let Some(trace) = &mut self.trace {
             trace.push_run(Level::Recessive, gap);
         }
@@ -483,7 +540,7 @@ impl Simulator {
         // `obs_window_busy` are untouched; only the window *boundaries*
         // inside the gap must still fire their utilization observations.
         if obs {
-            self.recorder.add("can_bus_bits_total", gap);
+            self.pend_bits += gap;
             let start = self.now.bits();
             // A window observation fires at bit `b` when
             // `(b + 1) % OBS_WINDOW_BITS == 0`. The first boundary in the
@@ -516,16 +573,28 @@ impl Simulator {
     /// [`Simulator::step`] otherwise. Returns the number of bits advanced
     /// (never more than `max_bits`; `0` only when `max_bits` is `0`).
     pub fn advance(&mut self, max_bits: u64) -> u64 {
+        let obs = self.recorder.is_enabled();
+        if obs {
+            self.ensure_obs_init();
+        }
+        let advanced = self.advance_inner(max_bits, obs);
+        if obs {
+            self.flush_obs_counters();
+        }
+        advanced
+    }
+
+    fn advance_inner(&mut self, max_bits: u64, obs: bool) -> u64 {
         if max_bits == 0 {
             return 0;
         }
         match self.idle_gap(max_bits) {
             Some(gap) => {
-                self.skip_gap(gap);
+                self.skip_gap(gap, obs);
                 gap
             }
             None => {
-                self.step();
+                self.step_inner(obs);
                 1
             }
         }
@@ -536,15 +605,222 @@ impl Simulator {
     /// final state — but skips quiescent stretches in closed form instead
     /// of simulating them bit by bit.
     pub fn run_fast(&mut self, bits: u64) {
+        let obs = self.recorder.is_enabled();
+        if obs {
+            self.ensure_obs_init();
+        }
         let end = self.now.bits() + bits;
         while self.now.bits() < end {
-            self.advance(end - self.now.bits());
+            self.advance_inner(end - self.now.bits(), obs);
+        }
+        if obs {
+            self.flush_obs_counters();
         }
     }
 
     /// [`Simulator::run_millis`] with idle fast-forward.
     pub fn run_millis_fast(&mut self, millis: f64) {
         self.run_fast(self.speed.bits_in_millis(millis));
+    }
+
+    /// Advances by one quantum of the packed kernel: an idle-gap skip, a
+    /// word-packed stretch of up to 64 bits, or a single lockstep bit —
+    /// whichever applies first. Returns the number of bits advanced (`0`
+    /// only when `max_bits` is `0`).
+    pub fn advance_packed(&mut self, max_bits: u64) -> u64 {
+        let obs = self.recorder.is_enabled();
+        if obs {
+            self.ensure_obs_init();
+        }
+        let advanced = self.advance_packed_inner(max_bits, obs);
+        if obs {
+            self.flush_obs_counters();
+        }
+        advanced
+    }
+
+    fn advance_packed_inner(&mut self, max_bits: u64, obs: bool) -> u64 {
+        if max_bits == 0 {
+            return 0;
+        }
+        if let Some(gap) = self.idle_gap(max_bits) {
+            self.skip_gap(gap, obs);
+            return gap;
+        }
+        match self.packed_stretch(max_bits, obs) {
+            Some(n) => n,
+            None => {
+                self.step_inner(obs);
+                1
+            }
+        }
+    }
+
+    /// Runs for `bits` nominal bit times with the packed bus kernel:
+    /// behaves exactly like [`Simulator::run`] — same events, trace,
+    /// metrics and final state — but resolves provably event-free
+    /// stretches of the wired-AND word-at-a-time (up to 64 bits per
+    /// quantum) and skips fully idle gaps in closed form. Every bit at
+    /// which a protocol event, fault window, agent drive or application
+    /// poll could occur still takes the lockstep path.
+    pub fn run_packed(&mut self, bits: u64) {
+        let obs = self.recorder.is_enabled();
+        if obs {
+            self.ensure_obs_init();
+        }
+        let end = self.now.bits() + bits;
+        while self.now.bits() < end {
+            self.advance_packed_inner(end - self.now.bits(), obs);
+        }
+        if obs {
+            self.flush_obs_counters();
+        }
+    }
+
+    /// [`Simulator::run_millis`] with the packed bus kernel.
+    pub fn run_millis_packed(&mut self, millis: f64) {
+        self.run_packed(self.speed.bits_in_millis(millis));
+    }
+
+    /// Attempts one packed stretch: negotiates a per-node event-free
+    /// window (DESIGN.md §11), resolves the wired-AND as a dominant-mask
+    /// OR, shortens the window to the first bit any node must process in
+    /// lockstep, and commits the surviving prefix in bulk. Returns `None`
+    /// when the current bit needs the lockstep path.
+    fn packed_stretch(&mut self, max_bits: u64, obs: bool) -> Option<u64> {
+        let now_bits = self.now.bits();
+        let mut cap = max_bits.min(u64::from(packed::WORD_BITS));
+        match self.faults.next_activity(now_bits) {
+            Some(t) if t <= now_bits => return None,
+            Some(t) => cap = cap.min(t - now_bits),
+            None => {}
+        }
+        self.packed_roles.clear();
+        for node in &self.nodes {
+            let role = node.stretch_plan(self.now, &mut cap)?;
+            self.packed_roles.push(role);
+        }
+        if cap < 2 {
+            // A one-bit "stretch" costs more than the lockstep bit it saves.
+            return None;
+        }
+
+        // Wired-AND over the stretch: dominant-mask OR of the transmitters.
+        let mut bus = 0u64;
+        for role in &self.packed_roles {
+            if let StretchRole::Transmit { word } = role {
+                bus |= *word;
+            }
+        }
+        // Post-AND shortening: each condition ends the stretch at the
+        // first bit the lockstep path must process. All caps are
+        // "first offset of X", so they are prefix-stable and one pass
+        // suffices even as `n` shrinks.
+        let mut n = cap as u32;
+        for role in &self.packed_roles {
+            match role {
+                StretchRole::Transmit { word } => {
+                    // First disagreement between sent and resolved levels:
+                    // arbitration loss, dominant overwrite or bit error.
+                    if let Some(d) = packed::first_mismatch(*word, bus, n) {
+                        n = d;
+                    }
+                }
+                StretchRole::Passive => {
+                    // An idle-class node joins the frame at the first
+                    // dominant bit (SOF from its point of view).
+                    if let Some(d) = packed::first_dominant(bus, n) {
+                        n = d;
+                    }
+                }
+                StretchRole::Integrating { recessive_run } => {
+                    n = integrating_word_cap(*recessive_run, bus, n);
+                }
+                StretchRole::Receive | StretchRole::BusOff | StretchRole::Down => {}
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        // Receiver dry-runs: stop before the first parser event
+        // (ACK-slot announcement, completion, fault).
+        if self.rx_scratch.len() < self.nodes.len() {
+            self.rx_scratch.resize_with(self.nodes.len(), RxParser::new);
+            self.rx_dry.resize(self.nodes.len(), (0, 0));
+        }
+        for (i, role) in self.packed_roles.iter().enumerate() {
+            if *role == StretchRole::Receive {
+                let req = n;
+                let consumed = self.nodes[i].controller().receive_stretch_cap(
+                    bus,
+                    req,
+                    &mut self.rx_scratch[i],
+                );
+                self.rx_dry[i] = (req, consumed);
+                n = n.min(consumed);
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+
+        // Commit: every node advances `n` bits in its negotiated role.
+        // A stretch with any transmitter or receiver is busy for all `n`
+        // bits (those states cannot end inside it); one with neither has
+        // an all-recessive, all-idle bus and is busy for none.
+        let busy = self
+            .packed_roles
+            .iter()
+            .any(|role| matches!(role, StretchRole::Transmit { .. } | StretchRole::Receive));
+        let n64 = u64::from(n);
+        if let Some(trace) = &mut self.trace {
+            trace.push_word(bus, n);
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let (req, consumed) = self.rx_dry[i];
+            // The dry run can be installed as-is only if it covered
+            // exactly the final stretch, event-free.
+            let rx_swap = consumed == req && req == n;
+            node.commit_stretch(
+                self.packed_roles[i],
+                bus,
+                n,
+                self.now,
+                &mut self.rx_scratch[i],
+                rx_swap,
+            );
+        }
+        if busy {
+            self.busy_bits += n64;
+        }
+        if obs {
+            self.pend_bits += n64;
+            if busy {
+                self.pend_busy_bits += n64;
+            }
+            // At most one utilization-window boundary fits in a ≤64-bit
+            // stretch; the busy state is uniform across it.
+            let start = self.now.bits();
+            let first_flush = (start + 1).next_multiple_of(OBS_WINDOW_BITS) - 1;
+            if first_flush < start + n64 {
+                let before = (first_flush - start + 1) as u32;
+                debug_assert!(u64::from(n - before) < OBS_WINDOW_BITS);
+                if busy {
+                    self.obs_window_busy += before;
+                }
+                let percent = u64::from(self.obs_window_busy) * 100 / OBS_WINDOW_BITS;
+                self.recorder.observe_with(
+                    "can_bus_utilization_percent",
+                    can_obs::PERCENT_BUCKETS,
+                    percent,
+                );
+                self.obs_window_busy = if busy { n - before } else { 0 };
+            } else if busy {
+                self.obs_window_busy += n;
+            }
+        }
+        self.now += BitDuration::bits(n64);
+        Some(n64)
     }
 
     /// Runs until `predicate` returns `true` for a newly appended event, or
@@ -950,5 +1226,136 @@ mod tests {
         let advanced = sim.advance(1_000_000);
         assert_eq!(advanced, 1_000_000, "an all-idle bus skips in one quantum");
         assert_eq!(sim.now().bits(), 1_000_000);
+    }
+
+    /// Asserts `run_packed(bits)` leaves a simulator byte-identical to
+    /// `run(bits)`: same clock, events, busy accounting, trace and
+    /// metrics snapshot.
+    fn assert_packed_matches_run(build: impl Fn() -> Simulator, bits: u64) {
+        let mut slow = build();
+        let mut packed = build();
+        slow.run(bits);
+        packed.run_packed(bits);
+        assert_eq!(slow.now(), packed.now());
+        assert_eq!(slow.events(), packed.events());
+        assert_eq!(slow.busy_bits(), packed.busy_bits());
+        match (slow.trace(), packed.trace()) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.snapshot(), b.snapshot());
+                assert_eq!(a.recorded(), b.recorded());
+            }
+            (None, None) => {}
+            _ => panic!("trace presence differs"),
+        }
+        assert_eq!(
+            slow.recorder().snapshot_json(),
+            packed.recorder().snapshot_json()
+        );
+        for id in 0..slow.node_count() {
+            assert_eq!(
+                slow.node(id).controller().counters(),
+                packed.node(id).controller().counters(),
+                "node {id} error counters"
+            );
+        }
+    }
+
+    #[test]
+    fn run_packed_matches_run_on_idle_bus() {
+        assert_packed_matches_run(
+            || {
+                let mut sim = Simulator::new(BusSpeed::K500);
+                sim.add_node(Node::new("a", Box::new(SilentApplication)));
+                sim.add_node(Node::new("b", Box::new(SilentApplication)));
+                sim.install_trace(SignalTrace::ring(64));
+                sim.install_recorder(Recorder::enabled());
+                sim
+            },
+            12_345,
+        );
+    }
+
+    #[test]
+    fn run_packed_matches_run_with_dense_arbitration() {
+        // Three contending senders with clashing periods: arbitration
+        // losses, back-to-back frames and window boundaries mid-frame.
+        assert_packed_matches_run(
+            || {
+                let mut sim = Simulator::new(BusSpeed::K500);
+                sim.add_node(Node::new(
+                    "hi",
+                    Box::new(PeriodicSender::new(frame(0x050, &[0xA; 8]), 300, 0)),
+                ));
+                sim.add_node(Node::new(
+                    "mid",
+                    Box::new(PeriodicSender::new(frame(0x150, &[0x5C; 4]), 450, 17)),
+                ));
+                sim.add_node(Node::new(
+                    "lo",
+                    Box::new(PeriodicSender::new(frame(0x350, &[0xB; 8]), 300, 0)),
+                ));
+                sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+                sim.install_trace(SignalTrace::default());
+                sim.install_recorder(Recorder::enabled());
+                sim
+            },
+            30_000,
+        );
+    }
+
+    #[test]
+    fn run_packed_matches_run_with_faults() {
+        use crate::fault::TxFault;
+        // A crash-restart fault plus a stuck-dominant jammer: mid-frame
+        // fault onsets, error frames, re-integration and recovery all
+        // must cap or bypass packed stretches correctly.
+        assert_packed_matches_run(
+            || {
+                let mut sim = Simulator::new(BusSpeed::K500);
+                sim.add_node(
+                    Node::new(
+                        "flaky",
+                        Box::new(PeriodicSender::new(frame(0x123, &[7]), 500, 0)),
+                    )
+                    .with_tx_fault(TxFault::crash_restart(2_000, 8_000)),
+                );
+                sim.add_node(
+                    Node::new("jammer", Box::new(SilentApplication))
+                        .with_tx_fault(TxFault::stuck_dominant(11_000, 12_500)),
+                );
+                sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+                sim.install_trace(SignalTrace::default());
+                sim.install_recorder(Recorder::enabled());
+                sim
+            },
+            16_000,
+        );
+    }
+
+    #[test]
+    fn packed_stretches_actually_pack() {
+        // During an uncontended frame body the kernel must commit
+        // multi-bit quanta, not fall back to lockstep.
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.add_node(Node::new(
+            "s",
+            Box::new(PeriodicSender::new(frame(0x0C4, &[1, 2, 3, 4]), 500, 0)),
+        ));
+        sim.add_node(Node::new("r", Box::new(SilentApplication)));
+        let mut quanta = 0u64;
+        let mut max_quantum = 0u64;
+        while sim.now().bits() < 5_000 {
+            let n = sim.advance_packed(5_000 - sim.now().bits());
+            quanta += 1;
+            max_quantum = max_quantum.max(n);
+        }
+        assert!(
+            max_quantum >= 16,
+            "some stretch spans a large part of a word: {max_quantum}"
+        );
+        assert!(
+            quanta < 1_500,
+            "5000 bits resolve in far fewer quanta than bits: {quanta}"
+        );
     }
 }

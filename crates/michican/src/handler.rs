@@ -24,7 +24,7 @@
 
 use can_core::agent::BitAgent;
 use can_core::bitstream::{Destuffed, Destuffer, MIN_INTERFRAME_RECESSIVE};
-use can_core::{BitInstant, Level};
+use can_core::{BitDuration, BitInstant, Level};
 use can_obs::{Recorder, EVT_DETECTION, EVT_INJECT_END, EVT_INJECT_START};
 use serde::{Deserialize, Serialize};
 
@@ -110,7 +110,7 @@ enum HandlerState {
 ///
 /// ```
 /// use can_core::agent::BitAgent;
-/// use can_core::{BitInstant, Level};
+/// use can_core::{BitDuration, BitInstant, Level};
 /// use michican::config::EcuList;
 /// use michican::fsm::DetectionFsm;
 /// use michican::handler::MichiCan;
@@ -381,6 +381,19 @@ impl BitAgent for MichiCan {
         match self.state {
             HandlerState::BusIdle if !self.injecting => None,
             _ => Some(now),
+        }
+    }
+
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        // While injecting, the counterattack drives dominant immediately.
+        // Otherwise an injection can begin only after the handler has
+        // *observed* another bit (`on_bit` at `now` decides the level for
+        // `now + 1`), so one bit from now is the earliest possible drive
+        // under arbitrary future bus input.
+        if self.injecting {
+            Some(now)
+        } else {
+            Some(now + BitDuration::bits(1))
         }
     }
 

@@ -512,6 +512,12 @@ impl BitAgent for SupervisedMichiCan {
     fn set_own_transmission(&mut self, transmitting: bool) {
         self.handler.set_own_transmission(transmitting);
     }
+
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        // Supervision only gates whether the inner handler runs; it never
+        // drives the bus itself, so the handler's promise is ours.
+        self.handler.drive_horizon(now)
+    }
 }
 
 #[cfg(test)]

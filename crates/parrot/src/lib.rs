@@ -150,6 +150,17 @@ impl Application for ParrotDefender {
         None
     }
 
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        // Any pending flood window — even one that has already expired but
+        // not yet been lazily cleared by `poll` — means the next poll can
+        // mutate state, so it must not be skipped.
+        if self.flood_until.is_some() {
+            return Some(now);
+        }
+        self.own_period_bits
+            .map(|_| BitInstant::from_bits(self.next_own_due.max(now.bits())))
+    }
+
     fn on_frame(&mut self, frame: &CanFrame, now: BitInstant) {
         if frame.id() == self.own_id {
             // A complete foreign frame with our identifier: spoofing.

@@ -1,7 +1,8 @@
-//! Differential proof of the fast-forward byte-identity guarantee: every
-//! scenario family is driven once in lockstep and once under idle
-//! fast-forward, and every observable surface — events, signal trace,
-//! metrics snapshot, outcome — must match byte for byte.
+//! Differential proof of the accelerated-core byte-identity guarantees:
+//! every scenario family is driven once in lockstep, once under idle
+//! fast-forward and once under the packed bus kernel, and every observable
+//! surface — events, signal trace, metrics snapshot, outcome — must match
+//! byte for byte across all three modes.
 
 use bench::campaign::{run_campaign_with, CampaignConfig};
 use bench::differential::{check_equivalence, check_outcome, fingerprint};
@@ -20,8 +21,12 @@ fn fast(recorder: &Recorder) -> ExecOpts {
     ExecOpts::new().with_recorder(recorder.clone()).fast()
 }
 
+fn packed(recorder: &Recorder) -> ExecOpts {
+    ExecOpts::new().with_recorder(recorder.clone()).packed()
+}
+
 #[test]
-fn every_table2_cell_is_bit_identical_under_fast_forward() {
+fn every_table2_cell_is_bit_identical_under_acceleration() {
     // Cell-level fingerprints: clock, busy bits, event log, metrics.
     for exp in table2_experiments() {
         check_equivalence(
@@ -35,23 +40,31 @@ fn every_table2_cell_is_bit_identical_under_fast_forward() {
 }
 
 #[test]
-fn table2_report_and_metrics_are_identical_under_fast_forward() {
+fn table2_report_and_metrics_are_identical_under_acceleration() {
     // Outcome-level: the full (reduced-capture) Table II report plus the
     // merged metrics snapshot.
     let lock_recorder = Recorder::enabled();
     let lock = run_table2_with(400.0, &lockstep(&lock_recorder));
     let fast_recorder = Recorder::enabled();
     let ff = run_table2_with(400.0, &fast(&fast_recorder));
-    check_outcome("table2", &lock, &ff).unwrap();
+    check_outcome("table2 fast-forward", &lock, &ff).unwrap();
     assert_eq!(
         lock_recorder.snapshot_json(),
         fast_recorder.snapshot_json(),
-        "table2 metrics snapshot diverged"
+        "table2 metrics snapshot diverged under fast-forward"
+    );
+    let packed_recorder = Recorder::enabled();
+    let pk = run_table2_with(400.0, &packed(&packed_recorder));
+    check_outcome("table2 packed", &lock, &pk).unwrap();
+    assert_eq!(
+        lock_recorder.snapshot_json(),
+        packed_recorder.snapshot_json(),
+        "table2 metrics snapshot diverged under the packed kernel"
     );
 }
 
 #[test]
-fn campaign_report_and_metrics_are_identical_under_fast_forward() {
+fn campaign_report_and_metrics_are_identical_under_acceleration() {
     let config = CampaignConfig {
         seed: 0x00D5_2025,
         run_ms: 30.0,
@@ -65,12 +78,20 @@ fn campaign_report_and_metrics_are_identical_under_fast_forward() {
     assert_eq!(
         lock_recorder.snapshot_json(),
         fast_recorder.snapshot_json(),
-        "campaign metrics snapshot diverged"
+        "campaign metrics snapshot diverged under fast-forward"
+    );
+    let packed_recorder = Recorder::enabled();
+    let pk = run_campaign_with(&config, &packed(&packed_recorder));
+    assert_eq!(lock, pk, "campaign report diverged under the packed kernel");
+    assert_eq!(
+        lock_recorder.snapshot_json(),
+        packed_recorder.snapshot_json(),
+        "campaign metrics snapshot diverged under the packed kernel"
     );
 }
 
 #[test]
-fn multi_attacker_scan_is_identical_under_fast_forward() {
+fn multi_attacker_scan_is_identical_under_acceleration() {
     let counts = [1usize, 2, 3];
     let lock_recorder = Recorder::enabled();
     let lock = run_multi_attacker_scan_with(&counts, 60_000, &lockstep(&lock_recorder));
@@ -80,7 +101,18 @@ fn multi_attacker_scan_is_identical_under_fast_forward() {
     assert_eq!(
         lock_recorder.snapshot_json(),
         fast_recorder.snapshot_json(),
-        "multi-attacker metrics snapshot diverged"
+        "multi-attacker metrics snapshot diverged under fast-forward"
+    );
+    let packed_recorder = Recorder::enabled();
+    let pk = run_multi_attacker_scan_with(&counts, 60_000, &packed(&packed_recorder));
+    assert_eq!(
+        lock, pk,
+        "multi-attacker scan diverged under the packed kernel"
+    );
+    assert_eq!(
+        lock_recorder.snapshot_json(),
+        packed_recorder.snapshot_json(),
+        "multi-attacker metrics snapshot diverged under the packed kernel"
     );
     // The scan must actually resolve (all attackers eradicated) for the
     // comparison to mean anything.
@@ -88,17 +120,30 @@ fn multi_attacker_scan_is_identical_under_fast_forward() {
 }
 
 #[test]
-fn parksense_outcomes_are_identical_under_fast_forward() {
+fn parksense_outcomes_are_identical_under_acceleration() {
     for defended in [false, true] {
         let lock_recorder = Recorder::enabled();
         let lock = run_parksense_with(defended, 40.0, &lockstep(&lock_recorder));
         let fast_recorder = Recorder::enabled();
         let ff = run_parksense_with(defended, 40.0, &fast(&fast_recorder));
-        check_outcome(&format!("parksense defended={defended}"), &lock, &ff).unwrap();
+        check_outcome(
+            &format!("parksense fast-forward defended={defended}"),
+            &lock,
+            &ff,
+        )
+        .unwrap();
         assert_eq!(
             lock_recorder.snapshot_json(),
             fast_recorder.snapshot_json(),
-            "parksense metrics snapshot diverged (defended={defended})"
+            "parksense metrics snapshot diverged under fast-forward (defended={defended})"
+        );
+        let packed_recorder = Recorder::enabled();
+        let pk = run_parksense_with(defended, 40.0, &packed(&packed_recorder));
+        check_outcome(&format!("parksense packed defended={defended}"), &lock, &pk).unwrap();
+        assert_eq!(
+            lock_recorder.snapshot_json(),
+            packed_recorder.snapshot_json(),
+            "parksense metrics snapshot diverged under the packed kernel (defended={defended})"
         );
     }
 }

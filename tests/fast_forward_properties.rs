@@ -1,7 +1,9 @@
 //! Property-level equivalence: for *arbitrary* node sets, fault stacks
-//! and attack shapes, lockstep and idle fast-forward runs are
-//! byte-identical — plus regression pins proving that skip-ahead never
-//! jumps over a fault-window boundary or a suspend expiry.
+//! and attack shapes, lockstep, idle fast-forward and packed-kernel runs
+//! are byte-identical — plus regression pins proving that skip-ahead
+//! never jumps over a fault-window boundary or a suspend expiry, and that
+//! packed stretches break exactly at mid-word fault onsets and agent
+//! intervention points.
 
 use bench::differential::check_equivalence;
 use can_core::app::{PeriodicSender, SilentApplication};
@@ -39,9 +41,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Randomized benign/attacked buses under randomized fault stacks:
-    /// lockstep and fast-forward agree on every observable surface.
+    /// lockstep, fast-forward and the packed kernel agree on every
+    /// observable surface.
     #[test]
-    fn random_buses_are_bit_identical_under_fast_forward(
+    fn random_buses_are_bit_identical_under_acceleration(
         senders in arb_senders(),
         faults in arb_faults(),
         attack in any::<bool>(),
@@ -191,5 +194,72 @@ fn skip_ahead_never_jumps_a_suspend_expiry() {
     assert!(
         sim.node(0).controller().counters().tec() >= 96,
         "the transmitter must have reached the error-passive regime"
+    );
+}
+
+#[test]
+fn packed_stretches_break_at_mid_word_channel_flips() {
+    // Scripted channel flips timed to land *inside* frame bodies — deep in
+    // territory the packed kernel would otherwise resolve as one 64-bit
+    // word. The fault-stack horizon must cap every stretch at the scripted
+    // bit so the flip (and the error frame it provokes) replays exactly.
+    let build = |recorder: Recorder| {
+        SimBuilder::new(BusSpeed::K500)
+            .recorder(recorder)
+            .node(Node::new(
+                "tx",
+                Box::new(PeriodicSender::new(frame(0x0C4, &[0x5A; 8]), 500, 0)),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            // Bit 30 lands mid-arbitration of the first frame, 1 060 and
+            // 2_585 inside later frame bodies at unaligned word offsets.
+            .fault(FaultModel::scripted(vec![30, 1_060, 2_585]))
+            .build()
+    };
+    check_equivalence(build, 6_000).unwrap();
+
+    let mut sim = build(Recorder::disabled());
+    sim.run_packed(6_000);
+    assert!(
+        sim.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ErrorDetected { .. })),
+        "the mid-frame flips must provoke observable protocol errors"
+    );
+}
+
+#[test]
+fn packed_stretches_break_at_agent_intervention_boundaries() {
+    // A spoofing attacker and a MichiCan defender: the defender's
+    // injection start is an agent drive that must cap the packed stretch
+    // at exactly the right bit — one bit late and the error frame shifts,
+    // diverging every downstream surface.
+    let build = |recorder: Recorder| {
+        let list = EcuList::from_raw(&[0x173]);
+        SimBuilder::new(BusSpeed::K500)
+            .recorder(recorder)
+            .node(Node::new(
+                "victim",
+                Box::new(PeriodicSender::new(frame(0x173, &[0x11; 8]), 3_000, 0)),
+            ))
+            .node(Node::new(
+                "attacker",
+                Box::new(PeriodicSender::new(frame(0x173, &[0xFF; 8]), 3_000, 1_500)),
+            ))
+            .node(
+                Node::new("defender", Box::new(SilentApplication))
+                    .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
+            )
+            .build()
+    };
+    check_equivalence(build, 20_000).unwrap();
+
+    let mut sim = build(Recorder::disabled());
+    sim.run_packed(20_000);
+    assert!(
+        sim.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ErrorDetected { .. })),
+        "the defender's injections must destroy the spoofed frames"
     );
 }
