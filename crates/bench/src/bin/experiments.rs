@@ -3,13 +3,23 @@
 //! ```text
 //! experiments [all|table1|table2|table3|fig1a|fig1b|fig2|fig4b|fig6|
 //!              detection|cpu|bus_load|multi_attacker|on_vehicle|
-//!              ids_latency|feasibility|availability|faults] [--full]
+//!              ids_latency|feasibility|availability|faults|attacks] [--full]
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
 //!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
 //!             [--metrics-out <path>]   # per-run observability export
 //!             [--fast]                 # idle fast-forward simulation core
 //!             [--packed]               # word-packed bus kernel
+//!             [--attacks <name|all>]   # adversary-zoo selection (attacks)
 //! ```
+//!
+//! `attacks` runs the adversary zoo (`bench::attackzoo`): every attack
+//! variant of `can_attacks::registry` — bit-level stuff-bit overwrite,
+//! mid-frame error flags, frame truncation, adaptive racing, ghost
+//! injection, plus the controller-level spoofing/DoS/toggling attackers —
+//! against MichiCAN, the Parrot baseline and an undefended victim, and
+//! prints the per-attack eradication/bus-off/detection-latency table.
+//! `--attacks <name>` restricts the grid to one attack family. The table
+//! is byte-identical for every `--shards` count and simulation mode.
 //!
 //! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
 //! FSMs); the default is a faster configuration with identical shape.
@@ -113,6 +123,12 @@ fn main() {
         .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let attack_selection: String = args
+        .iter()
+        .position(|a| a == "--attacks")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     let mut skip_next = false;
     let which = args
         .iter()
@@ -121,7 +137,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--artifacts" || *a == "--metrics-out" {
+            if *a == "--artifacts" || *a == "--metrics-out" || *a == "--attacks" {
                 skip_next = true;
                 return false;
             }
@@ -208,6 +224,10 @@ fn main() {
     if run("faults") {
         section("Extension — fault-injection campaign (robustness grid)");
         faults(full, shards, mode, &recorder);
+    }
+    if run("attacks") {
+        section("Extension — adversary zoo (bit-level + controller-level registry)");
+        attacks(full, shards, mode, &recorder, &attack_selection);
     }
 
     if let Some(path) = metrics_out {
@@ -401,6 +421,48 @@ fn faults(full: bool, shards: usize, mode: bench::runner::SimMode, recorder: &Re
     let opts = exec_opts(mode, recorder);
     print!("{}", run_campaign_with(&config, &opts).render());
     println!("(seeded and deterministic: rerunning reproduces this table byte for byte)");
+}
+
+fn attacks(
+    full: bool,
+    shards: usize,
+    mode: bench::runner::SimMode,
+    recorder: &Recorder,
+    selection: &str,
+) {
+    use bench::attackzoo::{self, ZooDefense, ZOO_HORIZON_BITS};
+    let cells = match attackzoo::zoo_cells_for(selection) {
+        Some(cells) => cells,
+        None => {
+            eprintln!(
+                "error: unknown attack '{selection}' (known: all, {})",
+                can_attacks::registry::attack_names().join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+    let horizon = if full { 100_000 } else { ZOO_HORIZON_BITS };
+    println!(
+        "registry: {} variants x {} defenses = {} cells, {} bits each at {}",
+        cells.len() / ZooDefense::ALL.len(),
+        ZooDefense::ALL.len(),
+        cells.len(),
+        horizon,
+        TABLE2_SPEED
+    );
+    let outcomes = attackzoo::run_zoo_with(
+        cells,
+        horizon,
+        &exec_opts(mode, recorder).with_shards(shards),
+    );
+    print!("{}", attackzoo::render_zoo_table(&outcomes));
+    if selection == "all" {
+        attackzoo::assert_zoo_coverage(&outcomes);
+        println!(
+            "\n(bit-level attackers have no error counters: no counterattack can bus them off —"
+        );
+        println!("the paper's integrated-controller isolation argument, quantified per attack)");
+    }
 }
 
 fn availability() {

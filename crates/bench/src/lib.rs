@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attackzoo;
 pub mod availability;
 pub mod busload;
 pub mod campaign;

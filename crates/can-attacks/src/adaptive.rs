@@ -1,0 +1,362 @@
+//! An adaptive attacker that races the defender's reaction window.
+//!
+//! MichiCAN's counterattack lands a few bits after its detection point
+//! (paper §IV-E): the defender must finish classifying the identifier
+//! before it may drive the bus. That latency is *observable on the wire*
+//! — the counterattack surfaces as a stuff violation at a characteristic
+//! destuffed position. [`AdaptiveRacer`] measures it: for a configurable
+//! number of probe frames it watches the victim identifier passively and
+//! records where frames die; then it starts striking its own error flag
+//! `lead` bits *before* the earliest observed kill position, racing the
+//! defender to the frame.
+//!
+//! The racer keeps its measurement in an internal [`can_obs::Histogram`]
+//! so its decisions are self-contained and deterministic; an optional
+//! [`can_obs::Recorder`] mirror exports the observations and strike
+//! counts for analysis without ever influencing behavior.
+
+use can_core::agent::BitAgent;
+use can_core::{BitDuration, BitInstant, CanId, Level};
+use can_obs::{Histogram, Recorder, DEFAULT_BUCKETS};
+
+use crate::error_flag::ERROR_FLAG_BITS;
+use crate::watch::{FrameWatch, WatchEvent, ID_COMPLETE_CNT};
+
+/// Earliest destuffed position the racer will ever strike at: the bit
+/// right after the arbitration field (it must see the whole identifier
+/// to know the frame is worth attacking).
+pub const EARLIEST_STRIKE_CNT: u32 = ID_COMPLETE_CNT + 1;
+
+/// Pre-interned metric keys (built once in [`AdaptiveRacer::set_recorder`]
+/// so the per-bit path never formats).
+#[derive(Debug, Clone)]
+struct RacerKeys {
+    recorder: Recorder,
+    observed: String,
+    strikes: String,
+    losses: String,
+}
+
+/// A bit-level attacker that measures the defender's reaction latency on
+/// the wire and times its injection to beat the counterattack window.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRacer {
+    victim: CanId,
+    /// Victim frames to observe passively before striking.
+    probe_frames: u32,
+    /// Bits to strike ahead of the earliest observed kill position.
+    lead: u32,
+    /// Strike position used when probing observed no kills (an undefended
+    /// victim: any mid-frame position works).
+    fallback_at: u32,
+    watch: FrameWatch,
+    armed: bool,
+    probes_seen: u32,
+    /// Destuffed positions at which observed victim frames died.
+    observed: Histogram,
+    flag_left: u32,
+    strikes: u64,
+    /// Victim frames that died before the racer's planned strike position
+    /// while in strike mode — races lost to the defender.
+    losses: u64,
+    keys: Option<RacerKeys>,
+}
+
+impl AdaptiveRacer {
+    /// Creates a racer against `victim` that probes `probe_frames` frames,
+    /// then strikes `lead` bits before the earliest observed kill —
+    /// falling back to `fallback_at` when probing saw no kills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallback_at <= 12` (see [`EARLIEST_STRIKE_CNT`]).
+    pub fn new(victim: CanId, probe_frames: u32, lead: u32, fallback_at: u32) -> Self {
+        assert!(
+            fallback_at >= EARLIEST_STRIKE_CNT,
+            "fallback_at must lie after the arbitration field (destuffed position > 12)"
+        );
+        AdaptiveRacer {
+            victim,
+            probe_frames,
+            lead,
+            fallback_at,
+            watch: FrameWatch::new(),
+            armed: false,
+            probes_seen: 0,
+            observed: Histogram::new(DEFAULT_BUCKETS),
+            flag_left: 0,
+            strikes: 0,
+            losses: 0,
+            keys: None,
+        }
+    }
+
+    /// Mirrors the racer's measurements into `recorder` under keys labeled
+    /// with `node`. Purely observational: behavior is unchanged whether or
+    /// not a recorder is attached or enabled.
+    pub fn set_recorder(&mut self, recorder: &Recorder, node: u32) {
+        let observed = format!("adaptive_racer_observed_kill_bits{{node=\"{node}\"}}");
+        recorder.declare_histogram(&observed, DEFAULT_BUCKETS);
+        self.keys = Some(RacerKeys {
+            recorder: recorder.clone(),
+            observed,
+            strikes: format!("adaptive_racer_strikes_total{{node=\"{node}\"}}"),
+            losses: format!("adaptive_racer_races_lost_total{{node=\"{node}\"}}"),
+        });
+    }
+
+    /// Whether the racer is still in its passive probing phase.
+    pub fn probing(&self) -> bool {
+        self.probes_seen < self.probe_frames
+    }
+
+    /// The destuffed position the racer strikes at once probing ends.
+    ///
+    /// `earliest observed kill − lead`, clamped to just past arbitration;
+    /// the fallback when no kill was observed.
+    pub fn strike_at(&self) -> u32 {
+        match self.observed.min() {
+            Some(min) => {
+                let min = u32::try_from(min).unwrap_or(u32::MAX);
+                min.saturating_sub(self.lead).max(EARLIEST_STRIKE_CNT)
+            }
+            None => self.fallback_at,
+        }
+    }
+
+    /// Error flags driven so far.
+    pub fn strikes(&self) -> u64 {
+        self.strikes
+    }
+
+    /// Races lost to the defender (victim frames that died before the
+    /// racer's planned position while it was in strike mode).
+    pub fn races_lost(&self) -> u64 {
+        self.losses
+    }
+
+    fn record_kill(&mut self, at: u32) {
+        self.observed.observe(u64::from(at));
+        if let Some(keys) = &self.keys {
+            keys.recorder.observe(&keys.observed, u64::from(at));
+        }
+    }
+}
+
+impl BitAgent for AdaptiveRacer {
+    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+        if self.flag_left > 0 {
+            self.flag_left -= 1;
+            let _ = self.watch.push(level);
+            return;
+        }
+        match self.watch.push(level) {
+            WatchEvent::Sof => self.armed = false,
+            WatchEvent::Violation(at) => {
+                if self.armed {
+                    // A victim frame died without us: the defender's
+                    // counterattack (or another error) landed at `at`.
+                    self.record_kill(at);
+                    if self.probing() {
+                        self.probes_seen += 1;
+                    } else {
+                        self.losses += 1;
+                        if let Some(keys) = &self.keys {
+                            keys.recorder.inc(&keys.losses);
+                        }
+                    }
+                }
+                self.armed = false;
+            }
+            WatchEvent::FrameEnd => {
+                // A victim frame survived untouched; probing learns from
+                // that too (no kill observed ⇒ nothing to race).
+                if self.armed && self.probing() {
+                    self.probes_seen += 1;
+                }
+                self.armed = false;
+            }
+            _ => {}
+        }
+        if !self.armed
+            && self.watch.cnt() >= ID_COMPLETE_CNT
+            && self.watch.id() == Some(self.victim)
+        {
+            self.armed = true;
+        }
+        if self.armed
+            && !self.probing()
+            && self.watch.cnt() + 1 == self.strike_at()
+            && !self.watch.expecting_stuff()
+        {
+            self.flag_left = ERROR_FLAG_BITS;
+            self.strikes += 1;
+            if let Some(keys) = &self.keys {
+                keys.recorder.inc(&keys.strikes);
+            }
+            self.armed = false;
+            self.watch.abort();
+        }
+    }
+
+    fn tx_level(&self) -> Option<Level> {
+        (self.flag_left > 0).then_some(Level::Dominant)
+    }
+
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        if self.watch.is_idle() && self.flag_left == 0 {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        if self.flag_left > 0 {
+            Some(now)
+        } else {
+            Some(now + BitDuration::bits(1))
+        }
+    }
+
+    fn skip_idle(&mut self, bits: u64, _from: BitInstant) {
+        debug_assert!(self.watch.is_idle() && self.flag_left == 0);
+        self.watch.skip_idle(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_core::bitstream::stuff_frame;
+    use can_core::CanFrame;
+
+    /// Feeds a frame, killing it at destuffed position `kill_at` (the
+    /// "defender") unless the racer strikes first. Returns what ended the
+    /// frame: `Some(true)` racer struck, `Some(false)` defender killed.
+    fn feed_contested(
+        racer: &mut AdaptiveRacer,
+        frame: &CanFrame,
+        kill_at: Option<u32>,
+    ) -> Option<bool> {
+        let mut t = 0u64;
+        for _ in 0..20 {
+            racer.on_bit(Level::Recessive, BitInstant::from_bits(t));
+            t += 1;
+        }
+        // Reference watch to locate destuffed positions on the wire.
+        let mut reference = FrameWatch::new();
+        for _ in 0..20 {
+            reference.push(Level::Recessive);
+        }
+        let wire = stuff_frame(frame);
+        let mut outcome = None;
+        for &bit in &wire.bits {
+            if racer.tx_level() == Some(Level::Dominant) {
+                // Racer strike: drive the flag to completion, then stop.
+                while racer.tx_level() == Some(Level::Dominant) {
+                    racer.on_bit(Level::Dominant, BitInstant::from_bits(t));
+                    t += 1;
+                }
+                outcome = Some(true);
+                break;
+            }
+            reference.push(bit);
+            racer.on_bit(bit, BitInstant::from_bits(t));
+            t += 1;
+            if kill_at.is_some_and(|k| reference.cnt() == k) {
+                // Defender kill: six dominant bits starting next bit.
+                for _ in 0..6 {
+                    racer.on_bit(Level::Dominant, BitInstant::from_bits(t));
+                    t += 1;
+                }
+                outcome = Some(false);
+                break;
+            }
+        }
+        // Error delimiter / interframe space.
+        for _ in 0..14 {
+            racer.on_bit(Level::Recessive, BitInstant::from_bits(t));
+            t += 1;
+        }
+        outcome
+    }
+
+    #[test]
+    fn probes_then_beats_the_observed_kill_position() {
+        let victim = CanId::from_raw(0x173);
+        let frame = CanFrame::data_frame(victim, &[0xA5; 8]).unwrap();
+        let mut racer = AdaptiveRacer::new(victim, 2, 5, 25);
+        // Two probe frames killed by a "defender" flooding from destuffed
+        // bit 21 on. On the wire the violation completes once the run
+        // reaches six — at destuffed position 25 for this frame.
+        assert_eq!(feed_contested(&mut racer, &frame, Some(20)), Some(false));
+        assert_eq!(feed_contested(&mut racer, &frame, Some(20)), Some(false));
+        assert!(!racer.probing());
+        assert_eq!(racer.strike_at(), 20, "min(25) - lead(5)");
+        // Third frame: the racer strikes before the defender's trigger.
+        assert_eq!(feed_contested(&mut racer, &frame, Some(20)), Some(true));
+        assert_eq!(racer.strikes(), 1);
+        assert_eq!(racer.races_lost(), 0);
+    }
+
+    #[test]
+    fn falls_back_when_probing_sees_no_kills() {
+        let victim = CanId::from_raw(0x0B4);
+        let frame = CanFrame::data_frame(victim, &[1, 2]).unwrap();
+        let mut racer = AdaptiveRacer::new(victim, 1, 3, 30);
+        assert_eq!(feed_contested(&mut racer, &frame, None), None);
+        assert!(!racer.probing());
+        assert_eq!(racer.strike_at(), 30);
+        assert_eq!(feed_contested(&mut racer, &frame, None), Some(true));
+        assert_eq!(racer.strikes(), 1);
+    }
+
+    #[test]
+    fn counts_lost_races() {
+        let victim = CanId::from_raw(0x173);
+        let frame = CanFrame::data_frame(victim, &[0; 8]).unwrap();
+        let mut racer = AdaptiveRacer::new(victim, 1, 0, 25);
+        assert_eq!(feed_contested(&mut racer, &frame, Some(30)), Some(false));
+        let after_probe = racer.strike_at();
+        // A much faster defender beats the racer's planned position.
+        assert_eq!(feed_contested(&mut racer, &frame, Some(14)), Some(false));
+        assert_eq!(racer.races_lost(), 1);
+        // The loss also tightens the next strike.
+        assert!(racer.strike_at() < after_probe);
+    }
+
+    #[test]
+    fn clamps_to_the_post_arbitration_floor() {
+        let victim = CanId::from_raw(0x001);
+        let frame = CanFrame::data_frame(victim, &[]).unwrap();
+        let mut racer = AdaptiveRacer::new(victim, 1, 50, 20);
+        assert_eq!(feed_contested(&mut racer, &frame, Some(14)), Some(false));
+        assert_eq!(racer.strike_at(), EARLIEST_STRIKE_CNT);
+    }
+
+    #[test]
+    fn recorder_mirror_does_not_change_behavior() {
+        let victim = CanId::from_raw(0x173);
+        let frame = CanFrame::data_frame(victim, &[0xA5; 8]).unwrap();
+        let mut plain = AdaptiveRacer::new(victim, 1, 2, 25);
+        let recorder = Recorder::enabled();
+        let mut mirrored = AdaptiveRacer::new(victim, 1, 2, 25);
+        mirrored.set_recorder(&recorder, 7);
+        for kill in [Some(20), Some(20), Some(18)] {
+            assert_eq!(
+                feed_contested(&mut plain, &frame, kill),
+                feed_contested(&mut mirrored, &frame, kill)
+            );
+        }
+        assert_eq!(plain.strikes(), mirrored.strikes());
+        assert_eq!(plain.strike_at(), mirrored.strike_at());
+        // And the mirror actually exported the measurement.
+        let registry = recorder.into_registry();
+        let hist = registry
+            .histogram("adaptive_racer_observed_kill_bits{node=\"7\"}")
+            .expect("observed-kill histogram exported");
+        assert_eq!(hist.count(), 2, "one probe kill + one lost race");
+        assert!(hist.min().is_some());
+    }
+}

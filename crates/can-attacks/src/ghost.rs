@@ -17,7 +17,7 @@
 
 use can_core::agent::BitAgent;
 use can_core::bitstream::{Destuffed, Destuffer, MIN_INTERFRAME_RECESSIVE};
-use can_core::{BitInstant, CanId, Level};
+use can_core::{BitDuration, BitInstant, CanId, Level};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum GhostState {
@@ -121,6 +121,33 @@ impl BitAgent for GhostInjector {
         } else {
             None
         }
+    }
+
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        // Hunting on an idle bus only counts recessive bits (closed form
+        // in `skip_idle`); mid-frame every bit matters.
+        match self.state {
+            GhostState::BusIdle if !self.injecting => None,
+            _ => Some(now),
+        }
+    }
+
+    fn drive_horizon(&self, now: BitInstant) -> Option<BitInstant> {
+        // An injection can only begin after the ghost has observed
+        // another bit, so one bit from now is the earliest possible drive
+        // under arbitrary bus input.
+        if self.injecting {
+            Some(now)
+        } else {
+            Some(now + BitDuration::bits(1))
+        }
+    }
+
+    fn skip_idle(&mut self, bits: u64, _from: BitInstant) {
+        debug_assert!(matches!(self.state, GhostState::BusIdle) && !self.injecting);
+        self.recessive_run = self
+            .recessive_run
+            .saturating_add(u32::try_from(bits).unwrap_or(u32::MAX));
     }
 }
 

@@ -1,4 +1,4 @@
-//! # can-attacks — the paper's threat-model attackers
+//! # can-attacks — the paper's threat-model attackers and the adversary zoo
 //!
 //! Implements every adversary of the MichiCAN threat model (§III) as a
 //! [`can_core::app::Application`] runnable on simulator nodes:
@@ -12,25 +12,54 @@
 //!   its traffic.
 //! * [`toggling`] — Experiment 6's attacker alternating between two
 //!   identifiers.
-//! * [`ghost`] — a CANnon-style *bit-level* bus-off attacker (§VI-A),
-//!   demonstrating the offensive side of integrated-controller access and
-//!   why it must be isolated from compromisable software (§III).
 //!
-//! All attackers comply with the CAN protocol at the controller level
-//! (they cannot bypass error handling — that is exactly what MichiCAN
-//! exploits to bus them off).
+//! Beyond the controller-level attackers, the *bit-level adversary zoo*
+//! implements CANflict-style peripheral-conflict attackers as
+//! [`can_core::agent::BitAgent`]s — they drive raw bus levels without a
+//! CAN controller and therefore bypass error confinement entirely:
+//!
+//! * [`ghost`] — a CANnon-style bus-off attacker (§VI-A) overwriting one
+//!   identifier bit of a victim frame.
+//! * [`stuff_overwrite`] — flips a computed recessive stuff bit dominant
+//!   to desynchronize every receiver on the bus.
+//! * [`error_flag`] — drives a six-dominant-bit error flag mid-frame on a
+//!   trigger identifier.
+//! * [`truncator`] — forces a recessive-to-dominant conflict at a chosen
+//!   field boundary (CRC delimiter, ACK delimiter, EOF), truncating the
+//!   frame.
+//! * [`adaptive`] — observes the defender's measured reaction latency and
+//!   times its strike to race the counterattack window.
+//!
+//! The zoo is enumerable: [`registry`] maps stable attack names to
+//! scenario constructors with per-attack parameter grids, so campaigns
+//! (`experiments attacks --attacks all`) can sweep the whole threat space
+//! without naming each attacker in code. [`watch`] holds the shared wire
+//! observer (SOF hunting, destuffing, field tracking) the bit-level
+//! attackers build on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
+pub mod error_flag;
 pub mod fabrication;
 pub mod ghost;
 pub mod masquerade;
+pub mod registry;
+pub mod stuff_overwrite;
 pub mod suspension;
 pub mod toggling;
+pub mod truncator;
+pub mod watch;
 
+pub use adaptive::AdaptiveRacer;
+pub use error_flag::ErrorFlagInjector;
 pub use fabrication::FabricationAttacker;
 pub use ghost::GhostInjector;
 pub use masquerade::MasqueradeAttacker;
+pub use registry::{AttackAgent, AttackParams, AttackVariant};
+pub use stuff_overwrite::StuffBitOverwrite;
 pub use suspension::{DosKind, SuspensionAttacker};
 pub use toggling::TogglingAttacker;
+pub use truncator::{FrameTruncator, TruncateAt};
+pub use watch::{FrameWatch, WatchEvent};

@@ -1,0 +1,313 @@
+//! The scenario registry: every attacker in this crate, enumerable by
+//! stable name with its parameter grid.
+//!
+//! Campaigns and the `experiments attacks` runner should never hard-code
+//! attacker constructors: the registry maps each attack to the variants
+//! worth sweeping, so adding an attacker here automatically grows every
+//! downstream table, differential pin and CI smoke run.
+//!
+//! Two attacker classes share the registry:
+//!
+//! * **bit-level** ([`AttackAgent::Bit`]) — CANflict-style peripheral
+//!   adversaries implementing [`can_core::agent::BitAgent`]; they bypass
+//!   error confinement entirely.
+//! * **controller-level** ([`AttackAgent::App`]) — protocol-compliant
+//!   attackers implementing [`can_core::app::Application`]; their TEC is
+//!   exactly what MichiCAN's counterattack inflates.
+//!
+//! Scenario *assembly* (nodes, defenders, simulator) stays in `bench`;
+//! the registry only produces the attacker itself, parameterized by the
+//! victim identifier and its transmission period.
+
+use can_core::agent::BitAgent;
+use can_core::app::Application;
+use can_core::CanId;
+
+use crate::adaptive::AdaptiveRacer;
+use crate::error_flag::ErrorFlagInjector;
+use crate::fabrication::FabricationAttacker;
+use crate::ghost::GhostInjector;
+use crate::stuff_overwrite::StuffBitOverwrite;
+use crate::suspension::{DosKind, SuspensionAttacker};
+use crate::toggling::TogglingAttacker;
+use crate::truncator::{FrameTruncator, TruncateAt};
+
+/// An instantiated attacker, ready to mount on a simulator node.
+pub enum AttackAgent {
+    /// A bit-level adversary (mount with `Node::with_agent`).
+    Bit(Box<dyn BitAgent>),
+    /// A controller-level adversary (mount as the node's application).
+    App(Box<dyn Application>),
+}
+
+/// Parameters of one registry variant. `Copy` so variant tables can be
+/// `'static` and labels can be rebuilt anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackParams {
+    /// [`StuffBitOverwrite`]: which overwritable stuff bit to strike.
+    StuffOverwrite {
+        /// Recessive stuff bits to let pass per frame before striking.
+        skip: u32,
+    },
+    /// [`ErrorFlagInjector`]: where the flag lands.
+    ErrorFlag {
+        /// Destuffed frame position (SOF = 1) of the first flag bit.
+        flag_at: u32,
+    },
+    /// [`FrameTruncator`]: which fixed-form boundary to cut at.
+    Truncate {
+        /// The boundary to strike.
+        at: TruncateAt,
+    },
+    /// [`AdaptiveRacer`]: probing depth and racing margin.
+    Adaptive {
+        /// Victim frames observed passively before striking.
+        probe_frames: u32,
+        /// Bits struck ahead of the earliest observed kill.
+        lead: u32,
+        /// Strike position when probing saw no kills.
+        fallback_at: u32,
+    },
+    /// [`GhostInjector`]: no parameters.
+    Ghost,
+    /// [`FabricationAttacker`]: spoof rate relative to the victim.
+    Fabrication {
+        /// Injection frequency multiple of the victim's own rate.
+        overdrive: u64,
+    },
+    /// [`SuspensionAttacker`] with [`DosKind::Traditional`].
+    DosTraditional {
+        /// Bits between flood frames.
+        period_bits: u64,
+    },
+    /// [`SuspensionAttacker`] with [`DosKind::Targeted`] at the identifier
+    /// just above the victim's priority.
+    DosTargeted {
+        /// Bits between flood frames.
+        period_bits: u64,
+    },
+    /// [`TogglingAttacker`] alternating the victim identifier with its
+    /// lower-priority neighbor.
+    Toggling {
+        /// Bits between frames.
+        period_bits: u64,
+    },
+}
+
+/// One named, parameterized entry of the adversary zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttackVariant {
+    /// Stable registry name of the attack family (e.g. `"stuff-overwrite"`).
+    pub attack: &'static str,
+    /// This variant's parameters.
+    pub params: AttackParams,
+}
+
+impl AttackVariant {
+    /// Stable scenario label: the attack name plus its distinguishing
+    /// parameters, usable in reports, journals and differential pins.
+    pub fn label(&self) -> String {
+        match self.params {
+            AttackParams::StuffOverwrite { skip } => format!("{}[skip={skip}]", self.attack),
+            AttackParams::ErrorFlag { flag_at } => format!("{}[at={flag_at}]", self.attack),
+            AttackParams::Truncate { at } => format!("{}[{}]", self.attack, at.label()),
+            AttackParams::Adaptive {
+                probe_frames, lead, ..
+            } => format!("{}[probe={probe_frames},lead={lead}]", self.attack),
+            AttackParams::Ghost => self.attack.to_string(),
+            AttackParams::Fabrication { overdrive } => format!("{}[x{overdrive}]", self.attack),
+            AttackParams::DosTraditional { .. } | AttackParams::DosTargeted { .. } => {
+                self.attack.to_string()
+            }
+            AttackParams::Toggling { .. } => self.attack.to_string(),
+        }
+    }
+
+    /// Whether this variant is a bit-level (controller-less) adversary.
+    pub fn bit_level(&self) -> bool {
+        matches!(
+            self.params,
+            AttackParams::StuffOverwrite { .. }
+                | AttackParams::ErrorFlag { .. }
+                | AttackParams::Truncate { .. }
+                | AttackParams::Adaptive { .. }
+                | AttackParams::Ghost
+        )
+    }
+
+    /// Builds the attacker against `victim` (transmitting every
+    /// `victim_period_bits` bits).
+    pub fn instantiate(&self, victim: CanId, victim_period_bits: u64) -> AttackAgent {
+        match self.params {
+            AttackParams::StuffOverwrite { skip } => {
+                AttackAgent::Bit(Box::new(StuffBitOverwrite::new(victim, skip)))
+            }
+            AttackParams::ErrorFlag { flag_at } => {
+                AttackAgent::Bit(Box::new(ErrorFlagInjector::new(victim, flag_at)))
+            }
+            AttackParams::Truncate { at } => {
+                AttackAgent::Bit(Box::new(FrameTruncator::new(victim, at)))
+            }
+            AttackParams::Adaptive {
+                probe_frames,
+                lead,
+                fallback_at,
+            } => AttackAgent::Bit(Box::new(AdaptiveRacer::new(
+                victim,
+                probe_frames,
+                lead,
+                fallback_at,
+            ))),
+            AttackParams::Ghost => AttackAgent::Bit(Box::new(GhostInjector::new(victim))),
+            AttackParams::Fabrication { overdrive } => AttackAgent::App(Box::new(
+                FabricationAttacker::new(victim, &[0xBA; 8], victim_period_bits, overdrive),
+            )),
+            AttackParams::DosTraditional { period_bits } => AttackAgent::App(Box::new(
+                SuspensionAttacker::new(DosKind::Traditional, period_bits),
+            )),
+            AttackParams::DosTargeted { period_bits } => {
+                let id = victim
+                    .higher_priority_neighbor()
+                    .unwrap_or(CanId::HIGHEST_PRIORITY);
+                AttackAgent::App(Box::new(SuspensionAttacker::new(
+                    DosKind::Targeted { id },
+                    period_bits,
+                )))
+            }
+            AttackParams::Toggling { period_bits } => {
+                let second = victim.lower_priority_neighbor().unwrap_or(victim);
+                AttackAgent::App(Box::new(TogglingAttacker::new(victim, second, period_bits)))
+            }
+        }
+    }
+}
+
+/// The full registry: every attack family with its swept variants, in
+/// stable enumeration order (bit-level zoo first, then the paper's
+/// controller-level attackers).
+pub const REGISTRY: &[(&str, &[AttackParams])] = &[
+    (
+        "stuff-overwrite",
+        &[
+            AttackParams::StuffOverwrite { skip: 0 },
+            AttackParams::StuffOverwrite { skip: 1 },
+        ],
+    ),
+    (
+        "error-flag",
+        &[
+            AttackParams::ErrorFlag { flag_at: 13 },
+            AttackParams::ErrorFlag { flag_at: 25 },
+        ],
+    ),
+    (
+        "truncate",
+        &[
+            AttackParams::Truncate {
+                at: TruncateAt::CrcDelim,
+            },
+            AttackParams::Truncate {
+                at: TruncateAt::Eof,
+            },
+        ],
+    ),
+    (
+        "adaptive-racer",
+        &[AttackParams::Adaptive {
+            probe_frames: 3,
+            lead: 5,
+            fallback_at: 20,
+        }],
+    ),
+    ("ghost", &[AttackParams::Ghost]),
+    ("fabrication", &[AttackParams::Fabrication { overdrive: 2 }]),
+    (
+        "dos-traditional",
+        &[AttackParams::DosTraditional { period_bits: 1_500 }],
+    ),
+    (
+        "dos-targeted",
+        &[AttackParams::DosTargeted { period_bits: 1_500 }],
+    ),
+    ("toggling", &[AttackParams::Toggling { period_bits: 1_500 }]),
+];
+
+/// All attack family names, in registry order.
+pub fn attack_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(name, _)| *name).collect()
+}
+
+/// The swept variants of one attack family, or `None` for an unknown name.
+pub fn variants_for(attack: &str) -> Option<Vec<AttackVariant>> {
+    REGISTRY
+        .iter()
+        .find(|(name, _)| *name == attack)
+        .map(|(name, grid)| {
+            grid.iter()
+                .map(|&params| AttackVariant {
+                    attack: name,
+                    params,
+                })
+                .collect()
+        })
+}
+
+/// Every variant of every attack, in registry order.
+pub fn all_variants() -> Vec<AttackVariant> {
+    REGISTRY
+        .iter()
+        .flat_map(|(name, grid)| {
+            grid.iter().map(|&params| AttackVariant {
+                attack: name,
+                params,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_enumerable_and_labeled_uniquely() {
+        let variants = all_variants();
+        assert!(variants.len() >= 12);
+        let mut labels: Vec<String> = variants.iter().map(AttackVariant::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), variants.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn bit_level_zoo_has_at_least_four_new_families() {
+        let new_families = [
+            "stuff-overwrite",
+            "error-flag",
+            "truncate",
+            "adaptive-racer",
+        ];
+        for family in new_families {
+            let variants = variants_for(family).expect(family);
+            assert!(!variants.is_empty());
+            assert!(variants.iter().all(AttackVariant::bit_level));
+        }
+    }
+
+    #[test]
+    fn every_variant_instantiates() {
+        let victim = CanId::from_raw(0x173);
+        for variant in all_variants() {
+            match variant.instantiate(victim, 600) {
+                AttackAgent::Bit(_) => assert!(variant.bit_level(), "{}", variant.label()),
+                AttackAgent::App(_) => assert!(!variant.bit_level(), "{}", variant.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(variants_for("not-an-attack").is_none());
+        assert!(attack_names().contains(&"ghost"));
+    }
+}

@@ -144,9 +144,41 @@ pub struct MichiCan {
     recorder: Recorder,
     /// Node index used in metric labels and trace records.
     node_label: u32,
+    /// Metric keys interned once in [`MichiCan::set_recorder`], so the
+    /// per-bit hot path never formats label strings. `Some` iff the
+    /// recorder is enabled.
+    keys: Option<MetricKeys>,
     /// Bit time of the pending detection, for the detection→injection
     /// reaction-latency histogram. Only maintained when recording.
     detected_at: Option<u64>,
+}
+
+/// Pre-formatted metric key strings. Several are incremented per frame or
+/// per FSM step, so the label `format!` must happen once, not per event —
+/// the key *text* is unchanged, keeping metric snapshots byte-identical.
+#[derive(Debug, Clone)]
+struct MetricKeys {
+    frames_monitored: String,
+    fsm_steps: String,
+    suppressed_own: String,
+    detections: String,
+    detection_position: String,
+    counterattacks: String,
+    reaction_latency: String,
+}
+
+impl MetricKeys {
+    fn for_node(node: u32) -> Self {
+        MetricKeys {
+            frames_monitored: format!("michican_frames_monitored_total{{node=\"{node}\"}}"),
+            fsm_steps: format!("michican_fsm_steps_total{{node=\"{node}\"}}"),
+            suppressed_own: format!("michican_suppressed_own_total{{node=\"{node}\"}}"),
+            detections: format!("michican_detections_total{{node=\"{node}\"}}"),
+            detection_position: format!("michican_detection_position_bits{{node=\"{node}\"}}"),
+            counterattacks: format!("michican_counterattacks_total{{node=\"{node}\"}}"),
+            reaction_latency: format!("michican_reaction_latency_bits{{node=\"{node}\"}}"),
+        }
+    }
 }
 
 impl MichiCan {
@@ -172,6 +204,7 @@ impl MichiCan {
             stats: MichiCanStats::default(),
             recorder: Recorder::disabled(),
             node_label: 0,
+            keys: None,
             detected_at: None,
         }
     }
@@ -182,10 +215,11 @@ impl MichiCan {
     /// snapshots even before the first detection.
     pub fn set_recorder(&mut self, recorder: Recorder, node: u32) {
         if recorder.is_enabled() {
-            recorder.declare_histogram(
-                &format!("michican_reaction_latency_bits{{node=\"{node}\"}}"),
-                can_obs::DEFAULT_BUCKETS,
-            );
+            let keys = MetricKeys::for_node(node);
+            recorder.declare_histogram(&keys.reaction_latency, can_obs::DEFAULT_BUCKETS);
+            self.keys = Some(keys);
+        } else {
+            self.keys = None;
         }
         self.recorder = recorder;
         self.node_label = node;
@@ -237,11 +271,8 @@ impl MichiCan {
         self.cursor = self.fsm.start();
         self.start_counterattack = false;
         self.stats.frames_monitored += 1;
-        if self.recorder.is_enabled() {
-            let node = self.node_label;
-            self.recorder.inc(&format!(
-                "michican_frames_monitored_total{{node=\"{node}\"}}"
-            ));
+        if let Some(keys) = &self.keys {
+            self.recorder.inc(&keys.frames_monitored);
         }
     }
 
@@ -268,37 +299,29 @@ impl MichiCan {
         // running as soon as it decides (Algorithm 1 line 11).
         if (2..=12).contains(&self.cnt) && self.cursor.decision().is_none() {
             let step = self.fsm.step(&mut self.cursor, level);
-            if self.recorder.is_enabled() {
-                let node = self.node_label;
-                self.recorder
-                    .inc(&format!("michican_fsm_steps_total{{node=\"{node}\"}}"));
+            if let Some(keys) = &self.keys {
+                self.recorder.inc(&keys.fsm_steps);
             }
             if let FsmStep::Malicious = step {
                 if self.own_transmission {
                     // The frame on the bus is this ECU's own transmission
                     // (e.g. its periodic 0x173): never self-attack.
                     self.stats.suppressed_own += 1;
-                    if self.recorder.is_enabled() {
-                        let node = self.node_label;
-                        self.recorder
-                            .inc(&format!("michican_suppressed_own_total{{node=\"{node}\"}}"));
+                    if let Some(keys) = &self.keys {
+                        self.recorder.inc(&keys.suppressed_own);
                     }
                 } else {
                     self.start_counterattack = true;
                     self.stats.attacks_detected += 1;
                     let position = self.cursor.bits_consumed();
                     self.stats.detection_positions.push(position);
-                    if self.recorder.is_enabled() {
-                        let node = self.node_label;
+                    if let Some(keys) = &self.keys {
+                        self.recorder.inc(&keys.detections);
                         self.recorder
-                            .inc(&format!("michican_detections_total{{node=\"{node}\"}}"));
-                        self.recorder.observe(
-                            &format!("michican_detection_position_bits{{node=\"{node}\"}}"),
-                            u64::from(position),
-                        );
+                            .observe(&keys.detection_position, u64::from(position));
                         self.recorder.trace(
                             now.bits(),
-                            node,
+                            self.node_label,
                             EVT_DETECTION,
                             &format!("pos={position}"),
                         );
@@ -315,17 +338,16 @@ impl MichiCan {
                     // (Algorithm 1 lines 20–23).
                     self.injecting = true;
                     self.stats.counterattacks += 1;
-                    if self.recorder.is_enabled() {
-                        let node = self.node_label;
-                        self.recorder
-                            .inc(&format!("michican_counterattacks_total{{node=\"{node}\"}}"));
+                    if let Some(keys) = &self.keys {
+                        self.recorder.inc(&keys.counterattacks);
                         if let Some(detected) = self.detected_at.take() {
                             self.recorder.observe(
-                                &format!("michican_reaction_latency_bits{{node=\"{node}\"}}"),
+                                &keys.reaction_latency,
                                 now.bits().saturating_sub(detected),
                             );
                         }
-                        self.recorder.trace(now.bits(), node, EVT_INJECT_START, "");
+                        self.recorder
+                            .trace(now.bits(), self.node_label, EVT_INJECT_START, "");
                     }
                 }
                 self.start_counterattack = false;

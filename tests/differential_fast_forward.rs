@@ -4,6 +4,7 @@
 //! surface — events, signal trace, metrics snapshot, outcome — must match
 //! byte for byte across all three modes.
 
+use bench::attackzoo::{build_zoo_cell, run_zoo_with, zoo_cells, ZooCell};
 use bench::campaign::{run_campaign_with, CampaignConfig};
 use bench::differential::{check_equivalence, check_outcome, fingerprint};
 use bench::runner::ExecOpts;
@@ -144,6 +145,85 @@ fn parksense_outcomes_are_identical_under_acceleration() {
             lock_recorder.snapshot_json(),
             packed_recorder.snapshot_json(),
             "parksense metrics snapshot diverged under the packed kernel (defended={defended})"
+        );
+    }
+}
+
+#[test]
+fn every_zoo_cell_is_bit_identical_under_acceleration() {
+    // The adversary-zoo differential pin: every registry attack variant ×
+    // every defense, fingerprinted (clock, busy bits, events, metrics)
+    // across lockstep, fast-forward and the packed kernel. Bit-level
+    // attackers exercise the BitAgent drive_horizon/skip_idle seams under
+    // mid-frame intervention, which is exactly where the accelerated
+    // kernels are most likely to diverge.
+    let cells = zoo_cells();
+    assert!(cells.len() >= 36, "registry shrank: {} cells", cells.len());
+    for cell in cells {
+        check_equivalence(|recorder| build_zoo_cell(&cell, recorder).sim, 20_000).unwrap_or_else(
+            |divergence| {
+                panic!(
+                    "zoo cell {} vs {}: {divergence}",
+                    cell.variant.label(),
+                    cell.defense.label()
+                );
+            },
+        );
+    }
+}
+
+#[test]
+fn zoo_table_is_identical_across_modes_and_shards() {
+    // Outcome-level pin: the full per-attack outcome table and the merged
+    // metrics snapshot must be byte-identical in all three modes and at
+    // any shard count (`experiments attacks --attacks all --shards N`).
+    let run = |opts: ExecOpts| {
+        let recorder = Recorder::enabled();
+        let outcomes = run_zoo_with(zoo_cells(), 20_000, &opts.with_recorder(recorder.clone()));
+        (outcomes, recorder.snapshot_json())
+    };
+    let (lock, lock_snapshot) = run(ExecOpts::new());
+    for (label, opts) in [
+        ("fast-forward", ExecOpts::new().fast()),
+        ("packed", ExecOpts::new().packed()),
+        ("4 shards", ExecOpts::new().with_shards(4)),
+        ("packed + 3 shards", ExecOpts::new().packed().with_shards(3)),
+    ] {
+        let (outcomes, snapshot) = run(opts);
+        assert_eq!(lock, outcomes, "zoo outcomes diverged under {label}");
+        assert_eq!(
+            lock_snapshot, snapshot,
+            "zoo metrics snapshot diverged under {label}"
+        );
+    }
+    let table = bench::attackzoo::render_zoo_table(&lock);
+    bench::attackzoo::assert_zoo_coverage(&lock);
+    for cell in zoo_cells() {
+        assert!(
+            table.contains(&cell.variant.label()),
+            "table is missing {}",
+            cell.variant.label()
+        );
+    }
+}
+
+#[test]
+fn zoo_cells_cover_every_registry_variant_against_every_defense() {
+    use can_attacks::registry::all_variants;
+    let cells = zoo_cells();
+    let variants = all_variants();
+    assert_eq!(cells.len(), variants.len() * 3);
+    for variant in &variants {
+        let defenses: Vec<&str> = cells
+            .iter()
+            .filter(|c: &&ZooCell| c.variant.label() == variant.label())
+            .map(|c| c.defense.label())
+            .collect();
+        assert_eq!(
+            defenses,
+            ["none", "michican", "parrot"],
+            "{}",
+            variant.label()
         );
     }
 }

@@ -379,6 +379,84 @@ mod golden {
         assert!(checksum(&string_to_bits("110100110101001101011")) <= 0x7FFF);
     }
 
+    /// Adversarial companion vectors: the wire positions of each golden
+    /// frame's *recessive* stuff bits — undriven on a wired-AND bus, so
+    /// exactly the positions a bit-level attacker can overwrite dominant.
+    /// Frozen alongside the bitstreams; a codec change that moves these
+    /// changes the attack surface, not just the encoding.
+    const OVERWRITABLE: &[&[usize]] = &[
+        &[57, 66, 74, 84],
+        &[5, 11, 17, 23, 29, 35],
+        &[19],
+        &[22, 28],
+    ];
+
+    /// The subset of [`OVERWRITABLE`] an *identifier-selective* attacker
+    /// can actually hit: stuff bits inside the arbitration field (id 0x000
+    /// has two, at wire 5 and 11) occur before the victim's identifier is
+    /// knowable, so a targeted strike can only land after arbitration.
+    const STRIKEABLE: &[&[usize]] = &[&[57, 66, 74, 84], &[17, 23, 29, 35], &[19], &[22, 28]];
+
+    #[test]
+    fn recessive_stuff_positions_match_the_adversarial_vectors() {
+        for (g, expected) in GOLDEN.iter().zip(OVERWRITABLE) {
+            let frame = CanFrame::data_frame(CanId::from_raw(g.id), g.payload).unwrap();
+            let wire = stuff_frame(&frame);
+            let recessive: Vec<usize> = wire
+                .stuff_positions
+                .iter()
+                .copied()
+                .filter(|&p| wire.bits[p].is_recessive())
+                .collect();
+            assert_eq!(
+                &recessive, expected,
+                "overwritable stuff bits of id {:#05X}",
+                g.id
+            );
+        }
+    }
+
+    #[test]
+    fn stuff_overwrite_strikes_exactly_the_golden_positions() {
+        // The attacker's computed strike position must land on the frozen
+        // vector for every skip depth the frame offers.
+        use can_attacks::StuffBitOverwrite;
+        use can_core::agent::BitAgent;
+        use can_core::BitInstant;
+
+        for (g, strikeable) in GOLDEN.iter().zip(STRIKEABLE) {
+            let frame = CanFrame::data_frame(CanId::from_raw(g.id), g.payload).unwrap();
+            let wire = stuff_frame(&frame);
+            for (skip, &expected_at) in strikeable.iter().enumerate() {
+                let mut attacker = StuffBitOverwrite::new(CanId::from_raw(g.id), skip as u32);
+                let mut t = 0u64;
+                for _ in 0..12 {
+                    attacker.on_bit(can_core::Level::Recessive, BitInstant::from_bits(t));
+                    t += 1;
+                }
+                let mut driven = Vec::new();
+                for (i, &bit) in wire.bits.iter().enumerate() {
+                    // Wired-AND: while the attacker drives dominant, the
+                    // bus reads dominant regardless of the wire bit.
+                    let seen = if attacker.tx_level() == Some(can_core::Level::Dominant) {
+                        driven.push(i);
+                        can_core::Level::Dominant
+                    } else {
+                        bit
+                    };
+                    attacker.on_bit(seen, BitInstant::from_bits(t));
+                    t += 1;
+                }
+                assert_eq!(
+                    driven,
+                    vec![expected_at],
+                    "id {:#05X} skip {skip} must strike wire bit {expected_at}",
+                    g.id
+                );
+            }
+        }
+    }
+
     #[test]
     fn no_six_bit_run_survives_stuffing() {
         for g in GOLDEN {
