@@ -22,7 +22,7 @@ use can_attacks::registry::{all_variants, variants_for, AttackAgent, AttackParam
 use can_attacks::AdaptiveRacer;
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{CanFrame, CanId};
-use can_obs::Recorder;
+use can_obs::{Journal, Recorder};
 use can_sim::{bus_off_episodes, EventKind, Node, NodeId, SimBuilder, Simulator};
 use michican::prelude::*;
 use parrot::ParrotDefender;
@@ -149,13 +149,25 @@ pub struct ZooSim {
 /// always builds the same bus, so differential checks can hand this a
 /// fresh recorder per execution mode.
 pub fn build_zoo_cell(cell: &ZooCell, recorder: Recorder) -> ZooSim {
+    build_zoo_cell_observed(cell, recorder, Journal::disabled())
+}
+
+/// [`build_zoo_cell`] with a causal event [`Journal`] threaded through the
+/// bus (frame lifecycle), the defense (detection / injection / watchdog
+/// events at node 0) and the attacker (strike / probe events at node 1) —
+/// every event of one attack episode shares the attacked frame's
+/// `chain_id`, so a complete strike→detection→counterattack chain can be
+/// reconstructed from the export.
+pub fn build_zoo_cell_observed(cell: &ZooCell, recorder: Recorder, journal: Journal) -> ZooSim {
     let victim = CanId::from_raw(ZOO_VICTIM_ID);
     // Internal probe: always enabled so detection/latency columns are
     // populated regardless of the caller's recorder. Merged into the cell
     // recorder after the run (a no-op when that recorder is disabled).
     let probe = Recorder::enabled();
 
-    let mut builder = SimBuilder::new(TABLE2_SPEED).recorder(recorder);
+    let mut builder = SimBuilder::new(TABLE2_SPEED)
+        .recorder(recorder)
+        .journal(journal.clone());
 
     // Node 0: the victim ECU (and, when defended, the defense).
     let victim_node = builder.node_id();
@@ -169,6 +181,7 @@ pub fn build_zoo_cell(cell: &ZooCell, recorder: Recorder) -> ZooSim {
             let list = EcuList::from_raw(&[ZOO_VICTIM_ID]);
             let mut handler = MichiCan::new(DetectionFsm::for_ecu(&list, 0));
             handler.set_recorder(probe.clone(), 0);
+            handler.set_journal(journal.clone(), 0);
             builder.node(
                 Node::new(
                     "victim-0x173",
@@ -181,6 +194,7 @@ pub fn build_zoo_cell(cell: &ZooCell, recorder: Recorder) -> ZooSim {
             let mut parrot =
                 ParrotDefender::new(victim, 5_000).with_own_traffic(ZOO_VICTIM_PERIOD_BITS);
             parrot.set_recorder(probe.clone(), 0);
+            parrot.set_journal(journal.clone(), 0);
             builder.node(Node::new("victim-0x173", Box::new(parrot)))
         }
     };
@@ -197,9 +211,12 @@ pub fn build_zoo_cell(cell: &ZooCell, recorder: Recorder) -> ZooSim {
         } => {
             let mut racer = AdaptiveRacer::new(victim, probe_frames, lead, fallback_at);
             racer.set_recorder(&probe, 1);
+            racer.set_journal(journal.clone(), 1);
             AttackAgent::Bit(Box::new(racer))
         }
-        _ => cell.variant.instantiate(victim, ZOO_VICTIM_PERIOD_BITS),
+        _ => cell
+            .variant
+            .instantiate_observed(victim, ZOO_VICTIM_PERIOD_BITS, &journal, 1),
     };
     builder = match agent {
         AttackAgent::Bit(agent) => builder
@@ -231,7 +248,7 @@ pub fn run_zoo_cell(cell: &ZooCell, horizon_bits: u64, opts: &ExecOpts) -> ZooOu
         victim_node,
         attacker_node,
         rx_node,
-    } = build_zoo_cell(cell, opts.recorder.clone());
+    } = build_zoo_cell_observed(cell, opts.recorder.clone(), opts.journal.clone());
 
     opts.run(&mut sim, horizon_bits);
 
@@ -290,12 +307,17 @@ pub fn run_zoo_with(cells: Vec<ZooCell>, horizon_bits: u64, opts: &ExecOpts) -> 
     let mode = opts.mode;
     ExperimentPlan::new(cells, 0)
         .with_shards(opts.shards.max(1))
-        .run_metered(&opts.recorder, move |_index, _seed, cell, cell_recorder| {
-            let cell_opts = ExecOpts::new()
-                .with_mode(mode)
-                .with_recorder(cell_recorder.clone());
-            run_zoo_cell(&cell, horizon_bits, &cell_opts)
-        })
+        .run_observed(
+            &opts.recorder,
+            &opts.journal,
+            move |_index, _seed, cell, cell_recorder, cell_journal| {
+                let cell_opts = ExecOpts::new()
+                    .with_mode(mode)
+                    .with_recorder(cell_recorder.clone())
+                    .with_journal(cell_journal.clone());
+                run_zoo_cell(&cell, horizon_bits, &cell_opts)
+            },
+        )
 }
 
 /// Renders the outcome table in the `experiments` stdout format.

@@ -7,6 +7,7 @@
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
 //!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
 //!             [--metrics-out <path>]   # per-run observability export
+//!             [--journal-out <path>]   # causal sim-time event journal export
 //!             [--fast]                 # idle fast-forward simulation core
 //!             [--packed]               # word-packed bus kernel
 //!             [--attacks <name|all>]   # adversary-zoo selection (attacks)
@@ -49,6 +50,15 @@
 //! replaced by `.prom`). The JSON snapshot is byte-identical for every
 //! shard count; status messages go to stderr so stdout stays diffable.
 //!
+//! `--journal-out <path>` enables the causal event journal: the
+//! simulator-backed artifacts (table2, multi_attacker, faults, attacks,
+//! on_vehicle) emit sim-time events with stable `frame_seq`/`chain_id`
+//! causal ids, and the canonical `can-obs-journal/v1` JSONL export is
+//! written to `<path>` with a Chrome-trace (Perfetto) rendering next to it
+//! (extension replaced by `trace.json` — open it in `ui.perfetto.dev`).
+//! Like the metrics snapshot, the journal export is byte-identical for
+//! every `--shards` count and simulation mode (see `DESIGN.md §13`).
+//!
 //! ## `experiments sweep` — the crash-tolerant campaign sweep
 //!
 //! ```text
@@ -58,9 +68,10 @@
 //!                   [--seed <n|0xHEX>] [--chunk <cells>] [--max-attempts <n>]
 //!                   [--shards <n> | -j <n>] [--timeout-ms <n>] [--backoff-ms <n>]
 //!                   [--max-rss-mb <n>]          # resumable fail-fast RSS guard
+//!                   [--progress-out <path>] [--heartbeat-secs <n>]  # live telemetry
 //!                   [--chaos-panic <n>] [--chaos-hang <n>] [--chaos-hang-ms <n>]
 //!                   [--stop-after-chunks <n>]   # crash-simulation test hook
-//! experiments sweep --resume <dir> [--shards|--timeout-ms|--backoff-ms|--max-rss-mb …]
+//! experiments sweep --resume <dir> [--shards|--timeout-ms|--backoff-ms|--max-rss-mb|--progress-out …]
 //! ```
 //!
 //! Progress is checkpointed to `<dir>/journal.jsonl` after every chunk; a
@@ -70,17 +81,26 @@
 //! byte-identical for every shard count and across any kill/resume point
 //! (see `DESIGN.md §10`). The report on stdout is deterministic; progress
 //! and paths go to stderr.
+//!
+//! `--progress-out <path>` turns on the live heartbeat: after each durably
+//! journaled chunk (rate-limited to one beat per `--heartbeat-secs`,
+//! default every chunk) a `michican-sweep-progress/v1` JSONL record is
+//! appended to `<path>` and an atomically-swapped Prometheus textfile
+//! lands next to it (extension replaced by `.prom`) for a node-exporter
+//! textfile collector to scrape mid-run. Heartbeat flags are run-local
+//! "how fast" knobs like `--shards`: they may differ freely between the
+//! original run and a `--resume`, and they never affect the snapshot.
 
 use std::env;
 use std::path::PathBuf;
 
 use bench::runner::{parse_shards, ExecOpts};
-use bench::scenarios::{self, run_parksense, table2_experiments, TABLE2_SPEED};
+use bench::scenarios::{self, table2_experiments, TABLE2_SPEED};
 use bench::{busload, cpu, detection, table1};
 use can_core::bitstream::{FrameField, FrameLayout};
 use can_core::counters::ERRORS_TO_BUS_OFF;
 use can_core::{BusSpeed, CanFrame, CanId, ErrorCounters, ErrorState};
-use can_obs::Recorder;
+use can_obs::{Journal, Recorder};
 use can_sim::{ErrorRole, EventKind};
 use can_trace::{Timeline, TimelineEvent};
 use mcu::{ARDUINO_DUE, NXP_S32K144};
@@ -123,6 +143,11 @@ fn main() {
         .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let journal_out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--journal-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let attack_selection: String = args
         .iter()
         .position(|a| a == "--attacks")
@@ -137,7 +162,11 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--artifacts" || *a == "--metrics-out" || *a == "--attacks" {
+            if *a == "--artifacts"
+                || *a == "--metrics-out"
+                || *a == "--journal-out"
+                || *a == "--attacks"
+            {
                 skip_next = true;
                 return false;
             }
@@ -153,6 +182,13 @@ fn main() {
         Recorder::enabled()
     } else {
         Recorder::disabled()
+    };
+    // Likewise one root journal, enabled only when --journal-out asked for
+    // the causal export.
+    let journal = if journal_out.is_some() {
+        Journal::enabled()
+    } else {
+        Journal::disabled()
     };
 
     let run = |name: &str| which == "all" || which == name;
@@ -183,7 +219,7 @@ fn main() {
     }
     if run("table2") {
         section("Table II — empirical bus-off time (six experiments, 50 kbit/s)");
-        table2(full, shards, mode, &recorder);
+        table2(full, shards, mode, &recorder, &journal);
     }
     if run("table3") {
         section("Table III — theoretical bus-off time");
@@ -195,7 +231,7 @@ fn main() {
     }
     if run("multi_attacker") {
         section("§V-C — more than two attackers");
-        multi_attacker(shards, mode, &recorder);
+        multi_attacker(shards, mode, &recorder, &journal);
     }
     if run("cpu") {
         section("§V-D — CPU utilization");
@@ -207,7 +243,7 @@ fn main() {
     }
     if run("on_vehicle") {
         section("§V-F — on-vehicle ParkSense test (2017 Pacifica)");
-        on_vehicle();
+        on_vehicle(&journal);
     }
     if run("ids_latency") {
         section("Extension — quantifying Table I's IDS row");
@@ -223,15 +259,18 @@ fn main() {
     }
     if run("faults") {
         section("Extension — fault-injection campaign (robustness grid)");
-        faults(full, shards, mode, &recorder);
+        faults(full, shards, mode, &recorder, &journal);
     }
     if run("attacks") {
         section("Extension — adversary zoo (bit-level + controller-level registry)");
-        attacks(full, shards, mode, &recorder, &attack_selection);
+        attacks(full, shards, mode, &recorder, &journal, &attack_selection);
     }
 
     if let Some(path) = metrics_out {
         write_metrics(&recorder, &path);
+    }
+    if let Some(path) = journal_out {
+        write_journal(&journal, &path);
     }
 }
 
@@ -239,8 +278,8 @@ fn main() {
 /// campaign sweep (see `bench::sweep` and `DESIGN.md §10`).
 fn sweep_command(raw: &[String]) -> Result<(), String> {
     use bench::sweep::{
-        self, CampaignSweep, ChaosSpec, Chaotic, SweepConfig, SweepError, SweepWorkload,
-        SyntheticSweep,
+        self, CampaignSweep, ChaosSpec, Chaotic, HeartbeatConfig, SweepConfig, SweepError,
+        SweepWorkload, SyntheticSweep,
     };
     use std::sync::Arc;
     use std::time::Duration;
@@ -265,6 +304,18 @@ fn sweep_command(raw: &[String]) -> Result<(), String> {
     }
 
     let timeout_ms: u64 = num(value("--timeout-ms"), "--timeout-ms", 0)?;
+    let heartbeat_secs: u64 = num(value("--heartbeat-secs"), "--heartbeat-secs", 0)?;
+    let heartbeat = match value("--progress-out").map(PathBuf::from) {
+        Some(progress) => Some(HeartbeatConfig {
+            prom_out: Some(progress.with_extension("prom")),
+            progress_out: Some(progress),
+            min_interval_secs: heartbeat_secs,
+        }),
+        None if heartbeat_secs > 0 => {
+            return Err("--heartbeat-secs needs --progress-out <path>".to_string())
+        }
+        None => None,
+    };
     let base_config = SweepConfig {
         shards,
         cell_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
@@ -281,6 +332,7 @@ fn sweep_command(raw: &[String]) -> Result<(), String> {
                     .map_err(|_| format!("invalid value for --stop-after-chunks: {s}"))
             })
             .transpose()?,
+        heartbeat,
         ..SweepConfig::default()
     };
 
@@ -380,10 +432,12 @@ fn sweep_command(raw: &[String]) -> Result<(), String> {
 }
 
 /// The base execution options for a grid artifact: metered by the root
-/// recorder, in the simulation mode `--fast`/`--packed` asked for.
-fn exec_opts(mode: bench::runner::SimMode, recorder: &Recorder) -> ExecOpts {
+/// recorder, journaled by the root journal, in the simulation mode
+/// `--fast`/`--packed` asked for.
+fn exec_opts(mode: bench::runner::SimMode, recorder: &Recorder, journal: &Journal) -> ExecOpts {
     ExecOpts::new()
         .with_recorder(recorder.clone())
+        .with_journal(journal.clone())
         .with_mode(mode)
 }
 
@@ -411,14 +465,51 @@ fn write_metrics(recorder: &Recorder, path: &std::path::Path) {
     eprintln!("metrics: wrote {} and {}", path.display(), prom.display());
 }
 
-fn faults(full: bool, shards: usize, mode: bench::runner::SimMode, recorder: &Recorder) {
+/// Writes the run's causal event journal: the canonical
+/// `can-obs-journal/v1` JSONL export to `path`, and the Chrome-trace
+/// (Perfetto) rendering next to it with a `trace.json` extension.
+fn write_journal(journal: &Journal, path: &std::path::Path) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    let export = journal.export_jsonl();
+    if let Err(e) = std::fs::write(path, &export) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let trace = path.with_extension("trace.json");
+    match can_trace::chrome_trace_json(&export) {
+        Ok(doc) => {
+            if let Err(e) = std::fs::write(&trace, doc) {
+                eprintln!("cannot write {}: {e}", trace.display());
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot render chrome trace: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("journal: wrote {} and {}", path.display(), trace.display());
+}
+
+fn faults(
+    full: bool,
+    shards: usize,
+    mode: bench::runner::SimMode,
+    recorder: &Recorder,
+    journal: &Journal,
+) {
     use bench::campaign::{run_campaign_with, CampaignConfig};
     let config = CampaignConfig {
         run_ms: if full { 600.0 } else { 150.0 },
         shards,
         ..CampaignConfig::default()
     };
-    let opts = exec_opts(mode, recorder);
+    let opts = exec_opts(mode, recorder, journal);
     print!("{}", run_campaign_with(&config, &opts).render());
     println!("(seeded and deterministic: rerunning reproduces this table byte for byte)");
 }
@@ -428,6 +519,7 @@ fn attacks(
     shards: usize,
     mode: bench::runner::SimMode,
     recorder: &Recorder,
+    journal: &Journal,
     selection: &str,
 ) {
     use bench::attackzoo::{self, ZooDefense, ZOO_HORIZON_BITS};
@@ -453,7 +545,7 @@ fn attacks(
     let outcomes = attackzoo::run_zoo_with(
         cells,
         horizon,
-        &exec_opts(mode, recorder).with_shards(shards),
+        &exec_opts(mode, recorder, journal).with_shards(shards),
     );
     print!("{}", attackzoo::render_zoo_table(&outcomes));
     if selection == "all" {
@@ -715,7 +807,13 @@ fn detection_latency(full: bool, shards: usize, recorder: &Recorder) {
     }
 }
 
-fn table2(full: bool, shards: usize, mode: bench::runner::SimMode, recorder: &Recorder) {
+fn table2(
+    full: bool,
+    shards: usize,
+    mode: bench::runner::SimMode,
+    recorder: &Recorder,
+    journal: &Journal,
+) {
     let capture_ms = if full { 10_000.0 } else { 2_000.0 };
     println!("capture: {capture_ms} ms per experiment (paper: 2 s)");
     println!(
@@ -733,7 +831,7 @@ fn table2(full: bool, shards: usize, mode: bench::runner::SimMode, recorder: &Re
         (24.9, 0.01, 25.4),
     ];
     let mut row = 0usize;
-    let opts = exec_opts(mode, recorder).with_shards(shards);
+    let opts = exec_opts(mode, recorder, journal).with_shards(shards);
     for outcome in scenarios::run_table2_with(capture_ms, &opts) {
         let exp = &outcome.experiment;
         for (id, stats) in &outcome.per_attacker {
@@ -896,7 +994,12 @@ fn fig6(artifacts: Option<&std::path::Path>) {
     );
 }
 
-fn multi_attacker(shards: usize, mode: bench::runner::SimMode, recorder: &Recorder) {
+fn multi_attacker(
+    shards: usize,
+    mode: bench::runner::SimMode,
+    recorder: &Recorder,
+    journal: &Journal,
+) {
     println!(
         "{:>3} {:>14} {:>12}   {:<30}",
         "A", "total (bits)", "total (ms)", "verdict vs 5000-bit deadline"
@@ -912,7 +1015,7 @@ fn multi_attacker(shards: usize, mode: bench::runner::SimMode, recorder: &Record
     let scan = scenarios::run_multi_attacker_scan_with(
         &counts,
         60_000,
-        &exec_opts(mode, recorder).with_shards(shards),
+        &exec_opts(mode, recorder, journal).with_shards(shards),
     );
     for ((count, result), (_, paper_bits)) in scan.into_iter().zip(paper) {
         match result {
@@ -1008,9 +1111,10 @@ fn bus_load() {
     }
 }
 
-fn on_vehicle() {
-    let undefended = run_parksense(false, 600.0);
-    let defended = run_parksense(true, 600.0);
+fn on_vehicle(journal: &Journal) {
+    let opts = ExecOpts::new().with_journal(journal.clone());
+    let undefended = scenarios::run_parksense_with(false, 600.0, &opts);
+    let defended = scenarios::run_parksense_with(true, 600.0, &opts);
     println!("targeted DoS on ParkSense: inject 0x25F against lowest relevant id 0x260\n");
     println!("without MichiCAN dongle:");
     println!(

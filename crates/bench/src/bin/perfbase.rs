@@ -28,7 +28,7 @@ use bench::runner::{parse_shards, ExecOpts};
 use bench::scenarios::{restbus_matrix, run_multi_attacker_scan, run_table2};
 use can_core::app::{PeriodicSender, SilentApplication};
 use can_core::{BusSpeed, CanFrame, CanId};
-use can_obs::Recorder;
+use can_obs::{Journal, Recorder};
 use can_sim::{Node, SimBuilder};
 use restbus::ReplayApp;
 
@@ -42,15 +42,24 @@ fn timed<R>(work: impl FnOnce() -> R) -> (f64, R) {
 /// Raw simulator throughput: Veh. D restbus replay plus a receiver,
 /// stepped for `bits` bit times. Returns bits/sec.
 fn sim_bits_per_sec(bits: u64, event_logging: bool) -> f64 {
-    sim_bits_per_sec_with(bits, event_logging, None)
+    sim_bits_per_sec_with(bits, event_logging, None, None)
 }
 
-/// [`sim_bits_per_sec`] with an explicit recorder attached (when `Some`);
-/// used to quantify the metrics layer's hot-path cost in both states.
-fn sim_bits_per_sec_with(bits: u64, event_logging: bool, recorder: Option<Recorder>) -> f64 {
+/// [`sim_bits_per_sec`] with an explicit recorder and/or journal attached
+/// (when `Some`); used to quantify each observability layer's hot-path
+/// cost in both states.
+fn sim_bits_per_sec_with(
+    bits: u64,
+    event_logging: bool,
+    recorder: Option<Recorder>,
+    journal: Option<Journal>,
+) -> f64 {
     let mut builder = SimBuilder::new(BusSpeed::K50).event_logging(event_logging);
     if let Some(recorder) = recorder {
         builder = builder.recorder(recorder);
+    }
+    if let Some(journal) = journal {
+        builder = builder.journal(journal);
     }
     let mut sim = builder
         .node(Node::new(
@@ -61,6 +70,38 @@ fn sim_bits_per_sec_with(bits: u64, event_logging: bool, recorder: Option<Record
         .build();
     let (secs, _) = timed(|| sim.run(bits));
     bits as f64 / secs
+}
+
+/// The kernel self-telemetry of one bus, run in all three engines: the
+/// `kernel_telemetry` section of `BENCH_sim.json`. Bits/skips/stretches
+/// are integer counters from the kernels themselves, so the section
+/// doubles as a cheap engine-coverage check (the packed run must report
+/// packed bits, the fast run skipped bits).
+fn kernel_telemetry_section(bits: u64, target_load: f64) -> String {
+    let speed = BusSpeed::K50;
+    let frame = CanFrame::data_frame(CanId::from_raw(0x222), &[0xA5; 8]).expect("valid frame");
+    let period = ((111.0 / target_load).round() as u64).max(130);
+    let build = || {
+        SimBuilder::new(speed)
+            .node(Node::new(
+                "tx",
+                Box::new(PeriodicSender::new(frame, period, 40)),
+            ))
+            .node(Node::new("rx", Box::new(SilentApplication)))
+            .build()
+    };
+    let mut lockstep = build();
+    lockstep.run(bits);
+    let mut fast = build();
+    fast.run_fast(bits);
+    let mut packed = build();
+    packed.run_packed(bits);
+    format!(
+        "{{\n    \"lockstep\": {},\n    \"fast_forward\": {},\n    \"packed\": {}\n  }}",
+        lockstep.kernel_telemetry().to_json(),
+        fast.kernel_telemetry().to_json(),
+        packed.kernel_telemetry().to_json()
+    )
 }
 
 /// One fast-forward speedup sample at an approximate target busload.
@@ -198,11 +239,21 @@ fn main() {
     // 1b. Metrics-layer cost on the same hot path: an attached-but-
     // disabled recorder must be free (one untaken branch per site); the
     // enabled cost is reported for context.
-    let bps_obs_disabled = sim_bits_per_sec_with(sim_bits, false, Some(Recorder::disabled()));
-    let bps_obs_enabled = sim_bits_per_sec_with(sim_bits, false, Some(Recorder::enabled()));
+    let bps_obs_disabled = sim_bits_per_sec_with(sim_bits, false, Some(Recorder::disabled()), None);
+    let bps_obs_enabled = sim_bits_per_sec_with(sim_bits, false, Some(Recorder::enabled()), None);
     eprintln!(
         "  obs: {bps_obs_disabled:.0} bits/s (recorder disabled), \
          {bps_obs_enabled:.0} bits/s (recorder enabled)"
+    );
+
+    // 1c. Causal-journal cost on the same hot path, same contract as the
+    // recorder: an attached-but-disabled journal must sit within the
+    // obs-overhead noise budget of the no-journal baseline.
+    let bps_jrn_disabled = sim_bits_per_sec_with(sim_bits, false, None, Some(Journal::disabled()));
+    let bps_jrn_enabled = sim_bits_per_sec_with(sim_bits, false, None, Some(Journal::enabled()));
+    eprintln!(
+        "  journal: {bps_jrn_disabled:.0} bits/s (disabled), \
+         {bps_jrn_enabled:.0} bits/s (enabled)"
     );
 
     // 2. Campaign grid, serial vs parallel. 16 cells at 500 kbit/s.
@@ -314,6 +365,11 @@ fn main() {
          table2 {table2_secs:.2}s, multi_attacker {multi_secs:.2}s"
     );
 
+    // 4. Kernel self-telemetry of one 30 %-load bus under all three
+    // engines (pure integer counters — host-independent).
+    let telemetry_bits: u64 = if quick { 200_000 } else { 1_000_000 };
+    let kernel_telemetry = kernel_telemetry_section(telemetry_bits, 0.30);
+
     let packed_rows: String = packed_samples
         .iter()
         .map(|s| {
@@ -370,8 +426,11 @@ fn main() {
   "obs": {{
     "bits_per_sec_recorder_disabled": {bps_obs_disabled},
     "bits_per_sec_recorder_enabled": {bps_obs_enabled},
+    "bits_per_sec_journal_disabled": {bps_jrn_disabled},
+    "bits_per_sec_journal_enabled": {bps_jrn_enabled},
     "metered_snapshot_deterministic": true
   }},
+  "kernel_telemetry": {kernel_telemetry},
   "fast_forward": {{
     "bits_simulated": {ff_bits},
     "loads": [
@@ -409,6 +468,8 @@ fn main() {
         bps_off = json_f(bps_off),
         bps_obs_disabled = json_f(bps_obs_disabled),
         bps_obs_enabled = json_f(bps_obs_enabled),
+        bps_jrn_disabled = json_f(bps_jrn_disabled),
+        bps_jrn_enabled = json_f(bps_jrn_enabled),
         grid_bits = json_f(grid_bits),
         serial_secs = json_f(serial_secs),
         parallel_secs = json_f(parallel_secs),

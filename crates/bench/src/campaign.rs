@@ -435,6 +435,7 @@ pub fn try_run_cell_with(
 
     let mut builder = SimBuilder::new(speed)
         .recorder(recorder.clone())
+        .journal(opts.journal.clone())
         .node(Node::new(
             "restbus",
             Box::new(restbus::ReplayApp::for_matrix(&matrix)),
@@ -508,6 +509,10 @@ pub fn try_run_cell_with(
         .0
         .borrow_mut()
         .set_recorder(recorder.clone(), defender_node as u32);
+    defender
+        .0
+        .borrow_mut()
+        .set_journal(opts.journal.clone(), defender_node as u32);
 
     let attacker = match traffic {
         Traffic::Attack => {
@@ -602,12 +607,14 @@ pub fn run_campaign_with(config: &CampaignConfig, opts: &ExecOpts) -> CampaignRe
     let mode = opts.mode;
     let cells = ExperimentPlan::new(grid, config.seed)
         .with_shards(config.shards.max(1))
-        .run_metered(
+        .run_observed(
             &opts.recorder,
-            move |_index, seed, (traffic, fault), cell_recorder| {
+            &opts.journal,
+            move |_index, seed, (traffic, fault), cell_recorder, cell_journal| {
                 let cell_opts = ExecOpts::new()
                     .with_mode(mode)
-                    .with_recorder(cell_recorder.clone());
+                    .with_recorder(cell_recorder.clone())
+                    .with_journal(cell_journal.clone());
                 run_cell_with(traffic, fault, seed, run_ms, &cell_opts)
             },
         );

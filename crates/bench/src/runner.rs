@@ -17,7 +17,7 @@
 //!    in-order loop, so the parallel report can be diffed byte-for-byte
 //!    against it (`tests/parallel_determinism.rs` does exactly that).
 
-use can_obs::{Recorder, Registry};
+use can_obs::{Journal, JournalStore, Recorder, Registry};
 use can_sim::Simulator;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -53,6 +53,10 @@ pub struct ExecOpts {
     pub shards: usize,
     /// Lockstep or idle fast-forward simulation.
     pub mode: SimMode,
+    /// Causal event journal threaded through the scenario (per-cell
+    /// journals are derived from it and merged in cell-index order,
+    /// exactly like the recorder).
+    pub journal: Journal,
 }
 
 impl Default for ExecOpts {
@@ -61,6 +65,7 @@ impl Default for ExecOpts {
             recorder: Recorder::disabled(),
             shards: 1,
             mode: SimMode::Lockstep,
+            journal: Journal::disabled(),
         }
     }
 }
@@ -86,6 +91,12 @@ impl ExecOpts {
     /// Sets the simulation mode (builder style).
     pub fn with_mode(mut self, mode: SimMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the causal event journal (builder style).
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
         self
     }
 
@@ -236,20 +247,66 @@ impl<C: Send> ExperimentPlan<C> {
         R: Send,
         F: Fn(usize, u64, C, &Recorder) -> R + Sync,
     {
-        if !recorder.is_enabled() {
-            return self.run(|i, seed, cell| run_cell(i, seed, cell, &Recorder::disabled()));
+        self.run_observed(
+            recorder,
+            &Journal::disabled(),
+            |i, seed, cell, rec, _jrn| run_cell(i, seed, cell, rec),
+        )
+    }
+
+    /// Like [`ExperimentPlan::run_metered`], but additionally threads a
+    /// causal event [`Journal`] through the plan: every cell receives a
+    /// fresh per-cell journal (journals are `!Send`, like recorders), and
+    /// the collected per-cell [`JournalStore`]s are merged into `journal`
+    /// *in cell index order* after all cells complete.
+    ///
+    /// The merge stamps each cell's events with the next epoch, and the
+    /// canonical export sorts epoch-major — so the merged journal export
+    /// is byte-identical for every shard count, exactly like the metrics
+    /// snapshot. Disabled sinks cost nothing: with both the recorder and
+    /// the journal disabled this is a plain [`ExperimentPlan::run`].
+    pub fn run_observed<R, F>(self, recorder: &Recorder, journal: &Journal, run_cell: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, u64, C, &Recorder, &Journal) -> R + Sync,
+    {
+        let rec_on = recorder.is_enabled();
+        let jrn_on = journal.is_enabled();
+        if !rec_on && !jrn_on {
+            return self.run(|i, seed, cell| {
+                run_cell(i, seed, cell, &Recorder::disabled(), &Journal::disabled())
+            });
         }
-        let pairs: Vec<(R, Registry)> = self.run(|i, seed, cell| {
-            let cell_recorder = Recorder::enabled();
+        type CellOut<R> = (R, Option<Registry>, Option<JournalStore>);
+        let triples: Vec<CellOut<R>> = self.run(|i, seed, cell| {
+            let cell_recorder = if rec_on {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            };
+            let cell_journal = if jrn_on {
+                Journal::enabled()
+            } else {
+                Journal::disabled()
+            };
             let wall = cell_recorder.span("bench_cell_wall");
-            let result = run_cell(i, seed, cell, &cell_recorder);
+            let result = run_cell(i, seed, cell, &cell_recorder, &cell_journal);
             drop(wall);
             cell_recorder.inc("bench_cells_total");
-            (result, cell_recorder.into_registry())
+            (
+                result,
+                rec_on.then(|| cell_recorder.into_registry()),
+                jrn_on.then(|| cell_journal.into_store()),
+            )
         });
-        let mut results = Vec::with_capacity(pairs.len());
-        for (result, registry) in pairs {
-            recorder.merge_registry(&registry);
+        let mut results = Vec::with_capacity(triples.len());
+        for (result, registry, store) in triples {
+            if let Some(registry) = &registry {
+                recorder.merge_registry(registry);
+            }
+            if let Some(store) = &store {
+                journal.merge_store(store);
+            }
             results.push(result);
         }
         results
@@ -358,6 +415,56 @@ mod tests {
             serial.with_registry(|r| r.counter("bench_cells_total")),
             Some(23)
         );
+    }
+
+    #[test]
+    fn observed_run_merges_cell_journals_identically_for_any_shard_count() {
+        let cells: Vec<u64> = (0..17).collect();
+        let work = |_i: usize, _seed: u64, cell: u64, _rec: &Recorder, jrn: &Journal| {
+            jrn.begin_frame(cell * 10, cell as u32 % 3, &format!("cell={cell}"));
+            jrn.end_frame(
+                cell * 10 + 5,
+                cell as u32 % 3,
+                can_obs::JK_FRAME_ACK,
+                "",
+                false,
+            );
+            cell
+        };
+        let serial = Journal::enabled();
+        let serial_out = ExperimentPlan::new(cells.clone(), 11).run_observed(
+            &Recorder::disabled(),
+            &serial,
+            work,
+        );
+        let serial_export = serial.export_jsonl();
+        assert!(!serial_export.is_empty());
+        for shards in [2usize, 4, 8] {
+            let parallel = Journal::enabled();
+            let parallel_out = ExperimentPlan::new(cells.clone(), 11)
+                .with_shards(shards)
+                .run_observed(&Recorder::disabled(), &parallel, work);
+            assert_eq!(parallel_out, serial_out, "shards={shards}");
+            assert_eq!(
+                parallel.export_jsonl(),
+                serial_export,
+                "merged journal export must be byte-identical, shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_run_with_both_sinks_disabled_passes_disabled_instances() {
+        let cells: Vec<u64> = (0..4).collect();
+        let out = ExperimentPlan::new(cells, 0).run_observed(
+            &Recorder::disabled(),
+            &Journal::disabled(),
+            |_i, _seed, cell, rec, jrn| {
+                assert!(!rec.is_enabled() && !jrn.is_enabled());
+                cell
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
     #[test]

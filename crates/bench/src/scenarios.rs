@@ -145,7 +145,9 @@ pub fn build_experiment_traced(exp: &Experiment) -> (Simulator, Vec<NodeId>) {
 /// The shared construction: a configured [`SimBuilder`] plus the attacker
 /// node ids, ready for callers to add tracing before `build()`.
 fn experiment_builder(exp: &Experiment, opts: &ExecOpts) -> (SimBuilder, Vec<NodeId>) {
-    let mut builder = SimBuilder::new(TABLE2_SPEED).recorder(opts.recorder.clone());
+    let mut builder = SimBuilder::new(TABLE2_SPEED)
+        .recorder(opts.recorder.clone())
+        .journal(opts.journal.clone());
 
     let mut attacker_nodes = Vec::new();
     if exp.number == 6 {
@@ -193,9 +195,11 @@ fn experiment_builder(exp: &Experiment, opts: &ExecOpts) -> (SimBuilder, Vec<Nod
     let index = list
         .index_of(CanId::from_raw(DEFENDER_ID))
         .expect("defender id is in the list");
+    let defender_node = builder.node_id();
+    let mut handler = MichiCan::new(DetectionFsm::for_ecu(&list, index));
+    handler.set_journal(opts.journal.clone(), defender_node as u32);
     let builder = builder.node(
-        Node::new("defender-0x173", Box::new(SilentApplication))
-            .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
+        Node::new("defender-0x173", Box::new(SilentApplication)).with_agent(Box::new(handler)),
     );
 
     (builder, attacker_nodes)
@@ -264,12 +268,17 @@ pub fn run_table2_with(capture_ms: f64, opts: &ExecOpts) -> Vec<ExperimentOutcom
     let mode = opts.mode;
     ExperimentPlan::new(table2_experiments(), 0)
         .with_shards(opts.shards.max(1))
-        .run_metered(&opts.recorder, move |_index, _seed, exp, cell_recorder| {
-            let cell_opts = ExecOpts::new()
-                .with_mode(mode)
-                .with_recorder(cell_recorder.clone());
-            run_experiment_with(&exp, capture_ms, &cell_opts)
-        })
+        .run_observed(
+            &opts.recorder,
+            &opts.journal,
+            move |_index, _seed, exp, cell_recorder, cell_journal| {
+                let cell_opts = ExecOpts::new()
+                    .with_mode(mode)
+                    .with_recorder(cell_recorder.clone())
+                    .with_journal(cell_journal.clone());
+                run_experiment_with(&exp, capture_ms, &cell_opts)
+            },
+        )
 }
 
 /// Runs [`run_multi_attacker`] for every count in `counts` on `shards`
@@ -296,12 +305,14 @@ pub fn run_multi_attacker_scan_with(
     let mode = opts.mode;
     ExperimentPlan::new(counts.to_vec(), 0)
         .with_shards(opts.shards.max(1))
-        .run_metered(
+        .run_observed(
             &opts.recorder,
-            move |_index, _seed, count, cell_recorder| {
+            &opts.journal,
+            move |_index, _seed, count, cell_recorder, cell_journal| {
                 let cell_opts = ExecOpts::new()
                     .with_mode(mode)
-                    .with_recorder(cell_recorder.clone());
+                    .with_recorder(cell_recorder.clone())
+                    .with_journal(cell_journal.clone());
                 (
                     count,
                     run_multi_attacker_with(count, horizon_bits, &cell_opts),
@@ -324,7 +335,9 @@ pub fn run_multi_attacker(count: usize, horizon_bits: u64) -> Option<u64> {
 
 /// [`run_multi_attacker`] under explicit execution options.
 pub fn run_multi_attacker_with(count: usize, horizon_bits: u64, opts: &ExecOpts) -> Option<u64> {
-    let mut builder = SimBuilder::new(TABLE2_SPEED).recorder(opts.recorder.clone());
+    let mut builder = SimBuilder::new(TABLE2_SPEED)
+        .recorder(opts.recorder.clone())
+        .journal(opts.journal.clone());
     let mut attackers = Vec::new();
     for i in 0..count {
         let id = 0x066 + i as u16;
@@ -341,11 +354,11 @@ pub fn run_multi_attacker_with(count: usize, horizon_bits: u64, opts: &ExecOpts)
     }
     let list = defender_ecu_list(false);
     let index = list.index_of(CanId::from_raw(DEFENDER_ID)).unwrap();
+    let defender_node = builder.node_id();
+    let mut handler = MichiCan::new(DetectionFsm::for_ecu(&list, index));
+    handler.set_journal(opts.journal.clone(), defender_node as u32);
     let mut sim = builder
-        .node(
-            Node::new("defender", Box::new(SilentApplication))
-                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, index)))),
-        )
+        .node(Node::new("defender", Box::new(SilentApplication)).with_agent(Box::new(handler)))
         .build();
 
     // Stop as soon as every attacker has gone bus-off once. Track the two
@@ -412,7 +425,9 @@ pub fn run_parksense(defended: bool, run_ms: f64) -> ParkSenseOutcome {
 pub fn run_parksense_with(defended: bool, run_ms: f64, opts: &ExecOpts) -> ParkSenseOutcome {
     let speed = BusSpeed::K500;
     let matrix = pacifica_matrix(speed);
-    let mut builder = SimBuilder::new(speed).recorder(opts.recorder.clone());
+    let mut builder = SimBuilder::new(speed)
+        .recorder(opts.recorder.clone())
+        .journal(opts.journal.clone());
 
     // One node per sending ECU for full arbitration fidelity.
     let senders: Vec<String> = matrix.by_sender().keys().map(|s| s.to_string()).collect();
@@ -438,9 +453,11 @@ pub fn run_parksense_with(defended: bool, run_ms: f64, opts: &ExecOpts) -> ParkS
     if defended {
         let list = EcuList::new(matrix.ids()).expect("matrix ids are unique");
         let fsm = DetectionFsm::for_monitor(&list);
+        let dongle_node = builder.node_id();
+        let mut handler = MichiCan::new(fsm);
+        handler.set_journal(opts.journal.clone(), dongle_node as u32);
         builder = builder.node(
-            Node::new("michican-dongle", Box::new(SilentApplication))
-                .with_agent(Box::new(MichiCan::new(fsm))),
+            Node::new("michican-dongle", Box::new(SilentApplication)).with_agent(Box::new(handler)),
         );
     }
 

@@ -50,7 +50,7 @@ use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, Once};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use can_obs::json::{self, JsonValue};
 use can_obs::{Recorder, Registry, PERCENT_BUCKETS};
@@ -64,6 +64,8 @@ pub const JOURNAL_SCHEMA: &str = "michican-sweep/v1";
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 /// Final merged snapshot file name inside a sweep directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.json";
+/// Schema tag of heartbeat progress records (`--progress-out`).
+pub const PROGRESS_SCHEMA: &str = "michican-sweep-progress/v1";
 
 // ---------------------------------------------------------------------
 // Workloads
@@ -445,6 +447,11 @@ pub struct SweepConfig {
     /// Test hook: behave as if the process died after this many chunk
     /// records were appended in this invocation ([`SweepError::Aborted`]).
     pub stop_after_chunks: Option<u64>,
+    /// Live telemetry sink; `None` disables the heartbeat entirely.
+    /// Heartbeats are a *how fast*-class knob: they are not recorded in
+    /// the journal header, so a resuming invocation may add, drop or
+    /// retarget them freely.
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Default for SweepConfig {
@@ -458,8 +465,180 @@ impl Default for SweepConfig {
             retry_backoff: Duration::from_millis(10),
             max_rss_mb: None,
             stop_after_chunks: None,
+            heartbeat: None,
         }
     }
+}
+
+/// Where the live sweep telemetry goes.
+///
+/// Both sinks are optional and independent: the JSONL stream is the
+/// machine-readable progress feed (one [`PROGRESS_SCHEMA`] record per
+/// beat, appended and flushed), the Prometheus textfile is a
+/// last-beat-wins snapshot for node-exporter-style collection, replaced
+/// by an atomic write-to-temp-then-rename so scrapers never observe a
+/// torn file.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatConfig {
+    /// Append one progress JSONL record per beat here.
+    pub progress_out: Option<PathBuf>,
+    /// Atomically swap a Prometheus textfile snapshot here.
+    pub prom_out: Option<PathBuf>,
+    /// Minimum seconds between beats; `0` beats after every chunk.
+    pub min_interval_secs: u64,
+}
+
+/// The supervisor-side heartbeat state: cumulative progress (including
+/// chunks recovered from a previous invocation's journal) plus the wall
+/// clock the rate/ETA estimates are derived from. Wall-clock readings are
+/// deliberately excluded from every determinism-checked artifact — they
+/// only ever flow into these telemetry sinks.
+struct Heartbeat {
+    config: HeartbeatConfig,
+    started: Instant,
+    last_beat: Option<Instant>,
+    total_cells: u64,
+    total_chunks: u64,
+    chunks_done: u64,
+    cells_done: u64,
+    quarantined: u64,
+    retries: u64,
+    /// Cells completed by *this* invocation (the rate basis — resumed
+    /// chunks were free).
+    cells_this_run: u64,
+}
+
+impl Heartbeat {
+    fn new(
+        config: HeartbeatConfig,
+        total_cells: u64,
+        total_chunks: u64,
+        resumed: &ResumedProgress,
+    ) -> Self {
+        Heartbeat {
+            config,
+            started: Instant::now(),
+            last_beat: None,
+            total_cells,
+            total_chunks,
+            chunks_done: resumed.chunks,
+            cells_done: resumed.cells,
+            quarantined: resumed.quarantined,
+            retries: resumed.retries,
+            cells_this_run: 0,
+        }
+    }
+
+    fn on_chunk(&mut self, result: &ChunkResult) {
+        self.chunks_done += 1;
+        self.cells_done += result.cells;
+        self.cells_this_run += result.cells;
+        self.quarantined += result.poisoned.len() as u64;
+        self.retries += result.retries;
+    }
+
+    /// Emits a beat if the configured interval elapsed (`force` skips the
+    /// interval check — used for the final beat). Sink errors are
+    /// reported once per call but never fail the sweep: telemetry must
+    /// not take down the computation it observes.
+    fn beat(&mut self, force: bool) {
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = self.last_beat {
+                if now.duration_since(last).as_secs() < self.config.min_interval_secs {
+                    return;
+                }
+            }
+        }
+        self.last_beat = Some(now);
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let cells_per_sec = if elapsed > 0.0 {
+            self.cells_this_run as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total_cells.saturating_sub(self.cells_done);
+        let eta_secs = if cells_per_sec > 0.0 {
+            (remaining as f64 / cells_per_sec).round() as u64
+        } else {
+            0
+        };
+        let rss_mb = current_rss_mb().unwrap_or(0);
+        let complete = self.chunks_done == self.total_chunks;
+        if let Some(path) = &self.config.progress_out {
+            let record = format!(
+                "{{\"schema\":\"{}\",\"chunks_done\":{},\"total_chunks\":{},\"cells_done\":{},\"total_cells\":{},\"quarantined\":{},\"retries\":{},\"cells_per_sec\":{:.2},\"eta_secs\":{},\"rss_mb\":{},\"elapsed_secs\":{:.2},\"complete\":{}}}\n",
+                PROGRESS_SCHEMA,
+                self.chunks_done,
+                self.total_chunks,
+                self.cells_done,
+                self.total_cells,
+                self.quarantined,
+                self.retries,
+                cells_per_sec,
+                eta_secs,
+                rss_mb,
+                elapsed,
+                complete,
+            );
+            let appended = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(record.as_bytes()).and_then(|()| f.flush()));
+            if let Err(e) = appended {
+                eprintln!("sweep heartbeat: cannot append to {}: {e}", path.display());
+            }
+        }
+        if let Some(path) = &self.config.prom_out {
+            if let Err(e) = atomic_write(path, &self.prometheus_text(cells_per_sec, eta_secs)) {
+                eprintln!("sweep heartbeat: cannot swap {}: {e}", path.display());
+            }
+        }
+    }
+
+    /// Renders the Prometheus textfile via a throwaway [`Registry`], so
+    /// the exposition format (HELP/TYPE lines, escaping) stays in one
+    /// tested place.
+    fn prometheus_text(&self, cells_per_sec: f64, eta_secs: u64) -> String {
+        let reg = Recorder::enabled();
+        reg.set_gauge("michican_sweep_chunks_done", self.chunks_done as i64);
+        reg.set_gauge("michican_sweep_chunks", self.total_chunks as i64);
+        reg.set_gauge("michican_sweep_cells_done", self.cells_done as i64);
+        reg.set_gauge("michican_sweep_cells", self.total_cells as i64);
+        reg.set_gauge("michican_sweep_quarantined", self.quarantined as i64);
+        reg.set_gauge("michican_sweep_retries", self.retries as i64);
+        reg.set_gauge(
+            "michican_sweep_cells_per_sec_milli",
+            (cells_per_sec * 1000.0).round() as i64,
+        );
+        reg.set_gauge("michican_sweep_eta_seconds", eta_secs as i64);
+        reg.set_gauge(
+            "michican_sweep_rss_mib",
+            current_rss_mb().unwrap_or(0) as i64,
+        );
+        reg.prometheus_text()
+    }
+}
+
+/// Writes `content` to `path` atomically: write + flush a `.tmp` sibling,
+/// then `rename` over the target (atomic on POSIX filesystems), so a
+/// concurrent reader sees either the old snapshot or the new one — never
+/// a prefix.
+fn atomic_write(path: &Path, content: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, content)?;
+    fs::rename(&tmp, path)
+}
+
+/// Progress already banked in the journal when this invocation started
+/// (zero for a fresh sweep).
+#[derive(Debug, Default)]
+struct ResumedProgress {
+    chunks: u64,
+    cells: u64,
+    quarantined: u64,
+    retries: u64,
 }
 
 /// A cell the supervisor gave up on: its identity, seed, how many
@@ -1014,6 +1193,7 @@ pub fn run_sweep(
         workload: workload.descriptor(),
     };
 
+    let mut resumed = ResumedProgress::default();
     let already_done: std::collections::BTreeSet<u64> = if journal_path.exists() {
         let existing = read_journal(&journal_path)?;
         if existing.header != header {
@@ -1039,6 +1219,12 @@ pub fn run_sweep(
                     ))
                 })?;
         }
+        for record in existing.chunks.values() {
+            resumed.chunks += 1;
+            resumed.cells += record.cells;
+            resumed.quarantined += record.poisoned.len() as u64;
+            resumed.retries += record.retries;
+        }
         existing.chunks.keys().copied().collect()
     } else {
         fs::write(&journal_path, render_header(&header))
@@ -1048,6 +1234,10 @@ pub fn run_sweep(
     let pending: Vec<u64> = (0..total_chunks)
         .filter(|c| !already_done.contains(c))
         .collect();
+    let mut heartbeat = config
+        .heartbeat
+        .clone()
+        .map(|hc| Heartbeat::new(hc, total_cells, total_chunks, &resumed));
 
     if !pending.is_empty() {
         install_quarantine_hook();
@@ -1093,6 +1283,9 @@ pub fn run_sweep(
                     ))
                 }
             };
+            if let Some(hb) = heartbeat.as_mut() {
+                hb.on_chunk(&result);
+            }
             let record = ChunkRecord {
                 chunk: result.chunk,
                 cells: result.cells,
@@ -1107,6 +1300,11 @@ pub fn run_sweep(
                     SweepError::Io(format!("cannot append to {}: {e}", journal_path.display()))
                 })?;
             written += 1;
+            // Beat only once the chunk is durably journaled, so the feed
+            // never claims progress a crash could roll back.
+            if let Some(hb) = heartbeat.as_mut() {
+                hb.beat(false);
+            }
             if let (Some(limit_mb), Some(rss_mb)) = (config.max_rss_mb, current_rss_mb()) {
                 if rss_mb > limit_mb {
                     stop_dispatch();
@@ -1123,6 +1321,11 @@ pub fn run_sweep(
         for worker in workers {
             let _ = worker.join();
         }
+    }
+    // Final beat regardless of interval, so the sinks always end on the
+    // completed state (also emitted when resume found nothing to do).
+    if let Some(hb) = heartbeat.as_mut() {
+        hb.beat(true);
     }
 
     // Finalize from the journal — the one code path shared by fresh,
@@ -1263,6 +1466,65 @@ mod tests {
         assert_eq!(poison.attempts, 1, "fatal errors are not retried");
         assert_eq!(retries, 0);
         assert_eq!(poison.error, "bad scenario");
+    }
+
+    #[test]
+    fn heartbeat_sinks_fill_and_the_snapshot_stays_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("sweep_heartbeat_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        let progress = dir.join("progress.jsonl");
+        let prom = dir.join("sweep.prom");
+        let workload: Arc<dyn SweepWorkload> = Arc::new(SyntheticSweep {
+            cells: 40,
+            work: 10,
+        });
+        let config = SweepConfig {
+            chunk_cells: 8,
+            heartbeat: Some(HeartbeatConfig {
+                progress_out: Some(progress.clone()),
+                prom_out: Some(prom.clone()),
+                min_interval_secs: 0, // beat on every chunk
+            }),
+            ..SweepConfig::default()
+        };
+        let with_hb = run_sweep(Arc::clone(&workload), &config, &dir.join("hb")).unwrap();
+
+        let feed = fs::read_to_string(&progress).unwrap();
+        let beats: Vec<&str> = feed.lines().collect();
+        // One beat per chunk plus the forced final beat.
+        assert_eq!(beats.len(), 6, "feed:\n{feed}");
+        for line in &beats {
+            let doc = json::parse(line).unwrap();
+            assert_eq!(
+                doc.get("schema").and_then(JsonValue::as_str),
+                Some(PROGRESS_SCHEMA)
+            );
+            assert_eq!(doc.get("total_cells").and_then(JsonValue::as_u64), Some(40));
+        }
+        let last = json::parse(beats.last().unwrap()).unwrap();
+        assert_eq!(last.get("cells_done").and_then(JsonValue::as_u64), Some(40));
+        assert_eq!(
+            last.get("complete").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+
+        let prom_text = fs::read_to_string(&prom).unwrap();
+        assert!(prom_text.contains("michican_sweep_cells_done 40"));
+        assert!(prom_text.contains("michican_sweep_chunks_done 5"));
+        assert!(
+            !prom.with_extension("tmp").exists(),
+            "the temp file must be renamed away"
+        );
+
+        // The heartbeat is pure telemetry: the merged snapshot is
+        // byte-identical to a sweep without it.
+        let silent = SweepConfig {
+            chunk_cells: 8,
+            ..SweepConfig::default()
+        };
+        let without_hb = run_sweep(workload, &silent, &dir.join("plain")).unwrap();
+        assert_eq!(with_hb.snapshot, without_hb.snapshot);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

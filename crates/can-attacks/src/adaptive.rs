@@ -17,7 +17,7 @@
 
 use can_core::agent::BitAgent;
 use can_core::{BitDuration, BitInstant, CanId, Level};
-use can_obs::{Histogram, Recorder, DEFAULT_BUCKETS};
+use can_obs::{Histogram, Journal, Recorder, DEFAULT_BUCKETS, JK_PROBE, JK_STRIKE};
 
 use crate::error_flag::ERROR_FLAG_BITS;
 use crate::watch::{FrameWatch, WatchEvent, ID_COMPLETE_CNT};
@@ -60,6 +60,10 @@ pub struct AdaptiveRacer {
     /// while in strike mode — races lost to the defender.
     losses: u64,
     keys: Option<RacerKeys>,
+    /// Causal event journal; disabled (no-op) by default.
+    journal: Journal,
+    /// Node index stamped on journal events.
+    node_label: u32,
 }
 
 impl AdaptiveRacer {
@@ -88,7 +92,17 @@ impl AdaptiveRacer {
             strikes: 0,
             losses: 0,
             keys: None,
+            journal: Journal::disabled(),
+            node_label: 0,
         }
+    }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// events. Probe outcomes ([`JK_PROBE`]) and strikes ([`JK_STRIKE`])
+    /// join the causal chain of the victim frame they concern.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
+        self.node_label = node;
     }
 
     /// Mirrors the racer's measurements into `recorder` under keys labeled
@@ -144,7 +158,7 @@ impl AdaptiveRacer {
 }
 
 impl BitAgent for AdaptiveRacer {
-    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
         if self.flag_left > 0 {
             self.flag_left -= 1;
             let _ = self.watch.push(level);
@@ -159,10 +173,26 @@ impl BitAgent for AdaptiveRacer {
                     self.record_kill(at);
                     if self.probing() {
                         self.probes_seen += 1;
+                        if self.journal.is_enabled() {
+                            self.journal.event(
+                                now.bits(),
+                                self.node_label,
+                                JK_PROBE,
+                                &format!("kill={at}"),
+                            );
+                        }
                     } else {
                         self.losses += 1;
                         if let Some(keys) = &self.keys {
                             keys.recorder.inc(&keys.losses);
+                        }
+                        if self.journal.is_enabled() {
+                            self.journal.event(
+                                now.bits(),
+                                self.node_label,
+                                JK_PROBE,
+                                &format!("lost={at}"),
+                            );
                         }
                     }
                 }
@@ -173,6 +203,10 @@ impl BitAgent for AdaptiveRacer {
                 // that too (no kill observed ⇒ nothing to race).
                 if self.armed && self.probing() {
                     self.probes_seen += 1;
+                    if self.journal.is_enabled() {
+                        self.journal
+                            .event(now.bits(), self.node_label, JK_PROBE, "survived");
+                    }
                 }
                 self.armed = false;
             }
@@ -193,6 +227,14 @@ impl BitAgent for AdaptiveRacer {
             self.strikes += 1;
             if let Some(keys) = &self.keys {
                 keys.recorder.inc(&keys.strikes);
+            }
+            if self.journal.is_enabled() {
+                self.journal.event(
+                    now.bits(),
+                    self.node_label,
+                    JK_STRIKE,
+                    &format!("adaptive at={}", self.strike_at()),
+                );
             }
             self.armed = false;
             self.watch.abort();

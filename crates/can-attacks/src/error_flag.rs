@@ -14,6 +14,7 @@
 
 use can_core::agent::BitAgent;
 use can_core::{BitDuration, BitInstant, CanId, Level};
+use can_obs::{Journal, JK_STRIKE};
 
 use crate::watch::{FrameWatch, WatchEvent, ID_COMPLETE_CNT};
 
@@ -32,6 +33,10 @@ pub struct ErrorFlagInjector {
     /// Remaining dominant bits of the flag currently being driven.
     flag_left: u32,
     flags: u64,
+    /// Causal event journal; disabled (no-op) by default.
+    journal: Journal,
+    /// Node index stamped on journal events.
+    node_label: u32,
 }
 
 impl ErrorFlagInjector {
@@ -55,6 +60,8 @@ impl ErrorFlagInjector {
             armed: false,
             flag_left: 0,
             flags: 0,
+            journal: Journal::disabled(),
+            node_label: 0,
         }
     }
 
@@ -62,10 +69,17 @@ impl ErrorFlagInjector {
     pub fn flags_injected(&self) -> u64 {
         self.flags
     }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// [`JK_STRIKE`] events, which join the attacked frame's causal chain.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
+        self.node_label = node;
+    }
 }
 
 impl BitAgent for ErrorFlagInjector {
-    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
         if self.flag_left > 0 {
             // Mid-flag: the frame is already dead; the watch (aborted at
             // the trigger) just sees our dominant bits as bus noise that
@@ -95,6 +109,14 @@ impl BitAgent for ErrorFlagInjector {
             self.flags += 1;
             self.armed = false;
             self.watch.abort();
+            if self.journal.is_enabled() {
+                self.journal.event(
+                    now.bits(),
+                    self.node_label,
+                    JK_STRIKE,
+                    &format!("error-flag at={}", self.flag_at),
+                );
+            }
         }
     }
 

@@ -18,6 +18,7 @@
 use can_core::agent::BitAgent;
 use can_core::bitstream::{Destuffed, Destuffer, MIN_INTERFRAME_RECESSIVE};
 use can_core::{BitDuration, BitInstant, CanId, Level};
+use can_obs::{Journal, JK_STRIKE};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum GhostState {
@@ -40,6 +41,10 @@ pub struct GhostInjector {
     injecting: bool,
     /// Injections performed (each destroys one victim transmission).
     injections: u64,
+    /// Causal event journal; disabled (no-op) by default.
+    journal: Journal,
+    /// Node index stamped on journal events.
+    node_label: u32,
 }
 
 impl GhostInjector {
@@ -55,12 +60,21 @@ impl GhostInjector {
             id_bits: 0,
             injecting: false,
             injections: 0,
+            journal: Journal::disabled(),
+            node_label: 0,
         }
     }
 
     /// Transmissions destroyed so far.
     pub fn injections(&self) -> u64 {
         self.injections
+    }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// [`JK_STRIKE`] events, which join the attacked frame's causal chain.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
+        self.node_label = node;
     }
 
     fn enter_frame(&mut self) {
@@ -81,7 +95,7 @@ impl GhostInjector {
 }
 
 impl BitAgent for GhostInjector {
-    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
         match self.state {
             GhostState::BusIdle => {
                 if level.is_recessive() {
@@ -107,6 +121,10 @@ impl BitAgent for GhostInjector {
                 if self.cnt == 13 && self.id_bits == 11 && self.id_acc == self.victim.raw() {
                     self.injecting = true;
                     self.injections += 1;
+                    if self.journal.is_enabled() {
+                        self.journal
+                            .event(now.bits(), self.node_label, JK_STRIKE, "ghost");
+                    }
                 }
                 if self.cnt >= 20 {
                     self.leave_frame();

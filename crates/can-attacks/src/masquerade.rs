@@ -99,6 +99,18 @@ impl Application for MasqueradeAttacker {
         }
     }
 
+    fn next_activity(&self, now: BitInstant) -> Option<BitInstant> {
+        // Waiting: the next poll that can do anything is the one at which
+        // the victim's silence window expires; Impersonating: the next
+        // fabricated frame's due time. Both clamp to `now` so an overdue
+        // poll is never skipped.
+        let due = match self.phase {
+            MasqueradePhase::Waiting => self.last_victim_seen + self.silence_window_bits,
+            MasqueradePhase::Impersonating => self.next_due,
+        };
+        Some(BitInstant::from_bits(due.max(now.bits())))
+    }
+
     fn on_frame(&mut self, frame: &CanFrame, now: BitInstant) {
         if frame.id() == self.victim_id {
             self.last_victim_seen = now.bits();
@@ -138,6 +150,28 @@ mod tests {
         let fabricated = attacker.poll(BitInstant::from_bits(700)).unwrap();
         assert_eq!(fabricated.id().raw(), 0x260);
         assert_eq!(fabricated.data(), &[0xBA, 0xD0]);
+    }
+
+    #[test]
+    fn next_activity_tracks_the_silence_window_and_period() {
+        let mut attacker = MasqueradeAttacker::new(CanId::from_raw(0x260), &[0xBA], 500, 100);
+        attacker.on_frame(&victim_frame(), BitInstant::from_bits(100));
+        // Waiting: nothing can happen before the silence window expires.
+        assert_eq!(
+            attacker.next_activity(BitInstant::from_bits(200)),
+            Some(BitInstant::from_bits(600))
+        );
+        assert!(attacker.poll(BitInstant::from_bits(600)).is_some());
+        // Impersonating: the next poll that matters is the next due frame.
+        assert_eq!(
+            attacker.next_activity(BitInstant::from_bits(601)),
+            Some(BitInstant::from_bits(700))
+        );
+        // An overdue poll is never pushed into the future.
+        assert_eq!(
+            attacker.next_activity(BitInstant::from_bits(900)),
+            Some(BitInstant::from_bits(900))
+        );
     }
 
     #[test]

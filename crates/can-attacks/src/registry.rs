@@ -22,11 +22,13 @@
 use can_core::agent::BitAgent;
 use can_core::app::Application;
 use can_core::CanId;
+use can_obs::Journal;
 
 use crate::adaptive::AdaptiveRacer;
 use crate::error_flag::ErrorFlagInjector;
 use crate::fabrication::FabricationAttacker;
 use crate::ghost::GhostInjector;
+use crate::masquerade::MasqueradeAttacker;
 use crate::stuff_overwrite::StuffBitOverwrite;
 use crate::suspension::{DosKind, SuspensionAttacker};
 use crate::toggling::TogglingAttacker;
@@ -75,6 +77,11 @@ pub enum AttackParams {
         /// Injection frequency multiple of the victim's own rate.
         overdrive: u64,
     },
+    /// [`MasqueradeAttacker`]: suspension-then-fabrication takeover.
+    Masquerade {
+        /// Victim silence (in multiples of its period) before takeover.
+        silence_periods: u64,
+    },
     /// [`SuspensionAttacker`] with [`DosKind::Traditional`].
     DosTraditional {
         /// Bits between flood frames.
@@ -116,6 +123,9 @@ impl AttackVariant {
             } => format!("{}[probe={probe_frames},lead={lead}]", self.attack),
             AttackParams::Ghost => self.attack.to_string(),
             AttackParams::Fabrication { overdrive } => format!("{}[x{overdrive}]", self.attack),
+            AttackParams::Masquerade { silence_periods } => {
+                format!("{}[silence={silence_periods}p]", self.attack)
+            }
             AttackParams::DosTraditional { .. } | AttackParams::DosTargeted { .. } => {
                 self.attack.to_string()
             }
@@ -162,6 +172,14 @@ impl AttackVariant {
             AttackParams::Fabrication { overdrive } => AttackAgent::App(Box::new(
                 FabricationAttacker::new(victim, &[0xBA; 8], victim_period_bits, overdrive),
             )),
+            AttackParams::Masquerade { silence_periods } => {
+                AttackAgent::App(Box::new(MasqueradeAttacker::new(
+                    victim,
+                    &[0xBA; 8],
+                    silence_periods.saturating_mul(victim_period_bits.max(1)),
+                    victim_period_bits.max(1),
+                )))
+            }
             AttackParams::DosTraditional { period_bits } => AttackAgent::App(Box::new(
                 SuspensionAttacker::new(DosKind::Traditional, period_bits),
             )),
@@ -178,6 +196,52 @@ impl AttackVariant {
                 let second = victim.lower_priority_neighbor().unwrap_or(victim);
                 AttackAgent::App(Box::new(TogglingAttacker::new(victim, second, period_bits)))
             }
+        }
+    }
+
+    /// Like [`AttackVariant::instantiate`], but attaches a causal event
+    /// [`Journal`] before boxing. Bit-level adversaries emit strike and
+    /// probe events stamped with `node`; controller-level attackers leave
+    /// their trace through the bus journal itself (frame starts carry the
+    /// transmitting node), so they need no explicit wiring.
+    pub fn instantiate_observed(
+        &self,
+        victim: CanId,
+        victim_period_bits: u64,
+        journal: &Journal,
+        node: u32,
+    ) -> AttackAgent {
+        match self.params {
+            AttackParams::StuffOverwrite { skip } => {
+                let mut a = StuffBitOverwrite::new(victim, skip);
+                a.set_journal(journal.clone(), node);
+                AttackAgent::Bit(Box::new(a))
+            }
+            AttackParams::ErrorFlag { flag_at } => {
+                let mut a = ErrorFlagInjector::new(victim, flag_at);
+                a.set_journal(journal.clone(), node);
+                AttackAgent::Bit(Box::new(a))
+            }
+            AttackParams::Truncate { at } => {
+                let mut a = FrameTruncator::new(victim, at);
+                a.set_journal(journal.clone(), node);
+                AttackAgent::Bit(Box::new(a))
+            }
+            AttackParams::Adaptive {
+                probe_frames,
+                lead,
+                fallback_at,
+            } => {
+                let mut a = AdaptiveRacer::new(victim, probe_frames, lead, fallback_at);
+                a.set_journal(journal.clone(), node);
+                AttackAgent::Bit(Box::new(a))
+            }
+            AttackParams::Ghost => {
+                let mut a = GhostInjector::new(victim);
+                a.set_journal(journal.clone(), node);
+                AttackAgent::Bit(Box::new(a))
+            }
+            _ => self.instantiate(victim, victim_period_bits),
         }
     }
 }
@@ -221,6 +285,10 @@ pub const REGISTRY: &[(&str, &[AttackParams])] = &[
     ),
     ("ghost", &[AttackParams::Ghost]),
     ("fabrication", &[AttackParams::Fabrication { overdrive: 2 }]),
+    (
+        "masquerade",
+        &[AttackParams::Masquerade { silence_periods: 3 }],
+    ),
     (
         "dos-traditional",
         &[AttackParams::DosTraditional { period_bits: 1_500 }],
@@ -299,6 +367,18 @@ mod tests {
         let victim = CanId::from_raw(0x173);
         for variant in all_variants() {
             match variant.instantiate(victim, 600) {
+                AttackAgent::Bit(_) => assert!(variant.bit_level(), "{}", variant.label()),
+                AttackAgent::App(_) => assert!(!variant.bit_level(), "{}", variant.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn every_variant_instantiates_observed() {
+        let victim = CanId::from_raw(0x173);
+        let journal = Journal::enabled();
+        for variant in all_variants() {
+            match variant.instantiate_observed(victim, 600, &journal, 1) {
                 AttackAgent::Bit(_) => assert!(variant.bit_level(), "{}", variant.label()),
                 AttackAgent::App(_) => assert!(!variant.bit_level(), "{}", variant.label()),
             }

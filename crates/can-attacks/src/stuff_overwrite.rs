@@ -15,6 +15,7 @@
 
 use can_core::agent::BitAgent;
 use can_core::{BitDuration, BitInstant, CanId, Level};
+use can_obs::{Journal, JK_STRIKE};
 
 use crate::watch::{FrameWatch, WatchEvent, ID_COMPLETE_CNT};
 
@@ -31,6 +32,10 @@ pub struct StuffBitOverwrite {
     skipped: u32,
     injecting: bool,
     strikes: u64,
+    /// Causal event journal; disabled (no-op) by default.
+    journal: Journal,
+    /// Node index stamped on journal events.
+    node_label: u32,
 }
 
 impl StuffBitOverwrite {
@@ -45,12 +50,21 @@ impl StuffBitOverwrite {
             skipped: 0,
             injecting: false,
             strikes: 0,
+            journal: Journal::disabled(),
+            node_label: 0,
         }
     }
 
     /// Frames destroyed by an overwritten stuff bit so far.
     pub fn strikes(&self) -> u64 {
         self.strikes
+    }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// [`JK_STRIKE`] events, which join the attacked frame's causal chain.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
+        self.node_label = node;
     }
 
     fn disarm(&mut self) {
@@ -60,7 +74,7 @@ impl StuffBitOverwrite {
 }
 
 impl BitAgent for StuffBitOverwrite {
-    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
         let struck = self.injecting;
         self.injecting = false;
         match self.watch.push(level) {
@@ -87,6 +101,14 @@ impl BitAgent for StuffBitOverwrite {
         if self.armed && self.watch.expecting_recessive_stuff() {
             if self.skipped >= self.skip {
                 self.injecting = true;
+                if self.journal.is_enabled() {
+                    self.journal.event(
+                        now.bits(),
+                        self.node_label,
+                        JK_STRIKE,
+                        &format!("stuff-overwrite skip={}", self.skip),
+                    );
+                }
             } else {
                 self.skipped += 1;
             }

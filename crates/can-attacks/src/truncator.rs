@@ -14,6 +14,7 @@
 
 use can_core::agent::BitAgent;
 use can_core::{BitDuration, BitInstant, CanId, Level};
+use can_obs::{Journal, JK_STRIKE};
 
 use crate::watch::{FrameWatch, WatchEvent, ID_COMPLETE_CNT};
 
@@ -61,6 +62,10 @@ pub struct FrameTruncator {
     armed: bool,
     injecting: bool,
     truncations: u64,
+    /// Causal event journal; disabled (no-op) by default.
+    journal: Journal,
+    /// Node index stamped on journal events.
+    node_label: u32,
 }
 
 impl FrameTruncator {
@@ -73,6 +78,8 @@ impl FrameTruncator {
             armed: false,
             injecting: false,
             truncations: 0,
+            journal: Journal::disabled(),
+            node_label: 0,
         }
     }
 
@@ -80,10 +87,17 @@ impl FrameTruncator {
     pub fn truncations(&self) -> u64 {
         self.truncations
     }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// [`JK_STRIKE`] events, which join the attacked frame's causal chain.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
+        self.node_label = node;
+    }
 }
 
 impl BitAgent for FrameTruncator {
-    fn on_bit(&mut self, level: Level, _now: BitInstant) {
+    fn on_bit(&mut self, level: Level, now: BitInstant) {
         if self.injecting {
             // The dominant bit just landed on the fixed-form field; the
             // frame is dead and error flags follow. Hunt for the next one.
@@ -109,6 +123,14 @@ impl BitAgent for FrameTruncator {
         // The next wire bit is the chosen tail boundary: drive it dominant.
         if self.armed && self.watch.next_tail_index() == Some(self.at.tail_offset()) {
             self.injecting = true;
+            if self.journal.is_enabled() {
+                self.journal.event(
+                    now.bits(),
+                    self.node_label,
+                    JK_STRIKE,
+                    &format!("truncate {}", self.at.label()),
+                );
+            }
         }
     }
 

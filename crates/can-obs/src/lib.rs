@@ -5,7 +5,10 @@
 //! counters, gauges and fixed-bucket [`Histogram`]s, wall-clock span
 //! timing, and a bounded structured [`TraceRecord`] sink for defense-FSM
 //! transitions — all reached through a clonable [`Recorder`] handle that
-//! is a no-op when disabled.
+//! is a no-op when disabled. The causal [`Journal`] sits alongside the
+//! recorder: sim-time events with stable `frame_seq`/`chain_id` ids that
+//! reconstruct a whole attack episode as one linked chain (see
+//! [`journal`]).
 //!
 //! ## Design rules
 //!
@@ -33,14 +36,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use journal::{
+    parse_export, Journal, JournalEvent, JournalStore, JK_ARB_LOST, JK_BUS_OFF, JK_DEGRADED,
+    JK_DETECTION, JK_ERROR_STATE, JK_FRAME_ACK, JK_FRAME_ERROR, JK_FRAME_START, JK_INJECT_END,
+    JK_INJECT_START, JK_PROBE, JK_REARMED, JK_RECOVERED, JK_RX_ERROR, JK_STRIKE, JOURNAL_SCHEMA,
+};
 pub use json::{JsonValue, ParseError};
 pub use recorder::{Recorder, SpanGuard};
-pub use registry::{Histogram, Registry, SpanStats, DEFAULT_BUCKETS, PERCENT_BUCKETS};
+pub use registry::{
+    escape_label_value, Histogram, Registry, SpanStats, DEFAULT_BUCKETS, PERCENT_BUCKETS,
+};
 pub use trace::{
     TraceRecord, EVT_DEGRADED, EVT_DETECTION, EVT_FSM_TRANSITION, EVT_INJECT_END, EVT_INJECT_START,
     EVT_REARMED,

@@ -35,6 +35,14 @@ impl Recorder {
         Recorder(Some(Rc::new(RefCell::new(Registry::new()))))
     }
 
+    /// A live recorder whose trace sink retains at most `capacity`
+    /// records (the default is `registry::TRACE_CAPACITY`).
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Recorder(Some(Rc::new(RefCell::new(Registry::with_trace_capacity(
+            capacity,
+        )))))
+    }
+
     /// Whether this recorder actually records. Instrumentation sites use
     /// this to skip metric-key formatting on the disabled path:
     ///
@@ -227,6 +235,17 @@ mod tests {
         root.inc("cell_total");
         root.merge_registry(&collected);
         assert_eq!(root.into_registry().counter("cell_total"), 2);
+    }
+
+    #[test]
+    fn configurable_trace_capacity_bounds_the_sink() {
+        let rec = Recorder::with_trace_capacity(1);
+        rec.trace(1, 0, "detection", "a");
+        rec.trace(2, 0, "detection", "b");
+        let reg = rec.into_registry();
+        assert_eq!(reg.trace_capacity(), 1);
+        assert_eq!(reg.traces().len(), 1);
+        assert_eq!(reg.traces_dropped()["detection"], 1);
     }
 
     #[test]

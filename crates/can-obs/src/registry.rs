@@ -30,9 +30,11 @@ pub const DEFAULT_BUCKETS: &[u64] = &[
 /// Percent buckets (0–100) for utilization-style histograms.
 pub const PERCENT_BUCKETS: &[u64] = &[5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100];
 
-/// Maximum trace records a registry retains; later records are counted in
-/// [`Registry::traces_dropped`] instead of stored, so soak runs cannot
-/// grow the sink without bound.
+/// Default maximum trace records a registry retains (override with
+/// [`Registry::with_trace_capacity`]); later records are counted per event
+/// kind in [`Registry::traces_dropped`] instead of stored, so soak runs
+/// cannot grow the sink without bound — and overflow no longer silently
+/// biases *which* well-known events survive without saying which were lost.
 pub const TRACE_CAPACITY: usize = 10_000;
 
 /// A fixed-bucket histogram over integer observations.
@@ -210,20 +212,40 @@ impl SpanStats {
 /// Keys are full metric identifiers in Prometheus notation, e.g.
 /// `can_errors_total{node="2",kind="stuff"}` — the label part is opaque to
 /// the registry (it only orders keys), but the renderers split it back out.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStats>,
     traces: Vec<TraceRecord>,
-    traces_dropped: u64,
+    trace_capacity: usize,
+    traces_dropped: BTreeMap<String, u64>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with the default trace sink capacity.
     pub fn new() -> Self {
-        Registry::default()
+        Registry::with_trace_capacity(TRACE_CAPACITY)
+    }
+
+    /// An empty registry retaining at most `capacity` trace records.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Registry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            traces: Vec::new(),
+            trace_capacity: capacity,
+            traces_dropped: BTreeMap::new(),
+        }
     }
 
     /// Adds `delta` to the counter `key`.
@@ -272,12 +294,13 @@ impl Registry {
         self.spans.entry(name.to_string()).or_default().record(ns);
     }
 
-    /// Appends a structured trace record (bounded by [`TRACE_CAPACITY`]).
+    /// Appends a structured trace record (bounded by the sink capacity;
+    /// overflow is counted per event kind).
     pub fn push_trace(&mut self, record: TraceRecord) {
-        if self.traces.len() < TRACE_CAPACITY {
+        if self.traces.len() < self.trace_capacity {
             self.traces.push(record);
         } else {
-            self.traces_dropped += 1;
+            *self.traces_dropped.entry(record.event).or_insert(0) += 1;
         }
     }
 
@@ -306,9 +329,21 @@ impl Registry {
         &self.traces
     }
 
-    /// Trace records dropped once [`TRACE_CAPACITY`] was reached.
-    pub fn traces_dropped(&self) -> u64 {
-        self.traces_dropped
+    /// The trace sink capacity this registry was created with.
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_capacity
+    }
+
+    /// Trace records dropped once the sink capacity was reached, by event
+    /// kind — so overflow can no longer silently bias which well-known
+    /// events survive.
+    pub fn traces_dropped(&self) -> &BTreeMap<String, u64> {
+        &self.traces_dropped
+    }
+
+    /// Total trace records dropped across all event kinds.
+    pub fn traces_dropped_total(&self) -> u64 {
+        self.traces_dropped.values().sum()
     }
 
     /// Wall-clock span statistics by name.
@@ -323,7 +358,7 @@ impl Registry {
             && self.histograms.is_empty()
             && self.spans.is_empty()
             && self.traces.is_empty()
-            && self.traces_dropped == 0
+            && self.traces_dropped.is_empty()
     }
 
     /// Merges `other` into `self`: counters and histograms add, gauges are
@@ -352,7 +387,9 @@ impl Registry {
         for record in &other.traces {
             self.push_trace(record.clone());
         }
-        self.traces_dropped += other.traces_dropped;
+        for (kind, &n) in &other.traces_dropped {
+            *self.traces_dropped.entry(kind.clone()).or_insert(0) += n;
+        }
     }
 
     /// Renders the deterministic JSON snapshot (schema `can-obs/v1`).
@@ -407,9 +444,14 @@ impl Registry {
         }
         let _ = write!(
             out,
-            "\n  }},\n  \"traces_dropped\": {},\n  \"traces\": [",
-            self.traces_dropped
+            "\n  }},\n  \"trace_capacity\": {},\n  \"traces_dropped\": {{",
+            self.trace_capacity
         );
+        for (i, (kind, n)) in self.traces_dropped.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {n}", json_escape(kind));
+        }
+        out.push_str("\n  },\n  \"traces\": [");
         for (i, record) in self.traces.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
@@ -532,17 +574,25 @@ impl Registry {
                 },
             );
         }
-        reg.traces_dropped = doc
-            .get("traces_dropped")
+        let capacity = doc
+            .get("trace_capacity")
             .and_then(JsonValue::as_u64)
-            .ok_or_else(|| fail("missing 'traces_dropped'".into()))?;
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| fail("missing 'trace_capacity'".into()))?;
+        reg.trace_capacity = capacity;
+        for (kind, n) in object("traces_dropped")? {
+            let n = n
+                .as_u64()
+                .ok_or_else(|| fail(format!("traces_dropped['{kind}'] is not a u64")))?;
+            reg.traces_dropped.insert(kind.clone(), n);
+        }
         let traces = doc
             .get("traces")
             .and_then(JsonValue::as_array)
             .ok_or_else(|| fail("missing 'traces'".into()))?;
-        if traces.len() > TRACE_CAPACITY {
+        if traces.len() > capacity {
             return Err(fail(format!(
-                "{} traces exceed the sink capacity {TRACE_CAPACITY}",
+                "{} traces exceed the sink capacity {capacity}",
                 traces.len()
             )));
         }
@@ -665,6 +715,24 @@ fn join_labels(labels: &str) -> String {
     }
 }
 
+/// Escapes a string for use as a Prometheus label *value*: backslash,
+/// double quote and newline are escaped per the text exposition format.
+/// Instrumentation sites building `name{label="value"}` keys from
+/// free-form detail (scenario labels, error kinds) should pass the value
+/// through this before embedding it.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Escapes a string for embedding inside a JSON string literal (the
 /// shared escaper, see [`crate::json::escape`]).
 fn json_escape(s: &str) -> String {
@@ -778,7 +846,28 @@ mod tests {
             reg.push_trace(TraceRecord::new(i, 0, "e", ""));
         }
         assert_eq!(reg.traces().len(), TRACE_CAPACITY);
-        assert_eq!(reg.traces_dropped(), 5);
+        assert_eq!(reg.traces_dropped()["e"], 5);
+        assert_eq!(reg.traces_dropped_total(), 5);
+    }
+
+    #[test]
+    fn trace_sink_capacity_is_configurable_and_drops_count_per_kind() {
+        let mut reg = Registry::with_trace_capacity(2);
+        assert_eq!(reg.trace_capacity(), 2);
+        reg.push_trace(TraceRecord::new(1, 0, "detection", ""));
+        reg.push_trace(TraceRecord::new(2, 0, "detection", ""));
+        reg.push_trace(TraceRecord::new(3, 0, "detection", ""));
+        reg.push_trace(TraceRecord::new(4, 0, "injection_start", ""));
+        assert_eq!(reg.traces().len(), 2);
+        assert_eq!(reg.traces_dropped()["detection"], 1);
+        assert_eq!(reg.traces_dropped()["injection_start"], 1);
+        assert_eq!(reg.traces_dropped_total(), 2);
+        // Merging folds per-kind drop counts and respects self's capacity.
+        let mut other = Registry::with_trace_capacity(2);
+        other.push_trace(TraceRecord::new(5, 1, "detection", ""));
+        reg.merge(&other);
+        assert_eq!(reg.traces().len(), 2);
+        assert_eq!(reg.traces_dropped()["detection"], 2);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Prometheus text exposition conformance: label escaping, histogram `le`
+//! ordering and `# TYPE` placement, pinned against a golden file.
+//!
+//! The JSON side has exact round-trip tests; the text side previously had
+//! only spot checks. The golden file (`tests/golden/prometheus.txt`)
+//! freezes the full rendering of a representative registry — regenerate it
+//! deliberately with `UPDATE_GOLDEN=1 cargo test -p can-obs prometheus`
+//! after an intentional format change.
+
+use can_obs::{escape_label_value, Registry, DEFAULT_BUCKETS};
+
+/// A registry exercising every rendered section with deterministic
+/// content (spans are fed fixed nanosecond values, not measured).
+fn sample_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.add("can_errors_total{kind=\"bit\",node=\"2\"}", 1);
+    reg.add("can_errors_total{kind=\"stuff\",node=\"1\"}", 3);
+    reg.add("can_frames_total", 41);
+    reg.add(
+        &format!(
+            "zoo_outcome_total{{label=\"{}\"}}",
+            escape_label_value("truncate[crc\"delim\"]\\eof\nline")
+        ),
+        2,
+    );
+    reg.set_gauge("can_node_tec{node=\"1\"}", 96);
+    reg.set_gauge("can_node_tec{node=\"2\"}", -8);
+    reg.observe("latency_bits{node=\"0\"}", &[1, 8, 64], 5);
+    reg.observe("latency_bits{node=\"0\"}", &[1, 8, 64], 9);
+    reg.observe("latency_bits{node=\"0\"}", &[1, 8, 64], 100);
+    reg.declare_histogram("reaction_bits", DEFAULT_BUCKETS);
+    reg.record_span("bench_cell_wall", 1_500_000_000);
+    reg
+}
+
+#[test]
+fn rendering_matches_the_golden_file() {
+    let text = sample_registry().prometheus_text();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).unwrap();
+    }
+    let expected = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        text, expected,
+        "prometheus rendering drifted from tests/golden/prometheus.txt \
+         (UPDATE_GOLDEN=1 to regenerate after an intentional change)"
+    );
+}
+
+#[test]
+fn label_values_are_escaped_per_exposition_format() {
+    assert_eq!(escape_label_value("plain"), "plain");
+    assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+    assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+    assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    // And the escaped value survives into the rendering verbatim (one
+    // physical line — the raw newline must not split the sample).
+    let text = sample_registry().prometheus_text();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("zoo_outcome_total"))
+        .expect("escaped sample rendered");
+    assert_eq!(
+        line,
+        "zoo_outcome_total{label=\"truncate[crc\\\"delim\\\"]\\\\eof\\nline\"} 2"
+    );
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_with_ascending_le() {
+    let text = sample_registry().prometheus_text();
+    let buckets: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("latency_bits_bucket"))
+        .collect();
+    assert_eq!(
+        buckets,
+        [
+            "latency_bits_bucket{node=\"0\",le=\"1\"} 0",
+            "latency_bits_bucket{node=\"0\",le=\"8\"} 1",
+            "latency_bits_bucket{node=\"0\",le=\"64\"} 2",
+            "latency_bits_bucket{node=\"0\",le=\"+Inf\"} 3",
+        ]
+    );
+    // The +Inf bucket equals the count sample, as Prometheus requires.
+    assert!(text.contains("latency_bits_count{node=\"0\"} 3"));
+    assert!(text.contains("latency_bits_sum{node=\"0\"} 114"));
+}
+
+#[test]
+fn type_lines_precede_their_samples_and_appear_once() {
+    let text = sample_registry().prometheus_text();
+    let mut seen_types = Vec::new();
+    let mut declared: Option<String> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let base = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap();
+            assert!(
+                ["counter", "gauge", "histogram", "summary"].contains(&kind),
+                "unknown TYPE kind {kind}"
+            );
+            assert!(!seen_types.contains(&base), "duplicate # TYPE for {base}");
+            seen_types.push(base.clone());
+            declared = Some(base);
+        } else if !line.is_empty() {
+            let base = declared.as_deref().expect("sample before any # TYPE");
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.starts_with(base),
+                "sample {name} not under its # TYPE ({base})"
+            );
+        }
+    }
+    for expected in [
+        "can_errors_total",
+        "can_frames_total",
+        "can_node_tec",
+        "latency_bits",
+        "reaction_bits",
+        "bench_cell_wall_seconds",
+    ] {
+        assert!(
+            seen_types.iter().any(|t| t == expected),
+            "missing # TYPE for {expected}"
+        );
+    }
+}

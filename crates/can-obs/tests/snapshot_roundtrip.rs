@@ -139,9 +139,26 @@ fn trace_sink_capacity_and_drop_counter_round_trip() {
     for i in 0..(TRACE_CAPACITY as u64 + 3) {
         reg.push_trace(TraceRecord::new(i, 0, "e", "d"));
     }
+    reg.push_trace(TraceRecord::new(0, 0, "other", "d"));
     let back = roundtrip(&reg);
     assert_eq!(back.traces().len(), TRACE_CAPACITY);
-    assert_eq!(back.traces_dropped(), 3);
+    assert_eq!(back.traces_dropped()["e"], 3);
+    assert_eq!(back.traces_dropped()["other"], 1);
+    assert_eq!(back.traces_dropped_total(), 4);
+}
+
+#[test]
+fn non_default_trace_capacity_round_trips() {
+    // A snapshot produced by a larger-capacity registry must parse even
+    // though it holds more traces than the default sink would retain.
+    let mut reg = Registry::with_trace_capacity(TRACE_CAPACITY * 2);
+    for i in 0..(TRACE_CAPACITY as u64 + 10) {
+        reg.push_trace(TraceRecord::new(i, 0, "e", ""));
+    }
+    let back = roundtrip(&reg);
+    assert_eq!(back.trace_capacity(), TRACE_CAPACITY * 2);
+    assert_eq!(back.traces().len(), TRACE_CAPACITY + 10);
+    assert!(back.traces_dropped().is_empty());
 }
 
 #[test]

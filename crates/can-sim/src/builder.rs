@@ -21,7 +21,7 @@
 //! have been removed; the builder is the only configuration surface.
 
 use can_core::BusSpeed;
-use can_obs::Recorder;
+use can_obs::{Journal, Recorder};
 
 use crate::event::NodeId;
 use crate::fault::{FaultModel, FaultStack};
@@ -52,6 +52,14 @@ impl SimBuilder {
     /// instrumentation site is a no-op.
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.sim.install_recorder(recorder);
+        self
+    }
+
+    /// Attaches a causal event journal (see `can_obs::Journal`). Without
+    /// this the simulator keeps the default disabled journal and every
+    /// emission site is a no-op.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.sim.install_journal(journal);
         self
     }
 

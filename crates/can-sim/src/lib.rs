@@ -16,6 +16,8 @@
 //! * [`sim`] — the two-phase tick driver, event log and signal trace.
 //! * [`event`] — protocol events for metric extraction.
 //! * [`measure`] — bus-off episodes and duration statistics (Table II).
+//! * [`telemetry`] — always-on kernel self-telemetry: bits resolved per
+//!   engine, packed-stretch statistics and fallback causes.
 //!
 //! ## Example: one frame between two ECUs
 //!
@@ -51,6 +53,7 @@ pub mod measure;
 pub mod node;
 pub mod parser;
 pub mod sim;
+pub mod telemetry;
 
 pub use builder::SimBuilder;
 pub use controller::{Controller, ControllerConfig, StepOutput};
@@ -60,6 +63,7 @@ pub use measure::{bus_off_episodes, BusOffEpisode, DurationStats};
 pub use node::Node;
 pub use parser::{RxEvent, RxParser};
 pub use sim::{SignalTrace, Simulator};
+pub use telemetry::{FallbackCause, KernelTelemetry};
 
 /// Everything needed to build and run a simulation:
 /// `use can_sim::prelude::*;`.

@@ -14,6 +14,7 @@ use can_core::{packed, BitDuration, BitInstant, Level};
 use crate::controller::{Controller, ControllerConfig, StepOutput, StretchRole};
 use crate::fault::TxFault;
 use crate::parser::RxParser;
+use crate::telemetry::FallbackCause;
 
 /// Maximum frames an application may enqueue per bit time; guards against
 /// runaway flooding applications stalling the simulator.
@@ -113,14 +114,19 @@ impl Node {
     /// Advances the node's fault state to bit time `now`: delivers a
     /// pending restart reset and caches the fault's TX override. The
     /// simulator calls this once per bit, before collecting TX levels.
-    pub fn prepare_bit(&mut self, now: BitInstant) {
+    /// Returns `true` when a restart reset was delivered this bit (the
+    /// mailboxes were flushed, so any open causal chain is void).
+    pub fn prepare_bit(&mut self, now: BitInstant) -> bool {
         self.forced_tx = None;
+        let mut restarted = false;
         if let Some(fault) = &mut self.tx_fault {
             if fault.take_restart(now.bits()) {
                 self.controller.reset();
+                restarted = true;
             }
             self.forced_tx = fault.tx_override(now.bits());
         }
+        restarted
     }
 
     /// The level this node contributes to the bus during the next bit.
@@ -196,13 +202,19 @@ impl Node {
 
     /// The node's side of the packed kernel's stretch negotiation
     /// (DESIGN.md §11): how it participates in a stretch starting at `now`,
-    /// or `None` when the next bit needs lockstep processing.
+    /// or `Err(cause)` when the next bit needs lockstep processing — the
+    /// cause names the seam that refused, for the kernel's fallback
+    /// telemetry.
     ///
     /// Lowers `*cap` to the earliest of the node's per-bit seams: an armed
     /// TX fault window, the application's next poll, the agent's drive
     /// horizon and the controller's own bound. Like the controller plan,
     /// this has no side effects.
-    pub(crate) fn stretch_plan(&self, now: BitInstant, cap: &mut u64) -> Option<StretchRole> {
+    pub(crate) fn stretch_plan(
+        &self,
+        now: BitInstant,
+        cap: &mut u64,
+    ) -> Result<StretchRole, FallbackCause> {
         let t = now.bits();
         if let Some(fault) = &self.tx_fault {
             if fault.is_down(t) {
@@ -210,34 +222,39 @@ impl Node {
                 // fault reports as its next activity.
                 if let Some(h) = fault.next_activity(t) {
                     if h <= t {
-                        return None;
+                        return Err(FallbackCause::NodeFault);
                     }
                     *cap = (*cap).min(h - t);
                 }
-                return Some(StretchRole::Down);
+                return Ok(StretchRole::Down);
             }
             // The fault windows are evaluated directly rather than through
             // the `forced_tx` cache: `prepare_bit` is not called inside a
             // stretch, so the cache may be stale.
             match fault.next_activity(t) {
-                Some(h) if h <= t => return None, // active override or pending restart
+                // Active override or pending restart.
+                Some(h) if h <= t => return Err(FallbackCause::NodeFault),
                 Some(h) => *cap = (*cap).min(h - t),
                 None => {}
             }
         }
         match self.app.next_activity(now) {
-            Some(h) if h.bits() <= t => return None, // a poll is due now
+            // A poll is due now.
+            Some(h) if h.bits() <= t => return Err(FallbackCause::AppPoll),
             Some(h) => *cap = (*cap).min(h.bits() - t),
             None => {}
         }
         if let Some(agent) = &self.agent {
             match agent.drive_horizon(now) {
-                Some(h) if h.bits() <= t => return None, // may drive this bit
+                // May drive this bit.
+                Some(h) if h.bits() <= t => return Err(FallbackCause::AgentDrive),
                 Some(h) => *cap = (*cap).min(h.bits() - t),
                 None => {}
             }
         }
-        self.controller.stretch_plan(now, cap)
+        self.controller
+            .stretch_plan(now, cap)
+            .ok_or(FallbackCause::Controller)
     }
 
     /// Commits one packed stretch of `n` bits of resolved bus word `bus`

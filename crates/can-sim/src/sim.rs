@@ -11,13 +11,14 @@
 //! trace.
 
 use can_core::{packed, BitDuration, BitInstant, BusSpeed, Level};
-use can_obs::Recorder;
+use can_obs::{Journal, Recorder};
 
 use crate::controller::{integrating_word_cap, StepOutput, StretchRole};
 use crate::event::{Event, EventKind, NodeId};
 use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
 use crate::parser::RxParser;
+use crate::telemetry::{FallbackCause, KernelTelemetry};
 
 /// Width of the bus-utilization measurement window, in bit times. At the
 /// end of every window the simulator records the window's busy percentage
@@ -188,6 +189,14 @@ pub struct Simulator {
     /// Metrics sink; disabled (a no-op) by default so the hot path pays a
     /// single branch.
     recorder: Recorder,
+    /// Causal event journal; disabled (a no-op) by default. Unlike the
+    /// recorder's registry, journal content is identical across the three
+    /// kernels only after its canonical export sort (see `can_obs::journal`).
+    journal: Journal,
+    /// Always-on kernel self-telemetry: how the engines spent their bits.
+    /// Deliberately outside the registry — it differs per `SimMode` and
+    /// must not leak into differential fingerprints.
+    telemetry: KernelTelemetry,
     /// Last TEC/REC values published to the recorder, per node — deltas
     /// and gauges are emitted only on change.
     obs_prev: Vec<(u16, u16)>,
@@ -223,6 +232,8 @@ impl Simulator {
             faults: FaultStack::new(),
             scratch: StepOutput::default(),
             recorder: Recorder::disabled(),
+            journal: Journal::disabled(),
+            telemetry: KernelTelemetry::default(),
             obs_prev: Vec::new(),
             obs_window_busy: 0,
             metric_keys: Vec::new(),
@@ -242,6 +253,10 @@ impl Simulator {
 
     pub(crate) fn install_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    pub(crate) fn install_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     pub(crate) fn install_fault_stack(&mut self, faults: FaultStack) {
@@ -264,6 +279,17 @@ impl Simulator {
     /// [`crate::builder::SimBuilder::recorder`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The attached causal journal (disabled unless one was installed via
+    /// [`crate::builder::SimBuilder::journal`]).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The kernel self-telemetry accumulated so far (always collected).
+    pub fn kernel_telemetry(&self) -> &KernelTelemetry {
+        &self.telemetry
     }
 
     /// Adds a node; returns its [`NodeId`].
@@ -402,8 +428,14 @@ impl Simulator {
     /// run-entry points hoist those out of the loop (`obs` is
     /// `recorder.is_enabled()`, evaluated once per run).
     fn step_inner(&mut self, obs: bool) -> Level {
-        for node in &mut self.nodes {
-            node.prepare_bit(self.now);
+        self.telemetry.count_lockstep_bit();
+        let jrn = self.journal.is_enabled();
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            if node.prepare_bit(self.now) && jrn {
+                // A crash restart flushed the mailboxes: any open causal
+                // chain is void, the next frame is genuinely new traffic.
+                self.journal.close_chain(id as u32);
+            }
         }
         let resolved = Level::wired_and(self.nodes.iter().map(Node::tx_level));
         let bus = self.faults.apply(resolved, self.now.bits());
@@ -439,6 +471,11 @@ impl Simulator {
                     self.recorder.set_gauge(&keys.rec_gauge, rec.into());
                 }
                 self.obs_prev[id] = (tec, rec);
+            }
+            if jrn {
+                for kind in &self.scratch.events {
+                    journal_event(&self.journal, self.now.bits(), id as u32, kind);
+                }
             }
             if self.log_events {
                 for kind in self.scratch.events.drain(..) {
@@ -530,6 +567,7 @@ impl Simulator {
     /// and windowed utilization metrics — byte-identical to `gap` calls of
     /// [`Simulator::step`] over a recessive bus.
     fn skip_gap(&mut self, gap: u64, obs: bool) {
+        self.telemetry.count_skip(gap);
         if let Some(trace) = &mut self.trace {
             trace.push_run(Level::Recessive, gap);
         }
@@ -691,17 +729,26 @@ impl Simulator {
         let now_bits = self.now.bits();
         let mut cap = max_bits.min(u64::from(packed::WORD_BITS));
         match self.faults.next_activity(now_bits) {
-            Some(t) if t <= now_bits => return None,
+            Some(t) if t <= now_bits => {
+                self.telemetry.count_fallback(FallbackCause::FaultStack);
+                return None;
+            }
             Some(t) => cap = cap.min(t - now_bits),
             None => {}
         }
         self.packed_roles.clear();
         for node in &self.nodes {
-            let role = node.stretch_plan(self.now, &mut cap)?;
-            self.packed_roles.push(role);
+            match node.stretch_plan(self.now, &mut cap) {
+                Ok(role) => self.packed_roles.push(role),
+                Err(cause) => {
+                    self.telemetry.count_fallback(cause);
+                    return None;
+                }
+            }
         }
         if cap < 2 {
             // A one-bit "stretch" costs more than the lockstep bit it saves.
+            self.telemetry.count_fallback(FallbackCause::ShortCap);
             return None;
         }
 
@@ -740,6 +787,7 @@ impl Simulator {
             }
         }
         if n == 0 {
+            self.telemetry.count_fallback(FallbackCause::PostAndShorten);
             return None;
         }
         // Receiver dry-runs: stop before the first parser event
@@ -761,8 +809,11 @@ impl Simulator {
             }
         }
         if n == 0 {
+            self.telemetry.count_fallback(FallbackCause::ReceiverDryRun);
             return None;
         }
+        self.telemetry
+            .count_stretch(u64::from(n), &self.packed_roles);
 
         // Commit: every node advances `n` bits in its negotiated role.
         // A stretch with any transmitter or receiver is busy for all `n`
@@ -843,13 +894,88 @@ impl Simulator {
     }
 }
 
+/// Maps one protocol event onto the causal journal. Only called with an
+/// enabled journal. Frame lifecycle events open/close causal chains
+/// (retransmissions inherit the destroyed attempt's `chain_id`); receiver
+/// errors and state changes are stamped with the provoking frame's ids.
+/// `FrameReceived` is deliberately skipped — the transmitter's
+/// [`can_obs::JK_FRAME_ACK`] already marks delivery, and one event per
+/// receiver per frame would be pure noise.
+fn journal_event(journal: &Journal, at: u64, node: u32, kind: &EventKind) {
+    use can_obs::{
+        JK_ARB_LOST, JK_BUS_OFF, JK_ERROR_STATE, JK_FRAME_ACK, JK_FRAME_ERROR, JK_RECOVERED,
+        JK_RX_ERROR,
+    };
+
+    use crate::event::ErrorRole;
+    match kind {
+        EventKind::TransmissionStarted { id } => {
+            journal.begin_frame(at, node, &format!("id=0x{:03X}", id.raw()));
+        }
+        EventKind::ArbitrationLost { id } => {
+            journal.end_frame(
+                at,
+                node,
+                JK_ARB_LOST,
+                &format!("id=0x{:03X}", id.raw()),
+                true,
+            );
+        }
+        EventKind::TransmissionSucceeded { frame } => {
+            journal.end_frame(
+                at,
+                node,
+                JK_FRAME_ACK,
+                &format!("id=0x{:03X}", frame.id().raw()),
+                false,
+            );
+        }
+        EventKind::ErrorDetected { kind, role } => {
+            let kind = error_kind_label(*kind);
+            match role {
+                ErrorRole::Transmitter => {
+                    // Offset into the destroyed frame, in destuffed-stream
+                    // bit times since its SOF.
+                    let off = journal.node_frame_offset(at, node);
+                    journal.end_frame(
+                        at,
+                        node,
+                        JK_FRAME_ERROR,
+                        &format!("kind={kind} off={off}"),
+                        true,
+                    );
+                }
+                ErrorRole::Receiver => {
+                    let off = journal.bus_frame_offset(at);
+                    journal.event(at, node, JK_RX_ERROR, &format!("kind={kind} off={off}"));
+                }
+            }
+        }
+        EventKind::ErrorStateChanged { state } => {
+            journal.node_event(at, node, JK_ERROR_STATE, &format!("state={state}"));
+        }
+        EventKind::BusOff => journal.node_event(at, node, JK_BUS_OFF, ""),
+        EventKind::Recovered => journal.node_event(at, node, JK_RECOVERED, ""),
+        EventKind::FrameReceived { .. } => {}
+    }
+}
+
+fn error_kind_label(kind: can_core::errors::CanErrorKind) -> &'static str {
+    use can_core::errors::CanErrorKind;
+    match kind {
+        CanErrorKind::Bit => "bit",
+        CanErrorKind::Stuff => "stuff",
+        CanErrorKind::Form => "form",
+        CanErrorKind::Ack => "ack",
+        CanErrorKind::Crc => "crc",
+    }
+}
+
 /// Maps one protocol event onto its metric counter. Only called with an
 /// enabled recorder; the per-frame keys come pre-interned from
 /// [`NodeMetricKeys`], while the rare label-rich error events keep a lazy
 /// `format!`.
 fn record_event(recorder: &Recorder, keys: &NodeMetricKeys, id: NodeId, kind: &EventKind) {
-    use can_core::errors::CanErrorKind;
-
     use crate::event::ErrorRole;
     match kind {
         EventKind::TransmissionStarted { .. } => {
@@ -865,13 +991,7 @@ fn record_event(recorder: &Recorder, keys: &NodeMetricKeys, id: NodeId, kind: &E
             recorder.inc(&keys.arbitration_lost);
         }
         EventKind::ErrorDetected { kind, role } => {
-            let kind = match kind {
-                CanErrorKind::Bit => "bit",
-                CanErrorKind::Stuff => "stuff",
-                CanErrorKind::Form => "form",
-                CanErrorKind::Ack => "ack",
-                CanErrorKind::Crc => "crc",
-            };
+            let kind = error_kind_label(*kind);
             let role = match role {
                 ErrorRole::Transmitter => "tx",
                 ErrorRole::Receiver => "rx",
@@ -1330,6 +1450,154 @@ mod tests {
             },
             16_000,
         );
+    }
+
+    #[test]
+    fn journal_export_is_identical_across_all_three_kernels() {
+        use can_obs::Journal;
+        let build = || {
+            let mut sim = Simulator::new(BusSpeed::K500);
+            sim.install_journal(Journal::enabled());
+            sim.add_node(
+                Node::new(
+                    "flaky",
+                    Box::new(PeriodicSender::new(frame(0x123, &[7]), 500, 0)),
+                )
+                .with_tx_fault(TxFault::crash_restart(2_000, 8_000)),
+            );
+            sim.add_node(
+                Node::new("jammer", Box::new(SilentApplication))
+                    .with_tx_fault(TxFault::stuck_dominant(11_000, 12_500)),
+            );
+            sim.add_node(Node::new(
+                "rival",
+                Box::new(PeriodicSender::new(frame(0x0C4, &[1, 2]), 700, 40)),
+            ));
+            sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+            sim
+        };
+        use crate::fault::TxFault;
+        let mut lockstep = build();
+        lockstep.run(16_000);
+        let mut fast = build();
+        fast.run_fast(16_000);
+        let mut packed = build();
+        packed.run_packed(16_000);
+        let export = lockstep.journal().export_jsonl();
+        assert_eq!(export, fast.journal().export_jsonl());
+        assert_eq!(export, packed.journal().export_jsonl());
+        let (events, dropped) = can_obs::journal::parse_export(&export).unwrap();
+        assert!(dropped.is_empty());
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == can_obs::JK_FRAME_ERROR || e.kind == can_obs::JK_RX_ERROR),
+            "the jam destroys frames"
+        );
+        assert!(events.iter().any(|e| e.kind == can_obs::JK_FRAME_ACK));
+    }
+
+    #[test]
+    fn journal_links_error_retransmissions_into_one_chain() {
+        use can_obs::Journal;
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.install_journal(Journal::enabled());
+        sim.add_node(Node::new(
+            "sender",
+            Box::new(PeriodicSender::new(frame(0x100, &[1, 2]), 2_000, 0)),
+        ));
+        sim.add_node(
+            Node::new("jammer", Box::new(SilentApplication))
+                .with_tx_fault(crate::fault::TxFault::stuck_dominant(40, 100)),
+        );
+        sim.add_node(Node::new("rx", Box::new(SilentApplication)));
+        sim.run(4_000);
+        let (events, _) = can_obs::journal::parse_export(&sim.journal().export_jsonl()).unwrap();
+        let errors: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == can_obs::JK_FRAME_ERROR && e.node == 0)
+            .collect();
+        assert!(!errors.is_empty(), "the jam destroys the first attempt");
+        let chain = errors[0].chain_id;
+        assert!(
+            errors[0].detail.starts_with("kind="),
+            "{}",
+            errors[0].detail
+        );
+        // The eventual successful retransmission stays on the same chain.
+        let ack = events
+            .iter()
+            .find(|e| e.kind == can_obs::JK_FRAME_ACK && e.node == 0)
+            .expect("the frame eventually goes through");
+        assert_eq!(ack.chain_id, chain);
+        assert!(ack.frame_seq > errors[0].frame_seq);
+        // A later, fresh frame opens a new chain.
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == can_obs::JK_FRAME_START && e.node == 0)
+            .collect();
+        assert!(starts.last().unwrap().chain_id > chain);
+    }
+
+    #[test]
+    fn kernel_telemetry_accounts_bits_per_engine() {
+        let build = || {
+            let mut sim = Simulator::new(BusSpeed::K500);
+            sim.add_node(Node::new(
+                "s",
+                Box::new(PeriodicSender::new(frame(0x0C4, &[1, 2, 3, 4]), 500, 0)),
+            ));
+            sim.add_node(Node::new("r", Box::new(SilentApplication)));
+            sim
+        };
+        let mut lockstep = build();
+        lockstep.run(5_000);
+        let t = lockstep.kernel_telemetry();
+        assert_eq!(t.lockstep_bits(), 5_000);
+        assert_eq!(t.packed_bits() + t.skipped_bits(), 0);
+
+        let mut packed = build();
+        packed.run_packed(5_000);
+        let t = packed.kernel_telemetry();
+        assert_eq!(
+            t.lockstep_bits() + t.skipped_bits() + t.packed_bits(),
+            5_000
+        );
+        assert!(
+            t.packed_bits() > 500,
+            "frame bodies pack: {}",
+            t.packed_bits()
+        );
+        assert!(t.skipped_bits() > 0, "inter-frame gaps skip");
+        assert!(t.stretches() > 0);
+        assert_eq!(t.stretch_lengths().count(), t.stretches());
+        // The periodic sender's polls force AppPoll fallbacks; arbitration
+        // and frame boundaries force post-AND/short-cap ones.
+        assert!(t.fallback_count(FallbackCause::AppPoll) > 0);
+        let total: u64 = t.fallbacks().iter().map(|(_, n)| n).sum();
+        assert!(total > 0);
+        let json = t.to_json();
+        assert!(can_obs::json::parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn kernel_telemetry_attributes_fault_fallbacks() {
+        // A channel-fault layer with activity inside the run forces
+        // FaultStack fallbacks; a node-level TX fault forces NodeFault.
+        let mut sim = Simulator::new(BusSpeed::K500);
+        sim.push_fault_layer(FaultModel::scripted(vec![1_000, 1_005]));
+        sim.add_node(Node::new(
+            "s",
+            Box::new(PeriodicSender::new(frame(0x0C4, &[1]), 600, 0)),
+        ));
+        sim.add_node(
+            Node::new("flaky", Box::new(SilentApplication))
+                .with_tx_fault(crate::fault::TxFault::stuck_dominant(2_000, 2_050)),
+        );
+        sim.run_packed(4_000);
+        let t = sim.kernel_telemetry();
+        assert!(t.fallback_count(FallbackCause::FaultStack) > 0);
+        assert!(t.fallback_count(FallbackCause::NodeFault) > 0);
     }
 
     #[test]

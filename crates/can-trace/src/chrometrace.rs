@@ -1,0 +1,238 @@
+//! Chrome-trace (Perfetto) export of a `can-obs` causal event journal.
+//!
+//! [`chrome_trace_json`] turns a [`can_obs::Journal::export_jsonl`]
+//! document into Chrome's Trace Event JSON, loadable in `ui.perfetto.dev`
+//! or `chrome://tracing` — the interactive counterpart of the VCD path
+//! ([`crate::vcd`]): the VCD shows wire levels, the trace shows causality.
+//!
+//! ## Mapping
+//!
+//! * One process (`pid` 0, named `can-bus`); one thread per node
+//!   (`tid` = node index), so every node gets its own track.
+//! * `frame_start` … `frame_ack`/`frame_error`/`arb_lost` pairs become
+//!   complete slices (`ph:"X"`), named after the closing kind.
+//! * `inject_start` … `inject_end` pairs become `inject` slices — the
+//!   defense's injection window is directly visible as a bar.
+//! * Every other kind (`detection`, `strike`, `probe`, `degraded`, …)
+//!   becomes a thread-scoped instant event (`ph:"i"`).
+//! * `ts`/`dur` are in *bit times* (1 tick = 1 µs in the viewer; at the
+//!   paper's 500 kbit/s a real bit is 2 µs, so on-screen durations are
+//!   simply half scale).
+//! * `args` carry `seq`, `chain` and the event detail, so slices of one
+//!   causal chain can be found with a `chain` query.
+
+use std::fmt::Write as _;
+
+use can_obs::json::escape;
+use can_obs::{
+    parse_export, JournalEvent, JK_ARB_LOST, JK_FRAME_ACK, JK_FRAME_ERROR, JK_FRAME_START,
+    JK_INJECT_END, JK_INJECT_START,
+};
+
+/// Converts a journal export (`can-obs-journal/v1` JSONL) into Chrome
+/// Trace Event JSON. Slices left open at the end of the export (a frame
+/// still on the wire, an injection window still active) are closed at the
+/// last event's timestamp so the viewer never drops them.
+///
+/// # Errors
+///
+/// Returns the parse error of a malformed or wrong-schema export.
+pub fn chrome_trace_json(export: &str) -> Result<String, String> {
+    let (events, _dropped) = parse_export(export)?;
+    let horizon = events.iter().map(|e| e.at_bits).max().unwrap_or(0);
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |record: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&record);
+    };
+
+    // Track metadata: name the process and one thread per node.
+    emit(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"can-bus\"}}"
+            .to_string(),
+        &mut first,
+    );
+    let mut nodes: Vec<u32> = events.iter().map(|e| e.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for node in &nodes {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{node},\"name\":\"thread_name\",\"args\":{{\"name\":\"node {node}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+
+    // Per-node open frame / injection slices: (start bits, start event).
+    let mut open_frame: Vec<Option<(u64, JournalEvent)>> = Vec::new();
+    let mut open_inject: Vec<Option<(u64, JournalEvent)>> = Vec::new();
+    let slot = |v: &mut Vec<Option<(u64, JournalEvent)>>, node: u32| {
+        let i = node as usize;
+        if v.len() <= i {
+            v.resize(i + 1, None);
+        }
+        i
+    };
+
+    for event in &events {
+        match event.kind.as_str() {
+            k if k == JK_FRAME_START => {
+                let i = slot(&mut open_frame, event.node);
+                open_frame[i] = Some((event.at_bits, event.clone()));
+            }
+            k if k == JK_FRAME_ACK || k == JK_FRAME_ERROR || k == JK_ARB_LOST => {
+                let i = slot(&mut open_frame, event.node);
+                let start = open_frame[i].take().map_or(event.at_bits, |(at, _)| at);
+                emit(slice(event, start, event.at_bits), &mut first);
+            }
+            k if k == JK_INJECT_START => {
+                let i = slot(&mut open_inject, event.node);
+                open_inject[i] = Some((event.at_bits, event.clone()));
+            }
+            k if k == JK_INJECT_END => {
+                let i = slot(&mut open_inject, event.node);
+                let start = open_inject[i].take().map_or(event.at_bits, |(at, _)| at);
+                let mut named = event.clone();
+                named.kind = "inject".to_string();
+                emit(slice(&named, start, event.at_bits), &mut first);
+            }
+            _ => emit(instant(event), &mut first),
+        }
+    }
+
+    // Close anything still open at the horizon.
+    for (start, mut event) in open_frame.into_iter().chain(open_inject).flatten() {
+        event.kind = if event.kind == JK_INJECT_START {
+            "inject".to_string()
+        } else {
+            "frame(open)".to_string()
+        };
+        emit(slice(&event, start, horizon), &mut first);
+    }
+
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn args(event: &JournalEvent) -> String {
+    format!(
+        "{{\"seq\":{},\"chain\":{},\"detail\":\"{}\"}}",
+        event.frame_seq,
+        event.chain_id,
+        escape(&event.detail)
+    )
+}
+
+fn slice(event: &JournalEvent, start: u64, end: u64) -> String {
+    let mut record = String::new();
+    let _ = write!(
+        record,
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{start},\"dur\":{},\"name\":\"{}\",\"cat\":\"frame\",\"args\":{}}}",
+        event.node,
+        end.saturating_sub(start),
+        escape(&event.kind),
+        args(event)
+    );
+    record
+}
+
+fn instant(event: &JournalEvent) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"cat\":\"event\",\"args\":{}}}",
+        event.node,
+        event.at_bits,
+        escape(&event.kind),
+        args(event)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_obs::{json, Journal, JK_DETECTION, JK_STRIKE};
+
+    fn sample_export() -> String {
+        let journal = Journal::enabled();
+        journal.begin_frame(100, 1, "id=0x173");
+        journal.event(110, 2, JK_STRIKE, "error-flag at=25");
+        journal.event(112, 0, JK_DETECTION, "pos=25");
+        journal.event(113, 0, JK_INJECT_START, "");
+        journal.event(145, 0, JK_INJECT_END, "");
+        journal.end_frame(150, 1, JK_FRAME_ERROR, "stuff", true);
+        journal.export_jsonl()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_slices_and_instants() {
+        let trace = chrome_trace_json(&sample_export()).unwrap();
+        let doc = json::parse(&trace).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        let ph = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(json::JsonValue::as_str) == Some(name))
+                .count()
+        };
+        assert_eq!(ph("M"), 4, "process + three node threads");
+        assert_eq!(ph("X"), 2, "one frame slice, one inject slice");
+        assert_eq!(ph("i"), 2, "strike + detection instants");
+
+        let frame = events
+            .iter()
+            .find(|e| e.get("name").and_then(json::JsonValue::as_str) == Some(JK_FRAME_ERROR))
+            .expect("frame slice present");
+        assert_eq!(frame.get("ts").and_then(json::JsonValue::as_u64), Some(100));
+        assert_eq!(frame.get("dur").and_then(json::JsonValue::as_u64), Some(50));
+        let inject = events
+            .iter()
+            .find(|e| e.get("name").and_then(json::JsonValue::as_str) == Some("inject"))
+            .expect("inject slice present");
+        assert_eq!(
+            inject.get("dur").and_then(json::JsonValue::as_u64),
+            Some(32)
+        );
+    }
+
+    #[test]
+    fn chain_ids_survive_into_args() {
+        let trace = chrome_trace_json(&sample_export()).unwrap();
+        let doc = json::parse(&trace).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(json::JsonValue::as_array)
+            .unwrap();
+        let strike = events
+            .iter()
+            .find(|e| e.get("name").and_then(json::JsonValue::as_str) == Some(JK_STRIKE))
+            .unwrap();
+        let chain = strike
+            .get("args")
+            .and_then(|a| a.get("chain"))
+            .and_then(json::JsonValue::as_u64)
+            .unwrap();
+        assert!(chain > 0, "the strike joins the attacked frame's chain");
+    }
+
+    #[test]
+    fn open_slices_are_closed_at_the_horizon() {
+        let journal = Journal::enabled();
+        journal.begin_frame(10, 0, "id=0x173");
+        journal.event(20, 0, JK_DETECTION, "pos=13");
+        let trace = chrome_trace_json(&journal.export_jsonl()).unwrap();
+        assert!(trace.contains("frame(open)"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(chrome_trace_json("not a journal").is_err());
+    }
+}

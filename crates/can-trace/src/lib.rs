@@ -11,12 +11,15 @@
 //! * [`replay`] — candump log replay onto a simulated bus (the software
 //!   form of the paper's PCAN restbus replay);
 //! * [`obsview`] — lifting `can-obs` defense trace records into the
-//!   timeline and VCD views.
+//!   timeline and VCD views;
+//! * [`chrometrace`] — Chrome-trace (Perfetto) export of `can-obs`
+//!   causal event journals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod candump;
+pub mod chrometrace;
 pub mod obsview;
 pub mod replay;
 pub mod stats;
@@ -24,6 +27,7 @@ pub mod timeline;
 pub mod vcd;
 
 pub use candump::{parse_log, write_log, LogEntry};
+pub use chrometrace::chrome_trace_json;
 pub use obsview::{defense_timeline, defense_timeline_events, injection_vcd_signal, trace_nodes};
 pub use replay::LogReplayApp;
 pub use stats::{IdStats, TrafficStats};

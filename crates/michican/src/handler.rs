@@ -25,7 +25,10 @@
 use can_core::agent::BitAgent;
 use can_core::bitstream::{Destuffed, Destuffer, MIN_INTERFRAME_RECESSIVE};
 use can_core::{BitDuration, BitInstant, Level};
-use can_obs::{Recorder, EVT_DETECTION, EVT_INJECT_END, EVT_INJECT_START};
+use can_obs::{
+    Journal, Recorder, EVT_DETECTION, EVT_INJECT_END, EVT_INJECT_START, JK_DETECTION,
+    JK_INJECT_END, JK_INJECT_START,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::fsm::{DetectionFsm, FsmCursor, FsmStep};
@@ -142,6 +145,9 @@ pub struct MichiCan {
     stats: MichiCanStats,
     /// Metrics sink; disabled (no-op) by default.
     recorder: Recorder,
+    /// Causal event journal; disabled (no-op) by default and independent
+    /// of the recorder — either sink can be enabled without the other.
+    journal: Journal,
     /// Node index used in metric labels and trace records.
     node_label: u32,
     /// Metric keys interned once in [`MichiCan::set_recorder`], so the
@@ -203,6 +209,7 @@ impl MichiCan {
             own_transmission: false,
             stats: MichiCanStats::default(),
             recorder: Recorder::disabled(),
+            journal: Journal::disabled(),
             node_label: 0,
             keys: None,
             detected_at: None,
@@ -222,6 +229,15 @@ impl MichiCan {
             self.keys = None;
         }
         self.recorder = recorder;
+        self.node_label = node;
+    }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// journal events. Detection and injection-window events are emitted
+    /// with the current bus frame's causal ids, so a whole
+    /// strike→detection→counterattack episode shares one `chain_id`.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
         self.node_label = node;
     }
 
@@ -327,6 +343,14 @@ impl MichiCan {
                         );
                         self.detected_at = Some(now.bits());
                     }
+                    if self.journal.is_enabled() {
+                        self.journal.event(
+                            now.bits(),
+                            self.node_label,
+                            JK_DETECTION,
+                            &format!("pos={position}"),
+                        );
+                    }
                 }
             }
         }
@@ -349,6 +373,10 @@ impl MichiCan {
                         self.recorder
                             .trace(now.bits(), self.node_label, EVT_INJECT_START, "");
                     }
+                    if self.journal.is_enabled() {
+                        self.journal
+                            .event(now.bits(), self.node_label, JK_INJECT_START, "");
+                    }
                 }
                 self.start_counterattack = false;
             }
@@ -356,9 +384,15 @@ impl MichiCan {
             // Disable multiplexing and finish frame processing (lines
             // 16–19). Bit stuffing guarantees no false SOF within the rest
             // of the frame.
-            if self.injecting && self.recorder.is_enabled() {
-                self.recorder
-                    .trace(now.bits(), self.node_label, EVT_INJECT_END, "");
+            if self.injecting {
+                if self.recorder.is_enabled() {
+                    self.recorder
+                        .trace(now.bits(), self.node_label, EVT_INJECT_END, "");
+                }
+                if self.journal.is_enabled() {
+                    self.journal
+                        .event(now.bits(), self.node_label, JK_INJECT_END, "");
+                }
             }
             self.leave_frame();
         }
@@ -636,6 +670,24 @@ mod tests {
         assert!(events.contains(&can_obs::EVT_DETECTION));
         assert!(events.contains(&can_obs::EVT_INJECT_START));
         assert!(events.contains(&can_obs::EVT_INJECT_END));
+    }
+
+    #[test]
+    fn journal_captures_episode_without_a_recorder() {
+        // The journal is an independent sink: with no recorder attached,
+        // detection and the injection window must still be journaled.
+        let mut defender = defender_for(&[0x005, 0x173], 1);
+        let journal = can_obs::Journal::enabled();
+        defender.set_journal(journal.clone(), 1);
+        let spoof = CanFrame::data_frame(CanId::from_raw(0x173), &[0xFF; 8]).unwrap();
+        feed_frame(&mut defender, &spoof).expect("must counterattack");
+        let export = journal.export_jsonl();
+        for kind in [JK_DETECTION, JK_INJECT_START, JK_INJECT_END] {
+            assert!(
+                export.contains(&format!("\"kind\":\"{kind}\"")),
+                "missing {kind} in:\n{export}"
+            );
+        }
     }
 
     #[test]

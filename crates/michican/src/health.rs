@@ -43,7 +43,7 @@
 use can_core::agent::BitAgent;
 use can_core::bitstream::MIN_INTERFRAME_RECESSIVE;
 use can_core::{BitInstant, Level};
-use can_obs::{Recorder, EVT_DEGRADED, EVT_REARMED};
+use can_obs::{Journal, Recorder, EVT_DEGRADED, EVT_REARMED, JK_DEGRADED, JK_REARMED};
 use serde::{Deserialize, Serialize};
 
 use crate::handler::MichiCan;
@@ -200,6 +200,8 @@ pub struct SupervisedMichiCan {
     in_frame: bool,
     /// Metrics sink for watchdog events; disabled (no-op) by default.
     recorder: Recorder,
+    /// Causal event journal for watchdog transitions; disabled by default.
+    journal: Journal,
     /// Node index used in metric labels and trace records.
     node_label: u32,
 }
@@ -229,6 +231,7 @@ impl SupervisedMichiCan {
             frame_epoch: 0,
             in_frame: false,
             recorder: Recorder::disabled(),
+            journal: Journal::disabled(),
             node_label: 0,
         }
     }
@@ -238,6 +241,15 @@ impl SupervisedMichiCan {
     pub fn set_recorder(&mut self, recorder: Recorder, node: u32) {
         self.handler.set_recorder(recorder.clone(), node);
         self.recorder = recorder;
+        self.node_label = node;
+    }
+
+    /// Attaches a causal event journal to the watchdog *and* the wrapped
+    /// handler; degrade/re-arm transitions join the bus frame's causal
+    /// chain so an episode reconstructs end to end.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.handler.set_journal(journal.clone(), node);
+        self.journal = journal;
         self.node_label = node;
     }
 
@@ -287,14 +299,22 @@ impl SupervisedMichiCan {
         }
         self.stats.degradations += 1;
         self.stats.degrade_reasons.push(reason);
+        let why = degrade_reason_label(reason);
         if self.recorder.is_enabled() {
             let node = self.node_label;
-            let why = degrade_reason_label(reason);
             self.recorder.inc(&format!(
                 "michican_degradations_total{{node=\"{node}\",reason=\"{why}\"}}"
             ));
             self.recorder
                 .trace(self.last_tick.unwrap_or(0), node, EVT_DEGRADED, why);
+        }
+        if self.journal.is_enabled() {
+            self.journal.event(
+                self.last_tick.unwrap_or(0),
+                self.node_label,
+                JK_DEGRADED,
+                why,
+            );
         }
         self.state = HealthState::DetectOnly {
             needed: self.rearm_requirement(),
@@ -314,6 +334,10 @@ impl SupervisedMichiCan {
                 .inc(&format!("michican_rearms_total{{node=\"{node}\"}}"));
             self.recorder
                 .trace(self.last_tick.unwrap_or(0), node, EVT_REARMED, "");
+        }
+        if self.journal.is_enabled() {
+            self.journal
+                .event(self.last_tick.unwrap_or(0), self.node_label, JK_REARMED, "");
         }
         self.state = HealthState::Armed;
         self.armed_clean_streak = 0;
@@ -886,6 +910,31 @@ mod tests {
         let events: Vec<&str> = reg.traces().iter().map(|r| r.event.as_str()).collect();
         assert!(events.contains(&can_obs::EVT_DEGRADED));
         assert!(events.contains(&can_obs::EVT_REARMED));
+    }
+
+    #[test]
+    fn journal_captures_degrade_and_rearm() {
+        let config = HealthConfig {
+            max_counterattack_failures: 1,
+            rearm_clean_frames: 2,
+            ..HealthConfig::default()
+        };
+        let mut agent = supervised(config);
+        let journal = Journal::enabled();
+        agent.set_journal(journal.clone(), 0);
+        let mut t = 0;
+        assert!(feed_attack(&mut agent, &mut t, false));
+        for _ in 0..3 {
+            feed_benign_frame(&mut agent, &mut t);
+        }
+        assert_eq!(agent.state(), HealthState::Armed);
+        let export = journal.export_jsonl();
+        assert!(export.contains(&format!("\"kind\":\"{JK_DEGRADED}\"")));
+        assert!(export.contains("counterattack-failures"));
+        assert!(export.contains(&format!("\"kind\":\"{JK_REARMED}\"")));
+        // The wrapped handler shares the journal.
+        let inject = can_obs::JK_INJECT_START;
+        assert!(export.contains(&format!("\"kind\":\"{inject}\"")));
     }
 
     #[test]

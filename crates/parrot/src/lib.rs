@@ -25,7 +25,7 @@
 
 use can_core::app::Application;
 use can_core::{BitInstant, CanFrame, CanId};
-use can_obs::Recorder;
+use can_obs::{Journal, Recorder, JK_DETECTION, JK_INJECT_END, JK_INJECT_START};
 
 /// Running counters of a [`ParrotDefender`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +56,8 @@ pub struct ParrotDefender {
     stats: ParrotStats,
     /// Metrics sink; disabled (no-op) by default.
     recorder: Recorder,
+    /// Causal event journal; disabled (no-op) by default.
+    journal: Journal,
     /// Node index used in metric labels.
     node_label: u32,
     /// Bit time of the spoof detection that opened the current flood, for
@@ -75,6 +77,7 @@ impl ParrotDefender {
             flood_window_bits,
             stats: ParrotStats::default(),
             recorder: Recorder::disabled(),
+            journal: Journal::disabled(),
             node_label: 0,
             detected_at: None,
         }
@@ -90,6 +93,14 @@ impl ParrotDefender {
             );
         }
         self.recorder = recorder;
+        self.node_label = node;
+    }
+
+    /// Attaches a causal event journal; `node` is the index stamped on
+    /// journal events. Spoof detections and the flood window (Parrot's
+    /// "injection") join the causal chain of the frame that provoked them.
+    pub fn set_journal(&mut self, journal: Journal, node: u32) {
+        self.journal = journal;
         self.node_label = node;
     }
 
@@ -139,7 +150,10 @@ impl Application for ParrotDefender {
             }
             return Some(self.counterattack_frame());
         }
-        self.flood_until = None;
+        if self.flood_until.take().is_some() && self.journal.is_enabled() {
+            self.journal
+                .event(now.bits(), self.node_label, JK_INJECT_END, "flood");
+        }
         if let Some(period) = self.own_period_bits {
             if now.bits() >= self.next_own_due {
                 self.next_own_due = now.bits() + period;
@@ -173,6 +187,14 @@ impl Application for ParrotDefender {
                     self.recorder
                         .inc(&format!("parrot_floods_total{{node=\"{node}\"}}"));
                     self.detected_at = Some(now.bits());
+                }
+            }
+            if self.journal.is_enabled() {
+                self.journal
+                    .event(now.bits(), self.node_label, JK_DETECTION, "spoof");
+                if self.flood_until.is_none() {
+                    self.journal
+                        .event(now.bits(), self.node_label, JK_INJECT_START, "flood");
                 }
             }
             if self.flood_until.is_none() {
@@ -257,6 +279,23 @@ mod tests {
             .unwrap();
         assert_eq!(latency.count(), 1, "latency measured once per flood");
         assert_eq!(latency.max(), Some(40));
+    }
+
+    #[test]
+    fn journal_captures_flood_lifecycle() {
+        let mut parrot = ParrotDefender::new(CanId::from_raw(0x173), 100);
+        let journal = Journal::enabled();
+        parrot.set_journal(journal.clone(), 2);
+        parrot.on_frame(&spoof(), BitInstant::from_bits(50));
+        assert!(parrot.poll(BitInstant::from_bits(60)).is_some());
+        assert!(parrot.poll(BitInstant::from_bits(200)).is_none());
+        let export = journal.export_jsonl();
+        for kind in [JK_DETECTION, JK_INJECT_START, JK_INJECT_END] {
+            assert!(
+                export.contains(&format!("\"kind\":\"{kind}\"")),
+                "missing {kind} in:\n{export}"
+            );
+        }
     }
 
     #[test]

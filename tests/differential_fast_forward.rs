@@ -12,7 +12,7 @@ use bench::scenarios::{
     build_experiment_with, run_multi_attacker_scan_with, run_parksense_with, run_table2_with,
     table2_experiments,
 };
-use can_obs::Recorder;
+use can_obs::{parse_export, Journal, Recorder, JK_DETECTION, JK_FRAME_ERROR, JK_INJECT_START};
 
 fn lockstep(recorder: &Recorder) -> ExecOpts {
     ExecOpts::new().with_recorder(recorder.clone())
@@ -226,6 +226,161 @@ fn zoo_cells_cover_every_registry_variant_against_every_defense() {
             variant.label()
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Causal journal determinism (DESIGN.md §13): the canonical export must be
+// byte-identical across all three SimModes and at any shard count, for
+// every scenario family that runs under ExecOpts.
+// ---------------------------------------------------------------------------
+
+/// Runs `run` with an enabled journal in `opts` and returns the canonical
+/// export.
+fn journal_of(opts: ExecOpts, run: impl Fn(&ExecOpts)) -> String {
+    let journal = Journal::enabled();
+    run(&opts.with_journal(journal.clone()));
+    journal.export_jsonl()
+}
+
+#[test]
+fn table2_journal_is_byte_identical_across_modes_and_shards() {
+    let run = |opts: ExecOpts| {
+        journal_of(opts, |o| {
+            run_table2_with(400.0, o);
+        })
+    };
+    let base = run(ExecOpts::new());
+    assert!(base.lines().count() > 1, "table2 journal must not be empty");
+    for (label, opts) in [
+        ("fast-forward", ExecOpts::new().fast()),
+        ("packed", ExecOpts::new().packed()),
+        ("4 shards", ExecOpts::new().with_shards(4)),
+        ("packed + 4 shards", ExecOpts::new().packed().with_shards(4)),
+    ] {
+        assert_eq!(base, run(opts), "table2 journal diverged under {label}");
+    }
+}
+
+#[test]
+fn campaign_journal_is_byte_identical_across_modes_and_shards() {
+    let run = |shards: usize, opts: ExecOpts| {
+        let config = CampaignConfig {
+            seed: 0x00D5_2025,
+            run_ms: 30.0,
+            shards,
+        };
+        journal_of(opts, |o| {
+            run_campaign_with(&config, o);
+        })
+    };
+    let base = run(1, ExecOpts::new());
+    assert!(
+        base.lines().count() > 1,
+        "campaign journal must not be empty"
+    );
+    for (label, shards, opts) in [
+        ("fast-forward", 1, ExecOpts::new().fast()),
+        ("packed", 1, ExecOpts::new().packed()),
+        ("4 shards", 4, ExecOpts::new()),
+    ] {
+        assert_eq!(
+            base,
+            run(shards, opts),
+            "campaign journal diverged under {label}"
+        );
+    }
+}
+
+#[test]
+fn multi_attacker_journal_is_byte_identical_across_modes_and_shards() {
+    let run = |opts: ExecOpts| {
+        journal_of(opts, |o| {
+            run_multi_attacker_scan_with(&[1, 2, 3], 60_000, o);
+        })
+    };
+    let base = run(ExecOpts::new());
+    assert!(
+        base.lines().count() > 1,
+        "multi-attacker journal must not be empty"
+    );
+    for (label, opts) in [
+        ("fast-forward", ExecOpts::new().fast()),
+        ("packed", ExecOpts::new().packed()),
+        ("4 shards", ExecOpts::new().with_shards(4)),
+    ] {
+        assert_eq!(
+            base,
+            run(opts),
+            "multi-attacker journal diverged under {label}"
+        );
+    }
+}
+
+#[test]
+fn parksense_journal_is_byte_identical_across_modes() {
+    for defended in [false, true] {
+        let run = |opts: ExecOpts| {
+            journal_of(opts, |o| {
+                run_parksense_with(defended, 40.0, o);
+            })
+        };
+        let base = run(ExecOpts::new());
+        assert!(
+            base.lines().count() > 1,
+            "parksense journal must not be empty (defended={defended})"
+        );
+        for (label, opts) in [
+            ("fast-forward", ExecOpts::new().fast()),
+            ("packed", ExecOpts::new().packed()),
+        ] {
+            assert_eq!(
+                base,
+                run(opts),
+                "parksense journal diverged under {label} (defended={defended})"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_zoo_cell_reconstructs_the_attack_chain_by_chain_id() {
+    // The acceptance pin for causal linkage: a fabrication attack against
+    // MichiCAN must leave a chain in the journal that reads as one episode
+    // — spoofed frame on the wire (frame_start opens the chain), the
+    // defense spotting it (detection), the counterattack window opening
+    // (inject_start) and the spoofed frame dying (frame_error), all under
+    // one chain_id.
+    let cell = zoo_cells()
+        .into_iter()
+        .find(|c| c.variant.label() == "fabrication[x2]" && c.defense.label() == "michican")
+        .expect("fabrication vs michican cell in the registry");
+    let journal = Journal::enabled();
+    run_zoo_with(
+        vec![cell],
+        20_000,
+        &ExecOpts::new().with_journal(journal.clone()),
+    );
+    let (events, dropped) = parse_export(&journal.export_jsonl()).unwrap();
+    assert!(dropped.is_empty(), "journal dropped events: {dropped:?}");
+
+    let mut chains: std::collections::BTreeMap<u64, Vec<&str>> = std::collections::BTreeMap::new();
+    for event in &events {
+        if event.chain_id != 0 {
+            chains
+                .entry(event.chain_id)
+                .or_default()
+                .push(event.kind.as_str());
+        }
+    }
+    let complete = chains.values().any(|kinds| {
+        [JK_DETECTION, JK_INJECT_START, JK_FRAME_ERROR]
+            .iter()
+            .all(|k| kinds.contains(k))
+    });
+    assert!(
+        complete,
+        "no chain links detection -> counterattack -> destroyed frame; chains: {chains:?}"
+    );
 }
 
 #[test]
