@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [all|table1|table2|table3|fig1a|fig1b|fig2|fig4b|fig6|
 //!              detection|cpu|bus_load|multi_attacker|on_vehicle|
-//!              ids_latency|feasibility|availability|faults|attacks] [--full]
+//!              ids_latency|feasibility|availability|faults|attacks|ids]
+//!             [--full]
 //!             [--artifacts <dir>]   # fig6 CSV + VCD output
 //!             [--shards <n> | -j <n>]  # parallel workers (0 = all cores)
 //!             [--metrics-out <path>]   # per-run observability export
@@ -11,6 +12,7 @@
 //!             [--fast]                 # idle fast-forward simulation core
 //!             [--packed]               # word-packed bus kernel
 //!             [--attacks <name|all>]   # adversary-zoo selection (attacks)
+//!             [--detectors <name|all>] # detector selection (ids bake-off)
 //! ```
 //!
 //! `attacks` runs the adversary zoo (`bench::attackzoo`): every attack
@@ -21,6 +23,14 @@
 //! prints the per-attack eradication/bus-off/detection-latency table.
 //! `--attacks <name>` restricts the grid to one attack family. The table
 //! is byte-identical for every `--shards` count and simulation mode.
+//!
+//! `ids` runs the timing-IDS bake-off (`bench::idsbench`): every
+//! detector variant of `can_ids::registry` attached as a passive tap to
+//! every defense × scenario cell, printing per-detector detection
+//! latency and false-positive rate next to MichiCAN's in-frame reaction
+//! and eradication count. `--detectors <name>` restricts the grid to one
+//! detector family. The table is byte-identical for every `--shards`
+//! count and simulation mode.
 //!
 //! `--full` runs the paper-scale parameterizations (e.g. 160,000 random
 //! FSMs); the default is a faster configuration with identical shape.
@@ -154,6 +164,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+    let detector_selection: String = args
+        .iter()
+        .position(|a| a == "--detectors")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     let mut skip_next = false;
     let which = args
         .iter()
@@ -166,6 +182,7 @@ fn main() {
                 || *a == "--metrics-out"
                 || *a == "--journal-out"
                 || *a == "--attacks"
+                || *a == "--detectors"
             {
                 skip_next = true;
                 return false;
@@ -264,6 +281,10 @@ fn main() {
     if run("attacks") {
         section("Extension — adversary zoo (bit-level + controller-level registry)");
         attacks(full, shards, mode, &recorder, &journal, &attack_selection);
+    }
+    if run("ids") {
+        section("Extension — timing-IDS bake-off (detector × defense × scenario)");
+        ids(full, shards, mode, &recorder, &journal, &detector_selection);
     }
 
     if let Some(path) = metrics_out {
@@ -557,6 +578,51 @@ fn attacks(
     }
 }
 
+fn ids(
+    full: bool,
+    shards: usize,
+    mode: bench::runner::SimMode,
+    recorder: &Recorder,
+    journal: &Journal,
+    selection: &str,
+) {
+    use bench::attackzoo::ZooDefense;
+    use bench::idsbench::{self, IDS_HORIZON_BITS};
+    let detectors = match idsbench::detector_grid_for(selection) {
+        Some(detectors) => detectors,
+        None => {
+            eprintln!(
+                "error: unknown detector '{selection}' (known: all, {})",
+                can_ids::registry::detector_names().join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+    let cells = idsbench::ids_cells();
+    let horizon = if full { 100_000 } else { IDS_HORIZON_BITS };
+    println!(
+        "grid: {} scenarios x {} defenses = {} cells, {} detectors each, {} bits at {}",
+        cells.len() / ZooDefense::ALL.len(),
+        ZooDefense::ALL.len(),
+        cells.len(),
+        detectors.len(),
+        horizon,
+        TABLE2_SPEED
+    );
+    let outcomes = idsbench::run_ids_with(
+        cells,
+        detectors,
+        horizon,
+        &exec_opts(mode, recorder, journal).with_shards(shards),
+    );
+    print!("{}", idsbench::render_ids_table(&outcomes));
+    idsbench::assert_ids_honesty(&outcomes);
+    println!(
+        "\n(honesty invariant held: every frame-level detection took at least one whole frame;"
+    );
+    println!("MichiCAN's in-frame reaction, where it fired, came in under one frame)");
+}
+
 fn availability() {
     use bench::availability::{run as run_avail, Defense};
     let ms = 400.0;
@@ -635,9 +701,9 @@ fn feasibility() {
 }
 
 fn ids_latency() {
-    use bench::ids_compare::{ids_defense, michican_defense};
-    let ids = ids_defense(40_000);
-    let michican = michican_defense(40_000);
+    use bench::idsbench::{flood_ids_defense, flood_michican_defense};
+    let ids = flood_ids_defense(40_000);
+    let michican = flood_michican_defense(40_000);
     println!("{:<34} {:>14} {:>14}", "metric", "frame IDS", "MichiCAN");
     println!(
         "{:<34} {:>14} {:>14}",

@@ -1,216 +1,21 @@
-//! Quantifying Table I's IDS row (extension beyond the paper's
-//! qualitative matrix): detection latency and outcome of a frame-level
-//! IDS versus MichiCAN against the same flooding attack.
+//! Deprecated forwarding shims for the old IDS-vs-MichiCAN comparison.
 //!
-//! * The IDS observes complete frames: its first alert necessarily comes
-//!   after several whole attack frames have traversed the bus, and it has
-//!   no eradication path — the flood continues.
-//! * MichiCAN flags the *first* malicious frame inside its identifier
-//!   field and has destroyed it before its data field even starts.
+//! The flood duel now lives in [`crate::idsbench`] (which also hosts the
+//! full detector × defense × scenario bake-off): the IDS side runs as
+//! passive detector taps in a single simulation instead of the old
+//! rebuild-and-replay double run. These shims keep the old call sites
+//! compiling one release longer.
 
-use can_attacks::{DosKind, SuspensionAttacker};
-use can_core::app::SilentApplication;
-use can_core::{BusSpeed, CanId};
-use can_ids::IdsMonitor;
-use can_sim::{EventKind, Node, SimBuilder, Simulator};
-use michican::prelude::*;
-
-/// Outcome of one defense-vs-flood run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DefenseLatency {
-    /// Bits from the first attack bit to the defense's detection instant.
-    pub detection_latency_bits: Option<u64>,
-    /// Attack frames that fully traversed the bus before detection.
-    pub frames_before_detection: u64,
-    /// Whether the attacker ended up eradicated (bus-off).
-    pub eradicated: bool,
-    /// Attack frames delivered over the whole run.
-    pub total_attack_frames_delivered: u64,
-}
-
-const SPEED: BusSpeed = BusSpeed::K500;
-const ATTACK_ID: u16 = 0x064;
-
-fn attack_start(sim: &Simulator, attacker: usize) -> Option<u64> {
-    sim.events()
-        .iter()
-        .find(|e| e.node == attacker && matches!(e.kind, EventKind::TransmissionStarted { .. }))
-        .map(|e| e.at.bits())
-}
-
-fn delivered_attack_frames(sim: &Simulator, observer: usize, until: Option<u64>) -> u64 {
-    sim.events()
-        .iter()
-        .filter(|e| {
-            e.node == observer
-                && until.is_none_or(|t| e.at.bits() <= t)
-                && matches!(&e.kind, EventKind::FrameReceived { frame }
-                    if frame.id() == CanId::from_raw(ATTACK_ID))
-        })
-        .count() as u64
-}
+pub use crate::idsbench::DefenseLatency;
 
 /// Runs the flooding attack against the frame-level IDS.
+#[deprecated(note = "use `idsbench::flood_ids_defense` (single-run, tap-attached IDS)")]
 pub fn ids_defense(run_bits: u64) -> DefenseLatency {
-    let builder = SimBuilder::new(SPEED);
-    let attacker = builder.node_id();
-    let builder = builder.node(Node::new(
-        "attacker",
-        Box::new(SuspensionAttacker::new(
-            DosKind::Targeted {
-                id: CanId::from_raw(ATTACK_ID),
-            },
-            400,
-        )),
-    ));
-    let ids_node = builder.node_id();
-    let mut sim = builder
-        .node(Node::new("ids", Box::new(IdsMonitor::typical_500k())))
-        .build();
-    sim.run(run_bits);
-
-    // Extract the monitor's first alert through the application API.
-    // (Downcast via a second pass: rebuild is cheap and deterministic.)
-    let builder2 = SimBuilder::new(SPEED);
-    let attacker2 = builder2.node_id();
-    let mut sim2 = builder2
-        .node(Node::new(
-            "attacker",
-            Box::new(SuspensionAttacker::new(
-                DosKind::Targeted {
-                    id: CanId::from_raw(ATTACK_ID),
-                },
-                400,
-            )),
-        ))
-        .node(Node::new("rx", Box::new(SilentApplication)))
-        .build();
-    let mut monitor = IdsMonitor::typical_500k();
-    sim2.run(run_bits);
-    for e in sim2.events() {
-        if let EventKind::FrameReceived { frame } = &e.kind {
-            use can_core::app::Application;
-            monitor.on_frame(frame, e.at);
-        }
-    }
-    let start = attack_start(&sim2, attacker2);
-    let first_alert = monitor.first_alert().map(|a| a.at.bits());
-
-    DefenseLatency {
-        detection_latency_bits: match (first_alert, start) {
-            (Some(alert), Some(start)) => Some(alert.saturating_sub(start)),
-            _ => None,
-        },
-        frames_before_detection: delivered_attack_frames(&sim2, 1, first_alert),
-        eradicated: sim
-            .events()
-            .iter()
-            .any(|e| e.node == attacker && matches!(e.kind, EventKind::BusOff)),
-        total_attack_frames_delivered: delivered_attack_frames(&sim, ids_node, None),
-    }
+    crate::idsbench::flood_ids_defense(run_bits)
 }
 
 /// Runs the same flood against MichiCAN.
+#[deprecated(note = "use `idsbench::flood_michican_defense`")]
 pub fn michican_defense(run_bits: u64) -> DefenseLatency {
-    let builder = SimBuilder::new(SPEED);
-    let attacker = builder.node_id();
-    let builder = builder.node(Node::new(
-        "attacker",
-        Box::new(SuspensionAttacker::new(
-            DosKind::Targeted {
-                id: CanId::from_raw(ATTACK_ID),
-            },
-            400,
-        )),
-    ));
-    let list = EcuList::from_raw(&[0x173]);
-    let observer = builder.node_id();
-    let mut sim = builder
-        .node(
-            Node::new("defender", Box::new(SilentApplication))
-                .with_agent(Box::new(MichiCan::new(DetectionFsm::for_ecu(&list, 0)))),
-        )
-        .build();
-    sim.run(run_bits);
-
-    let start = attack_start(&sim, attacker);
-    // MichiCAN's detection instant: the first transmitter-side error the
-    // counterattack provokes (within the first malicious frame).
-    let first_kill = sim
-        .events()
-        .iter()
-        .find(|e| {
-            e.node == attacker
-                && matches!(
-                    e.kind,
-                    EventKind::ErrorDetected {
-                        role: can_sim::ErrorRole::Transmitter,
-                        ..
-                    }
-                )
-        })
-        .map(|e| e.at.bits());
-
-    DefenseLatency {
-        detection_latency_bits: match (first_kill, start) {
-            (Some(kill), Some(start)) => Some(kill.saturating_sub(start)),
-            _ => None,
-        },
-        frames_before_detection: delivered_attack_frames(&sim, observer, first_kill),
-        eradicated: sim
-            .events()
-            .iter()
-            .any(|e| e.node == attacker && matches!(e.kind, EventKind::BusOff)),
-        total_attack_frames_delivered: delivered_attack_frames(&sim, observer, None),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const RUN: u64 = 40_000;
-
-    #[test]
-    fn ids_detects_late_and_never_eradicates() {
-        let ids = ids_defense(RUN);
-        let latency = ids.detection_latency_bits.expect("the flood must alert");
-        assert!(
-            latency > 1_000,
-            "IDS needs many complete frames: {latency} bits"
-        );
-        assert!(ids.frames_before_detection >= 5);
-        assert!(!ids.eradicated, "an IDS cannot bus the attacker off");
-        assert!(
-            ids.total_attack_frames_delivered > 50,
-            "the flood continues after detection"
-        );
-    }
-
-    #[test]
-    fn michican_detects_within_the_first_frame_and_eradicates() {
-        let michican = michican_defense(RUN);
-        let latency = michican
-            .detection_latency_bits
-            .expect("the counterattack must fire");
-        assert!(
-            latency < 25,
-            "MichiCAN kills within the first frame's control field: {latency} bits"
-        );
-        assert_eq!(michican.frames_before_detection, 0);
-        assert!(michican.eradicated);
-        assert_eq!(
-            michican.total_attack_frames_delivered, 0,
-            "not one attack frame may complete"
-        );
-    }
-
-    #[test]
-    fn michican_is_orders_of_magnitude_faster() {
-        let ids = ids_defense(RUN);
-        let michican = michican_defense(RUN);
-        let ratio = ids.detection_latency_bits.unwrap() as f64
-            / michican.detection_latency_bits.unwrap() as f64;
-        assert!(ratio > 50.0, "latency ratio {ratio:.0}× must be dramatic");
-    }
+    crate::idsbench::flood_michican_defense(run_bits)
 }

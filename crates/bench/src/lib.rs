@@ -10,8 +10,11 @@
 //! * [`detection`] — the random-FSM detection-latency sweep (§V-B);
 //! * [`cpu`] — CPU-utilization tables (§V-D);
 //! * [`busload`] — MichiCAN vs Parrot bus-load comparison (§V-E);
-//! * [`ids_compare`] — detection-latency quantification of Table I's IDS
-//!   row (extension);
+//! * [`idsbench`] — the timing-IDS bake-off: the `can_ids::registry`
+//!   detector grid attached as passive taps to a defense × scenario
+//!   cell grid, plus the focused IDS-vs-MichiCAN flood duel (extension;
+//!   `ids_compare` holds the deprecated shims of the duel's old entry
+//!   points);
 //! * [`availability`] — benign-traffic delivery under persistent attack,
 //!   healthy vs undefended vs defended (extension);
 //! * [`campaign`] — the seeded fault-injection campaign grid (robustness
@@ -38,6 +41,7 @@ pub mod cpu;
 pub mod detection;
 pub mod differential;
 pub mod ids_compare;
+pub mod idsbench;
 pub mod obs;
 pub mod runner;
 pub mod scenarios;

@@ -37,6 +37,9 @@
 //!   access as granted by pin-multiplexed integrated controllers.
 //! * [`app`] — the [`Application`](app::Application) trait: the frame-level
 //!   interface classic CAN controllers expose to ECU software.
+//! * [`watch`] — [`FrameWatch`](watch::FrameWatch), the shared wire observer
+//!   (SOF hunting, destuffing, field tracking) bit-level attackers and
+//!   passive IDS taps build on.
 //!
 //! ## Example
 //!
@@ -69,6 +72,7 @@ pub mod level;
 pub mod packed;
 pub mod pin;
 pub mod time;
+pub mod watch;
 
 pub use counters::{ErrorCounters, ErrorState};
 pub use frame::CanFrame;

@@ -9,7 +9,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use can_core::{BitInstant, CanId};
+use can_core::{BitInstant, CanFrame, CanId};
+
+use crate::detector::{Alert, AlertKind, Detector, IdsPhase};
 
 /// A sliding-window per-identifier frequency detector.
 #[derive(Debug, Clone)]
@@ -52,6 +54,23 @@ impl FrequencyIds {
     pub fn window_count(&self, id: CanId) -> usize {
         self.history.get(&id).map_or(0, VecDeque::len)
     }
+}
+
+impl Detector for FrequencyIds {
+    fn observe(&mut self, frame: &CanFrame, now: BitInstant) -> Option<Alert> {
+        FrequencyIds::observe(self, frame.id(), now).then_some(Alert {
+            at: now,
+            id: frame.id(),
+            kind: AlertKind::Frequency,
+        })
+    }
+
+    /// A frequency detector has no training phase: armed from birth.
+    fn phase(&self) -> IdsPhase {
+        IdsPhase::Armed
+    }
+
+    fn arm(&mut self) {}
 }
 
 #[cfg(test)]

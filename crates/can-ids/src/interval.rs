@@ -8,7 +8,11 @@
 
 use std::collections::HashMap;
 
-use can_core::{BitInstant, CanId};
+use can_core::{BitInstant, CanFrame, CanId};
+
+use crate::detector::{Alert, AlertKind, Detector};
+
+pub use crate::detector::IdsPhase;
 
 #[derive(Debug, Clone)]
 struct IdModel {
@@ -17,15 +21,6 @@ struct IdModel {
     samples: Vec<u64>,
     mean: f64,
     tolerance: f64,
-}
-
-/// Phase of the detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IdsPhase {
-    /// Learning per-identifier periods.
-    Training,
-    /// Raising alerts.
-    Armed,
 }
 
 /// An inter-arrival anomaly detector.
@@ -112,6 +107,24 @@ impl IntervalIds {
                 _ => self.models[&id].samples.len() < training_samples,
             },
         }
+    }
+}
+
+impl Detector for IntervalIds {
+    fn observe(&mut self, frame: &CanFrame, now: BitInstant) -> Option<Alert> {
+        IntervalIds::observe(self, frame.id(), now).then_some(Alert {
+            at: now,
+            id: frame.id(),
+            kind: AlertKind::Interval,
+        })
+    }
+
+    fn phase(&self) -> IdsPhase {
+        IntervalIds::phase(self)
+    }
+
+    fn arm(&mut self) {
+        IntervalIds::arm(self);
     }
 }
 

@@ -3,54 +3,92 @@
 //! (Table I: detection without eradication).
 
 use can_core::app::Application;
-use can_core::{BitInstant, CanFrame, CanId};
+use can_core::{BitInstant, CanFrame};
 
+use crate::detector::Detector;
 use crate::frequency::FrequencyIds;
 use crate::interval::IntervalIds;
 
-/// Which detector raised an alert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AlertKind {
-    /// Sliding-window frequency threshold exceeded.
-    Frequency,
-    /// Inter-arrival time outside the learned band.
-    Interval,
-}
+pub use crate::detector::{Alert, AlertKind};
 
-/// A timestamped IDS alert.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Alert {
-    /// When the alert fired (completion time of the triggering frame).
-    pub at: BitInstant,
-    /// The identifier concerned.
-    pub id: CanId,
-    /// Which detector fired.
-    pub kind: AlertKind,
-}
-
-/// A passive IDS node application combining both detectors.
-#[derive(Debug)]
+/// A passive IDS node application composing any number of named
+/// [`Detector`]s over the same frame stream.
+///
+/// Build with [`IdsMonitor::builder`]:
+///
+/// ```
+/// use can_ids::{FrequencyIds, IdsMonitor, IntervalIds};
+///
+/// let monitor = IdsMonitor::builder()
+///     .with("frequency", Box::new(FrequencyIds::new(5_000, 10)))
+///     .with("interval", Box::new(IntervalIds::new(8, 0.5)))
+///     .build();
+/// assert_eq!(monitor.detector_names(), ["frequency", "interval"]);
+/// ```
 pub struct IdsMonitor {
-    frequency: FrequencyIds,
-    interval: IntervalIds,
+    detectors: Vec<(String, Box<dyn Detector>)>,
     alerts: Vec<Alert>,
 }
 
-impl IdsMonitor {
-    /// Creates a monitor from the two configured detectors.
-    pub fn new(frequency: FrequencyIds, interval: IntervalIds) -> Self {
+/// Builder for [`IdsMonitor`]: named detectors over the uniform
+/// [`Detector`] trait, observed in insertion order.
+#[derive(Default)]
+#[must_use = "an IdsMonitorBuilder does nothing until `build` is called"]
+pub struct IdsMonitorBuilder {
+    detectors: Vec<(String, Box<dyn Detector>)>,
+}
+
+impl IdsMonitorBuilder {
+    /// Adds a named detector. Names are free-form labels carried into
+    /// [`IdsMonitor::detector_names`]; detectors observe every frame in
+    /// insertion order.
+    pub fn with(mut self, name: impl Into<String>, detector: Box<dyn Detector>) -> Self {
+        self.detectors.push((name.into(), detector));
+        self
+    }
+
+    /// Finishes the monitor.
+    pub fn build(self) -> IdsMonitor {
         IdsMonitor {
-            frequency,
-            interval,
+            detectors: self.detectors,
             alerts: Vec::new(),
         }
+    }
+}
+
+impl IdsMonitor {
+    /// Starts an empty builder.
+    pub fn builder() -> IdsMonitorBuilder {
+        IdsMonitorBuilder::default()
+    }
+
+    /// Creates a monitor from the two classic detectors.
+    #[deprecated(
+        note = "use `IdsMonitor::builder().with(name, detector)` over the uniform `Detector` trait"
+    )]
+    pub fn new(frequency: FrequencyIds, interval: IntervalIds) -> Self {
+        Self::builder()
+            .with("frequency", Box::new(frequency))
+            .with("interval", Box::new(interval))
+            .build()
     }
 
     /// A typical configuration for a 500 kbit/s bus: 10 ms frequency
     /// window with a 10-frame threshold; interval training over 8 samples
     /// with ±50 % tolerance.
     pub fn typical_500k() -> Self {
-        Self::new(FrequencyIds::new(5_000, 10), IntervalIds::new(8, 0.5))
+        Self::builder()
+            .with("frequency", Box::new(FrequencyIds::new(5_000, 10)))
+            .with("interval", Box::new(IntervalIds::new(8, 0.5)))
+            .build()
+    }
+
+    /// The configured detector names, in observation order.
+    pub fn detector_names(&self) -> Vec<&str> {
+        self.detectors
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect()
     }
 
     /// All alerts so far.
@@ -63,9 +101,11 @@ impl IdsMonitor {
         self.alerts.first()
     }
 
-    /// Arms the interval detector (ends training).
+    /// Arms every trainable detector (ends training).
     pub fn arm(&mut self) {
-        self.interval.arm();
+        for (_, detector) in &mut self.detectors {
+            detector.arm();
+        }
     }
 }
 
@@ -75,19 +115,10 @@ impl Application for IdsMonitor {
     }
 
     fn on_frame(&mut self, frame: &CanFrame, now: BitInstant) {
-        if self.frequency.observe(frame.id(), now) {
-            self.alerts.push(Alert {
-                at: now,
-                id: frame.id(),
-                kind: AlertKind::Frequency,
-            });
-        }
-        if self.interval.observe(frame.id(), now) {
-            self.alerts.push(Alert {
-                at: now,
-                id: frame.id(),
-                kind: AlertKind::Interval,
-            });
+        for (_, detector) in &mut self.detectors {
+            if let Some(alert) = detector.observe(frame, now) {
+                self.alerts.push(alert);
+            }
         }
     }
 }
@@ -95,6 +126,7 @@ impl Application for IdsMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use can_core::CanId;
 
     fn frame(id: u16) -> CanFrame {
         CanFrame::data_frame(CanId::from_raw(id), &[0]).unwrap()
@@ -102,7 +134,10 @@ mod tests {
 
     #[test]
     fn monitor_collects_alerts_from_both_detectors() {
-        let mut monitor = IdsMonitor::new(FrequencyIds::new(2_000, 3), IntervalIds::new(2, 0.5));
+        let mut monitor = IdsMonitor::builder()
+            .with("frequency", Box::new(FrequencyIds::new(2_000, 3)))
+            .with("interval", Box::new(IntervalIds::new(2, 0.5)))
+            .build();
         // Train the interval detector with clean 500-bit periods.
         for k in 0..4u64 {
             monitor.on_frame(&frame(0x100), BitInstant::from_bits(k * 500));
@@ -116,6 +151,41 @@ mod tests {
         assert!(kinds.contains(&AlertKind::Frequency));
         assert!(kinds.contains(&AlertKind::Interval));
         assert!(monitor.first_alert().is_some());
+    }
+
+    #[test]
+    fn deprecated_positional_constructor_still_works() {
+        #[allow(deprecated)]
+        let monitor = IdsMonitor::new(FrequencyIds::new(2_000, 3), IntervalIds::new(2, 0.5));
+        assert_eq!(monitor.detector_names(), ["frequency", "interval"]);
+    }
+
+    #[test]
+    fn builder_composes_any_detector_mix() {
+        use crate::cusum::CusumIds;
+        use crate::entropy::EntropyIds;
+        use crate::zscore::ZScoreIds;
+
+        let mut monitor = IdsMonitor::builder()
+            .with("cusum", Box::new(CusumIds::new(4, 8.0)))
+            .with("zscore", Box::new(ZScoreIds::new(4, 6.0)))
+            .with("entropy", Box::new(EntropyIds::new(8, 400)))
+            .build();
+        assert_eq!(monitor.detector_names(), ["cusum", "zscore", "entropy"]);
+        for k in 0..30u64 {
+            monitor.on_frame(&frame(0x100), BitInstant::from_bits(k * 600));
+        }
+        monitor.arm();
+        assert!(monitor.alerts().is_empty(), "clean traffic stays quiet");
+        // A flood compresses intervals and collapses entropy.
+        let mut t = 30 * 600;
+        for _ in 0..20 {
+            t += 100;
+            monitor.on_frame(&frame(0x100), BitInstant::from_bits(t));
+        }
+        let kinds: Vec<AlertKind> = monitor.alerts().iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&AlertKind::Cusum));
+        assert!(kinds.contains(&AlertKind::ZScore));
     }
 
     #[test]

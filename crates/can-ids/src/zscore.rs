@@ -1,0 +1,203 @@
+//! Mean/stddev z-score detector on inter-arrival times.
+//!
+//! The simplest member of the timing family: training learns each
+//! identifier's inter-arrival mean and standard deviation; once armed, a
+//! frame whose interval deviates more than `z · σ` from the mean alerts
+//! immediately. Unlike [`CusumIds`](crate::cusum::CusumIds) there is no
+//! accumulation — each frame is judged on its own — so the detector is
+//! fast on gross anomalies and blind to slow drifts, the classic
+//! trade-off the bake-off table makes visible.
+
+use std::collections::HashMap;
+
+use can_core::{BitInstant, CanFrame, CanId};
+
+use crate::detector::{Alert, AlertKind, Detector, IdsPhase};
+
+/// Fraction of the learned mean used as the σ floor (perfectly periodic
+/// training traffic would otherwise make every armed interval infinite
+/// σ-distance away).
+const SIGMA_FLOOR_FRACTION: f64 = 0.05;
+
+#[derive(Debug, Clone, Default)]
+struct ZModel {
+    last_seen: Option<u64>,
+    samples: Vec<u64>,
+    mean: f64,
+    sigma: f64,
+}
+
+/// A per-identifier inter-arrival z-score detector.
+#[derive(Debug, Clone)]
+pub struct ZScoreIds {
+    phase: IdsPhase,
+    training_samples: usize,
+    z_threshold: f64,
+    models: HashMap<CanId, ZModel>,
+}
+
+impl ZScoreIds {
+    /// Creates a detector training on `training_samples` intervals per
+    /// identifier and alerting when `|interval − µ| > z_threshold · σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training_samples < 2` or the threshold is not positive.
+    pub fn new(training_samples: usize, z_threshold: f64) -> Self {
+        assert!(
+            training_samples >= 2,
+            "need at least two training intervals"
+        );
+        assert!(z_threshold > 0.0, "z threshold must be positive");
+        ZScoreIds {
+            phase: IdsPhase::Training,
+            training_samples,
+            z_threshold,
+            models: HashMap::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> IdsPhase {
+        self.phase
+    }
+
+    /// Ends training: freezes each identifier's mean/σ baseline.
+    pub fn arm(&mut self) {
+        if self.phase == IdsPhase::Armed {
+            return;
+        }
+        for model in self.models.values_mut() {
+            if model.samples.is_empty() {
+                continue;
+            }
+            let n = model.samples.len() as f64;
+            let mean = model.samples.iter().sum::<u64>() as f64 / n;
+            let var = model
+                .samples
+                .iter()
+                .map(|&x| {
+                    let d = x as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / n;
+            model.mean = mean;
+            model.sigma = var.sqrt().max(mean * SIGMA_FLOOR_FRACTION).max(1.0);
+        }
+        self.phase = IdsPhase::Armed;
+    }
+
+    /// Records a frame of `id` at `now`; returns `true` for an interval
+    /// beyond the z-score band (armed phase only).
+    pub fn observe(&mut self, id: CanId, now: BitInstant) -> bool {
+        let training_samples = self.training_samples;
+        let model = self.models.entry(id).or_default();
+        let interval = model.last_seen.map(|last| now.bits().saturating_sub(last));
+        model.last_seen = Some(now.bits());
+
+        match self.phase {
+            IdsPhase::Training => {
+                if let Some(interval) = interval {
+                    model.samples.push(interval);
+                }
+                if self
+                    .models
+                    .values()
+                    .all(|m| m.samples.len() >= training_samples)
+                {
+                    self.arm();
+                }
+                false
+            }
+            IdsPhase::Armed => {
+                let model = &self.models[&id];
+                if model.samples.len() < training_samples || model.sigma <= 0.0 {
+                    // No baseline for this identifier: its appearance
+                    // after training is itself anomalous.
+                    return true;
+                }
+                match interval {
+                    Some(interval) => {
+                        (interval as f64 - model.mean).abs() > self.z_threshold * model.sigma
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+impl Detector for ZScoreIds {
+    fn observe(&mut self, frame: &CanFrame, now: BitInstant) -> Option<Alert> {
+        ZScoreIds::observe(self, frame.id(), now).then_some(Alert {
+            at: now,
+            id: frame.id(),
+            kind: AlertKind::ZScore,
+        })
+    }
+
+    fn phase(&self) -> IdsPhase {
+        ZScoreIds::phase(self)
+    }
+
+    fn arm(&mut self) {
+        ZScoreIds::arm(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u16) -> CanId {
+        CanId::from_raw(raw)
+    }
+
+    fn trained(period: u64) -> ZScoreIds {
+        let mut ids = ZScoreIds::new(4, 6.0);
+        for k in 0..6u64 {
+            ids.observe(id(0x100), BitInstant::from_bits(k * period));
+        }
+        ids.arm();
+        ids
+    }
+
+    #[test]
+    fn nominal_period_stays_quiet() {
+        let mut ids = trained(600);
+        for k in 6..30u64 {
+            assert!(!ids.observe(id(0x100), BitInstant::from_bits(k * 600)));
+        }
+    }
+
+    #[test]
+    fn small_jitter_stays_quiet() {
+        let mut ids = trained(600);
+        let mut t = 5 * 600;
+        for jitter in [-50i64, 40, -30, 60, 0] {
+            t += (600 + jitter) as u64;
+            assert!(!ids.observe(id(0x100), BitInstant::from_bits(t)));
+        }
+    }
+
+    #[test]
+    fn compressed_interval_alerts_on_first_frame() {
+        let mut ids = trained(600);
+        // σ floor = 30 bits; 6σ band = ±180; a 200-bit interval is 400
+        // bits off the mean.
+        assert!(ids.observe(id(0x100), BitInstant::from_bits(5 * 600 + 200)));
+    }
+
+    #[test]
+    fn suspension_gap_alerts() {
+        let mut ids = trained(600);
+        assert!(ids.observe(id(0x100), BitInstant::from_bits(100_000)));
+    }
+
+    #[test]
+    fn unknown_identifier_after_training_alerts() {
+        let mut ids = trained(600);
+        assert!(ids.observe(id(0x064), BitInstant::from_bits(10_000)));
+    }
+}

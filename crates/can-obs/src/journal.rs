@@ -82,6 +82,14 @@ pub const JK_REARMED: &str = "rearmed";
 pub const JK_STRIKE: &str = "strike";
 /// An adaptive attacker finished a passive probe observation.
 pub const JK_PROBE: &str = "probe";
+// IDS lifecycle (emitted by `can-ids` detector taps):
+/// A passive detector raised an alert on a completed frame (detail:
+/// detector label + alert kind + frame identifier). Emitted at the frame's
+/// completion bit, so the event inherits the completed frame's
+/// `frame_seq`/`chain_id` and alert chains reconstruct causally.
+pub const JK_IDS_ALERT: &str = "ids_alert";
+/// A passive detector finished training and armed.
+pub const JK_IDS_ARMED: &str = "ids_armed";
 
 /// One journal event. All content is sim-time deterministic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]

@@ -27,6 +27,7 @@ use crate::event::NodeId;
 use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
 use crate::sim::{SignalTrace, Simulator};
+use crate::tap::FrameTap;
 
 /// Fluent builder for [`Simulator`].
 ///
@@ -99,6 +100,15 @@ impl SimBuilder {
     /// Adds a node. Ids are assigned in call order starting at 0.
     pub fn node(mut self, node: Node) -> Self {
         self.sim.add_node(node);
+        self
+    }
+
+    /// Attaches a passive frame tap (see [`FrameTap`]): a bus observer
+    /// that sees every completed frame without occupying a node, driving
+    /// the bus, or ACKing. Any number of taps can watch one bus; they are
+    /// delivered to in attachment order.
+    pub fn tap(mut self, tap: Box<dyn FrameTap>) -> Self {
+        self.sim.install_tap(tap);
         self
     }
 

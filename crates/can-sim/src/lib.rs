@@ -16,6 +16,8 @@
 //! * [`sim`] — the two-phase tick driver, event log and signal trace.
 //! * [`event`] — protocol events for metric extraction.
 //! * [`measure`] — bus-off episodes and duration statistics (Table II).
+//! * [`tap`] — passive [`FrameTap`](tap::FrameTap) observers: N intrusion
+//!   detectors watching one bus without N nodes.
 //! * [`telemetry`] — always-on kernel self-telemetry: bits resolved per
 //!   engine, packed-stretch statistics and fallback causes.
 //!
@@ -53,6 +55,7 @@ pub mod measure;
 pub mod node;
 pub mod parser;
 pub mod sim;
+pub mod tap;
 pub mod telemetry;
 
 pub use builder::SimBuilder;
@@ -63,6 +66,7 @@ pub use measure::{bus_off_episodes, BusOffEpisode, DurationStats};
 pub use node::Node;
 pub use parser::{RxEvent, RxParser};
 pub use sim::{SignalTrace, Simulator};
+pub use tap::FrameTap;
 pub use telemetry::{FallbackCause, KernelTelemetry};
 
 /// Everything needed to build and run a simulation:
@@ -73,5 +77,6 @@ pub mod prelude {
     pub use crate::fault::{FaultModel, FaultStack, TxFault};
     pub use crate::node::Node;
     pub use crate::sim::{SignalTrace, Simulator};
+    pub use crate::tap::FrameTap;
     pub use can_core::{BitDuration, BitInstant, BusSpeed, Level};
 }

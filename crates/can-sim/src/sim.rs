@@ -18,6 +18,7 @@ use crate::event::{Event, EventKind, NodeId};
 use crate::fault::{FaultModel, FaultStack};
 use crate::node::Node;
 use crate::parser::RxParser;
+use crate::tap::FrameTap;
 use crate::telemetry::{FallbackCause, KernelTelemetry};
 
 /// Width of the bus-utilization measurement window, in bit times. At the
@@ -216,6 +217,9 @@ pub struct Simulator {
     rx_scratch: Vec<RxParser>,
     /// Arena: per-node (requested, consumed) bits of the latest dry-run.
     rx_dry: Vec<(u32, u32)>,
+    /// Passive frame observers (see [`crate::tap::FrameTap`]): fed once
+    /// per completed frame from the lockstep bit path.
+    taps: Vec<Box<dyn FrameTap>>,
 }
 
 impl Simulator {
@@ -242,6 +246,7 @@ impl Simulator {
             packed_roles: Vec::new(),
             rx_scratch: Vec::new(),
             rx_dry: Vec::new(),
+            taps: Vec::new(),
         }
     }
 
@@ -273,6 +278,15 @@ impl Simulator {
 
     pub(crate) fn install_event_logging(&mut self, enabled: bool) {
         self.log_events = enabled;
+    }
+
+    pub(crate) fn install_tap(&mut self, tap: Box<dyn FrameTap>) {
+        self.taps.push(tap);
+    }
+
+    /// Number of attached passive frame taps.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
     }
 
     /// The attached recorder (disabled unless one was installed via
@@ -444,10 +458,24 @@ impl Simulator {
         }
 
         let mut busy = bus.is_dominant();
+        let mut tap_frame: Option<can_core::CanFrame> = None;
         for (id, node) in self.nodes.iter_mut().enumerate() {
             self.scratch.clear();
             node.sample_into(bus, self.now, &mut self.scratch);
             busy |= node.controller().is_busy();
+            if !self.taps.is_empty() && tap_frame.is_none() {
+                // At most one frame occupies a single bus, so at most one
+                // frame completes per bit; the transmitter's copy (lowest
+                // node id) and every receiver's copy are the same frame.
+                for kind in &self.scratch.events {
+                    if let EventKind::TransmissionSucceeded { frame }
+                    | EventKind::FrameReceived { frame } = kind
+                    {
+                        tap_frame = Some(*frame);
+                        break;
+                    }
+                }
+            }
             if obs {
                 let keys = &self.metric_keys[id];
                 for kind in &self.scratch.events {
@@ -481,6 +509,12 @@ impl Simulator {
                 for kind in self.scratch.events.drain(..) {
                     self.events.push(Event::new(self.now, id, kind));
                 }
+            }
+        }
+        if let Some(frame) = tap_frame {
+            let at = self.now;
+            for tap in &mut self.taps {
+                tap.on_frame(&frame, at);
             }
         }
         if busy {
@@ -532,9 +566,10 @@ impl Simulator {
     /// needs the current bit processed normally.
     ///
     /// The bus can be fast-forwarded over `[now, now + gap)` when every
-    /// horizon source — the channel fault stack and every node (its TX
+    /// horizon source — the channel fault stack, every node (its TX
     /// fault, controller, application and bit agent, see
-    /// [`Node::next_activity`]) — declares its next activity strictly after
+    /// [`Node::next_activity`]) and every passive frame tap
+    /// ([`FrameTap::next_activity`]) — declares its next activity strictly after
     /// `now`. Quiescence implies the bus stays recessive for the whole gap:
     /// every skippable controller state drives recessive, and anything that
     /// could drive dominant reports `Some(now)`.
@@ -554,6 +589,11 @@ impl Simulator {
         }
         for node in &self.nodes {
             if !quiet(node.next_activity(self.now).map(BitInstant::bits)) {
+                return None;
+            }
+        }
+        for tap in &self.taps {
+            if !quiet(tap.next_activity(self.now).map(BitInstant::bits)) {
                 return None;
             }
         }

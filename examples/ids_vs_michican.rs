@@ -6,7 +6,7 @@
 //! cargo run --release --example ids_vs_michican
 //! ```
 
-use bench::ids_compare::{ids_defense, michican_defense};
+use bench::idsbench::{flood_ids_defense, flood_michican_defense};
 use can_core::BusSpeed;
 
 fn main() {
@@ -16,8 +16,8 @@ fn main() {
         BusSpeed::K500,
         run_bits
     );
-    let ids = ids_defense(run_bits);
-    let michican = michican_defense(run_bits);
+    let ids = flood_ids_defense(run_bits);
+    let michican = flood_michican_defense(run_bits);
 
     let fmt_latency = |b: Option<u64>| {
         b.map(|bits| format!("{bits} bits ({:.0} µs)", bits as f64 * 2.0))

@@ -12,6 +12,8 @@ pub use ::bench as harness;
 pub use can_attacks;
 pub use can_core;
 pub use can_ids;
+/// The detector toolkit in one import: `use michican_suite::ids_prelude::*;`.
+pub use can_ids::prelude as ids_prelude;
 pub use can_sim;
 pub use can_trace;
 pub use mcu;

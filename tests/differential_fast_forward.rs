@@ -383,6 +383,96 @@ fn a_zoo_cell_reconstructs_the_attack_chain_by_chain_id() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Timing-IDS bake-off differential pins: detector taps are passive and
+// frame-driven, so attaching the full registry grid must not perturb the
+// accelerated kernels — the outcome table, the metrics snapshot and the
+// journal export all stay byte-identical across modes and shard counts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_ids_cell_is_bit_identical_under_acceleration_with_taps_attached() {
+    use bench::idsbench::{build_ids_cell, ids_cells};
+    use can_ids::registry::all_variants;
+    let detectors = all_variants();
+    for cell in ids_cells() {
+        check_equivalence(
+            |recorder| build_ids_cell(&cell, &detectors, recorder).sim,
+            20_000,
+        )
+        .unwrap_or_else(|divergence| {
+            panic!(
+                "ids cell {} vs {}: {divergence}",
+                cell.scenario.label(),
+                cell.defense.label()
+            );
+        });
+    }
+}
+
+#[test]
+fn ids_table_is_identical_across_modes_and_shards() {
+    use bench::idsbench::{ids_cells, render_ids_table, run_ids_with};
+    use can_ids::registry::all_variants;
+    let run = |opts: ExecOpts| {
+        let recorder = Recorder::enabled();
+        let outcomes = run_ids_with(
+            ids_cells(),
+            all_variants(),
+            20_000,
+            &opts.with_recorder(recorder.clone()),
+        );
+        (outcomes, recorder.snapshot_json())
+    };
+    let (lock, lock_snapshot) = run(ExecOpts::new());
+    for (label, opts) in [
+        ("fast-forward", ExecOpts::new().fast()),
+        ("packed", ExecOpts::new().packed()),
+        ("4 shards", ExecOpts::new().with_shards(4)),
+        ("packed + 3 shards", ExecOpts::new().packed().with_shards(3)),
+    ] {
+        let (outcomes, snapshot) = run(opts);
+        assert_eq!(lock, outcomes, "ids outcomes diverged under {label}");
+        assert_eq!(
+            lock_snapshot, snapshot,
+            "ids metrics snapshot diverged under {label}"
+        );
+    }
+    bench::idsbench::assert_ids_honesty(&lock);
+    let table = render_ids_table(&lock);
+    for variant in all_variants() {
+        assert!(
+            table.contains(&variant.label()),
+            "table is missing {}",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn ids_journal_is_byte_identical_across_modes_and_shards() {
+    use bench::idsbench::{ids_cells, run_ids_with};
+    use can_ids::registry::all_variants;
+    let run = |opts: ExecOpts| {
+        journal_of(opts, |o| {
+            run_ids_with(ids_cells(), all_variants(), 20_000, o);
+        })
+    };
+    let base = run(ExecOpts::new());
+    assert!(
+        base.contains(can_obs::JK_IDS_ALERT),
+        "ids journal must carry alert events"
+    );
+    for (label, opts) in [
+        ("fast-forward", ExecOpts::new().fast()),
+        ("packed", ExecOpts::new().packed()),
+        ("4 shards", ExecOpts::new().with_shards(4)),
+        ("packed + 4 shards", ExecOpts::new().packed().with_shards(4)),
+    ] {
+        assert_eq!(base, run(opts), "ids journal diverged under {label}");
+    }
+}
+
 #[test]
 fn fingerprints_capture_trace_surfaces() {
     // A traced, noisy, attacked bus: the fingerprint must carry the trace
